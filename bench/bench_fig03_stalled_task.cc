@@ -1,0 +1,76 @@
+// Figure 3: proactive migration prevents the stalled running task.
+//
+// Two overcommitted 4-vCPU VMs (modelled as bandwidth shaping: every vCPU is
+// active 5 ms then inactive 5 ms). A single CPU-bound thread runs in default
+// mode (scheduler placement) and in migration mode (circularly re-pinning
+// itself across vCPUs every 4 ms). Migration mode should roughly double
+// vCPU utilization.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/metrics/activity_trace.h"
+#include "src/workloads/micro.h"
+
+using namespace vsched;
+
+namespace {
+
+struct ModeResult {
+  double utilization_pct;
+  uint64_t migrations;
+  std::string timeline;
+  double stalled_fraction;
+};
+
+ModeResult RunMode(bool migrate) {
+  VmSpec spec = MakeSimpleVmSpec("vm", 4);
+  for (auto& p : spec.vcpus) {
+    p.bw_quota = MsToNs(5);
+    p.bw_period = MsToNs(10);
+  }
+  RunContext ctx = MakeRun(FlatHost(4), std::move(spec), VSchedOptions::Cfs(), 0xF16'03);
+  SelfMigratingParams p;
+  p.migrate = migrate;
+  p.hop_period = MsToNs(4);
+  SelfMigratingTask app(&ctx.kernel(), p);
+  app.Start();
+  ctx.sim->RunFor(SecToNs(1));
+  app.ResetStats();
+  uint64_t migr_before = app.task()->migrations();
+  // Trace a 60 ms window for the KernelShark-style timeline (Fig 3).
+  ActivityTrace trace(&ctx.kernel(), UsToNs(100));
+  trace.Start();
+  ctx.sim->RunFor(MsToNs(60));
+  trace.Stop();
+  ctx.sim->RunFor(SecToNs(10) - MsToNs(60));
+  ModeResult r;
+  r.utilization_pct = app.Result().throughput;
+  r.migrations = app.task()->migrations() - migr_before;
+  r.timeline = trace.Render(96);
+  r.stalled_fraction = trace.StalledFraction();
+  app.Stop();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 3", "Stalled running task: default vs proactive self-migration");
+  ModeResult def = RunMode(false);
+  ModeResult mig = RunMode(true);
+  TablePrinter table({"Mode", "vCPU utilization", "Migrations (10 s)"});
+  table.AddRow({"default (no proactive migration)", TablePrinter::Pct(def.utilization_pct),
+                std::to_string(def.migrations)});
+  table.AddRow({"migration (hop every 4 ms)", TablePrinter::Pct(mig.utilization_pct),
+                std::to_string(mig.migrations)});
+  table.Print();
+  std::printf("\nTimeline, default mode (60 ms; '#' running, 'x' stalled, ' ' inactive):\n%s",
+              def.timeline.c_str());
+  std::printf("stalled-running-task present in %.0f%% of samples\n", 100 * def.stalled_fraction);
+  std::printf("\nTimeline, migration mode:\n%s", mig.timeline.c_str());
+  std::printf("stalled-running-task present in %.0f%% of samples\n", 100 * mig.stalled_fraction);
+  std::printf("\nUtilization ratio: %.2fx (paper: ~2x — the task is stalled 50%% of the time\n"
+              "in default mode, while proactive migration keeps it on an active vCPU)\n",
+              mig.utilization_pct / def.utilization_pct);
+  return 0;
+}

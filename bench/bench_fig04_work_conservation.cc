@@ -1,0 +1,116 @@
+// Figure 4: non-work-conserving policies beat strict work conservation when
+// problematic idle vCPUs exist.
+//
+// Left: one vCPU of a 16-vCPU VM is starved by a host RT task (straggler);
+// excluding it from placement improves synchronization-heavy throughput.
+// Right: vCPUs stacked in pairs on 8 cores; excluding one vCPU per pair
+// avoids double-scheduling costs, and with a low-priority best-effort
+// workload present, avoids priority inversion entirely.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/throughput_app.h"
+
+using namespace vsched;
+
+namespace {
+
+const std::vector<std::string> kApps = {"canneal", "dedup", "streamcluster"};
+
+double RunStraggler(const std::string& app, bool work_conserving, double straggler_share) {
+  VmSpec spec = MakeSimpleVmSpec("vm", 16);
+  RunContext ctx = MakeRun(FlatHost(16), std::move(spec), VSchedOptions::Cfs(), 0xF16'04);
+  // A host-side high-priority task starves vCPU 15's hardware thread.
+  ctx.stressors.push_back(std::make_unique<Stressor>(ctx.sim.get(), "rt", 1024.0, /*rt=*/true));
+  TimeNs on = static_cast<TimeNs>((1.0 - straggler_share) * MsToNs(20));
+  ctx.stressors.back()->StartDutyCycle(ctx.machine.get(), 15, on, MsToNs(20) - on);
+  if (!work_conserving) {
+    ctx.kernel().SetBans(CpuMask::Single(15), CpuMask::None());
+  }
+  MeasuredRun run = RunWorkload(ctx, app, /*threads=*/16, SecToNs(2), SecToNs(8));
+  return run.result.throughput;
+}
+
+double RunStacking(const std::string& app, bool work_conserving, bool with_best_effort) {
+  VmSpec spec = MakeSimpleVmSpec("vm", 16);
+  for (int i = 0; i < 16; ++i) {
+    spec.vcpus[i].tid = i / 2;  // Stacked in pairs on 8 hardware threads.
+  }
+  RunContext ctx = MakeRun(FlatHost(8), std::move(spec), VSchedOptions::Cfs(), 0xF16'14);
+  // Even vCPUs are the "kept" ones; odd vCPUs are their stack partners.
+  CpuMask odd;
+  for (int i = 1; i < 16; i += 2) {
+    odd.Set(i);
+  }
+  std::unique_ptr<TaskParallelApp> background;
+  int threads = 16;
+  if (with_best_effort) {
+    // Low-priority workload pinned to one vCPU of each stacking group.
+    TaskParallelParams bp;
+    bp.name = "best-effort";
+    bp.threads = 8;
+    bp.chunk_mean = MsToNs(2);
+    bp.policy = TaskPolicy::kIdle;
+    bp.allowed = odd;
+    background = std::make_unique<TaskParallelApp>(&ctx.kernel(), bp);
+    background->Start();
+    threads = 8;
+    if (!work_conserving) {
+      // Exclude the vCPUs NOT running the low-priority workload: the
+      // benchmark shares vCPUs with it, where guest priorities apply —
+      // instead of landing on their stack partners where the host would
+      // schedule the low-priority work against it (priority inversion).
+      ctx.kernel().SetBans(CpuMask::None(), ~odd & CpuMask::FirstN(16));
+    }
+  } else if (!work_conserving) {
+    ctx.kernel().SetBans(CpuMask::None(), odd);
+  }
+  MeasuredRun run = RunWorkload(ctx, app, threads, SecToNs(2), SecToNs(8));
+  if (background != nullptr) {
+    background->Stop();
+  }
+  return run.result.throughput;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 4", "Work-conserving vs non-work-conserving placement");
+
+  std::printf("\nStraggler vCPU (throughput normalized to non-work-conserving):\n");
+  TablePrinter t1({"App", "work-conserving", "non-work-conserving"});
+  for (const auto& app : kApps) {
+    double wc = RunStraggler(app, true, 0.35);
+    double nwc = RunStraggler(app, false, 0.35);
+    t1.AddRow({app, TablePrinter::Pct(100 * wc / nwc), TablePrinter::Pct(100.0)});
+  }
+  t1.Print();
+
+  std::printf("\nStacking vCPUs, no best-effort (normalized to non-work-conserving):\n");
+  TablePrinter t2({"App", "work-conserving", "non-work-conserving"});
+  for (const auto& app : kApps) {
+    double wc = RunStacking(app, true, false);
+    double nwc = RunStacking(app, false, false);
+    t2.AddRow({app, TablePrinter::Pct(100 * wc / nwc), TablePrinter::Pct(100.0)});
+  }
+  t2.Print();
+
+  std::printf("\nStacking vCPUs with low-priority best-effort (priority inversion):\n");
+  TablePrinter t3({"App", "work-conserving", "non-work-conserving"});
+  for (const auto& app : kApps) {
+    double wc = RunStacking(app, true, true);
+    double nwc = RunStacking(app, false, true);
+    t3.AddRow({app, TablePrinter::Pct(100 * wc / nwc), TablePrinter::Pct(100.0)});
+  }
+  t3.Print();
+
+  std::printf("\nAblation: rwc straggler threshold sweep (canneal, straggler share 5%%):\n");
+  TablePrinter t4({"Excluded?", "Throughput (iter/s)"});
+  t4.AddRow({"no (work-conserving)", TablePrinter::Fmt(RunStraggler("canneal", true, 0.35), 1)});
+  t4.AddRow({"yes (banned)", TablePrinter::Fmt(RunStraggler("canneal", false, 0.35), 1)});
+  t4.Print();
+
+  std::printf("\nPaper: up to 43%% higher throughput excluding the straggler; up to 30%% for\n"
+              "stacking; up to 6.7x with priority inversion present.\n");
+  return 0;
+}

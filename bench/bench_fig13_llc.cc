@@ -1,0 +1,83 @@
+// Figure 13: effective LLC-aware optimizations with vtop.
+//
+// 32 vCPUs pinned across two sockets (16 + 16). Two instances of each
+// communication-heavy benchmark run side by side; with the correct socket
+// topology exposed, each instance's threads stay within one LLC domain:
+// throughput rises, the IPC proxy improves (less work burned on cross-socket
+// cache-line transfers), and cross-socket rescheduling IPIs collapse.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace vsched;
+
+namespace {
+
+VSchedOptions VtopOnly() {
+  VSchedOptions o = VSchedOptions::EnhancedCfs();
+  o.use_vcap = false;
+  o.use_rwc = false;
+  return o;
+}
+
+struct LlcResult {
+  double throughput;  // mean of the two instances
+  double ipc;         // items per vCPU-busy-second (IPC proxy)
+  double ipis;        // cross-socket wakeup IPIs per second
+};
+
+LlcResult RunPair(const std::string& app_name, bool with_vtop) {
+  TopologySpec host = FlatHost(16, /*threads_per_core=*/1, /*sockets=*/2);
+  VmSpec spec = MakeSimpleVmSpec("vm", 32);
+  RunContext ctx = MakeRun(host, std::move(spec), with_vtop ? VtopOnly() : VSchedOptions::Cfs(),
+                           0xF16'13);
+  auto a = MakeWorkload(&ctx.kernel(), app_name, 16);
+  auto b = MakeWorkload(&ctx.kernel(), app_name, 16);
+  a->Start();
+  b->Start();
+  ctx.sim->RunFor(SecToNs(5));
+  a->ResetStats();
+  b->ResetStats();
+  TimeNs busy_before = 0;
+  for (int i = 0; i < 32; ++i) {
+    busy_before += ctx.kernel().vcpu(i).busy_ns();
+  }
+  uint64_t ipi_before = ctx.kernel().counters().wakeup_ipis_cross_socket.value();
+  const TimeNs kMeasure = SecToNs(15);
+  ctx.sim->RunFor(kMeasure);
+  TimeNs busy = -busy_before;
+  for (int i = 0; i < 32; ++i) {
+    busy += ctx.kernel().vcpu(i).busy_ns();
+  }
+  uint64_t ipis = ctx.kernel().counters().wakeup_ipis_cross_socket.value() - ipi_before;
+  LlcResult r;
+  double tput = (a->Result().throughput + b->Result().throughput) / 2.0;
+  r.throughput = tput;
+  r.ipc = busy > 0 ? 2.0 * tput / NsToSec(busy) * NsToSec(kMeasure) : 0;
+  r.ipis = static_cast<double>(ipis) / NsToSec(kMeasure);
+  a->Stop();
+  b->Stop();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 13", "LLC-aware optimizations with vtop (2 instances per benchmark)");
+  TablePrinter table({"App", "Throughput", "IPC proxy", "cross-socket IPIs"});
+  for (const std::string& app : {std::string("dedup"), std::string("nginx"),
+                                 std::string("hackbench")}) {
+    LlcResult base = RunPair(app, false);
+    LlcResult opt = RunPair(app, true);
+    table.AddRow({app + " (CFS)", TablePrinter::Pct(100.0 * base.throughput / opt.throughput),
+                  TablePrinter::Pct(100.0 * base.ipc / opt.ipc),
+                  TablePrinter::Fmt(base.ipis, 0) + "/s"});
+    table.AddRow({app + " (+VTOP)", TablePrinter::Pct(100.0), TablePrinter::Pct(100.0),
+                  TablePrinter::Fmt(opt.ipis, 0) + "/s"});
+  }
+  table.Print();
+  std::printf("\n(Normalized to the vtop-enabled run, as in the paper's Fig 13: CFS bars\n"
+              "below 100%% throughput/IPC and far above 100%% IPIs indicate the benefit.)\n"
+              "Paper: +26%% throughput, +14.5%% IPC, up to 99%% IPI reduction on average.\n");
+  return 0;
+}

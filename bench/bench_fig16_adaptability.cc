@@ -1,0 +1,101 @@
+// Figure 16: vSched responds quickly to vCPU changes.
+//
+// A 16-vCPU VM serves Nginx while the host goes through four phases:
+// dedicated → overcommitted (competing VM) → asymmetric capacity →
+// resource-constrained (stacked pair + two very weak vCPUs). Live
+// throughput is reported per second for CFS and vSched.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/latency_app.h"
+
+using namespace vsched;
+
+namespace {
+
+constexpr TimeNs kPhase = SecToNs(30);
+
+TimeSeries RunSchedule(bool vsched_on) {
+  HostSchedParams host;
+  host.min_granularity = MsToNs(4);
+  host.wakeup_granularity = MsToNs(4);
+  RunContext ctx = MakeRun(FlatHost(16), MakeSimpleVmSpec("vm", 16),
+                           vsched_on ? VSchedOptions::Full() : VSchedOptions::Cfs(),
+                           0xF16'16, host);
+  LatencyAppParams p = LatencyParamsFor("nginx", 24, 0.375);
+  p.report_interval = SecToNs(1);
+  // wrk-style closed-loop client: throughput tracks latency.
+  p.closed_loop = true;
+  p.connections = 16;
+  p.comm_lines = 300;
+  LatencyApp app(&ctx.kernel(), p);
+  app.Start();
+
+  // Phase 1: dedicated.
+  ctx.sim->RunFor(kPhase);
+
+  // Phase 2: overcommitted — a competing VM on every core.
+  for (int c = 0; c < 16; ++c) {
+    ctx.AddStressor(c);
+  }
+  ctx.sim->RunFor(kPhase);
+
+  // Phase 3: asymmetric — half the vCPUs get 2x higher capacity (weight).
+  for (int i = 0; i < 8; ++i) {
+    ctx.stressors[i]->Stop();
+  }
+  for (int i = 0; i < 8; ++i) {
+    // Competing entity with 1/3 weight → our vCPU gets ~75% (2x of 37.5%).
+    ctx.stressors[i] = std::make_unique<Stressor>(ctx.sim.get(), "light", 341.0);
+    ctx.stressors[i]->Start(ctx.machine.get(), i);
+  }
+  ctx.sim->RunFor(kPhase);
+
+  // Phase 4: constrained — stack vCPU 14 onto vCPU 15's thread and starve
+  // vCPUs 12/13 with host RT stressors.
+  ctx.vm->PinVcpu(14, 15);
+  for (int c = 12; c <= 13; ++c) {
+    ctx.stressors.push_back(std::make_unique<Stressor>(ctx.sim.get(), "rt", 1024.0, true));
+    ctx.stressors.back()->StartDutyCycle(ctx.machine.get(), c, MsToNs(19), MsToNs(1));
+  }
+  ctx.sim->RunFor(kPhase);
+
+  app.Stop();
+  return app.live_throughput();
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 16", "Nginx live throughput across host phases (requests/s)");
+  TimeSeries cfs = RunSchedule(false);
+  TimeSeries vsched = RunSchedule(true);
+  TablePrinter table({"Phase", "window (s)", "CFS", "vSched", "vSched/CFS"});
+  const char* names[4] = {"Dedicated", "Overcommitted", "Asymmetric", "Constrained"};
+  for (int phase = 0; phase < 4; ++phase) {
+    // Skip the first 5 s of each phase (adaptation transient) for the mean.
+    TimeNs from = phase * kPhase + SecToNs(5);
+    TimeNs to = (phase + 1) * kPhase;
+    double c = cfs.MeanInWindow(from, to);
+    double v = vsched.MeanInWindow(from, to);
+    char window[32];
+    std::snprintf(window, sizeof(window), "%d-%d", static_cast<int>(NsToSec(from)),
+                  static_cast<int>(NsToSec(to)));
+    table.AddRow({names[phase], window, TablePrinter::Fmt(c, 0), TablePrinter::Fmt(v, 0),
+                  TablePrinter::Pct(c > 0 ? 100.0 * v / c : 0, 0)});
+  }
+  table.Print();
+
+  std::printf("\nLive series (5 s buckets, requests/s):\n");
+  TablePrinter series({"t (s)", "CFS", "vSched"});
+  for (int t = 5; t <= 120; t += 5) {
+    series.AddRow({std::to_string(t),
+                   TablePrinter::Fmt(cfs.MeanInWindow(SecToNs(t - 5), SecToNs(t)), 0),
+                   TablePrinter::Fmt(vsched.MeanInWindow(SecToNs(t - 5), SecToNs(t)), 0)});
+  }
+  series.Print();
+  std::printf("\nPaper (Fig 16): parity when dedicated; vSched holds higher throughput when\n"
+              "overcommitted (ivh), tracks capacity asymmetry, and recovers quickly in the\n"
+              "constrained phase by hiding problematic vCPUs (rwc).\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Figure 17: vSched maintains QoS under realistic multi-tenant interference.
+//
+// A 16-vCPU Nginx VM shares 16 cores with co-located VMs whose workloads
+// change over time: intermittent (facesim + ferret), consistent (swaptions
+// + raytrace), then transient (four latency-sensitive VMs). Nginx's live
+// throughput is compared between CFS and vSched, and the co-tenants'
+// degradation under vSched is reported.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/workloads/latency_app.h"
+
+using namespace vsched;
+
+namespace {
+
+constexpr TimeNs kPhase = SecToNs(40);
+
+struct PhaseResult {
+  double nginx;                 // primary VM requests/s in the phase
+  double cotenant_performance;  // sum of co-tenant throughputs (or 1/p95)
+};
+
+struct ScheduleResult {
+  PhaseResult intermittent;
+  PhaseResult consistent;
+  PhaseResult transient_phase;
+  TimeSeries live;
+};
+
+// One co-located VM with its own (stock CFS) guest kernel and workload.
+struct Tenant {
+  std::unique_ptr<Vm> vm;
+  std::unique_ptr<Workload> workload;
+};
+
+Tenant MakeTenant(RunContext& ctx, const std::string& app, int vcpus) {
+  Tenant t;
+  t.vm = std::make_unique<Vm>(ctx.sim.get(), ctx.machine.get(),
+                              MakeSimpleVmSpec("tenant-" + app, vcpus));
+  t.workload = MakeWorkload(&t.vm->kernel(), app, vcpus);
+  t.workload->Start();
+  return t;
+}
+
+ScheduleResult RunSchedule(bool vsched_on) {
+  HostSchedParams host;
+  host.min_granularity = MsToNs(4);
+  host.wakeup_granularity = MsToNs(4);
+  RunContext ctx = MakeRun(FlatHost(16), MakeSimpleVmSpec("vm", 16),
+                           vsched_on ? VSchedOptions::Full() : VSchedOptions::Cfs(),
+                           0xF16'17, host);
+  LatencyAppParams p = LatencyParamsFor("nginx", 24, 0.375);
+  p.report_interval = SecToNs(1);
+  p.closed_loop = true;
+  p.connections = 16;
+  p.comm_lines = 300;
+  LatencyApp nginx(&ctx.kernel(), p);
+  nginx.Start();
+  ScheduleResult result;
+
+  // Phase 1: intermittent interference (synchronization-intensive).
+  {
+    Tenant facesim = MakeTenant(ctx, "facesim", 16);
+    Tenant ferret = MakeTenant(ctx, "ferret", 16);
+    ctx.sim->RunFor(SecToNs(5));
+    facesim.workload->ResetStats();
+    ferret.workload->ResetStats();
+    TimeNs from = ctx.sim->now();
+    ctx.sim->RunFor(kPhase - SecToNs(5));
+    result.intermittent.nginx = nginx.live_throughput().MeanInWindow(from, ctx.sim->now());
+    result.intermittent.cotenant_performance =
+        facesim.workload->Result().throughput + ferret.workload->Result().throughput;
+    facesim.workload->Stop();
+    ferret.workload->Stop();
+    ctx.sim->RunFor(MsToNs(200));
+  }
+
+  // Phase 2: consistent interference (computation-intensive).
+  {
+    Tenant swaptions = MakeTenant(ctx, "swaptions", 16);
+    Tenant raytrace = MakeTenant(ctx, "raytrace", 16);
+    ctx.sim->RunFor(SecToNs(5));
+    swaptions.workload->ResetStats();
+    raytrace.workload->ResetStats();
+    TimeNs from = ctx.sim->now();
+    ctx.sim->RunFor(kPhase - SecToNs(5));
+    result.consistent.nginx = nginx.live_throughput().MeanInWindow(from, ctx.sim->now());
+    result.consistent.cotenant_performance =
+        swaptions.workload->Result().throughput + raytrace.workload->Result().throughput;
+    swaptions.workload->Stop();
+    raytrace.workload->Stop();
+    ctx.sim->RunFor(MsToNs(200));
+  }
+
+  // Phase 3: transient interference (latency-sensitive small tasks).
+  {
+    std::vector<Tenant> tenants;
+    for (const std::string& app : {std::string("masstree"), std::string("silo"),
+                                   std::string("img-dnn"), std::string("specjbb")}) {
+      tenants.push_back(MakeTenant(ctx, app, 16));
+    }
+    ctx.sim->RunFor(SecToNs(5));
+    for (Tenant& t : tenants) {
+      t.workload->ResetStats();
+    }
+    TimeNs from = ctx.sim->now();
+    ctx.sim->RunFor(kPhase - SecToNs(5));
+    result.transient_phase.nginx = nginx.live_throughput().MeanInWindow(from, ctx.sim->now());
+    double inv_p95_sum = 0;
+    for (Tenant& t : tenants) {
+      double p95 = t.workload->Result().p95_ns;
+      inv_p95_sum += p95 > 0 ? 1e9 / p95 : 0;
+      t.workload->Stop();
+    }
+    result.transient_phase.cotenant_performance = inv_p95_sum;
+  }
+
+  nginx.Stop();
+  result.live = nginx.live_throughput();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 17", "Nginx QoS under varying multi-tenant interference");
+  ScheduleResult cfs = RunSchedule(false);
+  ScheduleResult vs = RunSchedule(true);
+
+  TablePrinter table({"Phase", "Nginx CFS", "Nginx vSched", "gain", "co-tenant degradation"});
+  auto row = [&](const char* name, const PhaseResult& c, const PhaseResult& v) {
+    double degradation =
+        c.cotenant_performance > 0
+            ? 100.0 * (1.0 - v.cotenant_performance / c.cotenant_performance)
+            : 0;
+    table.AddRow({name, TablePrinter::Fmt(c.nginx, 0), TablePrinter::Fmt(v.nginx, 0),
+                  TablePrinter::Pct(100.0 * (v.nginx / c.nginx - 1.0), 1),
+                  TablePrinter::Pct(degradation, 1)});
+  };
+  row("Intermittent (facesim+ferret)", cfs.intermittent, vs.intermittent);
+  row("Consistent (swaptions+raytrace)", cfs.consistent, vs.consistent);
+  row("Transient (4 latency VMs)", cfs.transient_phase, vs.transient_phase);
+  table.Print();
+
+  std::printf("\nPaper (Fig 17): +15%% under intermittent (1.2%% co-tenant slowdown), +24%%\n"
+              "under consistent (~2%% slowdown), parity under transient with a small p95\n"
+              "improvement for the co-located latency VMs.\n");
+  return 0;
+}

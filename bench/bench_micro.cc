@@ -1,0 +1,87 @@
+// Micro-benchmarks of the simulator substrate itself (google-benchmark):
+// event-queue throughput, guest scheduler hot paths, prober costs. These
+// are not paper artifacts; they track the engine's own performance.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/sim/event_queue.h"
+#include "src/workloads/throughput_app.h"
+
+namespace vsched {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  EventQueue q;
+  int64_t dummy = 0;
+  for (auto _ : state) {
+    q.ScheduleAfter(1, [&dummy] { ++dummy; });
+    q.RunOne();
+  }
+  benchmark::DoNotOptimize(dummy);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  EventQueue q;
+  for (auto _ : state) {
+    EventId id = q.ScheduleAfter(1000, [] {});
+    q.Cancel(id);
+  }
+  // Drain lazily-deleted heap entries.
+  q.RunUntil(q.now() + 2000);
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_SimSecondIdleVm(benchmark::State& state) {
+  // Cost of simulating one second of an idle 16-vCPU VM (ticks only).
+  for (auto _ : state) {
+    Simulation sim(1);
+    HostMachine machine(&sim, FlatHost(16));
+    Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 16));
+    sim.RunFor(SecToNs(1));
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_SimSecondIdleVm)->Unit(benchmark::kMillisecond);
+
+void BM_SimSecondBusyVm(benchmark::State& state) {
+  // One second of a fully loaded 16-vCPU VM with vSched active.
+  for (auto _ : state) {
+    RunContext ctx = MakeRun(FlatHost(16), MakeSimpleVmSpec("vm", 16),
+                             VSchedOptions::Full(), 1);
+    TaskParallelParams p;
+    p.threads = 16;
+    p.chunk_mean = MsToNs(1);
+    TaskParallelApp app(&ctx.kernel(), p);
+    app.Start();
+    ctx.sim->RunFor(SecToNs(1));
+    app.Stop();
+    benchmark::DoNotOptimize(ctx.sim->now());
+  }
+}
+BENCHMARK(BM_SimSecondBusyVm)->Unit(benchmark::kMillisecond);
+
+void BM_WakePlacement(benchmark::State& state) {
+  // select_task_rq cost at various VM sizes.
+  Simulation sim(1);
+  HostMachine machine(&sim, FlatHost(32, 2));
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", static_cast<int>(state.range(0))));
+  TaskParallelParams p;
+  p.threads = 2;
+  p.chunk_mean = MsToNs(1);
+  TaskParallelApp app(&vm.kernel(), p);
+  app.Start();
+  sim.RunFor(MsToNs(10));
+  // Benchmark the placement decision for a fresh task via the hook-free path.
+  for (auto _ : state) {
+    sim.RunFor(MsToNs(1));
+    benchmark::DoNotOptimize(vm.kernel().counters().context_switches.value());
+  }
+  app.Stop();
+}
+BENCHMARK(BM_WakePlacement)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace vsched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Table 1: chosen values of vSched tunables.
+#include <cstdio>
+
+#include "src/core/config.h"
+#include "src/metrics/experiment.h"
+
+using namespace vsched;
+
+int main() {
+  PrintBanner("Table 1", "Chosen values of vSched tunables");
+  VSchedOptions o = VSchedOptions::Full();
+  TablePrinter table({"Tunable", "Description", "Value"});
+  table.AddRow({"vcap.sampling_period", "vcap sampling period",
+                TablePrinter::Fmt(NsToMs(o.vcap.sampling_period), 0) + " ms"});
+  table.AddRow({"vcap.light_interval", "vcap light sampling frequency",
+                "every " + TablePrinter::Fmt(NsToSec(o.vcap.light_interval), 0) + " s"});
+  table.AddRow({"vcap.heavy_every", "vcap heavy sampling frequency",
+                "every " + std::to_string(o.vcap.heavy_every) + " light samplings"});
+  table.AddRow({"vcap.ema_half_life_periods", "vcap EMA decay factor",
+                "50% per " + TablePrinter::Fmt(o.vcap.ema_half_life_periods, 0) + " periods"});
+  table.AddRow({"vtop.probe_interval", "vtop sampling frequency",
+                "every " + TablePrinter::Fmt(NsToSec(o.vtop.probe_interval), 0) + " s"});
+  table.AddRow({"vtop.pair.target_transfers", "vtop targeted cache transfers",
+                std::to_string(o.vtop.pair.target_transfers) + " times"});
+  table.AddRow({"vtop.pair.timeout_attempts", "vtop cache transfer timeout",
+                std::to_string(o.vtop.pair.timeout_attempts) + " transfer attempts"});
+  table.AddRow({"ivh.migration_threshold", "ivh migration threshold",
+                "after " + TablePrinter::Fmt(NsToMs(o.ivh.migration_threshold), 0) + " ms"});
+  table.Print();
+  std::printf("\nPaper (Table 1): 100 ms / 1 s / 5 / 50%% per 2 / 2 s / 500 / 15000 / 2 ms\n");
+  return 0;
+}

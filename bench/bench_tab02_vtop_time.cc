@@ -1,0 +1,101 @@
+// Table 2: vtop probing time — full probe vs validation, rcvm vs hpvm.
+// Also ablates the timeout-extension heuristic: without extensions, busy
+// non-stacked pairs are misidentified as stacked.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/probe/vtop.h"
+#include "src/workloads/throughput_app.h"
+
+using namespace vsched;
+
+namespace {
+
+struct Timing {
+  TimeNs full;
+  TimeNs validate;
+  int misidentified_stacks;
+};
+
+Timing RunConfig(bool rcvm, int max_extensions) {
+  TopologySpec host = rcvm ? RcvmHostTopology() : HpvmHostTopology();
+  VmSpec spec = rcvm ? MakeRcvmSpec() : MakeHpvmSpec();
+  int n = static_cast<int>(spec.vcpus.size());
+  // Ground truth stacking: count pairs sharing a hardware thread.
+  std::vector<int> tid_of(n);
+  for (int i = 0; i < n; ++i) {
+    tid_of[i] = spec.vcpus[i].tid;
+  }
+  RunContext ctx = MakeRun(host, std::move(spec), VSchedOptions::Cfs(), 0xAB'02 + rcvm);
+  // A light background workload (probing never happens on an idle system).
+  TaskParallelParams bg;
+  bg.name = "bg";
+  bg.threads = n;
+  bg.chunk_mean = UsToNs(500);
+  bg.policy = TaskPolicy::kIdle;
+  TaskParallelApp background(&ctx.kernel(), bg);
+  background.Start();
+
+  VtopConfig config;
+  config.pair.max_extensions = max_extensions;
+  Vtop vtop(&ctx.kernel(), config);
+  bool done = false;
+  vtop.RunFullProbe([&] { done = true; });
+  ctx.sim->RunFor(SecToNs(60));
+  Timing t{};
+  if (!done) {
+    std::printf("  (full probe timed out)\n");
+    return t;
+  }
+  t.full = vtop.last_full_duration();
+  bool vdone = false;
+  vtop.RunValidation([&](bool) { vdone = true; });
+  ctx.sim->RunFor(SecToNs(60));
+  t.validate = vdone ? vtop.last_validate_duration() : 0;
+
+  // Misidentification check: probed stack groups vs ground truth.
+  const GuestTopology& topo = vtop.probed_topology();
+  int errors = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      bool truth = tid_of[a] == tid_of[b];
+      bool probed = topo.stack_mask[a].Test(b);
+      if (truth != probed) {
+        ++errors;
+      }
+    }
+  }
+  t.misidentified_stacks = errors;
+  background.Stop();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Table 2", "vtop probing time (full vs validation)");
+  TablePrinter table({"Config", "full (ms)", "validate (ms)", "stacking errors"});
+  for (bool rcvm : {true, false}) {
+    Timing t = RunConfig(rcvm, /*max_extensions=*/3);
+    std::string name = rcvm ? "rcvm" : "hpvm";
+    table.AddRow({name, TablePrinter::Fmt(NsToMs(t.full), 0),
+                  TablePrinter::Fmt(NsToMs(t.validate), 0),
+                  std::to_string(t.misidentified_stacks)});
+  }
+  table.Print();
+  std::printf("\nPaper (Table 2): rcvm 547/388 ms, hpvm 665/160 ms — validation is faster,\n"
+              "and rcvm validation is slower than hpvm's because confirming the stacked\n"
+              "pair requires waiting out the (extended) transfer timeout.\n");
+
+  std::printf("\nAblation: timeout extension disabled (max_extensions = 0):\n");
+  TablePrinter t2({"Config", "full (ms)", "stacking errors"});
+  for (bool rcvm : {true, false}) {
+    Timing t = RunConfig(rcvm, /*max_extensions=*/0);
+    t2.AddRow({rcvm ? "rcvm" : "hpvm", TablePrinter::Fmt(NsToMs(t.full), 0),
+               std::to_string(t.misidentified_stacks)});
+  }
+  t2.Print();
+  std::printf("(Without extensions, probes give up early and misidentify busy vCPU pairs\n"
+              "with little active overlap as stacked.)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared driver for the Figure 18/19 overall-improvement experiments.
+#ifndef BENCH_FIG18_COMMON_H_
+#define BENCH_FIG18_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/workloads/latency_app.h"
+
+namespace vsched {
+
+struct OverallRow {
+  std::string name;
+  bool latency_sensitive;
+  double cfs;
+  double enhanced;
+  double full;
+};
+
+inline void RunOverallExperiment(const std::string& banner_id, const TopologySpec& host,
+                                 const VmSpec& vm_spec, uint64_t seed, bool rcvm) {
+  int threads = static_cast<int>(vm_spec.vcpus.size());
+  std::vector<OverallRow> rows;
+  for (const std::string& name : Fig18WorkloadNames()) {
+    OverallRow row;
+    row.name = name;
+    row.latency_sensitive = MetricFor(name) == MetricKind::kP95Latency;
+    double* slots[3] = {&row.cfs, &row.enhanced, &row.full};
+    VSchedOptions options[3] = {VSchedOptions::Cfs(), VSchedOptions::EnhancedCfs(),
+                                VSchedOptions::Full()};
+    for (int i = 0; i < 3; ++i) {
+      RunContext ctx = MakeRun(host, vm_spec, options[i], seed);
+      if (rcvm) {
+        ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+      } else {
+        ShapeHpvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+      }
+      MeasuredRun run;
+      if (row.latency_sensitive) {
+        // Low offered load: tail latency, not queueing for workers, is the
+        // object of measurement (§5.1 reduces arrival rates similarly).
+        LatencyApp app(&ctx.kernel(), LatencyParamsFor(name, threads, 0.05));
+        run = RunWorkloadObj(ctx, &app, SecToNs(5), SecToNs(10));
+      } else {
+        run = RunWorkload(ctx, name, threads, SecToNs(5), SecToNs(10));
+      }
+      *slots[i] = Performance(name, run.result);
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+
+  TablePrinter table({"Workload", "kind", "CFS", "Enhanced CFS", "vSched"});
+  std::vector<double> tput_enh, tput_full, lat_enh, lat_full;
+  for (const OverallRow& row : rows) {
+    double enh = row.cfs > 0 ? 100.0 * row.enhanced / row.cfs : 0;
+    double full = row.cfs > 0 ? 100.0 * row.full / row.cfs : 0;
+    table.AddRow({row.name, row.latency_sensitive ? "p95" : "tput", TablePrinter::Pct(100.0, 0),
+                  TablePrinter::Pct(enh, 0), TablePrinter::Pct(full, 0)});
+    if (row.cfs > 0 && row.enhanced > 0 && row.full > 0) {
+      (row.latency_sensitive ? lat_enh : tput_enh).push_back(row.enhanced / row.cfs);
+      (row.latency_sensitive ? lat_full : tput_full).push_back(row.full / row.cfs);
+    }
+  }
+  table.Print();
+  std::printf("\n%s summary (normalized performance vs CFS, higher is better; for\n"
+              "latency-sensitive apps the metric is 1/p95):\n", banner_id.c_str());
+  std::printf("  throughput-oriented: enhanced CFS %.0f%%, vSched %.0f%%\n",
+              100.0 * GeoMean(tput_enh), 100.0 * GeoMean(tput_full));
+  std::printf("  latency-sensitive:   enhanced CFS %.0f%% (%.2fx p95 reduction), vSched %.0f%%"
+              " (%.2fx p95 reduction)\n",
+              100.0 * GeoMean(lat_enh), GeoMean(lat_enh), 100.0 * GeoMean(lat_full),
+              GeoMean(lat_full));
+}
+
+}  // namespace vsched
+
+#endif  // BENCH_FIG18_COMMON_H_

@@ -1,0 +1,78 @@
+// Example: a batch analytics job on a bursty spot VM.
+//
+// A single-threaded (then multi-threaded) compute job runs in a VM whose
+// vCPUs get 50% of their cores in multi-millisecond slices. Intra-VM
+// harvesting migrates the running job away from soon-to-be-inactive vCPUs so
+// it keeps making progress on whichever vCPU is currently active.
+#include <cstdio>
+
+#include "src/core/vsched.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/metrics/experiment.h"
+#include "src/sim/simulation.h"
+#include "src/workloads/throughput_app.h"
+
+using namespace vsched;
+
+namespace {
+
+double RunJob(int threads, bool use_vsched) {
+  Simulation sim(99);
+  TopologySpec topo;
+  topo.sockets = 1;
+  topo.cores_per_socket = 8;
+  topo.threads_per_core = 1;
+  HostMachine machine(&sim, topo);
+  HostSchedParams host;
+  host.min_granularity = MsToNs(5);
+  host.wakeup_granularity = MsToNs(5);
+  for (int c = 0; c < 8; ++c) {
+    machine.sched(c).set_params(host);
+  }
+  std::vector<std::unique_ptr<Stressor>> cotenants;
+  for (int c = 0; c < 8; ++c) {
+    cotenants.push_back(std::make_unique<Stressor>(&sim, "cotenant"));
+    cotenants.back()->Start(&machine, c);
+  }
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("batch", 8));
+  VSched vsched(&vm.kernel(), use_vsched ? VSchedOptions::Full() : VSchedOptions::Cfs());
+  vsched.Start();
+
+  // Let the probers learn the host's behaviour before the job starts
+  // (capacity/latency estimates need a couple of sampling windows).
+  sim.RunFor(SecToNs(4));
+
+  // A fixed batch: `threads` workers × 300 chunks of 5 ms.
+  TaskParallelParams p;
+  p.name = "analytics";
+  p.threads = threads;
+  p.chunk_mean = MsToNs(5);
+  p.chunk_cv = 0.1;
+  p.max_chunks = 300;
+  TaskParallelApp job(&vm.kernel(), p);
+  job.Start();
+  TimeNs start = sim.now();
+  while (job.chunks_done() < 300 && sim.now() - start < SecToNs(60)) {
+    sim.RunFor(MsToNs(50));
+  }
+  return NsToSec(sim.now() - start);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Batch analytics on a 50%%-shared spot VM (fixed 1.5 s of work)\n\n");
+  TablePrinter table({"Threads", "CFS (s)", "vSched (s)", "speedup"});
+  for (int threads : {1, 2, 4}) {
+    double cfs = RunJob(threads, false);
+    double vs = RunJob(threads, true);
+    table.AddRow({std::to_string(threads), TablePrinter::Fmt(cfs, 2), TablePrinter::Fmt(vs, 2),
+                  TablePrinter::Fmt(cfs / vs, 2) + "x"});
+  }
+  table.Print();
+  std::printf("\nWith few threads there are unused vCPUs whose active slices ivh can\n"
+              "harvest; the job finishes markedly sooner.\n");
+  return 0;
+}

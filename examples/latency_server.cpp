@@ -1,0 +1,74 @@
+// Example: a latency-critical request server on an overcommitted VM.
+//
+// Demonstrates how vSched's biased vCPU selection reduces tail latency when
+// vCPUs have asymmetric latency, and how to read the Table-3-style
+// queue/service breakdown from the workload library.
+#include <cstdio>
+
+#include "src/core/vsched.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/sim/simulation.h"
+#include "src/workloads/latency_app.h"
+
+using namespace vsched;
+
+namespace {
+
+void RunServer(bool use_vsched) {
+  Simulation sim(7);
+  TopologySpec topo;
+  topo.sockets = 1;
+  topo.cores_per_socket = 8;
+  topo.threads_per_core = 1;
+  HostMachine machine(&sim, topo);
+
+  // Competing VM on every core; the first four cores context-switch on a
+  // finer grain → their vCPUs have 3x lower latency at equal capacity.
+  std::vector<std::unique_ptr<Stressor>> cotenants;
+  for (int c = 0; c < 8; ++c) {
+    cotenants.push_back(std::make_unique<Stressor>(&sim, "cotenant"));
+    cotenants.back()->Start(&machine, c);
+    HostSchedParams params;
+    params.min_granularity = c < 4 ? MsToNs(2) : MsToNs(6);
+    params.wakeup_granularity = params.min_granularity;
+    machine.sched(c).set_params(params);
+  }
+
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("server", 8));
+  VSched vsched(&vm.kernel(), use_vsched ? VSchedOptions::Full() : VSchedOptions::Cfs());
+  vsched.Start();
+
+  LatencyAppParams params;
+  params.name = "api-server";
+  params.workers = 8;
+  params.service_mean = UsToNs(250);
+  params.service_cv = 0.3;
+  params.arrival_rate_per_sec = 1500;
+  LatencyApp server(&vm.kernel(), params);
+  server.Start();
+
+  sim.RunFor(SecToNs(5));  // Warm-up: probers learn the vCPU classes.
+  server.ResetStats();
+  sim.RunFor(SecToNs(20));
+
+  WorkloadResult r = server.Result();
+  std::printf("%-8s p50 %6.2f ms   p95 %6.2f ms   p99 %6.2f ms   "
+              "(queue p95 %.2f ms, service p95 %.2f ms)\n",
+              use_vsched ? "vSched" : "CFS", r.p50_ns / 1e6, r.p95_ns / 1e6, r.p99_ns / 1e6,
+              server.queue_time().P95() / 1e6, server.service_time().P95() / 1e6);
+  server.Stop();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Latency server on an overcommitted 8-vCPU VM\n");
+  std::printf("(4 low-latency vCPUs, 4 high-latency; 1500 req/s, 250 us requests)\n\n");
+  RunServer(false);
+  RunServer(true);
+  std::printf("\nbvs steers request dispatch toward low-latency, soon-to-run vCPUs,\n"
+              "cutting the runqueue-wait component of the tail.\n");
+  return 0;
+}

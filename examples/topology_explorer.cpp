@@ -1,0 +1,108 @@
+// Example: discovering a VM's real vCPU topology from inside the guest.
+//
+// Builds a deliberately scrambled pinning — SMT siblings, cross-socket
+// spreads, and a stacked pair — then runs vtop's full probe and prints the
+// measured cache-line latency matrix and the inferred schedule domains.
+// Afterwards it re-pins a vCPU and shows the periodic validation catching
+// the change.
+#include <cmath>
+#include <cstdio>
+
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/probe/vtop.h"
+#include "src/sim/simulation.h"
+
+using namespace vsched;
+
+namespace {
+
+void PrintTopology(const GuestTopology& topo) {
+  for (int i = 0; i < topo.num_vcpus(); ++i) {
+    std::printf("  vcpu%-2d  core-group %03llx  socket %03llx  stack %03llx\n", i,
+                static_cast<unsigned long long>(topo.smt_mask[i].bits()),
+                static_cast<unsigned long long>(topo.llc_mask[i].bits()),
+                static_cast<unsigned long long>(topo.stack_mask[i].bits()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Simulation sim(2026);
+  TopologySpec host;
+  host.sockets = 2;
+  host.cores_per_socket = 4;
+  host.threads_per_core = 2;
+  HostMachine machine(&sim, host);
+
+  // A scrambled 10-vCPU pinning the guest knows nothing about.
+  VmSpec spec = MakeSimpleVmSpec("explorer", 10);
+  spec.vcpus[0].tid = 0;   // socket 0, core 0, thread 0
+  spec.vcpus[1].tid = 8;   // socket 1!
+  spec.vcpus[2].tid = 1;   // SMT sibling of vcpu0
+  spec.vcpus[3].tid = 9;   // SMT sibling of vcpu1
+  spec.vcpus[4].tid = 2;   // socket 0, core 1
+  spec.vcpus[5].tid = 10;  // socket 1, core 5
+  spec.vcpus[6].tid = 4;   // socket 0, core 2
+  spec.vcpus[7].tid = 4;   // stacked with vcpu6!
+  spec.vcpus[8].tid = 12;  // socket 1, core 6
+  spec.vcpus[9].tid = 6;   // socket 0, core 3
+  Vm vm(&sim, &machine, spec);
+
+  Vtop vtop(&vm.kernel());
+  bool done = false;
+  vtop.RunFullProbe([&] { done = true; });
+  sim.RunFor(SecToNs(20));
+  if (!done) {
+    std::printf("probe did not finish\n");
+    return 1;
+  }
+
+  std::printf("Measured cache-line transfer latency matrix (ns; inf = stacked):\n      ");
+  int n = vm.num_vcpus();
+  for (int j = 0; j < n; ++j) {
+    std::printf("%7d", j);
+  }
+  std::printf("\n");
+  for (int i = 0; i < n; ++i) {
+    std::printf("vcpu%-2d", i);
+    for (int j = 0; j < n; ++j) {
+      double lat = vtop.MatrixAt(i, j);
+      if (i == j) {
+        std::printf("%7s", "-");
+      } else if (std::isinf(lat)) {
+        std::printf("%7s", "inf");
+      } else {
+        std::printf("%7.0f", lat);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nInferred topology (full probe took %.0f ms, %d pair probes, %d inferred):\n",
+              NsToMs(vtop.last_full_duration()), vtop.pair_probes_run(), vtop.pairs_inferred());
+  PrintTopology(vtop.probed_topology());
+
+  // Now the hypervisor "migrates" vcpu9 to socket 1 behind the guest's back.
+  std::printf("\nRe-pinning vcpu9 to socket 1 and validating...\n");
+  vm.PinVcpu(9, 14);
+  bool ok = true;
+  bool validated = false;
+  vtop.RunValidation([&](bool result) {
+    ok = result;
+    validated = true;
+  });
+  sim.RunFor(SecToNs(10));
+  std::printf("validation %s (took %.0f ms)\n", ok ? "PASSED (unexpected!)" : "FAILED as expected",
+              NsToMs(vtop.last_validate_duration()));
+
+  bool redone = false;
+  vtop.RunFullProbe([&] { redone = true; });
+  sim.RunFor(SecToNs(20));
+  if (redone) {
+    std::printf("\nRe-probed topology:\n");
+    PrintTopology(vtop.probed_topology());
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Always-on invariant checking.
+//
+// The simulator favours loud failure over silent corruption: invariant
+// violations abort with a message identifying the call site. CHECK is active
+// in all build types; DCHECK compiles out in NDEBUG builds and is reserved
+// for hot paths.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vsched {
+
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr, const char* msg);
+
+}  // namespace vsched
+
+#define VSCHED_CHECK(expr)                                          \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::vsched::CheckFailure(__FILE__, __LINE__, #expr, nullptr);   \
+    }                                                               \
+  } while (0)
+
+#define VSCHED_CHECK_MSG(expr, msg)                              \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::vsched::CheckFailure(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                            \
+  } while (0)
+
+#ifdef NDEBUG
+#define VSCHED_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define VSCHED_DCHECK(expr) VSCHED_CHECK(expr)
+#endif
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,0 +1,48 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging defaults to kWarn so tests and benches stay quiet; experiments that
+// want a narrative (e.g. the adaptability bench) raise the level explicitly.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace vsched {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Process-wide minimum level actually emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Emits one formatted line to stderr if `level` passes the filter.
+void LogLine(LogLevel level, const std::string& message);
+
+// Stream-style helper: VSCHED_LOG(kInfo) << "probed " << n << " pairs";
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vsched
+
+#define VSCHED_LOG(level) ::vsched::LogMessage(::vsched::LogLevel::level).stream()
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,21 @@
+#include "src/base/time.h"
+
+#include <cmath>
+
+namespace vsched {
+
+TimeNs TimeToComplete(Work work, double capacity) {
+  if (work <= 0) {
+    return 0;
+  }
+  if (capacity <= 0) {
+    return kTimeInfinity;
+  }
+  double ns = std::ceil(work / capacity);
+  if (ns >= static_cast<double>(kTimeInfinity)) {
+    return kTimeInfinity;
+  }
+  return static_cast<TimeNs>(ns);
+}
+
+}  // namespace vsched

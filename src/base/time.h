@@ -1,0 +1,51 @@
+// Virtual-time units used throughout the simulator.
+//
+// All simulated time is expressed in integer nanoseconds (`TimeNs`). Work is
+// expressed in abstract "work units" (`Work`): one work unit is the amount of
+// computation a 1024-capacity CPU (Linux's SCHED_CAPACITY_SCALE) completes in
+// one nanosecond. A task with `demand` work units therefore takes
+// `demand / 1024` ns of exclusive time on a full-speed core.
+#ifndef SRC_BASE_TIME_H_
+#define SRC_BASE_TIME_H_
+
+#include <cstdint>
+
+namespace vsched {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using TimeNs = int64_t;
+
+// A quantity of computation. See the header comment for the unit definition.
+using Work = double;
+
+// Linux-style capacity scale: a fully dedicated, full-frequency hardware
+// thread has capacity 1024.
+inline constexpr double kCapacityScale = 1024.0;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs UsToNs(int64_t us) { return us * kNsPerUs; }
+constexpr TimeNs MsToNs(int64_t ms) { return ms * kNsPerMs; }
+constexpr TimeNs SecToNs(int64_t sec) { return sec * kNsPerSec; }
+
+constexpr double NsToMs(TimeNs ns) { return static_cast<double>(ns) / kNsPerMs; }
+constexpr double NsToSec(TimeNs ns) { return static_cast<double>(ns) / kNsPerSec; }
+
+// Work completed by a CPU running at `capacity` (in SCHED_CAPACITY_SCALE
+// units) for `dur` nanoseconds.
+constexpr Work WorkAtCapacity(double capacity, TimeNs dur) {
+  return capacity * static_cast<double>(dur);
+}
+
+// Time needed to complete `work` at `capacity`. Returns a very large time for
+// a non-positive capacity (the work can never finish while stalled).
+TimeNs TimeToComplete(Work work, double capacity);
+
+// A far-future sentinel that is still safe to add small offsets to.
+inline constexpr TimeNs kTimeInfinity = INT64_MAX / 4;
+
+}  // namespace vsched
+
+#endif  // SRC_BASE_TIME_H_

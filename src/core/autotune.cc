@@ -1,0 +1,68 @@
+#include "src/core/autotune.h"
+
+#include <algorithm>
+
+#include "src/guest/guest_kernel.h"
+#include "src/probe/vact.h"
+#include "src/probe/vcap.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+AutoTuner::AutoTuner(GuestKernel* kernel) : kernel_(kernel) {}
+
+AutoTuner::~AutoTuner() = default;
+
+void AutoTuner::Calibrate(TimeNs duration, VSchedOptions base,
+                          std::function<void(VSchedOptions)> done) {
+  // Fast calibration probing: short windows back to back.
+  VcapConfig vcap_config;
+  vcap_config.sampling_period = MsToNs(50);
+  vcap_config.light_interval = MsToNs(100);
+  vcap_config.heavy_every = 4;
+  vcap_ = std::make_unique<Vcap>(kernel_, vcap_config);
+  VactConfig vact_config;
+  vact_config.update_interval = MsToNs(250);
+  vact_ = std::make_unique<Vact>(kernel_, vact_config);
+  vcap_->Start();
+  vact_->Start();
+  kernel_->sim()->After(duration, [this, base, done = std::move(done)] {
+    double max_inactive = 0;
+    double min_duty = 1.0;
+    for (int cpu = 0; cpu < kernel_->num_vcpus(); ++cpu) {
+      max_inactive = std::max(max_inactive, vact_->LatencyOf(cpu));
+      min_duty = std::min(min_duty, vcap_->CapacityOf(cpu) / kCapacityScale);
+    }
+    vcap_->Stop();
+    vact_->Stop();
+    done(Derive(base, max_inactive, min_duty, kernel_->params().tick_period));
+  });
+}
+
+VSchedOptions AutoTuner::Derive(VSchedOptions base, double max_inactive_ns, double min_duty,
+                                TimeNs guest_tick) {
+  VSchedOptions o = base;
+  // Sampling period: several times the longest inactive period so every
+  // vCPU executes a few times per window (a bare 2x leaves ~40% per-window
+  // sampling error); clamped to [50 ms, 500 ms].
+  TimeNs period = static_cast<TimeNs>(4.0 * max_inactive_ns);
+  o.vcap.sampling_period = std::clamp<TimeNs>(period, MsToNs(50), MsToNs(500));
+  // Probe cadence: respond to vCPU changes within seconds; keep the light
+  // interval an order of magnitude above the window to bound cost.
+  o.vcap.light_interval = std::clamp<TimeNs>(10 * o.vcap.sampling_period, SecToNs(1), SecToNs(5));
+  o.vcap.heavy_every = 5;
+  o.vcap.ema_half_life_periods = 2.0;  // "50% per 2 periods"
+  // vtop: low-duty vCPUs need a longer transfer budget before a pair can be
+  // called stacked (overlap scales with duty^2).
+  double duty = std::clamp(min_duty, 0.02, 1.0);
+  double scale = std::clamp(1.0 / (duty * duty * 16.0), 1.0, 16.0);
+  o.vtop.pair.timeout_attempts = static_cast<int>(15000 * scale);
+  o.vtop.probe_interval = SecToNs(2);
+  // ivh: trigger within two scheduler ticks after rescheduling (paper §6).
+  o.ivh.migration_threshold = 2 * guest_tick;
+  // ivh only pays off when inactivity exists at all.
+  o.ivh.min_source_latency_ns = std::max(0.3 * 1e6 / 2, max_inactive_ns * 0.05);
+  return o;
+}
+
+}  // namespace vsched

@@ -1,0 +1,55 @@
+// Automatic tunable configuration (paper §6, "vSched Tunables
+// Configuration"): the Table-1 values are derived from brief calibration
+// probing instead of being hand-picked per platform.
+//
+// Rules, following the paper's guidance:
+//  * the vcap sampling period must be long enough for every vCPU to execute
+//    at least once → a small multiple of the largest observed inactive
+//    period (clamped to [50 ms, 500 ms]);
+//  * probing frequencies are set so vSched reacts to vCPU changes within
+//    seconds;
+//  * the EMA decay is kept at 50% per 2 periods to suppress migration churn;
+//  * the ivh migration threshold tracks two scheduler ticks;
+//  * vtop's transfer timeout grows with observed inactivity so stacking
+//    detection stays reliable on low-duty vCPUs.
+#ifndef SRC_CORE_AUTOTUNE_H_
+#define SRC_CORE_AUTOTUNE_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/core/config.h"
+
+namespace vsched {
+
+class GuestKernel;
+class Vact;
+class Vcap;
+
+class AutoTuner {
+ public:
+  explicit AutoTuner(GuestKernel* kernel);
+  ~AutoTuner();
+
+  AutoTuner(const AutoTuner&) = delete;
+  AutoTuner& operator=(const AutoTuner&) = delete;
+
+  // Runs calibration probing for `duration` of simulated time, then invokes
+  // `done` with a tuned option set (based on `base`, typically Full()).
+  void Calibrate(TimeNs duration, VSchedOptions base, std::function<void(VSchedOptions)> done);
+
+  // Pure derivation from already-measured activity (exposed for tests):
+  // `max_inactive_ns` — the largest average vCPU inactive period observed;
+  // `min_duty` — the lowest active-time fraction across vCPUs.
+  static VSchedOptions Derive(VSchedOptions base, double max_inactive_ns, double min_duty,
+                              TimeNs guest_tick);
+
+ private:
+  GuestKernel* kernel_;
+  std::unique_ptr<Vcap> vcap_;
+  std::unique_ptr<Vact> vact_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_CORE_AUTOTUNE_H_

@@ -1,0 +1,88 @@
+// vSched tunables (paper Table 1) and feature selection.
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include "src/base/time.h"
+#include "src/probe/vact.h"
+#include "src/probe/vcap.h"
+#include "src/probe/vtop.h"
+
+namespace vsched {
+
+struct BvsConfig {
+  // PELT util below this marks a task "small" (latency-sensitive candidate).
+  double small_task_util = 200.0;
+  // Candidate vCPUs need capacity >= median (runqueue-saturation guard).
+  double capacity_margin = 0.95;
+  // A vCPU qualifies as low-latency if its vCPU latency <= median × this.
+  double latency_margin = 1.0;
+  // "Prolonged idleness": guest-idle at least this long.
+  TimeNs min_idle_time = UsToNs(200);
+  // "Recently active": within this fraction of the average active period.
+  double recent_active_fraction = 0.5;
+  // Table 3 ablation: when false, the sched_idle-queue path skips the vCPU
+  // state examination.
+  bool check_state = true;
+};
+
+struct IvhConfig {
+  // Minimum time the task must have run in its current stint (Table 1:
+  // "after 2 milliseconds", aligned with 2 scheduler ticks).
+  TimeNs migration_threshold = MsToNs(2);
+  // Only CPU-intensive tasks are harvested.
+  double cpu_intensive_util = 512.0;
+  // The source vCPU must actually exhibit inactivity.
+  double min_source_latency_ns = static_cast<double>(UsToNs(300));
+  // Give up a handshake after this long.
+  TimeNs handshake_timeout = MsToNs(10);
+  // Table 4 ablation: pre-wake the target and wait for co-activity (true)
+  // versus migrating blindly (false).
+  bool activity_aware = true;
+};
+
+struct RwcConfig {
+  // A vCPU is a straggler when its capacity is below mean × this ratio
+  // (paper: "e.g. 10x lower").
+  double straggler_ratio = 0.1;
+  // Require this many completed vcap windows before judging stragglers.
+  int min_windows = 2;
+};
+
+struct VSchedOptions {
+  bool use_vcap = true;
+  bool use_vtop = true;
+  bool use_vact = true;
+  bool use_bvs = true;
+  bool use_ivh = true;
+  bool use_rwc = true;
+
+  VcapConfig vcap;
+  VactConfig vact;
+  VtopConfig vtop;
+  BvsConfig bvs;
+  IvhConfig ivh;
+  RwcConfig rwc;
+
+  // Stock Linux CFS: no probing, no new techniques.
+  static VSchedOptions Cfs() {
+    VSchedOptions o;
+    o.use_vcap = o.use_vtop = o.use_vact = o.use_bvs = o.use_ivh = o.use_rwc = false;
+    return o;
+  }
+
+  // "Enhanced CFS" (§5.6): vProbers + rwc feed the existing heuristics; the
+  // activity-aware techniques (bvs, ivh) stay off.
+  static VSchedOptions EnhancedCfs() {
+    VSchedOptions o;
+    o.use_bvs = false;
+    o.use_ivh = false;
+    return o;
+  }
+
+  // Full vSched.
+  static VSchedOptions Full() { return VSchedOptions{}; }
+};
+
+}  // namespace vsched
+
+#endif  // SRC_CORE_CONFIG_H_

@@ -1,0 +1,63 @@
+#include "src/core/rwc.h"
+
+#include "src/guest/guest_kernel.h"
+#include "src/guest/guest_topology.h"
+#include "src/probe/vcap.h"
+
+namespace vsched {
+
+Rwc::Rwc(GuestKernel* kernel, Vcap* vcap, RwcConfig config)
+    : kernel_(kernel), vcap_(vcap), config_(config) {}
+
+void Rwc::Install() {
+  if (vcap_ != nullptr) {
+    vcap_->AddWindowCallback([this](TimeNs, TimeNs, bool) { Reevaluate(); });
+  }
+}
+
+void Rwc::OnTopology(const GuestTopology& topo) {
+  // Keep the lowest-index vCPU of each stacking group; ban the rest.
+  CpuMask bans;
+  int n = topo.num_vcpus();
+  for (int i = 0; i < n; ++i) {
+    if (topo.stack_mask[i].Count() >= 2 && topo.stack_mask[i].First() != i) {
+      bans.Set(i);
+    }
+  }
+  stack_bans_ = bans;
+  if (vcap_ != nullptr) {
+    vcap_->SetSkipMask(stack_bans_);  // Halt sampling on banned stacked vCPUs.
+  }
+  Reevaluate();
+}
+
+void Rwc::Reevaluate() {
+  CpuMask stragglers;
+  if (vcap_ != nullptr && vcap_->windows_completed() >= config_.min_windows) {
+    int n = kernel_->num_vcpus();
+    double sum = 0;
+    int counted = 0;
+    for (int i = 0; i < n; ++i) {
+      if (stack_bans_.Test(i)) {
+        continue;
+      }
+      sum += vcap_->CapacityOf(i);
+      ++counted;
+    }
+    if (counted > 0) {
+      double mean = sum / counted;
+      for (int i = 0; i < n; ++i) {
+        if (stack_bans_.Test(i)) {
+          continue;
+        }
+        if (vcap_->CapacityOf(i) < mean * config_.straggler_ratio) {
+          stragglers.Set(i);
+        }
+      }
+    }
+  }
+  straggler_bans_ = stragglers;
+  kernel_->SetBans(straggler_bans_, stack_bans_);
+}
+
+}  // namespace vsched

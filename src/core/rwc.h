@@ -1,0 +1,51 @@
+// Relaxed work conservation (rwc, §3.4).
+//
+// Hides problematic vCPUs from task placement via cgroup-style bans:
+//  * straggler vCPUs — capacity far below the mean (default 10×) — are
+//    banned for normal tasks but may still run best-effort (SCHED_IDLE)
+//    tasks, including vcap's light prober, so a capacity recovery is
+//    noticed;
+//  * all but one vCPU of each stacking group are banned entirely (only
+//    vtop's probers are exempt, so stacking changes are still detected), and
+//    vcap halts its sampling there.
+#ifndef SRC_CORE_RWC_H_
+#define SRC_CORE_RWC_H_
+
+#include "src/core/config.h"
+#include "src/guest/cpumask.h"
+
+namespace vsched {
+
+class GuestKernel;
+class GuestTopology;
+class Vcap;
+
+class Rwc {
+ public:
+  Rwc(GuestKernel* kernel, Vcap* vcap, RwcConfig config = RwcConfig{});
+
+  Rwc(const Rwc&) = delete;
+  Rwc& operator=(const Rwc&) = delete;
+
+  // Subscribes to vcap windows (straggler detection runs per window).
+  void Install();
+
+  // Called by the bridge whenever vtop publishes a topology.
+  void OnTopology(const GuestTopology& topo);
+
+  CpuMask straggler_bans() const { return straggler_bans_; }
+  CpuMask stack_bans() const { return stack_bans_; }
+
+ private:
+  void Reevaluate();
+
+  GuestKernel* kernel_;
+  Vcap* vcap_;
+  RwcConfig config_;
+  CpuMask straggler_bans_;
+  CpuMask stack_bans_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_CORE_RWC_H_

@@ -1,0 +1,92 @@
+#include "src/core/vsched.h"
+
+#include "src/guest/guest_kernel.h"
+
+namespace vsched {
+
+VSched::VSched(GuestKernel* kernel, VSchedOptions options)
+    : kernel_(kernel), options_(options) {
+  if (options_.use_vcap) {
+    vcap_ = std::make_unique<Vcap>(kernel_, options_.vcap);
+  }
+  if (options_.use_vact) {
+    vact_ = std::make_unique<Vact>(kernel_, options_.vact);
+  }
+  if (options_.use_vtop) {
+    vtop_ = std::make_unique<Vtop>(kernel_, options_.vtop);
+  }
+  if (options_.use_rwc && vcap_ != nullptr) {
+    rwc_ = std::make_unique<Rwc>(kernel_, vcap_.get(), options_.rwc);
+  }
+  if (options_.use_bvs && vcap_ != nullptr && vact_ != nullptr) {
+    bvs_ = std::make_unique<Bvs>(kernel_, vcap_.get(), vact_.get(), options_.bvs);
+  }
+  if (options_.use_ivh && vcap_ != nullptr && vact_ != nullptr) {
+    ivh_ = std::make_unique<Ivh>(kernel_, vcap_.get(), vact_.get(), options_.ivh);
+  }
+}
+
+VSched::~VSched() { Stop(); }
+
+void VSched::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  if (vcap_ != nullptr) {
+    // The bridge: publish probed EMA capacities into the kernel after each
+    // sampling window (per-vCPU data update, §4).
+    vcap_->AddWindowCallback([this](TimeNs, TimeNs, bool) { PublishCapacities(); });
+  }
+  if (rwc_ != nullptr) {
+    rwc_->Install();
+  }
+  if (vtop_ != nullptr) {
+    // The bridge: rebuild schedule domains on every published topology.
+    vtop_->SetTopologyCallback([this](const GuestTopology& topo) {
+      kernel_->RebuildSchedDomains(topo);
+      if (rwc_ != nullptr) {
+        rwc_->OnTopology(topo);
+      }
+    });
+  }
+  if (bvs_ != nullptr) {
+    bvs_->Install();
+  }
+  if (ivh_ != nullptr) {
+    ivh_->Install();
+  }
+  if (vcap_ != nullptr) {
+    vcap_->Start();
+  }
+  if (vact_ != nullptr) {
+    vact_->Start();
+  }
+  if (vtop_ != nullptr) {
+    vtop_->Start();
+  }
+}
+
+void VSched::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  if (vcap_ != nullptr) {
+    vcap_->Stop();
+  }
+  if (vact_ != nullptr) {
+    vact_->Stop();
+  }
+  if (vtop_ != nullptr) {
+    vtop_->Stop();
+  }
+}
+
+void VSched::PublishCapacities() {
+  for (int i = 0; i < kernel_->num_vcpus(); ++i) {
+    kernel_->SetCapacityOverride(i, vcap_->CapacityOf(i));
+  }
+}
+
+}  // namespace vsched

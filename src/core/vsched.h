@@ -1,0 +1,66 @@
+// The vSched orchestrator (Figure 5): wires vProbers (vcap, vact, vtop) into
+// the guest kernel via the bridge (the paper's kernel module) and installs
+// the optimization techniques (bvs, ivh, rwc) per the selected options.
+//
+// Three presets mirror the evaluation's configurations (§5.6):
+//   * Cfs          — stock scheduler, inaccurate vCPU abstraction;
+//   * EnhancedCfs  — vProbers feed the existing capacity/topology-aware
+//                    heuristics, plus rwc;
+//   * Full         — vSched with bvs and ivh on top.
+#ifndef SRC_CORE_VSCHED_H_
+#define SRC_CORE_VSCHED_H_
+
+#include <memory>
+
+#include "src/core/bvs.h"
+#include "src/core/config.h"
+#include "src/core/ivh.h"
+#include "src/core/rwc.h"
+#include "src/probe/vact.h"
+#include "src/probe/vcap.h"
+#include "src/probe/vtop.h"
+
+namespace vsched {
+
+class GuestKernel;
+
+class VSched {
+ public:
+  explicit VSched(GuestKernel* kernel, VSchedOptions options = VSchedOptions::Full());
+  ~VSched();
+
+  VSched(const VSched&) = delete;
+  VSched& operator=(const VSched&) = delete;
+
+  // Starts probers and installs hooks. Idempotent.
+  void Start();
+  void Stop();
+
+  const VSchedOptions& options() const { return options_; }
+  Vcap* vcap() { return vcap_.get(); }
+  Vact* vact() { return vact_.get(); }
+  Vtop* vtop() { return vtop_.get(); }
+  Bvs* bvs() { return bvs_.get(); }
+  Ivh* ivh() { return ivh_.get(); }
+  Rwc* rwc() { return rwc_.get(); }
+
+ private:
+  // The "kernel module": pushes probed capacities and schedule domains into
+  // the kernel after each sampling window / topology probe.
+  void PublishCapacities();
+
+  GuestKernel* kernel_;
+  VSchedOptions options_;
+  bool started_ = false;
+
+  std::unique_ptr<Vcap> vcap_;
+  std::unique_ptr<Vact> vact_;
+  std::unique_ptr<Vtop> vtop_;
+  std::unique_ptr<Bvs> bvs_;
+  std::unique_ptr<Ivh> ivh_;
+  std::unique_ptr<Rwc> rwc_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_CORE_VSCHED_H_

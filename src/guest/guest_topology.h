@@ -1,0 +1,44 @@
+// The vCPU topology as the guest kernel believes it to be.
+//
+// By default hypervisors expose vCPUs as symmetric UMA CPUs (§2.1): no SMT
+// siblings and a single flat LLC domain. vtop rebuilds this structure with
+// the probed reality (schedule-domain rebuild, §4). Stacked vCPUs are
+// recorded so rwc can ban all but one per group.
+#ifndef SRC_GUEST_GUEST_TOPOLOGY_H_
+#define SRC_GUEST_GUEST_TOPOLOGY_H_
+
+#include <vector>
+
+#include "src/guest/cpumask.h"
+
+namespace vsched {
+
+struct GuestTopology {
+  // Per-vCPU masks, each including the vCPU itself.
+  std::vector<CpuMask> smt_mask;   // SMT-sibling schedule domain
+  std::vector<CpuMask> llc_mask;   // LLC (socket) schedule domain
+  std::vector<CpuMask> stack_mask; // vCPUs stacked on the same hardware thread
+
+  // The default (inaccurate) abstraction: flat UMA, no siblings, no stacking.
+  static GuestTopology FlatUma(int num_vcpus) {
+    GuestTopology topo;
+    CpuMask all = CpuMask::FirstN(num_vcpus);
+    for (int i = 0; i < num_vcpus; ++i) {
+      topo.smt_mask.push_back(CpuMask::Single(i));
+      topo.llc_mask.push_back(all);
+      topo.stack_mask.push_back(CpuMask::Single(i));
+    }
+    return topo;
+  }
+
+  int num_vcpus() const { return static_cast<int>(smt_mask.size()); }
+
+  bool operator==(const GuestTopology& other) const {
+    return smt_mask == other.smt_mask && llc_mask == other.llc_mask &&
+           stack_mask == other.stack_mask;
+  }
+};
+
+}  // namespace vsched
+
+#endif  // SRC_GUEST_GUEST_TOPOLOGY_H_

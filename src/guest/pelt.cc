@@ -1,0 +1,37 @@
+#include "src/guest/pelt.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+void PeltSignal::Update(TimeNs now, bool active) {
+  VSCHED_CHECK(now >= last_update_);
+  TimeNs dt = now - last_update_;
+  if (dt == 0) {
+    return;
+  }
+  last_update_ = now;
+  double decay = std::exp2(-static_cast<double>(dt) / static_cast<double>(half_life_));
+  double target = active ? kCapacityScale : 0.0;
+  // Closed form of "decay old signal, accumulate `target` over dt".
+  util_ = util_ * decay + target * (1.0 - decay);
+}
+
+double PeltSignal::UtilAt(TimeNs now, bool active) const {
+  if (now <= last_update_) {
+    return util_;
+  }
+  TimeNs dt = now - last_update_;
+  double decay = std::exp2(-static_cast<double>(dt) / static_cast<double>(half_life_));
+  double target = active ? kCapacityScale : 0.0;
+  return util_ * decay + target * (1.0 - decay);
+}
+
+void PeltSignal::Seed(TimeNs now, double util) {
+  last_update_ = now;
+  util_ = util;
+}
+
+}  // namespace vsched

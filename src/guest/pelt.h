@@ -1,0 +1,44 @@
+// Per-entity load tracking (PELT), continuous-time approximation.
+//
+// Linux PELT accumulates a geometric series over 1 ms segments with a 32 ms
+// half-life. We track the same signal in closed form: on every state change
+// the average decays by 2^(-dt/32ms) and accrues the new contribution. The
+// signal converges to kCapacityScale × duty-cycle, exactly like the kernel's
+// util_avg, which is what bvs and ivh consume to classify tasks (§3.2, §3.3).
+#ifndef SRC_GUEST_PELT_H_
+#define SRC_GUEST_PELT_H_
+
+#include "src/base/time.h"
+
+namespace vsched {
+
+class PeltSignal {
+ public:
+  // `half_life` of the decaying average (Linux: 32 ms).
+  explicit PeltSignal(TimeNs half_life = MsToNs(32)) : half_life_(half_life) {}
+
+  // Advances the signal to `now` given that the entity has been in state
+  // `active` (running/runnable for util purposes) since the last update.
+  void Update(TimeNs now, bool active);
+
+  // Current utilization in [0, kCapacityScale]. Call Update() first so the
+  // value reflects `now`.
+  double util() const { return util_; }
+
+  // Utilization decayed to `now` assuming the entity stayed in `active`
+  // state since the last update, without mutating the signal.
+  double UtilAt(TimeNs now, bool active) const;
+
+  // Seeds the signal (new tasks start with a modest util so they are neither
+  // misclassified as tiny nor as hogs before any history exists).
+  void Seed(TimeNs now, double util);
+
+ private:
+  TimeNs half_life_;
+  TimeNs last_update_ = 0;
+  double util_ = 0;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_GUEST_PELT_H_

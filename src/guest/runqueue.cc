@@ -1,0 +1,107 @@
+#include "src/guest/runqueue.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+bool Runqueue::ByVruntime::operator()(const Task* a, const Task* b) const {
+  if (a->vruntime() != b->vruntime()) {
+    return a->vruntime() < b->vruntime();
+  }
+  return a->id() < b->id();
+}
+
+void Runqueue::Enqueue(Task* task) {
+  if (task->policy() == TaskPolicy::kIdle) {
+    VSCHED_CHECK(idle_.insert(task).second);
+  } else {
+    VSCHED_CHECK(normal_.insert(task).second);
+    load_ += task->weight();
+  }
+}
+
+void Runqueue::Dequeue(Task* task) {
+  if (task->policy() == TaskPolicy::kIdle) {
+    VSCHED_CHECK(idle_.erase(task) == 1);
+  } else {
+    VSCHED_CHECK(normal_.erase(task) == 1);
+    load_ -= task->weight();
+    if (normal_.empty()) {
+      load_ = 0;  // Clear float dust.
+    }
+  }
+}
+
+bool Runqueue::Contains(const Task* task) const {
+  Task* mutable_task = const_cast<Task*>(task);
+  if (task->policy() == TaskPolicy::kIdle) {
+    return idle_.find(mutable_task) != idle_.end();
+  }
+  return normal_.find(mutable_task) != normal_.end();
+}
+
+Task* Runqueue::PickEevdf() const {
+  // EEVDF: among *eligible* tasks (vruntime not ahead of the queue average),
+  // pick the earliest virtual deadline. Falls back to the global minimum
+  // vruntime when nothing is eligible (cannot happen with a consistent
+  // average, but float dust is cheap to guard against).
+  double avg = 0;
+  int n = 0;
+  for (const Task* t : normal_) {
+    avg += t->vruntime();
+    ++n;
+  }
+  for (const Task* t : idle_) {
+    avg += t->vruntime();
+    ++n;
+  }
+  if (n == 0) {
+    return nullptr;
+  }
+  avg /= n;
+  Task* best = nullptr;
+  Task* min_vr = nullptr;
+  auto consider = [&](Task* t) {
+    if (min_vr == nullptr || t->vruntime() < min_vr->vruntime()) {
+      min_vr = t;
+    }
+    if (t->vruntime() <= avg + 1e-6 &&
+        (best == nullptr || t->vdeadline() < best->vdeadline())) {
+      best = t;
+    }
+  };
+  for (Task* t : normal_) {
+    consider(t);
+  }
+  for (Task* t : idle_) {
+    consider(t);
+  }
+  return best != nullptr ? best : min_vr;
+}
+
+Task* Runqueue::Pick() const {
+  if (eevdf_) {
+    return PickEevdf();
+  }
+  // Leftmost by vruntime across both classes, like CFS's single rbtree:
+  // SCHED_IDLE entities carry weight 3, so their vruntime advances ~341×
+  // faster and they naturally receive only a sliver of CPU — but they are
+  // not starved outright.
+  Task* best = nullptr;
+  if (!normal_.empty()) {
+    best = *normal_.begin();
+  }
+  if (!idle_.empty()) {
+    Task* idle_best = *idle_.begin();
+    if (best == nullptr || idle_best->vruntime() < best->vruntime()) {
+      best = idle_best;
+    }
+  }
+  return best;
+}
+
+void Runqueue::RaiseMinVruntime(double v) { min_vruntime_ = std::max(min_vruntime_, v); }
+
+}  // namespace vsched

@@ -1,0 +1,77 @@
+// Per-vCPU CFS runqueue: runnable tasks ordered by vruntime.
+//
+// The currently running task is held by the vCPU, not the queue (enqueued
+// only when preempted), mirroring CFS structure closely enough for the
+// heuristics that matter here: min-vruntime pick, SCHED_IDLE subordination,
+// and load sums for balancing.
+#ifndef SRC_GUEST_RUNQUEUE_H_
+#define SRC_GUEST_RUNQUEUE_H_
+
+#include <set>
+
+#include "src/base/time.h"
+#include "src/guest/task.h"
+
+namespace vsched {
+
+class Runqueue {
+ public:
+  // Selects the pick policy: CFS (leftmost vruntime) or EEVDF (earliest
+  // eligible virtual deadline first). vSched is scheduler-agnostic (§4);
+  // both policies share the same enqueue/placement machinery.
+  void SetEevdf(bool enabled) { eevdf_ = enabled; }
+  bool eevdf() const { return eevdf_; }
+
+  void Enqueue(Task* task);
+  void Dequeue(Task* task);
+  bool Contains(const Task* task) const;
+
+  // Next task to run: normal-policy tasks strictly before SCHED_IDLE ones,
+  // minimum vruntime within a class. nullptr when empty.
+  Task* Pick() const;
+
+  size_t size() const { return normal_.size() + idle_.size(); }
+  size_t normal_count() const { return normal_.size(); }
+  size_t idle_count() const { return idle_.size(); }
+  bool empty() const { return normal_.empty() && idle_.empty(); }
+
+  // True when the queue holds only best-effort (SCHED_IDLE) tasks — the
+  // "sched_idle vCPU" notion bvs keys on (Figure 8).
+  bool OnlyIdleTasks() const { return normal_.empty() && !idle_.empty(); }
+
+  // Sum of queued normal-task weights (for load balancing).
+  double load() const { return load_; }
+
+  // Largest vruntime floor seen, used to place migrated-in tasks fairly.
+  double min_vruntime() const { return min_vruntime_; }
+  void RaiseMinVruntime(double v);
+
+  // Steals the best migratable normal task matching `allowed_filter`
+  // semantics; iteration helpers for the balancer.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Task* t : normal_) {
+      fn(t);
+    }
+    for (Task* t : idle_) {
+      fn(t);
+    }
+  }
+
+ private:
+  struct ByVruntime {
+    bool operator()(const Task* a, const Task* b) const;
+  };
+
+  Task* PickEevdf() const;
+
+  bool eevdf_ = false;
+  std::set<Task*, ByVruntime> normal_;
+  std::set<Task*, ByVruntime> idle_;
+  double load_ = 0;
+  double min_vruntime_ = 0;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_GUEST_RUNQUEUE_H_

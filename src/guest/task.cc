@@ -1,0 +1,30 @@
+#include "src/guest/task.h"
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+double NiceToWeight(int nice) {
+  static const double kWeights[40] = {
+      // -20 .. -11
+      88761, 71755, 56483, 46273, 36291, 29154, 23254, 18705, 14949, 11916,
+      // -10 .. -1
+      9548, 7620, 6100, 4904, 3906, 3121, 2501, 1991, 1586, 1277,
+      // 0 .. 9
+      1024, 820, 655, 526, 423, 335, 272, 215, 172, 137,
+      // 10 .. 19
+      110, 87, 70, 56, 45, 36, 29, 23, 18, 15};
+  VSCHED_CHECK(nice >= -20 && nice <= 19);
+  return kWeights[nice + 20];
+}
+
+void Task::set_nice(int nice) {
+  VSCHED_CHECK(nice >= -20 && nice <= 19);
+  nice_ = nice;
+}
+
+Task::Task(uint64_t id, std::string name, TaskPolicy policy, TaskBehavior* behavior,
+           CpuMask allowed)
+    : id_(id), name_(std::move(name)), policy_(policy), behavior_(behavior), allowed_(allowed) {}
+
+}  // namespace vsched

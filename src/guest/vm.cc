@@ -1,0 +1,72 @@
+#include "src/guest/vm.h"
+
+#include "src/base/check.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+Vm::Vm(Simulation* sim, HostMachine* machine, VmSpec spec)
+    : sim_(sim), machine_(machine), spec_(std::move(spec)) {
+  VSCHED_CHECK(!spec_.vcpus.empty());
+  std::vector<VcpuThread*> raw_threads;
+  for (size_t i = 0; i < spec_.vcpus.size(); ++i) {
+    const VcpuPlacement& p = spec_.vcpus[i];
+    auto thread = std::make_unique<VcpuThread>(spec_.name + "/vcpu" + std::to_string(i), p.weight);
+    if (p.bw_quota > 0) {
+      thread->SetBandwidth(p.bw_quota, p.bw_period);
+    }
+    machine_->Attach(thread.get(), p.tid);
+    raw_threads.push_back(thread.get());
+    threads_.push_back(std::move(thread));
+  }
+  kernel_ = std::make_unique<GuestKernel>(sim_, machine_, raw_threads, spec_.guest_params);
+}
+
+Vm::~Vm() {
+  // Tear the kernel down first (cancels ticks and completion events), then
+  // detach the vCPU threads from the host.
+  kernel_.reset();
+  for (auto& t : threads_) {
+    t->SetWantsToRun(false);
+    if (t->attached()) {
+      machine_->sched(t->tid()).Detach(t.get());
+    }
+  }
+}
+
+void Vm::PinVcpu(int i, HwThreadId tid) {
+  VSCHED_CHECK(i >= 0 && i < num_vcpus());
+  machine_->Move(threads_[i].get(), tid);
+}
+
+void Vm::SetVcpuBandwidth(int i, TimeNs quota, TimeNs period) {
+  VSCHED_CHECK(i >= 0 && i < num_vcpus());
+  VcpuThread* t = threads_[i].get();
+  HwThreadId tid = t->tid();
+  machine_->sched(tid).Detach(t);
+  t->SetBandwidth(quota, period);
+  machine_->sched(tid).Attach(t);
+}
+
+void Vm::ClearVcpuBandwidth(int i) {
+  VSCHED_CHECK(i >= 0 && i < num_vcpus());
+  VcpuThread* t = threads_[i].get();
+  HwThreadId tid = t->tid();
+  machine_->sched(tid).Detach(t);
+  t->ClearBandwidth();
+  machine_->sched(tid).Attach(t);
+}
+
+VmSpec MakeSimpleVmSpec(std::string name, int count, HwThreadId first_tid) {
+  VmSpec spec;
+  spec.name = std::move(name);
+  for (int i = 0; i < count; ++i) {
+    VcpuPlacement p;
+    p.tid = first_tid + i;
+    spec.vcpus.push_back(p);
+  }
+  return spec;
+}
+
+}  // namespace vsched

@@ -1,0 +1,72 @@
+// A virtual machine: vCPU threads pinned onto host hardware threads plus a
+// guest kernel managing them.
+//
+// Per-vCPU host weight and CFS-bandwidth settings reproduce the paper's
+// capacity/latency shaping (§5.1): quota f·P per period P makes a vCPU
+// active for f·P then inactive for (1−f)·P when demand is continuous, i.e.
+// capacity ≈ f and vCPU latency ≈ (1−f)·P.
+#ifndef SRC_GUEST_VM_H_
+#define SRC_GUEST_VM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/topology.h"
+#include "src/host/vcpu_thread.h"
+
+namespace vsched {
+
+class HostMachine;
+class Simulation;
+
+struct VcpuPlacement {
+  HwThreadId tid = 0;
+  double weight = 1024.0;
+  TimeNs bw_quota = 0;   // 0 → uncapped
+  TimeNs bw_period = 0;
+};
+
+struct VmSpec {
+  std::string name = "vm";
+  std::vector<VcpuPlacement> vcpus;
+  GuestParams guest_params;
+};
+
+class Vm {
+ public:
+  Vm(Simulation* sim, HostMachine* machine, VmSpec spec);
+  ~Vm();
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  const std::string& name() const { return spec_.name; }
+  int num_vcpus() const { return static_cast<int>(threads_.size()); }
+  GuestKernel& kernel() { return *kernel_; }
+  const GuestKernel& kernel() const { return *kernel_; }
+  VcpuThread& thread(int i) { return *threads_[i]; }
+
+  // Re-pins a vCPU (vCPU/VM migration, Fig 16 phases).
+  void PinVcpu(int i, HwThreadId tid);
+
+  // Re-shapes a vCPU's host bandwidth (capacity/latency change at runtime).
+  void SetVcpuBandwidth(int i, TimeNs quota, TimeNs period);
+  void ClearVcpuBandwidth(int i);
+
+ private:
+  Simulation* sim_;
+  HostMachine* machine_;
+  VmSpec spec_;
+  std::vector<std::unique_ptr<VcpuThread>> threads_;
+  std::unique_ptr<GuestKernel> kernel_;
+};
+
+// Convenience builder: `count` vCPUs pinned 1:1 starting at `first_tid`.
+VmSpec MakeSimpleVmSpec(std::string name, int count, HwThreadId first_tid = 0);
+
+}  // namespace vsched
+
+#endif  // SRC_GUEST_VM_H_

@@ -1,0 +1,293 @@
+#include "src/host/cpu_sched.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+namespace {
+
+// Chooses the entity to run next: RT tier first, then minimum vruntime.
+// Stable on ties (first in queue order) for determinism.
+HostEntity* BestOf(const std::vector<HostEntity*>& queue) {
+  HostEntity* best = nullptr;
+  for (HostEntity* e : queue) {
+    if (best == nullptr) {
+      best = e;
+      continue;
+    }
+    if (e->rt() != best->rt()) {
+      if (e->rt()) {
+        best = e;
+      }
+      continue;
+    }
+    if (e->vruntime() < best->vruntime()) {
+      best = e;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CpuSched::CpuSched(Simulation* sim, HostMachine* machine, HwThreadId tid, HostSchedParams params)
+    : sim_(sim), machine_(machine), tid_(tid), params_(params), rng_(sim->ForkRng()) {}
+
+size_t CpuSched::runnable_count() const { return queue_.size() + (current_ != nullptr ? 1 : 0); }
+
+TimeNs CpuSched::now() const { return sim_->now(); }
+
+void CpuSched::RefreshMinVruntime() {
+  // CFS keeps min_vruntime as a monotonic floor tracking the minimum of the
+  // running entity and the queue, so new arrivals are placed near the pack.
+  double floor_v = kTimeInfinity;
+  if (current_ != nullptr) {
+    floor_v = current_->vruntime_;
+  }
+  for (const HostEntity* e : queue_) {
+    floor_v = std::min(floor_v, e->vruntime_);
+  }
+  if (floor_v < kTimeInfinity) {
+    min_vruntime_ = std::max(min_vruntime_, floor_v);
+  }
+}
+
+double CpuSched::QueueMinVruntime() const { return min_vruntime_; }
+
+void CpuSched::Attach(HostEntity* e) {
+  VSCHED_CHECK_MSG(e->sched_ == nullptr, "entity already attached");
+  TimeNs now = sim_->now();
+  e->SyncAccounting(now);
+  e->sched_ = this;
+  UpdateCurrentRuntime(now);
+  RefreshMinVruntime();
+  e->vruntime_ = min_vruntime_;
+  e->queued_ = false;
+  entities_.push_back(e);
+  if (e->has_bandwidth()) {
+    e->bw_used_ = 0;
+    e->throttled_ = false;
+    // Stagger the refill grid per hardware thread so co-scheduled vCPUs do
+    // not throttle in lock-step (real hosts interleave slices).
+    TimeNs offset = (static_cast<TimeNs>(tid_) * 2654435761LL) % e->bw_period_;
+    e->bw_refill_event_ =
+        sim_->After(e->bw_period_ - offset, [this, e] { RefillBandwidth(e); });
+  }
+  if (e->wants_to_run_) {
+    EntityWoke(e);
+  }
+}
+
+void CpuSched::Detach(HostEntity* e) {
+  VSCHED_CHECK(e->sched_ == this);
+  TimeNs now = sim_->now();
+  sim_->Cancel(e->bw_refill_event_);
+  e->bw_refill_event_.Invalidate();
+  sim_->Cancel(e->bw_throttle_event_);
+  e->bw_throttle_event_.Invalidate();
+  if (current_ == e) {
+    PutCurrent(now, /*requeue=*/false);
+    e->SyncAccounting(now);
+    e->sched_ = nullptr;
+    PickNext(now);
+  } else {
+    auto it = std::find(queue_.begin(), queue_.end(), e);
+    if (it != queue_.end()) {
+      queue_.erase(it);
+    }
+    e->queued_ = false;
+    e->SyncAccounting(now);
+    e->sched_ = nullptr;
+  }
+  e->throttled_ = false;
+  entities_.erase(std::find(entities_.begin(), entities_.end(), e));
+}
+
+void CpuSched::EntityWoke(HostEntity* e) {
+  VSCHED_CHECK(e->sched_ == this);
+  TimeNs now = sim_->now();
+  e->SyncAccounting(now);
+  if (e->throttled_ || e->queued_ || current_ == e) {
+    return;  // Throttled entities enqueue at the next refill.
+  }
+  UpdateCurrentRuntime(now);
+  RefreshMinVruntime();
+  // Wakeup credit: do not let a long sleeper starve the queue, but grant it a
+  // small scheduling advantage (CFS's sched-latency placement rule).
+  double credit = static_cast<double>(params_.min_granularity);
+  e->vruntime_ = std::max(e->vruntime_, min_vruntime_ - credit);
+  e->queued_ = true;
+  queue_.push_back(e);
+
+  if (current_ == nullptr) {
+    PickNext(now);
+    return;
+  }
+  bool preempt = false;
+  if (e->rt() && !current_->rt()) {
+    preempt = true;
+  } else if (e->rt() == current_->rt()) {
+    // CFS wakeup preemption: the waker must lead by more than the wakeup
+    // granularity in vruntime. Raising the granularity makes woken vCPUs
+    // wait for the current slice — higher vCPU latency at equal capacity.
+    if (e->vruntime_ + static_cast<double>(params_.wakeup_granularity) < current_->vruntime_) {
+      preempt = true;
+    }
+  }
+  if (preempt) {
+    PutCurrent(now, /*requeue=*/true);
+    PickNext(now);
+  }
+}
+
+void CpuSched::EntitySlept(HostEntity* e) {
+  VSCHED_CHECK(e->sched_ == this);
+  TimeNs now = sim_->now();
+  if (current_ == e) {
+    PutCurrent(now, /*requeue=*/false);
+    PickNext(now);
+    return;
+  }
+  e->SyncAccounting(now);
+  auto it = std::find(queue_.begin(), queue_.end(), e);
+  if (it != queue_.end()) {
+    queue_.erase(it);
+    e->queued_ = false;
+  }
+}
+
+void CpuSched::UpdateCurrentRuntime(TimeNs now) {
+  if (current_ == nullptr) {
+    return;
+  }
+  TimeNs delta = now - last_runtime_sync_;
+  if (delta <= 0) {
+    return;
+  }
+  last_runtime_sync_ = now;
+  current_->vruntime_ += static_cast<double>(delta) * (kCapacityScale / current_->weight());
+  if (current_->has_bandwidth()) {
+    current_->bw_used_ += delta;
+  }
+}
+
+void CpuSched::PutCurrent(TimeNs now, bool requeue) {
+  VSCHED_CHECK(current_ != nullptr);
+  HostEntity* e = current_;
+  UpdateCurrentRuntime(now);
+  sim_->Cancel(slice_event_);
+  slice_event_.Invalidate();
+  sim_->Cancel(e->bw_throttle_event_);
+  e->bw_throttle_event_.Invalidate();
+  e->SyncAccounting(now);
+  e->running_ = false;
+  current_ = nullptr;
+  e->ScheduledOut(now);
+  if (requeue && e->wants_to_run_ && !e->throttled_) {
+    e->queued_ = true;
+    queue_.push_back(e);
+  }
+}
+
+void CpuSched::PickNext(TimeNs now) {
+  VSCHED_CHECK(current_ == nullptr);
+  HostEntity* next = BestOf(queue_);
+  if (next == nullptr) {
+    machine_->OnBusyChanged(tid_);
+    return;
+  }
+  queue_.erase(std::find(queue_.begin(), queue_.end(), next));
+  next->queued_ = false;
+  next->SyncAccounting(now);
+  next->running_ = true;
+  current_ = next;
+  current_since_ = now;
+  last_runtime_sync_ = now;
+  min_vruntime_ = std::max(min_vruntime_, next->vruntime_);
+  ArmSliceTimer(now);
+  if (next->has_bandwidth()) {
+    TimeNs remaining = next->bw_quota_ - next->bw_used_;
+    if (remaining <= 0) {
+      // Quota already exhausted (can happen if refill raced); throttle now.
+      ThrottleCurrent(now);
+      return;
+    }
+    next->bw_throttle_event_ = sim_->After(remaining, [this] { ThrottleCurrent(sim_->now()); });
+  }
+  machine_->OnBusyChanged(tid_);
+  next->ScheduledIn(now);
+}
+
+void CpuSched::ArmSliceTimer(TimeNs now) {
+  (void)now;
+  sim_->Cancel(slice_event_);
+  // Real slice lengths vary slightly (timer coalescing, softirqs); the
+  // ±5% jitter also prevents deterministic phase-locking between threads.
+  TimeNs slice = static_cast<TimeNs>(static_cast<double>(params_.min_granularity) *
+                                     rng_.Uniform(0.95, 1.05));
+  slice_event_ = sim_->After(slice, [this] { OnSliceEnd(); });
+}
+
+void CpuSched::OnSliceEnd() {
+  TimeNs now = sim_->now();
+  if (current_ == nullptr) {
+    return;
+  }
+  UpdateCurrentRuntime(now);
+  HostEntity* best = BestOf(queue_);
+  bool switch_away = false;
+  if (best != nullptr) {
+    if (best->rt() && !current_->rt()) {
+      switch_away = true;
+    } else if (best->rt() == current_->rt() && best->vruntime_ < current_->vruntime_) {
+      switch_away = true;
+    }
+  }
+  if (!switch_away) {
+    ArmSliceTimer(now);
+    return;
+  }
+  PutCurrent(now, /*requeue=*/true);
+  PickNext(now);
+}
+
+void CpuSched::ThrottleCurrent(TimeNs now) {
+  VSCHED_CHECK(current_ != nullptr);
+  HostEntity* e = current_;
+  UpdateCurrentRuntime(now);
+  e->throttled_ = true;
+  PutCurrent(now, /*requeue=*/false);
+  PickNext(now);
+}
+
+void CpuSched::RefillBandwidth(HostEntity* e) {
+  VSCHED_CHECK(e->sched_ == this);
+  TimeNs now = sim_->now();
+  // Re-arm the next refill first so the period grid stays fixed.
+  e->bw_refill_event_ = sim_->After(e->bw_period_, [this, e] { RefillBandwidth(e); });
+  if (e == current_) {
+    UpdateCurrentRuntime(now);
+    e->bw_used_ = 0;
+    sim_->Cancel(e->bw_throttle_event_);
+    e->bw_throttle_event_ = sim_->After(e->bw_quota_, [this] { ThrottleCurrent(sim_->now()); });
+    return;
+  }
+  e->bw_used_ = 0;
+  if (e->throttled_) {
+    e->throttled_ = false;
+    if (e->wants_to_run_) {
+      EntityWoke(e);
+    }
+  }
+}
+
+void CpuSched::NotifyRateChanged(TimeNs now) {
+  if (current_ != nullptr) {
+    current_->RateChanged(now);
+  }
+}
+
+}  // namespace vsched

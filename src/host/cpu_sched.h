@@ -1,0 +1,94 @@
+// Per-hardware-thread host scheduler (the hypervisor's CPU scheduler).
+//
+// A simplified-but-faithful CFS: entities are picked by minimum vruntime
+// (with an RT tier above the fair tier), run for min-granularity slices,
+// receive wakeup credit bounded by the queue's min_vruntime, and honour
+// CFS-bandwidth throttling. The knobs — min granularity, wakeup granularity,
+// bandwidth quota/period, entity weights, RT stressors — are exactly the ones
+// the paper uses on the host to shape vCPU capacity, latency, and activity
+// (§5.1).
+#ifndef SRC_HOST_CPU_SCHED_H_
+#define SRC_HOST_CPU_SCHED_H_
+
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/host/host_entity.h"
+#include "src/host/topology.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace vsched {
+
+class HostMachine;
+class Simulation;
+
+struct HostSchedParams {
+  // Slice length for the fair tier (sched_min_granularity_ns analogue).
+  TimeNs min_granularity = MsToNs(3);
+  // A waking entity preempts the current one only if the current has already
+  // run at least this long (sched_wakeup_granularity_ns analogue).
+  TimeNs wakeup_granularity = MsToNs(1);
+};
+
+class CpuSched {
+ public:
+  CpuSched(Simulation* sim, HostMachine* machine, HwThreadId tid, HostSchedParams params);
+
+  CpuSched(const CpuSched&) = delete;
+  CpuSched& operator=(const CpuSched&) = delete;
+
+  HwThreadId tid() const { return tid_; }
+  TimeNs now() const;
+  const HostSchedParams& params() const { return params_; }
+  void set_params(HostSchedParams params) { params_ = params; }
+
+  // Entity lifecycle. An attached entity competes for this hardware thread
+  // whenever it wants to run.
+  void Attach(HostEntity* e);
+  void Detach(HostEntity* e);
+
+  // Demand transitions (invoked from HostEntity::SetWantsToRun).
+  void EntityWoke(HostEntity* e);
+  void EntitySlept(HostEntity* e);
+
+  HostEntity* current() const { return current_; }
+  bool busy() const { return current_ != nullptr; }
+  size_t attached_count() const { return entities_.size(); }
+  size_t runnable_count() const;
+
+  // Called by the machine when this thread's effective speed changed while
+  // an entity is running (SMT sibling toggled or frequency changed).
+  void NotifyRateChanged(TimeNs now);
+
+ private:
+  friend class HostEntity;
+
+  void PickNext(TimeNs now);
+  void PutCurrent(TimeNs now, bool requeue);
+  void OnSliceEnd();
+  void UpdateCurrentRuntime(TimeNs now);
+  void RefreshMinVruntime();
+  void ArmSliceTimer(TimeNs now);
+  void ThrottleCurrent(TimeNs now);
+  void RefillBandwidth(HostEntity* e);
+  double QueueMinVruntime() const;
+
+  Simulation* sim_;
+  HostMachine* machine_;
+  HwThreadId tid_;
+  HostSchedParams params_;
+
+  std::vector<HostEntity*> entities_;  // all attached
+  std::vector<HostEntity*> queue_;     // runnable, excluding current
+  HostEntity* current_ = nullptr;
+  Rng rng_;
+  TimeNs current_since_ = 0;   // when current_ started this stint
+  TimeNs last_runtime_sync_ = 0;
+  EventId slice_event_;
+  double min_vruntime_ = 0;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_HOST_CPU_SCHED_H_

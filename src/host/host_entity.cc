@@ -1,0 +1,89 @@
+#include "src/host/host_entity.h"
+
+#include "src/base/check.h"
+#include "src/host/cpu_sched.h"
+
+namespace vsched {
+
+HostEntity::HostEntity(std::string name, double weight, bool rt)
+    : name_(std::move(name)), weight_(weight), rt_(rt) {
+  VSCHED_CHECK(weight_ > 0);
+}
+
+HostEntity::~HostEntity() {
+  // Entities must be detached before destruction; CpuSched holds raw
+  // pointers. Detaching here would need the simulation clock, so insist the
+  // owner does it explicitly (VcpuThread/Stressor do).
+  VSCHED_CHECK_MSG(sched_ == nullptr, "HostEntity destroyed while attached");
+}
+
+void HostEntity::SetBandwidth(TimeNs quota, TimeNs period) {
+  VSCHED_CHECK_MSG(sched_ == nullptr, "set bandwidth before attaching");
+  VSCHED_CHECK(quota > 0 && period > 0 && quota <= period);
+  bw_quota_ = quota;
+  bw_period_ = period;
+  bw_used_ = 0;
+}
+
+void HostEntity::ClearBandwidth() {
+  VSCHED_CHECK_MSG(sched_ == nullptr, "clear bandwidth before attaching");
+  bw_quota_ = 0;
+  bw_period_ = 0;
+  bw_used_ = 0;
+  throttled_ = false;
+}
+
+void HostEntity::SetWantsToRun(bool wants) {
+  if (wants == wants_to_run_) {
+    return;
+  }
+  if (sched_ != nullptr) {
+    // Attribute the elapsed interval under the *old* demand state before the
+    // flag flips, or halted time would be misread as steal (and vice versa).
+    SyncAccounting(sched_->now());
+  }
+  wants_to_run_ = wants;
+  if (sched_ == nullptr) {
+    return;
+  }
+  if (wants) {
+    sched_->EntityWoke(this);
+  } else {
+    sched_->EntitySlept(this);
+  }
+}
+
+int HostEntity::tid() const { return sched_ != nullptr ? sched_->tid() : -1; }
+
+void HostEntity::SyncAccounting(TimeNs now) const {
+  VSCHED_CHECK(now >= acct_last_);
+  TimeNs delta = now - acct_last_;
+  if (delta == 0) {
+    return;
+  }
+  if (running_) {
+    acct_ran_ += delta;
+  } else if (wants_to_run_ && sched_ != nullptr) {
+    acct_steal_ += delta;
+  } else {
+    acct_halted_ += delta;
+  }
+  acct_last_ = now;
+}
+
+TimeNs HostEntity::ran_ns(TimeNs now) const {
+  SyncAccounting(now);
+  return acct_ran_;
+}
+
+TimeNs HostEntity::steal_ns(TimeNs now) const {
+  SyncAccounting(now);
+  return acct_steal_;
+}
+
+TimeNs HostEntity::halted_ns(TimeNs now) const {
+  SyncAccounting(now);
+  return acct_halted_;
+}
+
+}  // namespace vsched

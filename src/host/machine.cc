@@ -1,0 +1,66 @@
+#include "src/host/machine.h"
+
+#include "src/base/check.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+HostMachine::HostMachine(Simulation* sim, const TopologySpec& spec, HostSchedParams sched_params)
+    : sim_(sim), topology_(spec), core_freq_(topology_.num_cores(), 1.0) {
+  scheds_.reserve(topology_.num_threads());
+  for (int t = 0; t < topology_.num_threads(); ++t) {
+    scheds_.push_back(std::make_unique<CpuSched>(sim, this, t, sched_params));
+  }
+}
+
+CpuSched& HostMachine::sched(HwThreadId tid) {
+  VSCHED_CHECK(tid >= 0 && tid < num_threads());
+  return *scheds_[tid];
+}
+
+const CpuSched& HostMachine::sched(HwThreadId tid) const {
+  VSCHED_CHECK(tid >= 0 && tid < num_threads());
+  return *scheds_[tid];
+}
+
+double HostMachine::SpeedOf(HwThreadId tid) const {
+  double speed = kCapacityScale * core_freq_[topology_.CoreOf(tid)];
+  HwThreadId sibling = topology_.SiblingOf(tid);
+  if (sibling >= 0 && scheds_[sibling]->busy()) {
+    speed *= topology_.spec().smt_factor;
+  }
+  return speed;
+}
+
+void HostMachine::SetCoreFreq(int core, double multiplier) {
+  VSCHED_CHECK(core >= 0 && core < topology_.num_cores());
+  VSCHED_CHECK(multiplier > 0);
+  if (core_freq_[core] == multiplier) {
+    return;
+  }
+  core_freq_[core] = multiplier;
+  TimeNs now = sim_->now();
+  for (HwThreadId t : topology_.ThreadsOfCore(core)) {
+    scheds_[t]->NotifyRateChanged(now);
+  }
+}
+
+void HostMachine::Attach(HostEntity* e, HwThreadId tid) { sched(tid).Attach(e); }
+
+void HostMachine::Move(HostEntity* e, HwThreadId tid) {
+  VSCHED_CHECK(e->attached());
+  if (e->tid() == tid) {
+    return;
+  }
+  sched(e->tid()).Detach(e);
+  sched(tid).Attach(e);
+}
+
+void HostMachine::OnBusyChanged(HwThreadId tid) {
+  HwThreadId sibling = topology_.SiblingOf(tid);
+  if (sibling >= 0) {
+    scheds_[sibling]->NotifyRateChanged(sim_->now());
+  }
+}
+
+}  // namespace vsched

@@ -1,0 +1,61 @@
+// The host machine: topology + per-core frequency + one CpuSched per
+// hardware thread. Computes effective speeds (capacity units) including SMT
+// contention and DVFS, and fans rate-change notifications out to affected
+// running entities.
+#ifndef SRC_HOST_MACHINE_H_
+#define SRC_HOST_MACHINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/host/cpu_sched.h"
+#include "src/host/topology.h"
+
+namespace vsched {
+
+class Simulation;
+
+class HostMachine {
+ public:
+  HostMachine(Simulation* sim, const TopologySpec& spec,
+              HostSchedParams sched_params = HostSchedParams{});
+
+  HostMachine(const HostMachine&) = delete;
+  HostMachine& operator=(const HostMachine&) = delete;
+
+  const HostTopology& topology() const { return topology_; }
+  Simulation* sim() const { return sim_; }
+  int num_threads() const { return topology_.num_threads(); }
+
+  CpuSched& sched(HwThreadId tid);
+  const CpuSched& sched(HwThreadId tid) const;
+
+  // Effective speed of hardware thread `tid` in capacity units
+  // (kCapacityScale × freq × SMT factor). This is the rate at which the
+  // currently running entity's work progresses.
+  double SpeedOf(HwThreadId tid) const;
+
+  // DVFS: scales a core's frequency; propagates rate changes to entities
+  // running on either of its hardware threads.
+  void SetCoreFreq(int core, double multiplier);
+  double CoreFreq(int core) const { return core_freq_[core]; }
+
+  // Convenience: attach an entity to a hardware thread / move it.
+  void Attach(HostEntity* e, HwThreadId tid);
+  void Move(HostEntity* e, HwThreadId tid);
+
+  // Invoked by CpuSched when its busy state flipped: the SMT sibling's
+  // running entity (if any) must recompute its progress rate.
+  void OnBusyChanged(HwThreadId tid);
+
+ private:
+  Simulation* sim_;
+  HostTopology topology_;
+  std::vector<double> core_freq_;
+  std::vector<std::unique_ptr<CpuSched>> scheds_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_HOST_MACHINE_H_

@@ -1,0 +1,51 @@
+#include "src/host/stressor.h"
+
+#include "src/base/check.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+Stressor::Stressor(Simulation* sim, std::string name, double weight, bool rt)
+    : HostEntity(std::move(name), weight, rt), sim_(sim) {}
+
+Stressor::~Stressor() { Stop(); }
+
+void Stressor::Start(HostMachine* machine, HwThreadId tid) {
+  VSCHED_CHECK(!attached());
+  machine_ = machine;
+  machine_->Attach(this, tid);
+  SetWantsToRun(true);
+}
+
+void Stressor::StartDutyCycle(HostMachine* machine, HwThreadId tid, TimeNs on, TimeNs off) {
+  VSCHED_CHECK(!attached());
+  VSCHED_CHECK(on > 0 && off >= 0);
+  machine_ = machine;
+  on_ = on;
+  off_ = off;
+  machine_->Attach(this, tid);
+  SetWantsToRun(true);
+  if (off_ > 0) {
+    ArmToggle(on_, /*next_on=*/false);
+  }
+}
+
+void Stressor::Stop() {
+  if (!attached()) {
+    return;
+  }
+  sim_->Cancel(toggle_event_);
+  toggle_event_.Invalidate();
+  SetWantsToRun(false);
+  machine_->sched(tid()).Detach(this);
+}
+
+void Stressor::ArmToggle(TimeNs delay, bool next_on) {
+  toggle_event_ = sim_->After(delay, [this, next_on] {
+    SetWantsToRun(next_on);
+    ArmToggle(next_on ? on_ : off_, !next_on);
+  });
+}
+
+}  // namespace vsched

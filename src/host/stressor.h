@@ -1,0 +1,50 @@
+// Host-side interference tasks.
+//
+// A Stressor occupies a hardware thread as a host scheduling entity — either
+// continuously (a co-tenant VM's CPU-bound vCPU, à la the Sysbench stressor
+// VMs in §2.3) or on a duty cycle (intermittent/transient interference in
+// §5.8). An RT stressor models the host high-priority task that turns a vCPU
+// into a straggler (§2.3, Figure 4 left).
+#ifndef SRC_HOST_STRESSOR_H_
+#define SRC_HOST_STRESSOR_H_
+
+#include <string>
+
+#include "src/base/time.h"
+#include "src/host/host_entity.h"
+#include "src/host/topology.h"
+
+namespace vsched {
+
+class HostMachine;
+class Simulation;
+
+class Stressor : public HostEntity {
+ public:
+  // Always-runnable stressor.
+  Stressor(Simulation* sim, std::string name, double weight = 1024.0, bool rt = false);
+  ~Stressor() override;
+
+  // Starts competing on hardware thread `tid` until Stop().
+  void Start(HostMachine* machine, HwThreadId tid);
+
+  // Duty-cycled variant: runnable for `on`, idle for `off`, repeating. The
+  // phase starts with the ON interval at the time of the call.
+  void StartDutyCycle(HostMachine* machine, HwThreadId tid, TimeNs on, TimeNs off);
+
+  // Detaches from the host; the stressor can be Start()ed again later.
+  void Stop();
+
+ private:
+  void ArmToggle(TimeNs delay, bool next_on);
+
+  Simulation* sim_;
+  HostMachine* machine_ = nullptr;
+  TimeNs on_ = 0;
+  TimeNs off_ = 0;
+  EventId toggle_event_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_HOST_STRESSOR_H_

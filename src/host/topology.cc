@@ -1,0 +1,68 @@
+#include "src/host/topology.h"
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+HostTopology::HostTopology(const TopologySpec& spec) : spec_(spec) {
+  VSCHED_CHECK(spec.sockets >= 1);
+  VSCHED_CHECK(spec.cores_per_socket >= 1);
+  VSCHED_CHECK(spec.threads_per_core == 1 || spec.threads_per_core == 2);
+  num_cores_ = spec.sockets * spec.cores_per_socket;
+  num_threads_ = num_cores_ * spec.threads_per_core;
+}
+
+int HostTopology::CoreOf(HwThreadId t) const {
+  VSCHED_CHECK(t >= 0 && t < num_threads_);
+  return t / spec_.threads_per_core;
+}
+
+int HostTopology::SocketOf(HwThreadId t) const { return CoreOf(t) / spec_.cores_per_socket; }
+
+HwThreadId HostTopology::SiblingOf(HwThreadId t) const {
+  if (spec_.threads_per_core == 1) {
+    return -1;
+  }
+  VSCHED_CHECK(t >= 0 && t < num_threads_);
+  return (t % 2 == 0) ? t + 1 : t - 1;
+}
+
+std::vector<HwThreadId> HostTopology::ThreadsOfCore(int core) const {
+  VSCHED_CHECK(core >= 0 && core < num_cores_);
+  std::vector<HwThreadId> out;
+  for (int i = 0; i < spec_.threads_per_core; ++i) {
+    out.push_back(core * spec_.threads_per_core + i);
+  }
+  return out;
+}
+
+HwDistance HostTopology::DistanceClass(HwThreadId a, HwThreadId b) const {
+  if (a == b) {
+    return HwDistance::kSame;
+  }
+  if (CoreOf(a) == CoreOf(b)) {
+    return HwDistance::kSmtSibling;
+  }
+  if (SocketOf(a) == SocketOf(b)) {
+    return HwDistance::kSameSocket;
+  }
+  return HwDistance::kCrossSocket;
+}
+
+double HostTopology::CacheLatencyNs(HwThreadId a, HwThreadId b) const {
+  switch (DistanceClass(a, b)) {
+    case HwDistance::kSame:
+      // Same hardware thread: the line never moves, but stacked vCPUs also
+      // never run concurrently; vtop observes timeouts, not this value.
+      return spec_.lat_smt_ns;
+    case HwDistance::kSmtSibling:
+      return spec_.lat_smt_ns;
+    case HwDistance::kSameSocket:
+      return spec_.lat_socket_ns;
+    case HwDistance::kCrossSocket:
+      return spec_.lat_cross_socket_ns;
+  }
+  return spec_.lat_cross_socket_ns;
+}
+
+}  // namespace vsched

@@ -1,0 +1,74 @@
+// Physical machine topology: sockets → cores → SMT hardware threads.
+//
+// Models the scheduler-visible properties of the paper's testbed (HPE DL580
+// Gen10, 4× Xeon Gold 6138): SMT sibling contention, per-core DVFS frequency
+// multipliers, and the cache-line transfer distances that vtop measures
+// (Figure 10b: ~6 ns SMT, ~48 ns intra-socket, ~112 ns cross-socket).
+#ifndef SRC_HOST_TOPOLOGY_H_
+#define SRC_HOST_TOPOLOGY_H_
+
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace vsched {
+
+// Index of a hardware thread on the host machine.
+using HwThreadId = int;
+
+struct TopologySpec {
+  int sockets = 1;
+  int cores_per_socket = 16;
+  int threads_per_core = 2;
+
+  // Per-thread capacity multiplier when the SMT sibling is busy. 0.6 matches
+  // the commonly observed ~20% total SMT speedup (2 × 0.6 = 1.2).
+  double smt_factor = 0.6;
+
+  // Cache-line transfer latencies between hardware threads (ns), calibrated
+  // to Figure 10b.
+  double lat_smt_ns = 6.0;
+  double lat_socket_ns = 48.0;
+  double lat_cross_socket_ns = 112.0;
+};
+
+// Relationship between two hardware threads, ordered by increasing distance.
+enum class HwDistance {
+  kSame = 0,         // identical hardware thread (stacked vCPUs land here)
+  kSmtSibling = 1,   // same core, different hardware thread
+  kSameSocket = 2,   // same socket, different core
+  kCrossSocket = 3,  // different sockets
+};
+
+class HostTopology {
+ public:
+  explicit HostTopology(const TopologySpec& spec);
+
+  const TopologySpec& spec() const { return spec_; }
+  int num_threads() const { return num_threads_; }
+  int num_cores() const { return num_cores_; }
+  int num_sockets() const { return spec_.sockets; }
+
+  int CoreOf(HwThreadId t) const;
+  int SocketOf(HwThreadId t) const;
+
+  // The other hardware thread on the same core, or -1 when SMT is off.
+  HwThreadId SiblingOf(HwThreadId t) const;
+
+  // Hardware threads of core `core`, in id order.
+  std::vector<HwThreadId> ThreadsOfCore(int core) const;
+
+  HwDistance DistanceClass(HwThreadId a, HwThreadId b) const;
+
+  // Cache-line transfer latency between two hardware threads, per spec.
+  double CacheLatencyNs(HwThreadId a, HwThreadId b) const;
+
+ private:
+  TopologySpec spec_;
+  int num_cores_;
+  int num_threads_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_HOST_TOPOLOGY_H_

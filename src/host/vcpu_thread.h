@@ -1,0 +1,66 @@
+// The host-side representation of a vCPU: a KVM vCPU thread.
+//
+// The guest kernel binds a client to receive activity transitions. A vCPU
+// thread wants to run exactly when the guest has runnable work on that vCPU
+// (otherwise the guest HLTs and the thread sleeps); whether it actually runs
+// is the host scheduler's decision — the gap is what the guest observes as
+// steal time and what vact measures as vCPU latency.
+#ifndef SRC_HOST_VCPU_THREAD_H_
+#define SRC_HOST_VCPU_THREAD_H_
+
+#include <string>
+
+#include "src/base/time.h"
+#include "src/host/host_entity.h"
+
+namespace vsched {
+
+class VcpuHostClient {
+ public:
+  virtual ~VcpuHostClient() = default;
+  // The vCPU started executing on its hardware thread.
+  virtual void OnVcpuScheduledIn(TimeNs now) = 0;
+  // The vCPU was descheduled (preempted, throttled, or halted).
+  virtual void OnVcpuScheduledOut(TimeNs now) = 0;
+  // The hardware thread's effective speed changed while the vCPU runs.
+  virtual void OnVcpuRateChanged(TimeNs now) = 0;
+};
+
+class VcpuThread : public HostEntity {
+ public:
+  explicit VcpuThread(std::string name, double weight = 1024.0)
+      : HostEntity(std::move(name), weight) {}
+
+  void BindClient(VcpuHostClient* client) { client_ = client; }
+
+  // Guest-driven demand: the guest has (no) runnable work.
+  void GuestWake() { SetWantsToRun(true); }
+  void GuestHalt() { SetWantsToRun(false); }
+
+  // True while the vCPU is executing on its hardware thread.
+  bool active() const { return running(); }
+
+ protected:
+  void ScheduledIn(TimeNs now) override {
+    if (client_ != nullptr) {
+      client_->OnVcpuScheduledIn(now);
+    }
+  }
+  void ScheduledOut(TimeNs now) override {
+    if (client_ != nullptr) {
+      client_->OnVcpuScheduledOut(now);
+    }
+  }
+  void RateChanged(TimeNs now) override {
+    if (client_ != nullptr) {
+      client_->OnVcpuRateChanged(now);
+    }
+  }
+
+ private:
+  VcpuHostClient* client_ = nullptr;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_HOST_VCPU_THREAD_H_

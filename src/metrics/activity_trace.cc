@@ -1,0 +1,135 @@
+#include "src/metrics/activity_trace.h"
+
+#include "src/guest/guest_kernel.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+ActivityTrace::ActivityTrace(GuestKernel* kernel, TimeNs sample_period)
+    : kernel_(kernel), sim_(kernel->sim()), period_(sample_period) {
+  timeline_.resize(kernel->num_vcpus());
+}
+
+ActivityTrace::~ActivityTrace() { Stop(); }
+
+void ActivityTrace::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  event_ = sim_->After(period_, [this] { Sample(); });
+}
+
+void ActivityTrace::Stop() {
+  running_ = false;
+  sim_->Cancel(event_);
+  event_.Invalidate();
+}
+
+void ActivityTrace::Clear() {
+  for (auto& row : timeline_) {
+    row.clear();
+  }
+}
+
+void ActivityTrace::Sample() {
+  for (int cpu = 0; cpu < kernel_->num_vcpus(); ++cpu) {
+    const GuestVcpu& v = kernel_->vcpu(cpu);
+    State s;
+    if (!v.active()) {
+      s = v.current() != nullptr ? State::kStalled : State::kInactive;
+    } else if (v.current() == nullptr) {
+      s = State::kIdle;
+    } else if (v.current()->policy() == TaskPolicy::kIdle) {
+      s = State::kRunningIdle;
+    } else {
+      s = State::kRunningTask;
+    }
+    timeline_[cpu].push_back(s);
+  }
+  if (running_) {
+    event_ = sim_->After(period_, [this] { Sample(); });
+  }
+}
+
+std::string ActivityTrace::Render(int columns) const {
+  std::string out;
+  size_t n = samples();
+  if (n == 0) {
+    return out;
+  }
+  size_t stride = std::max<size_t>(1, n / static_cast<size_t>(columns));
+  for (size_t cpu = 0; cpu < timeline_.size(); ++cpu) {
+    out += "vcpu" + std::to_string(cpu) + (cpu < 10 ? "  |" : " |");
+    for (size_t c = 0; c + stride <= n; c += stride) {
+      // Majority state within the bucket, with "stalled" winning ties.
+      int counts[5] = {0, 0, 0, 0, 0};
+      for (size_t i = c; i < c + stride; ++i) {
+        ++counts[static_cast<int>(timeline_[cpu][i])];
+      }
+      State best = State::kInactive;
+      int best_count = -1;
+      for (int s = 0; s < 5; ++s) {
+        if (counts[s] > best_count) {
+          best_count = counts[s];
+          best = static_cast<State>(s);
+        }
+      }
+      if (counts[static_cast<int>(State::kStalled)] > 0) {
+        best = State::kStalled;
+      }
+      switch (best) {
+        case State::kInactive:
+          out += ' ';
+          break;
+        case State::kIdle:
+          out += '.';
+          break;
+        case State::kRunningTask:
+          out += '#';
+          break;
+        case State::kRunningIdle:
+          out += '-';
+          break;
+        case State::kStalled:
+          out += 'x';
+          break;
+      }
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+double ActivityTrace::StalledFraction() const {
+  size_t n = samples();
+  if (n == 0) {
+    return 0;
+  }
+  size_t stalled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& row : timeline_) {
+      if (row[i] == State::kStalled) {
+        ++stalled;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(stalled) / static_cast<double>(n);
+}
+
+double ActivityTrace::RunningFraction(int cpu) const {
+  const auto& row = timeline_[cpu];
+  if (row.empty()) {
+    return 0;
+  }
+  size_t running = 0;
+  for (State s : row) {
+    if (s == State::kRunningTask) {
+      ++running;
+    }
+  }
+  return static_cast<double>(running) / static_cast<double>(row.size());
+}
+
+}  // namespace vsched

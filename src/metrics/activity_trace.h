@@ -1,0 +1,65 @@
+// Activity tracing: a KernelShark-style sampled timeline of what each vCPU
+// is doing (inactive / idle / which task), used by the Figure 3 bench and
+// handy for debugging scheduling behaviour.
+#ifndef SRC_METRICS_ACTIVITY_TRACE_H_
+#define SRC_METRICS_ACTIVITY_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/sim/event_queue.h"
+
+namespace vsched {
+
+class GuestKernel;
+class Simulation;
+
+class ActivityTrace {
+ public:
+  // Samples all vCPUs of `kernel` every `sample_period`.
+  ActivityTrace(GuestKernel* kernel, TimeNs sample_period = UsToNs(250));
+  ~ActivityTrace();
+
+  ActivityTrace(const ActivityTrace&) = delete;
+  ActivityTrace& operator=(const ActivityTrace&) = delete;
+
+  void Start();
+  void Stop();
+  void Clear();
+
+  // Per-sample state of one vCPU.
+  enum class State : uint8_t {
+    kInactive,      // vCPU not running at the host
+    kIdle,          // active but no guest task
+    kRunningTask,   // active, running a normal task
+    kRunningIdle,   // active, running a SCHED_IDLE task
+    kStalled,       // inactive while a task is current ("stalled running task")
+  };
+
+  size_t samples() const { return timeline_.empty() ? 0 : timeline_[0].size(); }
+
+  // Renders an ASCII timeline: one row per vCPU, one column per `stride`
+  // samples over the trailing `columns` columns.
+  //   '#' running a task   '.' idle   ' ' inactive   'x' stalled   '-' idle-class
+  std::string Render(int columns = 100) const;
+
+  // Fraction of samples in which some vCPU had a stalled running task.
+  double StalledFraction() const;
+  // Fraction of samples in which a given vCPU ran a normal task.
+  double RunningFraction(int cpu) const;
+
+ private:
+  void Sample();
+
+  GuestKernel* kernel_;
+  Simulation* sim_;
+  TimeNs period_;
+  bool running_ = false;
+  EventId event_;
+  std::vector<std::vector<State>> timeline_;  // [vcpu][sample]
+};
+
+}  // namespace vsched
+
+#endif  // SRC_METRICS_ACTIVITY_TRACE_H_

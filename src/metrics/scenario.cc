@@ -1,0 +1,335 @@
+#include "src/metrics/scenario.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "src/base/check.h"
+#include "src/workloads/catalog.h"
+
+namespace vsched {
+namespace {
+
+// Splits "key=value" tokens; bare tokens map to "true".
+std::map<std::string, std::string> ParseArgs(std::istringstream& in) {
+  std::map<std::string, std::string> args;
+  std::string token;
+  while (in >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      args[token] = "true";
+    } else {
+      args[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stoi(text, &pos);
+    return pos == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stod(text, &pos);
+    return pos == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool ScenarioRunner::ParseDuration(const std::string& text, TimeNs* out) {
+  double value = 0;
+  size_t pos = 0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (...) {
+    return false;
+  }
+  std::string suffix = text.substr(pos);
+  double scale;
+  if (suffix == "ns" || suffix.empty()) {
+    scale = 1;
+  } else if (suffix == "us") {
+    scale = 1e3;
+  } else if (suffix == "ms") {
+    scale = 1e6;
+  } else if (suffix == "s") {
+    scale = 1e9;
+  } else {
+    return false;
+  }
+  *out = static_cast<TimeNs>(value * scale);
+  return true;
+}
+
+ScenarioRunner::ScenarioRunner(uint64_t seed) : seed_(seed) {}
+
+ScenarioRunner::~ScenarioRunner() {
+  // Destruction order: workloads → vsched → vm → stressors → machine → sim.
+  for (auto& w : workloads_) {
+    w->Stop();
+  }
+  workloads_.clear();
+  vsched_.reset();
+  vm_.reset();
+  stressors_.clear();
+  machine_.reset();
+  sim_.reset();
+}
+
+bool ScenarioRunner::Fail(const std::string& message) {
+  error_ = message;
+  return false;
+}
+
+bool ScenarioRunner::RunScript(const std::string& script) {
+  std::istringstream lines(script);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (!RunLine(line)) {
+      error_ = "line " + std::to_string(line_no) + ": " + error_;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ScenarioRunner::RunLine(const std::string& line) {
+  std::string stripped = line.substr(0, line.find('#'));
+  std::istringstream in(stripped);
+  std::string directive;
+  if (!(in >> directive)) {
+    return true;  // blank / comment
+  }
+  auto args = ParseArgs(in);
+  auto need = [&](const char* key, std::string* out) {
+    auto it = args.find(key);
+    if (it == args.end()) {
+      return false;
+    }
+    *out = it->second;
+    return true;
+  };
+
+  if (directive == "host") {
+    if (sim_ != nullptr) {
+      return Fail("host already declared");
+    }
+    TopologySpec topo;
+    std::string v;
+    int n;
+    if (need("sockets", &v) && ParseInt(v, &n)) {
+      topo.sockets = n;
+    }
+    if (need("cores", &v) && ParseInt(v, &n)) {
+      topo.cores_per_socket = n;
+    }
+    if (need("smt", &v) && ParseInt(v, &n)) {
+      topo.threads_per_core = n;
+    }
+    double f;
+    if (need("smt_factor", &v) && ParseDouble(v, &f)) {
+      topo.smt_factor = f;
+    }
+    sim_ = std::make_unique<Simulation>(seed_);
+    machine_ = std::make_unique<HostMachine>(sim_.get(), topo);
+    return true;
+  }
+  static const char* kKnown[] = {"gran", "freq",   "stressor", "vm",    "bandwidth",
+                                 "vsched", "workload", "run",   "report"};
+  bool known = false;
+  for (const char* k : kKnown) {
+    if (directive == k) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    return Fail("unknown directive '" + directive + "'");
+  }
+  if (sim_ == nullptr) {
+    return Fail("'" + directive + "' before 'host'");
+  }
+
+  if (directive == "gran") {
+    std::string v;
+    int tid;
+    TimeNs min_gran;
+    if (!need("tid", &v) || !ParseInt(v, &tid)) {
+      return Fail("gran requires tid=<t>");
+    }
+    if (!need("min", &v) || !ParseDuration(v, &min_gran)) {
+      return Fail("gran requires min=<dur>");
+    }
+    HostSchedParams params;
+    params.min_granularity = min_gran;
+    params.wakeup_granularity = min_gran;
+    TimeNs wakeup;
+    if (need("wakeup", &v) && ParseDuration(v, &wakeup)) {
+      params.wakeup_granularity = wakeup;
+    }
+    if (tid < 0 || tid >= machine_->num_threads()) {
+      return Fail("gran: tid out of range");
+    }
+    machine_->sched(tid).set_params(params);
+    return true;
+  }
+  if (directive == "freq") {
+    std::string v;
+    int core;
+    double mult;
+    if (!need("core", &v) || !ParseInt(v, &core) || !need("mult", &v) ||
+        !ParseDouble(v, &mult)) {
+      return Fail("freq requires core=<c> mult=<f>");
+    }
+    machine_->SetCoreFreq(core, mult);
+    return true;
+  }
+  if (directive == "stressor") {
+    std::string v;
+    int tid;
+    if (!need("tid", &v) || !ParseInt(v, &tid)) {
+      return Fail("stressor requires tid=<t>");
+    }
+    double weight = 1024.0;
+    if (need("weight", &v) && !ParseDouble(v, &weight)) {
+      return Fail("bad weight");
+    }
+    bool rt = args.count("rt") > 0;
+    stressors_.push_back(std::make_unique<Stressor>(sim_.get(), "stressor", weight, rt));
+    TimeNs on;
+    TimeNs off;
+    std::string on_s;
+    std::string off_s;
+    if (need("on", &on_s) && need("off", &off_s) && ParseDuration(on_s, &on) &&
+        ParseDuration(off_s, &off)) {
+      stressors_.back()->StartDutyCycle(machine_.get(), tid, on, off);
+    } else {
+      stressors_.back()->Start(machine_.get(), tid);
+    }
+    return true;
+  }
+  if (directive == "vm") {
+    if (vm_created_) {
+      return Fail("vm already declared");
+    }
+    std::string v;
+    int vcpus;
+    if (!need("vcpus", &v) || !ParseInt(v, &vcpus)) {
+      return Fail("vm requires vcpus=<n>");
+    }
+    VmSpec spec = MakeSimpleVmSpec("vm", vcpus);
+    if (need("pin", &v)) {
+      std::istringstream pins(v);
+      std::string item;
+      int i = 0;
+      while (std::getline(pins, item, ',') && i < vcpus) {
+        int tid;
+        if (!ParseInt(item, &tid)) {
+          return Fail("bad pin list");
+        }
+        spec.vcpus[i++].tid = tid;
+      }
+    }
+    spec.guest_params.use_eevdf = args.count("eevdf") > 0;
+    vm_ = std::make_unique<Vm>(sim_.get(), machine_.get(), std::move(spec));
+    vm_created_ = true;
+    return true;
+  }
+  if (vm_ == nullptr) {
+    return Fail("'" + directive + "' before 'vm'");
+  }
+
+  if (directive == "bandwidth") {
+    std::string v;
+    int vcpu;
+    TimeNs quota;
+    TimeNs period;
+    if (!need("vcpu", &v) || !ParseInt(v, &vcpu) || !need("quota", &v) ||
+        !ParseDuration(v, &quota) || !need("period", &v) || !ParseDuration(v, &period)) {
+      return Fail("bandwidth requires vcpu=<i> quota=<dur> period=<dur>");
+    }
+    if (vcpu < 0 || vcpu >= vm_->num_vcpus()) {
+      return Fail("bandwidth: vcpu out of range");
+    }
+    vm_->SetVcpuBandwidth(vcpu, quota, period);
+    return true;
+  }
+  if (directive == "vsched") {
+    std::string preset;
+    if (!need("preset", &preset)) {
+      return Fail("vsched requires preset=<cfs|enhanced|full>");
+    }
+    VSchedOptions options;
+    if (preset == "cfs") {
+      options = VSchedOptions::Cfs();
+    } else if (preset == "enhanced") {
+      options = VSchedOptions::EnhancedCfs();
+    } else if (preset == "full") {
+      options = VSchedOptions::Full();
+    } else {
+      return Fail("unknown preset '" + preset + "'");
+    }
+    vsched_ = std::make_unique<VSched>(&vm_->kernel(), options);
+    vsched_->Start();
+    return true;
+  }
+  if (directive == "workload") {
+    std::string name;
+    std::string v;
+    int threads;
+    if (!need("name", &name) || !need("threads", &v) || !ParseInt(v, &threads)) {
+      return Fail("workload requires name=<catalog-name> threads=<n>");
+    }
+    for (const CatalogEntry& e : Catalog()) {
+      if (e.name == name) {
+        workloads_.push_back(MakeWorkload(&vm_->kernel(), name, threads));
+        workloads_.back()->Start();
+        return true;
+      }
+    }
+    return Fail("unknown workload '" + name + "'");
+  }
+  if (directive == "run") {
+    std::istringstream rest(stripped);
+    std::string skip;
+    std::string dur_text;
+    rest >> skip >> dur_text;
+    TimeNs dur;
+    if (!ParseDuration(dur_text, &dur)) {
+      return Fail("run requires a duration, e.g. 'run 10s'");
+    }
+    sim_->RunFor(dur);
+    return true;
+  }
+  if (directive == "report") {
+    std::printf("t=%.2fs\n", NsToSec(sim_->now()));
+    for (const auto& w : workloads_) {
+      WorkloadResult r = w->Result();
+      if (MetricFor(w->name()) == MetricKind::kP95Latency) {
+        std::printf("  %-16s p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (%llu requests)\n",
+                    w->name().c_str(), r.p50_ns / 1e6, r.p95_ns / 1e6, r.p99_ns / 1e6,
+                    static_cast<unsigned long long>(r.completed));
+      } else {
+        std::printf("  %-16s %.1f /s (%llu completed)\n", w->name().c_str(), r.throughput,
+                    static_cast<unsigned long long>(r.completed));
+      }
+    }
+    return true;
+  }
+  return Fail("unknown directive '" + directive + "'");
+}
+
+}  // namespace vsched

@@ -1,0 +1,78 @@
+// A small line-based scenario language for describing and running
+// simulations without writing C++ — used by the scenario_runner example and
+// handy for quick what-if experiments.
+//
+// Grammar (one directive per line; '#' starts a comment):
+//
+//   host sockets=<n> cores=<n> smt=<1|2> [smt_factor=<f>]
+//   gran tid=<t> min=<dur> [wakeup=<dur>]        # host scheduler knobs
+//   freq core=<c> mult=<f>                        # DVFS
+//   stressor tid=<t> [weight=<w>] [rt] [on=<dur> off=<dur>]
+//   vm vcpus=<n> [pin=<t0,t1,...>] [eevdf]
+//   bandwidth vcpu=<i> quota=<dur> period=<dur>
+//   vsched preset=<cfs|enhanced|full>
+//   workload name=<catalog-name> threads=<n>
+//   run <dur>
+//   report                                        # print workload results
+//
+// Durations accept ns/us/ms/s suffixes (e.g. "500us", "10ms", "2s").
+#ifndef SRC_METRICS_SCENARIO_H_
+#define SRC_METRICS_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/vsched.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/sim/simulation.h"
+#include "src/workloads/workload.h"
+
+namespace vsched {
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(uint64_t seed = 42);
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  // Executes a full scenario script. Returns false (with `error()` set) on
+  // the first malformed or out-of-order directive.
+  bool RunScript(const std::string& script);
+
+  // Executes a single directive line. Empty/comment lines are no-ops.
+  bool RunLine(const std::string& line);
+
+  const std::string& error() const { return error_; }
+
+  // Accessors for programmatic inspection after a run.
+  Simulation* sim() { return sim_.get(); }
+  Vm* vm() { return vm_.get(); }
+  VSched* vsched() { return vsched_.get(); }
+  const std::vector<std::unique_ptr<Workload>>& workloads() const { return workloads_; }
+
+  // Parses "123", "45us", "10ms", "2s" into nanoseconds; false on error.
+  static bool ParseDuration(const std::string& text, TimeNs* out);
+
+ private:
+  bool Fail(const std::string& message);
+
+  uint64_t seed_;
+  std::string error_;
+  std::unique_ptr<Simulation> sim_;
+  std::unique_ptr<HostMachine> machine_;
+  std::unique_ptr<Vm> vm_;
+  std::unique_ptr<VSched> vsched_;
+  std::vector<std::unique_ptr<Stressor>> stressors_;
+  std::vector<std::unique_ptr<Workload>> workloads_;
+  // Deferred VM configuration gathered before `vm` materializes it.
+  bool vm_created_ = false;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_METRICS_SCENARIO_H_

@@ -1,0 +1,135 @@
+#include "src/probe/pair_probe.h"
+
+#include "src/base/check.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+// Spins in short bursts until the probe finishes.
+class PairProbe::SpinBehavior : public TaskBehavior {
+ public:
+  explicit SpinBehavior(PairProbe* probe) : probe_(probe) {}
+
+  TaskAction Next(TaskContext&, RunReason reason) override {
+    if (reason == RunReason::kStarted) {
+      return TaskAction::WaitEvent();
+    }
+    if (probe_->done_reported_) {
+      return TaskAction::Exit();
+    }
+    return TaskAction::Run(WorkAtCapacity(kCapacityScale, UsToNs(20)));
+  }
+
+ private:
+  PairProbe* probe_;
+};
+
+PairProbe::PairProbe(GuestKernel* kernel, int cpu_a, int cpu_b, PairProbeConfig config,
+                     DoneCallback done)
+    : kernel_(kernel),
+      sim_(kernel->sim()),
+      cpu_a_(cpu_a),
+      cpu_b_(cpu_b),
+      config_(config),
+      done_(std::move(done)) {
+  VSCHED_CHECK(cpu_a != cpu_b);
+  current_timeout_ = config_.timeout_attempts;
+}
+
+PairProbe::~PairProbe() { sim_->Cancel(sample_event_); }
+
+bool PairProbe::CanDestroy() const {
+  if (!done_reported_) {
+    return false;
+  }
+  bool a_done = prober_a_ == nullptr || prober_a_->state() == TaskState::kFinished;
+  bool b_done = prober_b_ == nullptr || prober_b_->state() == TaskState::kFinished;
+  return a_done && b_done;
+}
+
+void PairProbe::Start() {
+  started_at_ = sim_->now();
+  behavior_a_ = std::make_unique<SpinBehavior>(this);
+  behavior_b_ = std::make_unique<SpinBehavior>(this);
+  prober_a_ = kernel_->CreateTask("vtop-" + std::to_string(cpu_a_) + "-" + std::to_string(cpu_b_),
+                                  TaskPolicy::kNormal, behavior_a_.get(), CpuMask::Single(cpu_a_));
+  prober_b_ = kernel_->CreateTask("vtop-" + std::to_string(cpu_b_) + "-" + std::to_string(cpu_a_),
+                                  TaskPolicy::kNormal, behavior_b_.get(), CpuMask::Single(cpu_b_));
+  prober_a_->set_exempt_all_bans(true);
+  prober_b_->set_exempt_all_bans(true);
+  kernel_->StartTask(prober_a_);
+  kernel_->StartTask(prober_b_);
+  kernel_->WakeTask(prober_a_);
+  kernel_->WakeTask(prober_b_);
+  sample_event_ = sim_->After(config_.sample_quantum, [this] { Sample(); });
+}
+
+void PairProbe::Sample() {
+  const GuestVcpu& va = kernel_->vcpu(cpu_a_);
+  const GuestVcpu& vb = kernel_->vcpu(cpu_b_);
+  bool a_running = va.active() && va.current() == prober_a_;
+  bool b_running = vb.active() && vb.current() == prober_b_;
+
+  double quantum = static_cast<double>(config_.sample_quantum);
+  if (a_running && b_running) {
+    // Both probers execute: the line ping-pongs at the hardware latency of
+    // the two vCPUs' current hardware threads.
+    double lat = kernel_->machine()->topology().CacheLatencyNs(va.thread()->tid(),
+                                                               vb.thread()->tid());
+    double jitter = 1.0 + config_.noise * (kernel_->rng().NextDouble() * 2.0 - 1.0);
+    double observed = lat * jitter;
+    min_latency_seen_ = std::min(min_latency_seen_, observed);
+    transfers_ += quantum / lat;
+    attempts_ += quantum / static_cast<double>(config_.attempt_period);
+  } else if (a_running || b_running) {
+    // One prober spins while the other is inactive or preempted.
+    attempts_ += quantum / static_cast<double>(config_.attempt_period);
+  }
+
+  if (transfers_ >= config_.target_transfers) {
+    Finish(min_latency_seen_);
+    return;
+  }
+  if (attempts_ >= current_timeout_) {
+    if (transfers_ >= config_.min_transfers_for_latency) {
+      // Few-but-enough transfers: the lowest observed latency is reliable.
+      Finish(min_latency_seen_);
+      return;
+    }
+    if (extensions_ < config_.max_extensions) {
+      ++extensions_;
+      current_timeout_ *= 2;  // Extend: maybe the vCPUs simply never overlapped yet.
+    } else if (transfers_ >= 1.0) {
+      // Stacked vCPUs can NEVER run simultaneously: any successful transfer
+      // disproves stacking, however rarely the pair overlaps.
+      Finish(min_latency_seen_);
+      return;
+    } else {
+      Finish(kInfiniteLatency);  // Stacked: they can never run simultaneously.
+      return;
+    }
+  }
+  sample_event_ = sim_->After(config_.sample_quantum, [this] { Sample(); });
+}
+
+void PairProbe::Finish(double latency) {
+  VSCHED_CHECK(!done_reported_);
+  done_reported_ = true;
+  sim_->Cancel(sample_event_);
+  sample_event_.Invalidate();
+  // Let the spin tasks exit at their next burst boundary; stop demanding CPU.
+  PairProbeResult result;
+  result.cpu_a = cpu_a_;
+  result.cpu_b = cpu_b_;
+  result.latency_ns = latency;
+  result.transfers = transfers_;
+  result.duration = sim_->now() - started_at_;
+  result.extensions = extensions_;
+  if (done_) {
+    done_(result);
+  }
+}
+
+}  // namespace vsched

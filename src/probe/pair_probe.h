@@ -1,0 +1,94 @@
+// A single vtop measurement: cache-line transfer probing between two vCPUs
+// (§3.1, Figure 7).
+//
+// Two high-priority prober tasks pinned to the target vCPUs ping-pong a
+// cache line. Transfers only complete while both probers are executing
+// simultaneously; otherwise the running prober spins, accruing attempts.
+// Stacked vCPUs never run simultaneously, so the probe times out with ~zero
+// transfers and reports infinite latency. The timeout is extended when few
+// transfers were observed, to avoid misidentifying busy-but-unstacked pairs.
+#ifndef SRC_PROBE_PAIR_PROBE_H_
+#define SRC_PROBE_PAIR_PROBE_H_
+
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "src/base/time.h"
+#include "src/guest/task.h"
+#include "src/sim/event_queue.h"
+
+namespace vsched {
+
+class GuestKernel;
+class Simulation;
+
+struct PairProbeConfig {
+  int target_transfers = 500;      // Table 1
+  int timeout_attempts = 15000;    // Table 1
+  int max_extensions = 3;          // timeout doublings before giving up
+  int min_transfers_for_latency = 10;
+  TimeNs attempt_period = UsToNs(1);  // one spin attempt per µs
+  TimeNs sample_quantum = UsToNs(10);
+  double noise = 0.08;  // multiplicative measurement jitter
+};
+
+inline constexpr double kInfiniteLatency = std::numeric_limits<double>::infinity();
+
+struct PairProbeResult {
+  int cpu_a = -1;
+  int cpu_b = -1;
+  double latency_ns = kInfiniteLatency;  // infinite → stacked
+  double transfers = 0;
+  TimeNs duration = 0;
+  int extensions = 0;
+};
+
+class PairProbe {
+ public:
+  using DoneCallback = std::function<void(const PairProbeResult&)>;
+
+  PairProbe(GuestKernel* kernel, int cpu_a, int cpu_b, PairProbeConfig config, DoneCallback done);
+  ~PairProbe();
+
+  PairProbe(const PairProbe&) = delete;
+  PairProbe& operator=(const PairProbe&) = delete;
+
+  void Start();
+  bool done() const { return done_reported_; }
+
+  // True once the probe finished AND both spin tasks exited — only then may
+  // the probe (which owns the behaviors) be destroyed.
+  bool CanDestroy() const;
+
+ private:
+  class SpinBehavior;
+
+  void Sample();
+  void Finish(double latency);
+
+  GuestKernel* kernel_;
+  Simulation* sim_;
+  int cpu_a_;
+  int cpu_b_;
+  PairProbeConfig config_;
+  DoneCallback done_;
+
+  std::unique_ptr<SpinBehavior> behavior_a_;
+  std::unique_ptr<SpinBehavior> behavior_b_;
+  Task* prober_a_ = nullptr;
+  Task* prober_b_ = nullptr;
+
+  TimeNs started_at_ = 0;
+  double transfers_ = 0;
+  double attempts_ = 0;
+  double current_timeout_ = 0;
+  int extensions_ = 0;
+  double min_latency_seen_ = kInfiniteLatency;
+  bool done_reported_ = false;
+  EventId sample_event_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_PROBE_PAIR_PROBE_H_

@@ -1,0 +1,135 @@
+#include "src/probe/vact.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/guest/guest_kernel.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+Vact::Vact(GuestKernel* kernel, VactConfig config)
+    : kernel_(kernel), sim_(kernel->sim()), config_(config) {
+  int n = kernel_->num_vcpus();
+  heartbeat_.assign(n, 0);
+  last_tick_steal_.assign(n, 0);
+  became_active_at_.assign(n, 0);
+  window_preempts_.assign(n, 0);
+  last_window_preempts_.assign(n, 0);
+  window_start_steal_.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    latency_ema_.push_back(Ema::WithHalfLife(config_.ema_half_life_windows));
+    active_period_ema_.push_back(Ema::WithHalfLife(config_.ema_half_life_windows));
+  }
+}
+
+void Vact::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  if (!hook_installed_) {
+    hook_installed_ = true;
+    kernel_->AddTickHook([this](GuestVcpu* v, TimeNs now) {
+      if (running_) {
+        OnTick(v, now);
+      }
+    });
+  }
+  TimeNs now = sim_->now();
+  window_start_ = now;
+  for (int i = 0; i < kernel_->num_vcpus(); ++i) {
+    window_start_steal_[i] = kernel_->vcpu(i).StealClock(now);
+    last_tick_steal_[i] = window_start_steal_[i];
+    heartbeat_[i] = now;
+    became_active_at_[i] = now;
+  }
+  sim_->After(config_.update_interval, [this] { OnWindowEnd(); });
+}
+
+void Vact::OnTick(GuestVcpu* v, TimeNs now) {
+  int cpu = v->index();
+  heartbeat_[cpu] = now;
+  TimeNs steal = v->StealClock(now);
+  TimeNs jump = steal - last_tick_steal_[cpu];
+  last_tick_steal_[cpu] = steal;
+  if (jump >= config_.steal_jump_threshold) {
+    ++window_preempts_[cpu];
+    // The vCPU was preempted for (approximately) `jump` and has just been
+    // rescheduled: record the state change.
+    became_active_at_[cpu] = now;
+  }
+}
+
+void Vact::OnWindowEnd() {
+  if (!running_) {
+    return;
+  }
+  TimeNs now = sim_->now();
+  double window = static_cast<double>(now - window_start_);
+  for (int i = 0; i < kernel_->num_vcpus(); ++i) {
+    TimeNs steal_now = kernel_->vcpu(i).StealClock(now);
+    double steal = static_cast<double>(steal_now - window_start_steal_[i]);
+    window_start_steal_[i] = steal_now;
+    int preempts = window_preempts_[i];
+    last_window_preempts_[i] = preempts;
+    window_preempts_[i] = 0;
+    if (preempts > 0) {
+      latency_ema_[i].Add(steal / preempts);
+      active_period_ema_[i].Add(std::max(0.0, window - steal) / preempts);
+    } else if (steal >= 0.95 * window) {
+      // Inactive essentially the whole window (no tick ever ran): the
+      // latency is at least the window length.
+      latency_ema_[i].Add(window);
+    } else if (steal <= 0.01 * window) {
+      // Effectively dedicated in this window.
+      latency_ema_[i].Add(0.0);
+      active_period_ema_[i].Add(window);
+    }
+    // Otherwise: mixed window without qualified jumps; keep the estimate.
+  }
+  ++windows_completed_;
+  window_start_ = now;
+  sim_->After(config_.update_interval, [this] { OnWindowEnd(); });
+}
+
+double Vact::LatencyOf(int cpu) const {
+  VSCHED_CHECK(cpu >= 0 && cpu < static_cast<int>(latency_ema_.size()));
+  return latency_ema_[cpu].has_value() ? latency_ema_[cpu].value() : 0.0;
+}
+
+double Vact::ActivePeriodOf(int cpu) const {
+  return active_period_ema_[cpu].has_value() ? active_period_ema_[cpu].value()
+                                             : static_cast<double>(config_.update_interval);
+}
+
+double Vact::MedianLatency() const {
+  std::vector<double> v;
+  for (const Ema& e : latency_ema_) {
+    if (e.has_value()) {
+      v.push_back(e.value());
+    }
+  }
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  return v[(v.size() - 1) / 2];
+}
+
+VcpuStateView Vact::QueryState(int cpu) const {
+  VcpuStateView view;
+  TimeNs now = sim_->now();
+  TimeNs staleness = now - heartbeat_[cpu];
+  TimeNs limit = config_.inactive_after_ticks * kernel_->params().tick_period;
+  if (staleness > limit) {
+    view.inactive = true;
+    view.since = heartbeat_[cpu];
+  } else {
+    view.inactive = false;
+    view.since = became_active_at_[cpu];
+  }
+  return view;
+}
+
+}  // namespace vsched

@@ -1,0 +1,92 @@
+// vact: the vCPU activity prober (§3.1).
+//
+// Kernel-side instrumentation on the scheduler tick provides two signals
+// without any hypervisor support:
+//  * a heartbeat timestamp per vCPU — a stale heartbeat means the vCPU is
+//    not executing (preempted or halted);
+//  * steal-time jumps — a tick that observes a large increase in steal time
+//    since the previous tick means the vCPU was preempted and has just been
+//    rescheduled; counting qualified jumps per window yields the average
+//    inactive period, exposed as the new abstraction "vCPU latency".
+#ifndef SRC_PROBE_VACT_H_
+#define SRC_PROBE_VACT_H_
+
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/stats/stats.h"
+
+namespace vsched {
+
+class GuestKernel;
+class GuestVcpu;
+class Simulation;
+
+struct VactConfig {
+  // Steal increase below this per tick is filtered as noise (instantaneous
+  // host-system tasks).
+  TimeNs steal_jump_threshold = UsToNs(200);
+  // Heartbeat older than this many ticks → vCPU considered inactive.
+  int inactive_after_ticks = 3;
+  // Interval between latency-estimate updates.
+  TimeNs update_interval = SecToNs(1);
+  // Smoothing across windows.
+  double ema_half_life_windows = 2.0;
+};
+
+// Near-real-time activity of one vCPU as seen by an examiner.
+struct VcpuStateView {
+  bool inactive = false;
+  TimeNs since = 0;  // when the current state (approximately) began
+};
+
+class Vact {
+ public:
+  Vact(GuestKernel* kernel, VactConfig config = VactConfig{});
+
+  Vact(const Vact&) = delete;
+  Vact& operator=(const Vact&) = delete;
+
+  // Installs the tick instrumentation and the periodic latency updates.
+  void Start();
+  void Stop() { running_ = false; }
+
+  // Average vCPU inactive period — the "vCPU latency" abstraction (ns).
+  double LatencyOf(int cpu) const;
+  double MedianLatency() const;
+
+  // Average vCPU active period between preemptions (ns).
+  double ActivePeriodOf(int cpu) const;
+
+  // Heartbeat-based state query (the new kernel function of §4).
+  VcpuStateView QueryState(int cpu) const;
+
+  // Preemptions detected in the last completed window (for tests).
+  int LastWindowPreemptions(int cpu) const { return last_window_preempts_[cpu]; }
+  bool has_results() const { return windows_completed_ > 0; }
+
+ private:
+  void OnTick(GuestVcpu* v, TimeNs now);
+  void OnWindowEnd();
+
+  GuestKernel* kernel_;
+  Simulation* sim_;
+  VactConfig config_;
+  bool running_ = false;
+  bool hook_installed_ = false;
+  int windows_completed_ = 0;
+
+  std::vector<TimeNs> heartbeat_;
+  std::vector<TimeNs> last_tick_steal_;
+  std::vector<TimeNs> became_active_at_;
+  std::vector<int> window_preempts_;
+  std::vector<int> last_window_preempts_;
+  std::vector<TimeNs> window_start_steal_;
+  TimeNs window_start_ = 0;
+  std::vector<Ema> latency_ema_;
+  std::vector<Ema> active_period_ema_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_PROBE_VACT_H_

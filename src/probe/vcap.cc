@@ -1,0 +1,191 @@
+#include "src/probe/vcap.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/guest/guest_kernel.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+// Keeps the vCPU busy during an armed window, counting completed work.
+class Vcap::ProberBehavior : public TaskBehavior {
+ public:
+  explicit ProberBehavior(TimeNs chunk_ns)
+      : chunk_work_(WorkAtCapacity(kCapacityScale, chunk_ns)) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    if (reason == RunReason::kBurstComplete) {
+      work_completed_ += chunk_work_;
+    }
+    if (!armed_ || ctx.sim->now() >= window_end_) {
+      return TaskAction::WaitEvent();
+    }
+    return TaskAction::Run(chunk_work_);
+  }
+
+  void Arm(TimeNs window_end) {
+    armed_ = true;
+    window_end_ = window_end;
+  }
+  void Disarm() { armed_ = false; }
+  Work work_completed() const { return work_completed_; }
+
+ private:
+  Work chunk_work_;
+  bool armed_ = false;
+  TimeNs window_end_ = 0;
+  Work work_completed_ = 0;
+};
+
+Vcap::Vcap(GuestKernel* kernel, VcapConfig config)
+    : kernel_(kernel), sim_(kernel->sim()), config_(config), rng_(kernel->sim()->ForkRng()) {
+  int n = kernel_->num_vcpus();
+  steal_at_start_.resize(n, 0);
+  exec_at_start_.resize(n, 0);
+  prober_work_at_start_.resize(n, 0);
+  core_capacity_.assign(n, kCapacityScale);
+  last_samples_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    capacity_ema_.push_back(Ema::WithHalfLife(config_.ema_half_life_periods));
+  }
+}
+
+Vcap::~Vcap() { Stop(); }
+
+void Vcap::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  if (light_probers_.empty()) {
+    for (int i = 0; i < kernel_->num_vcpus(); ++i) {
+      light_behaviors_.push_back(std::make_unique<ProberBehavior>(config_.chunk_ns));
+      Task* light = kernel_->CreateTask("vcap-light-" + std::to_string(i), TaskPolicy::kIdle,
+                                        light_behaviors_.back().get(), CpuMask::Single(i));
+      light->set_exempt_straggler_ban(true);
+      kernel_->StartTask(light);
+      light_probers_.push_back(light);
+
+      heavy_behaviors_.push_back(std::make_unique<ProberBehavior>(config_.chunk_ns));
+      Task* heavy = kernel_->CreateTask("vcap-heavy-" + std::to_string(i), TaskPolicy::kNormal,
+                                        heavy_behaviors_.back().get(), CpuMask::Single(i));
+      heavy->set_exempt_straggler_ban(true);
+      kernel_->StartTask(heavy);
+      heavy_probers_.push_back(heavy);
+    }
+  }
+  next_event_ = sim_->After(0, [this] { BeginWindow(); });
+}
+
+void Vcap::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  sim_->Cancel(next_event_);
+  for (auto& b : light_behaviors_) {
+    b->Disarm();
+  }
+  for (auto& b : heavy_behaviors_) {
+    b->Disarm();
+  }
+  window_active_ = false;
+}
+
+void Vcap::BeginWindow() {
+  VSCHED_CHECK(running_ && !window_active_);
+  window_active_ = true;
+  ++windows_started_;
+  // The first window is heavy so core capacity is known from the start.
+  current_heavy_ = (windows_started_ % config_.heavy_every == 1) || config_.heavy_every == 1;
+  TimeNs now = sim_->now();
+  window_start_ = now;
+  TimeNs window_end = now + config_.sampling_period;
+
+  for (int i = 0; i < kernel_->num_vcpus(); ++i) {
+    if (skip_mask_.Test(i)) {
+      continue;
+    }
+    steal_at_start_[i] = kernel_->vcpu(i).StealClock(now);
+    light_behaviors_[i]->Arm(window_end);
+    kernel_->WakeTask(light_probers_[i]);
+    if (current_heavy_) {
+      exec_at_start_[i] = heavy_probers_[i]->total_exec_ns();
+      prober_work_at_start_[i] = heavy_behaviors_[i]->work_completed();
+      heavy_behaviors_[i]->Arm(window_end);
+      kernel_->WakeTask(heavy_probers_[i]);
+    }
+  }
+  next_event_ = sim_->After(config_.sampling_period, [this] { EndWindow(); });
+}
+
+void Vcap::EndWindow() {
+  VSCHED_CHECK(window_active_);
+  window_active_ = false;
+  TimeNs now = sim_->now();
+  double window = static_cast<double>(now - window_start_);
+
+  for (int i = 0; i < kernel_->num_vcpus(); ++i) {
+    if (skip_mask_.Test(i)) {
+      continue;
+    }
+    light_behaviors_[i]->Disarm();
+    TimeNs steal_delta = kernel_->vcpu(i).StealClock(now) - steal_at_start_[i];
+    double steal_frac =
+        std::clamp(static_cast<double>(steal_delta) / window, 0.0, 1.0);
+
+    VcapSample sample;
+    sample.heavy = current_heavy_;
+    sample.steal_fraction = steal_frac;
+    if (current_heavy_) {
+      heavy_behaviors_[i]->Disarm();
+      TimeNs exec_delta = heavy_probers_[i]->total_exec_ns() - exec_at_start_[i];
+      Work work_delta = heavy_behaviors_[i]->work_completed() - prober_work_at_start_[i];
+      if (exec_delta > UsToNs(200) && work_delta > 0) {
+        core_capacity_[i] = work_delta / static_cast<double>(exec_delta);
+      }
+    }
+    sample.core_capacity = core_capacity_[i];
+    double noise = 1.0 + config_.measurement_noise * (rng_.NextDouble() * 2.0 - 1.0);
+    sample.vcpu_capacity = core_capacity_[i] * (1.0 - steal_frac) * noise;
+    last_samples_[i] = sample;
+    capacity_ema_[i].Add(sample.vcpu_capacity);
+  }
+  ++windows_completed_;
+  for (auto& cb : window_callbacks_) {
+    cb(window_start_, now, current_heavy_);
+  }
+  if (!running_) {
+    return;
+  }
+  TimeNs next_start = window_start_ + config_.light_interval;
+  TimeNs delay = std::max<TimeNs>(0, next_start - now);
+  next_event_ = sim_->After(delay, [this] { BeginWindow(); });
+}
+
+double Vcap::CapacityOf(int cpu) const {
+  VSCHED_CHECK(cpu >= 0 && cpu < static_cast<int>(capacity_ema_.size()));
+  if (!capacity_ema_[cpu].has_value()) {
+    return kCapacityScale;
+  }
+  return capacity_ema_[cpu].value();
+}
+
+double Vcap::RawCapacityOf(int cpu) const { return last_samples_[cpu].vcpu_capacity; }
+
+double Vcap::MedianCapacity() const {
+  std::vector<double> caps;
+  for (int i = 0; i < static_cast<int>(capacity_ema_.size()); ++i) {
+    if (!skip_mask_.Test(i) && capacity_ema_[i].has_value()) {
+      caps.push_back(capacity_ema_[i].value());
+    }
+  }
+  if (caps.empty()) {
+    return kCapacityScale;
+  }
+  std::sort(caps.begin(), caps.end());
+  return caps[(caps.size() - 1) / 2];
+}
+
+}  // namespace vsched

@@ -1,0 +1,119 @@
+// vcap: the vCPU capacity prober (§3.1).
+//
+// Cooperative, multi-phase sampling. One prober task per vCPU keeps its vCPU
+// busy during a sampling window. In light windows (SCHED_IDLE probers,
+// default every second) only steal time is collected — the fraction of the
+// window the vCPU wanted to run but was not executing. In heavy windows
+// (normal-priority probers, every Nth light window) the prober additionally
+// measures its own work rate while actually executing, which is the hosting
+// core's capacity (including SMT contention and DVFS). Then:
+//
+//   vcpu_capacity = core_capacity × (1 − steal_fraction)
+//
+// smoothed with an EMA ("50% decay per 2 periods", Table 1).
+#ifndef SRC_PROBE_VCAP_H_
+#define SRC_PROBE_VCAP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/guest/cpumask.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/guest/task.h"
+#include "src/stats/stats.h"
+
+namespace vsched {
+
+class GuestKernel;
+class Simulation;
+
+struct VcapConfig {
+  TimeNs sampling_period = MsToNs(100);  // window length
+  TimeNs light_interval = SecToNs(1);    // window cadence
+  int heavy_every = 5;                   // every Nth window is heavy
+  double ema_half_life_periods = 2.0;    // "50% per 2 periods"
+  // Work chunk per prober burst; small so windows end promptly.
+  TimeNs chunk_ns = UsToNs(50);
+  // Multiplicative measurement noise on each capacity sample (rdtsc and
+  // steal-clock readings jitter on real VMs); the EMA smooths it out.
+  double measurement_noise = 0.03;
+};
+
+// One sampling window's outcome for a vCPU (exposed for tests/benches).
+struct VcapSample {
+  double steal_fraction = 0;
+  double core_capacity = kCapacityScale;
+  double vcpu_capacity = kCapacityScale;
+  bool heavy = false;
+};
+
+class Vcap {
+ public:
+  Vcap(GuestKernel* kernel, VcapConfig config = VcapConfig{});
+  ~Vcap();
+
+  Vcap(const Vcap&) = delete;
+  Vcap& operator=(const Vcap&) = delete;
+
+  // Begins periodic sampling.
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  // Smoothed capacity estimate for a vCPU (kCapacityScale units).
+  double CapacityOf(int cpu) const;
+  double RawCapacityOf(int cpu) const;  // last un-smoothed sample
+  double MedianCapacity() const;
+  bool has_results() const { return windows_completed_ > 0; }
+  int windows_completed() const { return windows_completed_; }
+  const VcapSample& last_sample(int cpu) const { return last_samples_[cpu]; }
+
+  // Skips probing on these vCPUs (rwc bans stack-banned vCPUs from vcap).
+  void SetSkipMask(CpuMask mask) { skip_mask_ = mask; }
+
+  // Fired at the end of each sampling window with [start, end). vact hooks
+  // in here; the vSched bridge pushes capacities to the kernel.
+  using WindowCallback = std::function<void(TimeNs start, TimeNs end, bool heavy)>;
+  void AddWindowCallback(WindowCallback cb) { window_callbacks_.push_back(std::move(cb)); }
+
+ private:
+  class ProberBehavior;
+
+  void BeginWindow();
+  void EndWindow();
+
+  GuestKernel* kernel_;
+  Simulation* sim_;
+  VcapConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  bool window_active_ = false;
+  bool current_heavy_ = false;
+  int windows_started_ = 0;
+  int windows_completed_ = 0;
+  TimeNs window_start_ = 0;
+  EventId next_event_;
+
+  CpuMask skip_mask_;
+  std::vector<std::unique_ptr<ProberBehavior>> light_behaviors_;
+  std::vector<std::unique_ptr<ProberBehavior>> heavy_behaviors_;
+  std::vector<Task*> light_probers_;
+  std::vector<Task*> heavy_probers_;
+
+  // Window-start snapshots.
+  std::vector<TimeNs> steal_at_start_;
+  std::vector<TimeNs> exec_at_start_;
+  std::vector<Work> prober_work_at_start_;
+
+  std::vector<Ema> capacity_ema_;
+  std::vector<double> core_capacity_;  // last heavy-phase core capacity
+  std::vector<VcapSample> last_samples_;
+  std::vector<WindowCallback> window_callbacks_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_PROBE_VCAP_H_

@@ -1,0 +1,66 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+EventId EventQueue::ScheduleAt(TimeNs when, EventFn fn) {
+  VSCHED_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  uint64_t id = next_id_++;
+  heap_.push(HeapEntry{when, next_seq_++, id});
+  live_.emplace(id, std::move(fn));
+  return EventId(id);
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  return live_.erase(id.raw_) > 0;
+}
+
+bool EventQueue::SkimCancelled() {
+  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
+    heap_.pop();
+  }
+  return !heap_.empty();
+}
+
+bool EventQueue::Empty() { return !SkimCancelled(); }
+
+TimeNs EventQueue::NextEventTime() {
+  if (!SkimCancelled()) {
+    return kTimeInfinity;
+  }
+  return heap_.top().when;
+}
+
+bool EventQueue::RunOne() {
+  if (!SkimCancelled()) {
+    return false;
+  }
+  HeapEntry entry = heap_.top();
+  heap_.pop();
+  auto it = live_.find(entry.id);
+  VSCHED_CHECK(it != live_.end());
+  EventFn fn = std::move(it->second);
+  live_.erase(it);
+  VSCHED_CHECK(entry.when >= now_);
+  now_ = entry.when;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void EventQueue::RunUntil(TimeNs deadline) {
+  while (SkimCancelled() && heap_.top().when <= deadline) {
+    RunOne();
+  }
+  if (deadline > now_) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace vsched

@@ -1,0 +1,104 @@
+// The discrete-event core: a cancellable, deterministically-ordered queue of
+// timestamped callbacks.
+//
+// Events at equal timestamps fire in scheduling order (FIFO), which makes
+// whole-simulation runs reproducible. Cancellation is O(1) via lazy deletion:
+// cancelled ids are dropped when they surface at the heap top.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace vsched {
+
+using EventFn = std::function<void()>;
+
+// Opaque handle for cancellation. Default-constructed ids are invalid.
+class EventId {
+ public:
+  EventId() = default;
+
+  bool valid() const { return raw_ != 0; }
+  void Invalidate() { raw_ = 0; }
+
+  friend bool operator==(EventId a, EventId b) { return a.raw_ == b.raw_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventId(uint64_t raw) : raw_(raw) {}
+  uint64_t raw_ = 0;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulated time. Advances only inside RunOne().
+  TimeNs now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when` (must be >= now()).
+  EventId ScheduleAt(TimeNs when, EventFn fn);
+
+  // Schedules `fn` `delay` ns from now.
+  EventId ScheduleAfter(TimeNs delay, EventFn fn) { return ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  bool Cancel(EventId id);
+
+  // True when no live events remain.
+  bool Empty();
+
+  // Timestamp of the next live event, or kTimeInfinity when empty.
+  TimeNs NextEventTime();
+
+  // Pops and runs the next live event, advancing now(). Returns false when
+  // the queue is empty.
+  bool RunOne();
+
+  // Runs events with timestamp <= deadline, then advances now() to deadline.
+  void RunUntil(TimeNs deadline);
+
+  // Number of live (non-cancelled) pending events.
+  size_t PendingCount() const { return live_.size(); }
+
+  // Total events executed so far (for perf accounting).
+  uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    TimeNs when;
+    uint64_t seq;
+    uint64_t id;
+    // Min-heap by (when, seq): std::priority_queue is a max-heap, so invert.
+    bool operator<(const HeapEntry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Drops cancelled entries from the heap top. Returns true if a live entry
+  // remains on top.
+  bool SkimCancelled();
+
+  TimeNs now_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry> heap_;
+  std::unordered_map<uint64_t, EventFn> live_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,71 @@
+// Top-level simulation context: clock + event queue + root RNG.
+//
+// Every simulated component (host scheduler, guest kernel, workloads,
+// probers) holds a Simulation* and schedules its activity through it.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/time.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace vsched {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimeNs now() const { return queue_.now(); }
+  EventQueue& queue() { return queue_; }
+  Rng& rng() { return rng_; }
+
+  // Derives an independent RNG stream for a component.
+  Rng ForkRng() { return rng_.Fork(); }
+
+  EventId At(TimeNs when, EventFn fn) { return queue_.ScheduleAt(when, std::move(fn)); }
+  EventId After(TimeNs delay, EventFn fn) { return queue_.ScheduleAfter(delay, std::move(fn)); }
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs the simulation until `deadline`, then sets now() == deadline.
+  void RunUntil(TimeNs deadline) { queue_.RunUntil(deadline); }
+
+  // Runs `dur` more nanoseconds of simulated time.
+  void RunFor(TimeNs dur) { queue_.RunUntil(queue_.now() + dur); }
+
+  // Installs a repeating callback every `period` ns starting at now()+period.
+  // The callback keeps firing until the returned handle is cancelled via
+  // CancelPeriodic. Handles stay valid across firings.
+  class PeriodicHandle;
+  PeriodicHandle* Every(TimeNs period, std::function<void()> fn);
+  void CancelPeriodic(PeriodicHandle* handle);
+
+  class PeriodicHandle {
+   public:
+    PeriodicHandle(Simulation* sim, TimeNs period, std::function<void()> fn)
+        : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+   private:
+    friend class Simulation;
+    void Arm();
+
+    Simulation* sim_;
+    TimeNs period_;
+    std::function<void()> fn_;
+    EventId pending_;
+    bool cancelled_ = false;
+  };
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_SIM_SIMULATION_H_

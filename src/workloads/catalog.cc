@@ -1,0 +1,241 @@
+#include "src/workloads/catalog.h"
+
+#include <map>
+
+#include "src/base/check.h"
+#include "src/guest/guest_kernel.h"
+#include "src/workloads/latency_app.h"
+#include "src/workloads/micro.h"
+#include "src/workloads/throughput_app.h"
+
+namespace vsched {
+namespace {
+
+// Parameter shapes for the barrier-style applications (chunk mean,
+// imbalance cv, communication lines per barrier). Chunk sizes distinguish
+// synchronization-intensive applications (streamcluster, canneal) from
+// coarse-grained scientific ones (facesim, barnes).
+struct BarrierShape {
+  TimeNs chunk;
+  double cv;
+  int comm;
+};
+
+const std::map<std::string, BarrierShape>& BarrierShapes() {
+  static const std::map<std::string, BarrierShape> shapes = {
+      {"bodytrack", {MsToNs(2), 0.3, 200}},
+      {"canneal", {UsToNs(500), 0.4, 600}},
+      {"facesim", {MsToNs(5), 0.2, 400}},
+      {"fluidanimate", {MsToNs(1), 0.2, 400}},
+      {"streamcluster", {UsToNs(200), 0.3, 800}},
+      {"barnes", {MsToNs(2), 0.3, 300}},
+      {"fft", {MsToNs(1), 0.1, 1000}},
+      {"lu_cb", {UsToNs(800), 0.15, 300}},
+      {"lu_ncb", {UsToNs(800), 0.25, 600}},
+      {"ocean_cp", {UsToNs(1500), 0.2, 600}},
+      {"ocean_ncp", {UsToNs(1500), 0.25, 1200}},
+      {"radix", {UsToNs(600), 0.15, 500}},
+      {"volrend", {MsToNs(1), 0.4, 300}},
+      {"water_spatial", {MsToNs(2), 0.2, 300}},
+      {"radiosity", {MsToNs(3), 0.5, 300}},
+  };
+  return shapes;
+}
+
+struct TaskParallelShape {
+  TimeNs chunk;
+  double cv;
+};
+
+const std::map<std::string, TaskParallelShape>& TaskParallelShapes() {
+  static const std::map<std::string, TaskParallelShape> shapes = {
+      {"blackscholes", {MsToNs(8), 0.1}},
+      {"swaptions", {MsToNs(10), 0.2}},
+      {"freqmine", {MsToNs(5), 0.3}},
+      {"raytrace", {MsToNs(4), 0.4}},
+      {"x264", {MsToNs(1), 0.3}},
+      {"matmul", {MsToNs(10), 0.05}},
+      {"sysbench", {UsToNs(100), 0.02}},
+  };
+  return shapes;
+}
+
+// Latency-sensitive services: per-request demand and its variability
+// (Tailbench characterization: silo tiny, masstree small, img-dnn/specjbb
+// medium, xapian/moses/shore larger, sphinx long).
+struct ServiceShape {
+  TimeNs service;
+  double cv;
+};
+
+const std::map<std::string, ServiceShape>& ServiceShapes() {
+  static const std::map<std::string, ServiceShape> shapes = {
+      {"img-dnn", {UsToNs(1200), 0.2}},
+      {"masstree", {UsToNs(350), 0.3}},
+      {"silo", {UsToNs(40), 0.3}},
+      {"specjbb", {UsToNs(1000), 0.4}},
+      {"xapian", {UsToNs(3000), 0.6}},
+      {"moses", {UsToNs(6000), 0.4}},
+      {"shore", {UsToNs(1500), 0.5}},
+      {"sphinx", {MsToNs(25), 0.3}},
+      {"nginx", {UsToNs(150), 0.3}},
+  };
+  return shapes;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& Catalog() {
+  static const std::vector<CatalogEntry> entries = [] {
+    std::vector<CatalogEntry> v;
+    for (const auto& [name, shape] : BarrierShapes()) {
+      (void)shape;
+      v.push_back({name, MetricKind::kThroughput, false});
+    }
+    for (const auto& [name, shape] : TaskParallelShapes()) {
+      (void)shape;
+      v.push_back({name, MetricKind::kThroughput, false});
+    }
+    for (const auto& [name, shape] : ServiceShapes()) {
+      (void)shape;
+      v.push_back({name, name != "nginx" ? MetricKind::kP95Latency : MetricKind::kThroughput,
+                   name != "nginx"});
+    }
+    v.push_back({"dedup", MetricKind::kThroughput, false});
+    v.push_back({"pbzip2", MetricKind::kThroughput, false});
+    v.push_back({"ferret", MetricKind::kThroughput, false});
+    v.push_back({"hackbench", MetricKind::kThroughput, false});
+    v.push_back({"fio", MetricKind::kThroughput, false});
+    v.push_back({"selfmig", MetricKind::kThroughput, false});
+    return v;
+  }();
+  return entries;
+}
+
+std::vector<std::string> Fig18WorkloadNames() {
+  // The paper's Figure 18/19 x-axis, left to right.
+  return {
+      // Throughput-oriented: Parsec…
+      "blackscholes", "bodytrack", "canneal", "dedup", "facesim", "fluidanimate", "freqmine",
+      "streamcluster", "swaptions", "x264",
+      // …Splash-2x…
+      "barnes", "fft", "lu_cb", "lu_ncb", "ocean_cp", "ocean_ncp", "radiosity", "radix",
+      "raytrace", "volrend", "water_spatial",
+      // …and servers/utilities.
+      "pbzip2", "nginx",
+      // Latency-sensitive.
+      "img-dnn", "moses", "masstree", "silo", "shore", "specjbb", "sphinx", "xapian"};
+}
+
+MetricKind MetricFor(const std::string& name) {
+  for (const CatalogEntry& e : Catalog()) {
+    if (e.name == name) {
+      return e.metric;
+    }
+  }
+  return MetricKind::kThroughput;
+}
+
+LatencyAppParams LatencyParamsFor(const std::string& name, int workers, double load_factor) {
+  auto it = ServiceShapes().find(name);
+  VSCHED_CHECK_MSG(it != ServiceShapes().end(), "not a latency-sensitive service");
+  LatencyAppParams p;
+  p.name = name;
+  p.workers = workers;
+  p.service_mean = it->second.service;
+  p.service_cv = it->second.cv;
+  p.arrival_rate_per_sec =
+      load_factor * static_cast<double>(workers) * 1e9 / static_cast<double>(it->second.service);
+  return p;
+}
+
+std::unique_ptr<Workload> MakeWorkload(GuestKernel* kernel, const std::string& name, int threads,
+                                       CpuMask allowed) {
+  VSCHED_CHECK(threads > 0);
+  if (auto it = BarrierShapes().find(name); it != BarrierShapes().end()) {
+    BarrierAppParams p;
+    p.name = name;
+    p.threads = threads;
+    p.chunk_mean = it->second.chunk;
+    p.chunk_cv = it->second.cv;
+    p.comm_lines = it->second.comm;
+    p.allowed = allowed;
+    return std::make_unique<BarrierApp>(kernel, p);
+  }
+  if (auto it = TaskParallelShapes().find(name); it != TaskParallelShapes().end()) {
+    TaskParallelParams p;
+    p.name = name;
+    p.threads = threads;
+    p.chunk_mean = it->second.chunk;
+    p.chunk_cv = it->second.cv;
+    p.allowed = allowed;
+    return std::make_unique<TaskParallelApp>(kernel, p);
+  }
+  if (auto it = ServiceShapes().find(name); it != ServiceShapes().end()) {
+    LatencyAppParams p;
+    p.name = name;
+    p.workers = threads;
+    p.service_mean = it->second.service;
+    p.service_cv = it->second.cv;
+    // Offered load ≈ 15% of one worker-vCPU per worker: light enough that
+    // runqueue latency (not queueing for workers) dominates, as in §2.3.
+    p.arrival_rate_per_sec =
+        0.15 * static_cast<double>(threads) * 1e9 / static_cast<double>(it->second.service);
+    p.allowed = allowed;
+    if (name == "nginx") {
+      p.arrival_rate_per_sec =
+          0.35 * static_cast<double>(threads) * 1e9 / static_cast<double>(it->second.service);
+      p.report_interval = MsToNs(100);
+      // Connection state: ~22% of the service cost when fetched cross-socket.
+      p.connections = 4 * threads;
+      p.comm_lines = 300;
+    }
+    return std::make_unique<LatencyApp>(kernel, p);
+  }
+  if (name == "dedup" || name == "ferret" || name == "pbzip2") {
+    PipelineAppParams p;
+    p.name = name;
+    int per_stage = std::max(1, threads / 3);
+    if (name == "dedup") {
+      p.stages = {{per_stage, UsToNs(400), 0.3},
+                  {per_stage, UsToNs(800), 0.4},
+                  {per_stage, UsToNs(300), 0.3}};
+      p.comm_lines = 2000;
+    } else if (name == "ferret") {
+      p.stages = {{per_stage, UsToNs(500), 0.3},
+                  {per_stage, MsToNs(2), 0.4},
+                  {per_stage, UsToNs(500), 0.3}};
+      p.comm_lines = 1200;
+    } else {  // pbzip2
+      p.stages = {{std::max(1, threads / 4), UsToNs(300), 0.2},
+                  {std::max(1, threads / 2), MsToNs(5), 0.2},
+                  {std::max(1, threads / 4), UsToNs(300), 0.2}};
+      p.comm_lines = 2400;
+    }
+    p.window = std::max(2, threads / 3);
+    p.allowed = allowed;
+    return std::make_unique<PipelineApp>(kernel, p);
+  }
+  if (name == "hackbench") {
+    HackbenchParams p;
+    p.groups = std::max(1, threads / 8);
+    p.pairs_per_group = 4;
+    p.allowed = allowed;
+    return std::make_unique<Hackbench>(kernel, p);
+  }
+  if (name == "fio") {
+    FioParams p;
+    p.threads = threads;
+    p.allowed = allowed;
+    return std::make_unique<Fio>(kernel, p);
+  }
+  if (name == "selfmig") {
+    SelfMigratingParams p;
+    p.allowed = allowed;
+    return std::make_unique<SelfMigratingTask>(kernel, p);
+  }
+  VSCHED_CHECK_MSG(false, ("unknown workload: " + name).c_str());
+  return nullptr;
+}
+
+}  // namespace vsched

@@ -1,0 +1,59 @@
+// Named application models for every benchmark the paper evaluates (§5.1):
+// 8 Tailbench, 10 Parsec, 11 Splash-2x, Nginx, Pbzip2, and the Sysbench /
+// Hackbench / Fio / Matmul micro-workloads.
+//
+// Each name maps to a parameter set capturing the application's *shape* —
+// task size, synchronization style, communication intensity, thread
+// structure — which is what the scheduler experiments exercise.
+#ifndef SRC_WORKLOADS_CATALOG_H_
+#define SRC_WORKLOADS_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/guest/cpumask.h"
+#include "src/workloads/latency_app.h"
+#include "src/workloads/workload.h"
+
+namespace vsched {
+
+class GuestKernel;
+
+// How an application's performance is reported in Figs 18/19.
+enum class MetricKind {
+  kThroughput,  // higher is better
+  kP95Latency,  // lower is better
+};
+
+struct CatalogEntry {
+  std::string name;
+  MetricKind metric;
+  bool latency_sensitive;
+};
+
+// All 31 applications of Figures 18/19, in the paper's order, plus the
+// micro-workloads.
+const std::vector<CatalogEntry>& Catalog();
+
+// The Figure 18/19 application list (throughput-oriented first, then
+// latency-sensitive), exactly 31 names.
+std::vector<std::string> Fig18WorkloadNames();
+
+// Instantiates an application model. `threads` scales worker/thread counts
+// (Fig 18/19 uses threads >= vCPUs); for latency apps it sets the worker
+// pool and the arrival rate is scaled accordingly.
+std::unique_ptr<Workload> MakeWorkload(GuestKernel* kernel, const std::string& name, int threads,
+                                       CpuMask allowed = CpuMask(~0ULL));
+
+// Metric kind for a catalog name (kThroughput when unknown).
+MetricKind MetricFor(const std::string& name);
+
+// Parameters for a latency-sensitive service by name, with an explicit
+// per-worker load factor (fraction of one vCPU each worker's share of the
+// offered load would consume at full speed). MakeWorkload uses 0.15.
+LatencyAppParams LatencyParamsFor(const std::string& name, int workers, double load_factor);
+
+}  // namespace vsched
+
+#endif  // SRC_WORKLOADS_CATALOG_H_

@@ -1,0 +1,187 @@
+#include "src/workloads/latency_app.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/guest/guest_kernel.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+// A worker serves one request at a time; between requests it event-waits.
+class LatencyApp::WorkerBehavior : public TaskBehavior {
+ public:
+  WorkerBehavior(LatencyApp* app, int index) : app_(app), index_(index) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    LatencyApp* app = app_;
+    TimeNs now = ctx.sim->now();
+    switch (reason) {
+      case RunReason::kStarted:
+        app->idle_workers_.push_back(index_);
+        return TaskAction::WaitEvent();
+      case RunReason::kEventWake:
+      case RunReason::kSleepExpired:
+        return TakeNext(ctx, now);
+      case RunReason::kBurstComplete: {
+        // Request finished: record metrics.
+        Task* task = ctx.task;
+        app->end_to_end_.Add(static_cast<double>(now - current_.arrival));
+        app->queue_time_.Add(static_cast<double>(task->queue_wait_total_ns() - qwait_at_start_));
+        app->service_time_.Add(static_cast<double>(task->total_exec_ns() - exec_at_start_));
+        ++app->completed_;
+        if (app->params_.closed_loop && app->running_) {
+          app->InjectRequest(current_.connection, task->cpu());
+        }
+        return TakeNext(ctx, now);
+      }
+    }
+    return TaskAction::Exit();
+  }
+
+ private:
+  TaskAction TakeNext(TaskContext& ctx, TimeNs now) {
+    LatencyApp* app = app_;
+    if (!app->running_ && app->queue_.empty()) {
+      return TaskAction::Exit();
+    }
+    if (app->queue_.empty()) {
+      app->idle_workers_.push_back(index_);
+      return TaskAction::WaitEvent();
+    }
+    current_ = app->queue_.front();
+    app->queue_.pop_front();
+    Task* task = ctx.task;
+    qwait_at_start_ = task->queue_wait_total_ns();
+    exec_at_start_ = task->total_exec_ns();
+    (void)now;
+    double work_ns = app->rng_.LogNormal(static_cast<double>(app->params_.service_mean),
+                                         app->params_.service_cv);
+    Work work = WorkAtCapacity(kCapacityScale, static_cast<TimeNs>(work_ns));
+    if (current_.connection >= 0) {
+      int& last_cpu = app->conn_last_cpu_[current_.connection];
+      int my_cpu = task->cpu() >= 0 ? task->cpu() : 0;
+      if (last_cpu >= 0 && last_cpu != my_cpu && app->params_.comm_lines > 0) {
+        work += ctx.kernel->CommWorkPenalty(last_cpu, my_cpu, app->params_.comm_lines);
+      }
+      last_cpu = my_cpu;
+    }
+    return TaskAction::Run(work);
+  }
+
+  LatencyApp* app_;
+  int index_;
+  Request current_{};
+  TimeNs qwait_at_start_ = 0;
+  TimeNs exec_at_start_ = 0;
+};
+
+LatencyApp::LatencyApp(GuestKernel* kernel, LatencyAppParams params)
+    : kernel_(kernel), sim_(kernel->sim()), params_(std::move(params)),
+      rng_(kernel->sim()->ForkRng()) {}
+
+LatencyApp::~LatencyApp() {
+  sim_->Cancel(arrival_event_);
+  sim_->Cancel(report_event_);
+}
+
+void LatencyApp::Start() {
+  VSCHED_CHECK(!running_);
+  running_ = true;
+  measure_start_ = sim_->now();
+  conn_last_cpu_.assign(std::max(0, params_.connections), -1);
+  for (int i = 0; i < params_.workers; ++i) {
+    behaviors_.push_back(std::make_unique<WorkerBehavior>(this, i));
+    Task* t = kernel_->CreateTask(params_.name + "-w" + std::to_string(i), TaskPolicy::kNormal,
+                                  behaviors_.back().get(), params_.allowed);
+    kernel_->StartTask(t);
+    workers_.push_back(t);
+  }
+  if (params_.closed_loop) {
+    for (int c = 0; c < std::max(1, params_.connections); ++c) {
+      InjectRequest(params_.connections > 0 ? c : -1, -1);
+    }
+  } else {
+    ScheduleNextArrival();
+  }
+  if (params_.report_interval > 0) {
+    report_event_ = sim_->After(params_.report_interval, [this] { OnReport(); });
+  }
+}
+
+void LatencyApp::Stop() {
+  running_ = false;
+  sim_->Cancel(arrival_event_);
+  arrival_event_.Invalidate();
+  sim_->Cancel(report_event_);
+  report_event_.Invalidate();
+  // Wake idle workers so they observe the stop and exit.
+  for (int idx : idle_workers_) {
+    kernel_->WakeTask(workers_[idx]);
+  }
+  idle_workers_.clear();
+}
+
+void LatencyApp::ResetStats() {
+  end_to_end_.Clear();
+  queue_time_.Clear();
+  service_time_.Clear();
+  completed_ = 0;
+  measure_start_ = sim_->now();
+}
+
+WorkloadResult LatencyApp::Result() const {
+  WorkloadResult r;
+  double elapsed = NsToSec(sim_->now() - measure_start_);
+  r.throughput = elapsed > 0 ? static_cast<double>(completed_) / elapsed : 0;
+  r.p50_ns = end_to_end_.P50();
+  r.p95_ns = end_to_end_.P95();
+  r.p99_ns = end_to_end_.P99();
+  r.mean_ns = end_to_end_.Mean();
+  r.completed = completed_;
+  return r;
+}
+
+void LatencyApp::ScheduleNextArrival() {
+  if (!running_ || params_.arrival_rate_per_sec <= 0) {
+    return;
+  }
+  double gap_sec = rng_.Exponential(1.0 / params_.arrival_rate_per_sec);
+  TimeNs gap = std::max<TimeNs>(1, static_cast<TimeNs>(gap_sec * kNsPerSec));
+  arrival_event_ = sim_->After(gap, [this] { OnArrival(); });
+}
+
+void LatencyApp::OnArrival() {
+  int connection = -1;
+  if (params_.connections > 0) {
+    connection = static_cast<int>(rng_.UniformInt(0, params_.connections - 1));
+  }
+  InjectRequest(connection, -1);
+  ScheduleNextArrival();
+}
+
+void LatencyApp::InjectRequest(int connection, int waker_hint) {
+  Request req{sim_->now(), connection};
+  if (connection >= 0 && waker_hint < 0) {
+    // Interrupt/RFS steering: deliver near where the connection last ran.
+    waker_hint = conn_last_cpu_[connection];
+  }
+  queue_.push_back(req);
+  if (!idle_workers_.empty()) {
+    int idx = idle_workers_.back();
+    idle_workers_.pop_back();
+    kernel_->WakeTask(workers_[idx], waker_hint);
+  }
+}
+
+void LatencyApp::OnReport() {
+  uint64_t delta = completed_ - completed_at_last_report_;
+  completed_at_last_report_ = completed_;
+  double rate = static_cast<double>(delta) / NsToSec(params_.report_interval);
+  live_.Add(sim_->now(), rate);
+  if (running_) {
+    report_event_ = sim_->After(params_.report_interval, [this] { OnReport(); });
+  }
+}
+
+}  // namespace vsched

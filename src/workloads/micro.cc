@@ -1,0 +1,269 @@
+#include "src/workloads/micro.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/guest/guest_kernel.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+// ---------------------------------------------------------------------------
+// Hackbench
+// ---------------------------------------------------------------------------
+
+// Senders loop: do a little work, post a message into the group mailbox,
+// and wake an idle receiver near themselves (pipe-wakeup semantics).
+class Hackbench::SenderBehavior : public TaskBehavior {
+ public:
+  SenderBehavior(Hackbench* app, int group) : app_(app), group_(group) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    Hackbench* app = app_;
+    int my_cpu = ctx.task->cpu() >= 0 ? ctx.task->cpu() : 0;
+    Work penalty = 0;
+    if (reason == RunReason::kBurstComplete) {
+      app->group_inbox_[group_].push_back(my_cpu);
+      if (!app->group_idle_[group_].empty()) {
+        int idx = app->group_idle_[group_].back();
+        app->group_idle_[group_].pop_back();
+        Task* recv = app->receivers_flat_[idx];
+        // Writing into the receiver's buffer bounces its cache lines here.
+        if (recv->cpu() >= 0 && recv->cpu() != my_cpu) {
+          penalty += ctx.kernel->CommWorkPenalty(recv->cpu(), my_cpu, app->params_.comm_lines / 4);
+        }
+        ctx.kernel->WakeTask(recv, my_cpu);
+      }
+    }
+    if (!app->running_) {
+      return TaskAction::Exit();
+    }
+    return TaskAction::Run(WorkAtCapacity(kCapacityScale, app->params_.send_work) + penalty);
+  }
+
+ private:
+  Hackbench* app_;
+  int group_;
+};
+
+// Receivers drain the group mailbox, paying the transfer cost per message.
+class Hackbench::ReceiverBehavior : public TaskBehavior {
+ public:
+  ReceiverBehavior(Hackbench* app, int group, int flat_index)
+      : app_(app), group_(group), flat_index_(flat_index) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    Hackbench* app = app_;
+    if (reason == RunReason::kStarted) {
+      app->group_idle_[group_].push_back(flat_index_);
+      return TaskAction::WaitEvent();
+    }
+    if (reason == RunReason::kBurstComplete) {
+      ++app->messages_done_;
+    }
+    if (!app->running_) {
+      return TaskAction::Exit();
+    }
+    auto& inbox = app->group_inbox_[group_];
+    if (inbox.empty()) {
+      app->group_idle_[group_].push_back(flat_index_);
+      return TaskAction::WaitEvent();
+    }
+    int from_cpu = inbox.back();
+    inbox.pop_back();
+    Work work = WorkAtCapacity(kCapacityScale, app->params_.recv_work);
+    int my_cpu = ctx.task->cpu() >= 0 ? ctx.task->cpu() : 0;
+    if (from_cpu >= 0 && from_cpu != my_cpu) {
+      work += ctx.kernel->CommWorkPenalty(from_cpu, my_cpu, app->params_.comm_lines);
+    }
+    return TaskAction::Run(work);
+  }
+
+ private:
+  Hackbench* app_;
+  int group_;
+  int flat_index_;
+};
+
+Hackbench::Hackbench(GuestKernel* kernel, HackbenchParams params)
+    : kernel_(kernel), sim_(kernel->sim()), params_(std::move(params)),
+      rng_(kernel->sim()->ForkRng()) {}
+
+void Hackbench::Start() {
+  VSCHED_CHECK(!running_);
+  running_ = true;
+  measure_start_ = sim_->now();
+  group_receivers_.resize(params_.groups);
+  group_inbox_.resize(params_.groups);
+  group_idle_.resize(params_.groups);
+  for (int g = 0; g < params_.groups; ++g) {
+    for (int p = 0; p < params_.pairs_per_group; ++p) {
+      int flat = static_cast<int>(receivers_flat_.size());
+      behaviors_.push_back(std::make_unique<ReceiverBehavior>(this, g, flat));
+      Task* r = kernel_->CreateTask(
+          params_.name + "-g" + std::to_string(g) + "r" + std::to_string(p),
+          TaskPolicy::kNormal, behaviors_.back().get(), params_.allowed);
+      kernel_->StartTask(r);
+      group_receivers_[g].push_back(r);
+      receivers_flat_.push_back(r);
+    }
+  }
+  for (int g = 0; g < params_.groups; ++g) {
+    for (int p = 0; p < params_.pairs_per_group; ++p) {
+      behaviors_.push_back(std::make_unique<SenderBehavior>(this, g));
+      Task* s = kernel_->CreateTask(
+          params_.name + "-g" + std::to_string(g) + "s" + std::to_string(p),
+          TaskPolicy::kNormal, behaviors_.back().get(), params_.allowed);
+      kernel_->StartTask(s);
+      senders_.push_back(s);
+    }
+  }
+}
+
+void Hackbench::Stop() {
+  running_ = false;
+  for (Task* r : receivers_flat_) {
+    kernel_->WakeTask(r);
+  }
+}
+
+void Hackbench::ResetStats() {
+  messages_done_ = 0;
+  measure_start_ = sim_->now();
+}
+
+WorkloadResult Hackbench::Result() const {
+  WorkloadResult r;
+  double elapsed = NsToSec(sim_->now() - measure_start_);
+  r.completed = messages_done_;
+  r.throughput = elapsed > 0 ? static_cast<double>(messages_done_) / elapsed : 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Fio
+// ---------------------------------------------------------------------------
+
+class Fio::OpBehavior : public TaskBehavior {
+ public:
+  explicit OpBehavior(Fio* app) : app_(app) {}
+
+  TaskAction Next(TaskContext&, RunReason reason) override {
+    Fio* app = app_;
+    if (reason == RunReason::kBurstComplete) {
+      ++app->ops_done_;
+      if (!app->running_) {
+        return TaskAction::Exit();
+      }
+      return TaskAction::Sleep(
+          static_cast<TimeNs>(app->rng_.Exponential(static_cast<double>(app->params_.io_latency_mean))));
+    }
+    if (!app->running_) {
+      return TaskAction::Exit();
+    }
+    return TaskAction::Run(WorkAtCapacity(kCapacityScale, app->params_.cpu_per_op));
+  }
+
+ private:
+  Fio* app_;
+};
+
+Fio::Fio(GuestKernel* kernel, FioParams params)
+    : kernel_(kernel), sim_(kernel->sim()), params_(std::move(params)),
+      rng_(kernel->sim()->ForkRng()) {}
+
+void Fio::Start() {
+  VSCHED_CHECK(!running_);
+  running_ = true;
+  measure_start_ = sim_->now();
+  for (int i = 0; i < params_.threads; ++i) {
+    behaviors_.push_back(std::make_unique<OpBehavior>(this));
+    Task* t = kernel_->CreateTask(params_.name + "-t" + std::to_string(i), TaskPolicy::kNormal,
+                                  behaviors_.back().get(), params_.allowed);
+    kernel_->StartTask(t);
+    tasks_.push_back(t);
+  }
+}
+
+void Fio::Stop() { running_ = false; }
+
+void Fio::ResetStats() {
+  ops_done_ = 0;
+  measure_start_ = sim_->now();
+}
+
+WorkloadResult Fio::Result() const {
+  WorkloadResult r;
+  double elapsed = NsToSec(sim_->now() - measure_start_);
+  r.completed = ops_done_;
+  r.throughput = elapsed > 0 ? static_cast<double>(ops_done_) / elapsed : 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// SelfMigratingTask
+// ---------------------------------------------------------------------------
+
+class SelfMigratingTask::Behavior : public TaskBehavior {
+ public:
+  explicit Behavior(SelfMigratingTask* app) : app_(app) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    SelfMigratingTask* app = app_;
+    (void)reason;
+    if (!app->running_) {
+      return TaskAction::Exit();
+    }
+    if (app->params_.migrate) {
+      // Rotate the affinity to the next allowed vCPU (sched_setaffinity on
+      // self); the kernel moves the task at this decision point.
+      CpuMask all = app->params_.allowed & CpuMask::FirstN(ctx.kernel->num_vcpus());
+      int current = ctx.task->cpu() >= 0 ? ctx.task->cpu() : all.First();
+      int next = all.NextFrom(current + 1);
+      if (next < 0) {
+        next = all.First();
+      }
+      ctx.task->set_allowed(CpuMask::Single(next));
+      return TaskAction::Run(WorkAtCapacity(kCapacityScale, app->params_.hop_period));
+    }
+    return TaskAction::Run(WorkAtCapacity(kCapacityScale, app->params_.hop_period));
+  }
+
+ private:
+  SelfMigratingTask* app_;
+};
+
+SelfMigratingTask::SelfMigratingTask(GuestKernel* kernel, SelfMigratingParams params)
+    : kernel_(kernel), sim_(kernel->sim()), params_(std::move(params)) {}
+
+void SelfMigratingTask::Start() {
+  VSCHED_CHECK(!running_);
+  running_ = true;
+  measure_start_ = sim_->now();
+  behavior_ = std::make_unique<Behavior>(this);
+  task_ = kernel_->CreateTask(params_.name, TaskPolicy::kNormal, behavior_.get(),
+                              params_.migrate ? CpuMask(~0ULL) : params_.allowed);
+  if (params_.migrate) {
+    task_->set_allowed(CpuMask::Single(params_.allowed.First() >= 0 ? params_.allowed.First() : 0));
+  }
+  kernel_->StartTask(task_);
+}
+
+void SelfMigratingTask::Stop() { running_ = false; }
+
+void SelfMigratingTask::ResetStats() {
+  exec_at_reset_ = task_ != nullptr ? task_->total_exec_ns() : 0;
+  measure_start_ = sim_->now();
+}
+
+WorkloadResult SelfMigratingTask::Result() const {
+  WorkloadResult r;
+  double elapsed = NsToSec(sim_->now() - measure_start_);
+  TimeNs exec = task_ != nullptr ? task_->total_exec_ns() - exec_at_reset_ : 0;
+  // "Throughput" = achieved vCPU utilization percentage.
+  r.throughput = elapsed > 0 ? NsToSec(exec) / elapsed * 100.0 : 0;
+  r.completed = static_cast<uint64_t>(exec);
+  return r;
+}
+
+}  // namespace vsched

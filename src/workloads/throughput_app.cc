@@ -1,0 +1,319 @@
+#include "src/workloads/throughput_app.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/guest/guest_kernel.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+// ---------------------------------------------------------------------------
+// BarrierApp
+// ---------------------------------------------------------------------------
+
+class BarrierApp::ThreadBehavior : public TaskBehavior {
+ public:
+  ThreadBehavior(BarrierApp* app, int index) : app_(app), index_(index) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    BarrierApp* app = app_;
+    switch (reason) {
+      case RunReason::kStarted:
+        return Chunk(ctx);
+      case RunReason::kBurstComplete: {
+        // Reached the barrier.
+        ++app->arrived_;
+        if (app->arrived_ == static_cast<int>(app->tasks_.size())) {
+          // Last arrival releases everyone.
+          app->arrived_ = 0;
+          ++app->iterations_done_;
+          bool done = !app->running_ ||
+                      (app->params_.max_iterations > 0 &&
+                       app->iterations_done_ >= app->params_.max_iterations);
+          if (done) {
+            app->running_ = false;
+            app->finished_ = true;
+            app->finish_time_ = ctx.sim->now();
+          }
+          for (size_t i = 0; i < app->tasks_.size(); ++i) {
+            if (static_cast<int>(i) != index_) {
+              ctx.kernel->WakeTask(app->tasks_[i], ctx.task->cpu());
+            }
+          }
+          if (done) {
+            return TaskAction::Exit();
+          }
+          return Chunk(ctx);
+        }
+        return TaskAction::WaitEvent();
+      }
+      case RunReason::kEventWake:
+      case RunReason::kSleepExpired:
+        if (!app->running_) {
+          return TaskAction::Exit();
+        }
+        return Chunk(ctx);
+    }
+    return TaskAction::Exit();
+  }
+
+ private:
+  TaskAction Chunk(TaskContext& ctx) {
+    BarrierApp* app = app_;
+    double ns = app->rng_.LogNormal(static_cast<double>(app->params_.chunk_mean),
+                                    app->params_.chunk_cv);
+    Work work = WorkAtCapacity(kCapacityScale, static_cast<TimeNs>(ns));
+    if (app->params_.comm_lines > 0) {
+      // Fetch shared data produced by thread 0 (the "master") last barrier.
+      int master_cpu = app->tasks_[0]->cpu();
+      int my_cpu = ctx.task->cpu() >= 0 ? ctx.task->cpu() : 0;
+      if (master_cpu >= 0 && master_cpu != my_cpu) {
+        work += ctx.kernel->CommWorkPenalty(master_cpu, my_cpu, app->params_.comm_lines);
+      }
+    }
+    return TaskAction::Run(work);
+  }
+
+  BarrierApp* app_;
+  int index_;
+};
+
+BarrierApp::BarrierApp(GuestKernel* kernel, BarrierAppParams params)
+    : kernel_(kernel), sim_(kernel->sim()), params_(std::move(params)),
+      rng_(kernel->sim()->ForkRng()) {}
+
+BarrierApp::~BarrierApp() = default;
+
+void BarrierApp::Start() {
+  VSCHED_CHECK(!running_);
+  running_ = true;
+  measure_start_ = sim_->now();
+  for (int i = 0; i < params_.threads; ++i) {
+    behaviors_.push_back(std::make_unique<ThreadBehavior>(this, i));
+    Task* t = kernel_->CreateTask(params_.name + "-t" + std::to_string(i), params_.policy,
+                                  behaviors_.back().get(), params_.allowed);
+    tasks_.push_back(t);
+  }
+  for (Task* t : tasks_) {
+    kernel_->StartTask(t);
+  }
+}
+
+void BarrierApp::Stop() { running_ = false; }
+
+void BarrierApp::ResetStats() {
+  iterations_at_reset_ = iterations_done_;
+  measure_start_ = sim_->now();
+}
+
+WorkloadResult BarrierApp::Result() const {
+  WorkloadResult r;
+  double elapsed = NsToSec((finished_ ? finish_time_ : sim_->now()) - measure_start_);
+  r.completed = static_cast<uint64_t>(iterations_done_ - iterations_at_reset_);
+  r.throughput = elapsed > 0 ? static_cast<double>(r.completed) / elapsed : 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// PipelineApp
+// ---------------------------------------------------------------------------
+
+class PipelineApp::StageWorkerBehavior : public TaskBehavior {
+ public:
+  StageWorkerBehavior(PipelineApp* app, int stage, int global_index)
+      : app_(app), stage_(stage), global_index_(global_index) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    PipelineApp* app = app_;
+    switch (reason) {
+      case RunReason::kStarted:
+        app->stage_idle_[stage_].push_back(global_index_);
+        return TaskAction::WaitEvent();
+      case RunReason::kEventWake:
+      case RunReason::kSleepExpired:
+        return TakeNext(ctx);
+      case RunReason::kBurstComplete: {
+        // Item processed: pass it downstream (or count it as done).
+        Item out;
+        out.from_cpu = ctx.task->cpu();
+        if (stage_ + 1 < static_cast<int>(app->stage_queue_.size())) {
+          app->Deliver(stage_ + 1, out);
+        } else {
+          ++app->items_done_;
+          app->Inject();  // Closed loop: keep the window full.
+        }
+        return TakeNext(ctx);
+      }
+    }
+    return TaskAction::Exit();
+  }
+
+ private:
+  TaskAction TakeNext(TaskContext& ctx) {
+    PipelineApp* app = app_;
+    if (!app->running_ && app->stage_queue_[stage_].empty()) {
+      return TaskAction::Exit();
+    }
+    if (app->stage_queue_[stage_].empty()) {
+      app->stage_idle_[stage_].push_back(global_index_);
+      return TaskAction::WaitEvent();
+    }
+    Item item = app->stage_queue_[stage_].front();
+    app->stage_queue_[stage_].pop_front();
+    const PipelineStageParams& sp = app->params_.stages[stage_];
+    double ns = app->rng_.LogNormal(static_cast<double>(sp.work_mean), sp.work_cv);
+    Work work = WorkAtCapacity(kCapacityScale, static_cast<TimeNs>(ns));
+    int my_cpu = ctx.task->cpu() >= 0 ? ctx.task->cpu() : 0;
+    if (item.from_cpu >= 0 && item.from_cpu != my_cpu && app->params_.comm_lines > 0) {
+      work += ctx.kernel->CommWorkPenalty(item.from_cpu, my_cpu, app->params_.comm_lines);
+    }
+    return TaskAction::Run(work);
+  }
+
+  PipelineApp* app_;
+  int stage_;
+  int global_index_;
+};
+
+PipelineApp::PipelineApp(GuestKernel* kernel, PipelineAppParams params)
+    : kernel_(kernel), sim_(kernel->sim()), params_(std::move(params)),
+      rng_(kernel->sim()->ForkRng()) {
+  VSCHED_CHECK(!params_.stages.empty());
+}
+
+PipelineApp::~PipelineApp() = default;
+
+void PipelineApp::Start() {
+  VSCHED_CHECK(!running_);
+  running_ = true;
+  measure_start_ = sim_->now();
+  int num_stages = static_cast<int>(params_.stages.size());
+  stage_tasks_.resize(num_stages);
+  stage_idle_.resize(num_stages);
+  stage_queue_.resize(num_stages);
+  for (int s = 0; s < num_stages; ++s) {
+    for (int w = 0; w < params_.stages[s].workers; ++w) {
+      int global_index = static_cast<int>(behaviors_.size());
+      behaviors_.push_back(std::make_unique<StageWorkerBehavior>(this, s, global_index));
+      Task* t = kernel_->CreateTask(params_.name + "-s" + std::to_string(s) + "w" +
+                                        std::to_string(w),
+                                    params_.policy, behaviors_.back().get(), params_.allowed);
+      kernel_->StartTask(t);
+      stage_tasks_[s].push_back(t);
+      all_tasks_.push_back(t);
+    }
+  }
+  for (int i = 0; i < params_.window; ++i) {
+    Inject();
+  }
+}
+
+void PipelineApp::Stop() {
+  running_ = false;
+  for (int s = 0; s < static_cast<int>(stage_idle_.size()); ++s) {
+    for (int idx : stage_idle_[s]) {
+      kernel_->WakeTask(all_tasks_[idx]);
+    }
+    stage_idle_[s].clear();
+  }
+}
+
+void PipelineApp::ResetStats() {
+  items_done_ = 0;
+  measure_start_ = sim_->now();
+}
+
+WorkloadResult PipelineApp::Result() const {
+  WorkloadResult r;
+  double elapsed = NsToSec(sim_->now() - measure_start_);
+  r.completed = items_done_;
+  r.throughput = elapsed > 0 ? static_cast<double>(items_done_) / elapsed : 0;
+  return r;
+}
+
+void PipelineApp::Inject() {
+  if (!running_) {
+    return;
+  }
+  if (params_.max_items > 0 && injected_ >= static_cast<uint64_t>(params_.max_items)) {
+    return;
+  }
+  ++injected_;
+  Deliver(0, Item{});
+}
+
+void PipelineApp::Deliver(int stage, Item item) {
+  stage_queue_[stage].push_back(item);
+  if (!stage_idle_[stage].empty()) {
+    int idx = stage_idle_[stage].back();
+    stage_idle_[stage].pop_back();
+    kernel_->WakeTask(all_tasks_[idx], item.from_cpu);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TaskParallelApp
+// ---------------------------------------------------------------------------
+
+class TaskParallelApp::ThreadBehavior : public TaskBehavior {
+ public:
+  explicit ThreadBehavior(TaskParallelApp* app) : app_(app) {}
+
+  TaskAction Next(TaskContext&, RunReason reason) override {
+    TaskParallelApp* app = app_;
+    if (reason == RunReason::kBurstComplete) {
+      ++app->chunks_done_;
+    }
+    if (!app->running_) {
+      return TaskAction::Exit();
+    }
+    if (app->params_.max_chunks > 0 &&
+        app->chunks_issued_ >= static_cast<uint64_t>(app->params_.max_chunks)) {
+      return TaskAction::Exit();
+    }
+    ++app->chunks_issued_;
+    double ns = app->rng_.LogNormal(static_cast<double>(app->params_.chunk_mean),
+                                    app->params_.chunk_cv);
+    return TaskAction::Run(WorkAtCapacity(kCapacityScale, static_cast<TimeNs>(ns)));
+  }
+
+ private:
+  TaskParallelApp* app_;
+};
+
+TaskParallelApp::TaskParallelApp(GuestKernel* kernel, TaskParallelParams params)
+    : kernel_(kernel), sim_(kernel->sim()), params_(std::move(params)),
+      rng_(kernel->sim()->ForkRng()) {}
+
+TaskParallelApp::~TaskParallelApp() = default;
+
+void TaskParallelApp::Start() {
+  VSCHED_CHECK(!running_);
+  running_ = true;
+  measure_start_ = sim_->now();
+  for (int i = 0; i < params_.threads; ++i) {
+    behaviors_.push_back(std::make_unique<ThreadBehavior>(this));
+    Task* t = kernel_->CreateTask(params_.name + "-t" + std::to_string(i), params_.policy,
+                                  behaviors_.back().get(), params_.allowed);
+    kernel_->StartTask(t);
+    tasks_.push_back(t);
+  }
+}
+
+void TaskParallelApp::Stop() { running_ = false; }
+
+void TaskParallelApp::ResetStats() {
+  chunks_done_ = 0;
+  measure_start_ = sim_->now();
+}
+
+WorkloadResult TaskParallelApp::Result() const {
+  WorkloadResult r;
+  double elapsed = NsToSec(sim_->now() - measure_start_);
+  r.completed = chunks_done_;
+  r.throughput = elapsed > 0 ? static_cast<double>(chunks_done_) / elapsed : 0;
+  return r;
+}
+
+}  // namespace vsched

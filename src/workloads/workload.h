@@ -1,0 +1,49 @@
+// Common interface for synthetic application models.
+//
+// Each workload owns its task behaviors and reports a uniform result: the
+// paper's metrics are throughput (requests, iterations, items, or events per
+// second) for throughput-oriented applications and p95 tail latency for
+// latency-sensitive ones.
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+
+#include "src/base/time.h"
+#include "src/stats/stats.h"
+
+namespace vsched {
+
+struct WorkloadResult {
+  // Units completed per second over the measured interval.
+  double throughput = 0;
+  // End-to-end latency quantiles (ns); zero for pure-throughput workloads.
+  double p50_ns = 0;
+  double p95_ns = 0;
+  double p99_ns = 0;
+  double mean_ns = 0;
+  uint64_t completed = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Creates and starts the workload's tasks.
+  virtual void Start() = 0;
+
+  // Asks the workload to wind down; tasks exit at their next decision point.
+  virtual void Stop() = 0;
+
+  // Resets measurement state (use after a warm-up period).
+  virtual void ResetStats() = 0;
+
+  // Result over the interval since Start()/ResetStats().
+  virtual WorkloadResult Result() const = 0;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

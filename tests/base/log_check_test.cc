@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+
+namespace vsched {
+namespace {
+
+TEST(LogTest, LevelFilterRoundTrips) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Filtered-out logging must be side-effect free (smoke).
+  VSCHED_LOG(kDebug) << "suppressed " << 42;
+  SetLogLevel(LogLevel::kNone);
+  VSCHED_LOG(kError) << "also suppressed";
+  SetLogLevel(original);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  VSCHED_CHECK(1 + 1 == 2);
+  VSCHED_CHECK_MSG(true, "never shown");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(VSCHED_CHECK(false), "VSCHED_CHECK failed");
+  EXPECT_DEATH(VSCHED_CHECK_MSG(false, "context here"), "context here");
+}
+
+TEST(DcheckTest, CompiledPerBuildType) {
+#ifdef NDEBUG
+  VSCHED_DCHECK(false);  // Compiled out in release builds.
+  SUCCEED();
+#else
+  EXPECT_DEATH(VSCHED_DCHECK(false), "VSCHED_CHECK failed");
+#endif
+}
+
+}  // namespace
+}  // namespace vsched

@@ -1,0 +1,48 @@
+#include "src/base/time.h"
+
+#include <gtest/gtest.h>
+
+namespace vsched {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(UsToNs(3), 3000);
+  EXPECT_EQ(MsToNs(2), 2'000'000);
+  EXPECT_EQ(SecToNs(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(NsToMs(MsToNs(7)), 7.0);
+  EXPECT_DOUBLE_EQ(NsToSec(SecToNs(3)), 3.0);
+}
+
+TEST(TimeTest, WorkAtCapacityIsLinear) {
+  EXPECT_DOUBLE_EQ(WorkAtCapacity(kCapacityScale, 100), 1024.0 * 100);
+  EXPECT_DOUBLE_EQ(WorkAtCapacity(512.0, 100), 512.0 * 100);
+  EXPECT_DOUBLE_EQ(WorkAtCapacity(kCapacityScale, 0), 0.0);
+}
+
+TEST(TimeTest, TimeToCompleteRoundTrips) {
+  Work w = WorkAtCapacity(kCapacityScale, MsToNs(5));
+  EXPECT_EQ(TimeToComplete(w, kCapacityScale), MsToNs(5));
+  // Half speed → double time.
+  EXPECT_EQ(TimeToComplete(w, kCapacityScale / 2), MsToNs(10));
+}
+
+TEST(TimeTest, TimeToCompleteCeils) {
+  // 1 work unit at capacity 1024 takes a full nanosecond (ceil).
+  EXPECT_EQ(TimeToComplete(1.0, kCapacityScale), 1);
+  EXPECT_EQ(TimeToComplete(1025.0, kCapacityScale), 2);
+}
+
+TEST(TimeTest, TimeToCompleteEdgeCases) {
+  EXPECT_EQ(TimeToComplete(0.0, kCapacityScale), 0);
+  EXPECT_EQ(TimeToComplete(-5.0, kCapacityScale), 0);
+  EXPECT_EQ(TimeToComplete(100.0, 0.0), kTimeInfinity);
+  EXPECT_EQ(TimeToComplete(100.0, -1.0), kTimeInfinity);
+}
+
+TEST(TimeTest, InfinityIsAdditionSafe) {
+  TimeNs t = kTimeInfinity;
+  EXPECT_GT(t + SecToNs(100000), 0);  // No overflow for sane offsets.
+}
+
+}  // namespace
+}  // namespace vsched

@@ -1,0 +1,115 @@
+#include "src/core/autotune.h"
+
+#include <gtest/gtest.h>
+
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/metrics/activity_trace.h"
+#include "src/sim/simulation.h"
+#include "tests/guest/test_behaviors.h"
+
+namespace vsched {
+namespace {
+
+TEST(AutoTuneTest, DeriveClampsSamplingPeriod) {
+  VSchedOptions o = AutoTuner::Derive(VSchedOptions::Full(), /*max_inactive=*/1e6, /*duty=*/0.5,
+                                      MsToNs(1));
+  EXPECT_EQ(o.vcap.sampling_period, MsToNs(50));  // Lower clamp.
+  o = AutoTuner::Derive(VSchedOptions::Full(), 400e6, 0.5, MsToNs(1));
+  EXPECT_EQ(o.vcap.sampling_period, MsToNs(500));  // Upper clamp.
+  o = AutoTuner::Derive(VSchedOptions::Full(), 50e6, 0.5, MsToNs(1));
+  EXPECT_EQ(o.vcap.sampling_period, MsToNs(200));  // 4x the inactive period.
+}
+
+TEST(AutoTuneTest, DeriveScalesVtopTimeoutForLowDuty) {
+  VSchedOptions normal = AutoTuner::Derive(VSchedOptions::Full(), 5e6, 0.5, MsToNs(1));
+  VSchedOptions starved = AutoTuner::Derive(VSchedOptions::Full(), 5e6, 0.05, MsToNs(1));
+  EXPECT_GT(starved.vtop.pair.timeout_attempts, normal.vtop.pair.timeout_attempts * 4);
+}
+
+TEST(AutoTuneTest, DeriveTiesIvhThresholdToTick) {
+  VSchedOptions o = AutoTuner::Derive(VSchedOptions::Full(), 5e6, 0.5, MsToNs(4));
+  EXPECT_EQ(o.ivh.migration_threshold, MsToNs(8));
+}
+
+TEST(AutoTuneTest, CalibrationMeasuresTheHost) {
+  Simulation sim(61);
+  TopologySpec topo;
+  topo.sockets = 1;
+  topo.cores_per_socket = 4;
+  topo.threads_per_core = 1;
+  HostMachine machine(&sim, topo);
+  VmSpec spec = MakeSimpleVmSpec("vm", 4);
+  for (auto& p : spec.vcpus) {
+    p.bw_quota = MsToNs(30);  // 30 ms on / 30 ms off → long inactive periods
+    p.bw_period = MsToNs(60);
+  }
+  Vm vm(&sim, &machine, spec);
+  // Demand so activity is observable.
+  std::vector<std::unique_ptr<HogBehavior>> hogs;
+  for (int i = 0; i < 4; ++i) {
+    hogs.push_back(std::make_unique<HogBehavior>());
+    Task* t = vm.kernel().CreateTask("h", TaskPolicy::kNormal, hogs.back().get(),
+                                     CpuMask::Single(i));
+    vm.kernel().StartTask(t);
+  }
+  AutoTuner tuner(&vm.kernel());
+  bool done = false;
+  VSchedOptions tuned;
+  tuner.Calibrate(SecToNs(3), VSchedOptions::Full(), [&](VSchedOptions o) {
+    tuned = o;
+    done = true;
+  });
+  sim.RunFor(SecToNs(4));
+  ASSERT_TRUE(done);
+  // 30 ms inactive periods → the sampling window must stretch beyond the
+  // Table-1 default of 100 ms.
+  EXPECT_GT(tuned.vcap.sampling_period, MsToNs(50));
+  EXPECT_LE(tuned.vcap.sampling_period, MsToNs(500));
+}
+
+TEST(ActivityTraceTest, CapturesStallsAndRuns) {
+  Simulation sim(63);
+  TopologySpec topo;
+  topo.sockets = 1;
+  topo.cores_per_socket = 2;
+  topo.threads_per_core = 1;
+  HostMachine machine(&sim, topo);
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[0].bw_quota = MsToNs(5);
+  spec.vcpus[0].bw_period = MsToNs(10);
+  Vm vm(&sim, &machine, spec);
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("hog", TaskPolicy::kNormal, &hog, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  ActivityTrace trace(&vm.kernel(), UsToNs(100));
+  trace.Start();
+  sim.RunFor(MsToNs(100));
+  trace.Stop();
+  // The hog runs ~50% and stalls ~50% on vCPU 0; vCPU 1 never runs a task.
+  EXPECT_NEAR(trace.RunningFraction(0), 0.5, 0.1);
+  EXPECT_NEAR(trace.StalledFraction(), 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(trace.RunningFraction(1), 0.0);
+  std::string render = trace.Render(50);
+  EXPECT_NE(render.find('#'), std::string::npos);
+  EXPECT_NE(render.find('x'), std::string::npos);
+}
+
+TEST(ActivityTraceTest, ClearResetsTimeline) {
+  Simulation sim(64);
+  TopologySpec topo;
+  topo.sockets = 1;
+  topo.cores_per_socket = 1;
+  topo.threads_per_core = 1;
+  HostMachine machine(&sim, topo);
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 1));
+  ActivityTrace trace(&vm.kernel(), UsToNs(500));
+  trace.Start();
+  sim.RunFor(MsToNs(10));
+  EXPECT_GT(trace.samples(), 0u);
+  trace.Clear();
+  EXPECT_EQ(trace.samples(), 0u);
+}
+
+}  // namespace
+}  // namespace vsched

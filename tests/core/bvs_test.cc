@@ -1,0 +1,132 @@
+#include "src/core/bvs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+#include "tests/guest/test_behaviors.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec FlatSpec(int cores) {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = cores;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+// 4 vCPUs: 0/1 low-latency (short period shaping), 2/3 high-latency (long
+// period shaping). All ~50% capacity so the capacity filter stays neutral.
+VmSpec AsymLatencySpec() {
+  VmSpec spec = MakeSimpleVmSpec("vm", 4);
+  for (int i = 0; i < 4; ++i) {
+    TimeNs period = i < 2 ? MsToNs(2) : MsToNs(16);
+    spec.vcpus[i].bw_quota = period / 2;
+    spec.vcpus[i].bw_period = period;
+  }
+  return spec;
+}
+
+class BvsFixture : public ::testing::Test {
+ protected:
+  BvsFixture() : sim_(77), machine_(&sim_, FlatSpec(8)) {}
+
+  Simulation sim_;
+  HostMachine machine_;
+};
+
+TEST_F(BvsFixture, PicksLowLatencyVcpuForSmallTask) {
+  Vm vm(&sim_, &machine_, AsymLatencySpec());
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Bvs bvs(&vm.kernel(), &vcap, &vact);
+  // Best-effort hogs keep all vCPUs demanded so latency is measurable.
+  std::vector<std::unique_ptr<HogBehavior>> hogs;
+  for (int i = 0; i < 4; ++i) {
+    hogs.push_back(std::make_unique<HogBehavior>());
+    Task* t = vm.kernel().CreateTask("be", TaskPolicy::kIdle, hogs.back().get(),
+                                     CpuMask::Single(i));
+    vm.kernel().StartTask(t);
+  }
+  vcap.Start();
+  vact.Start();
+  sim_.RunFor(SecToNs(5));
+
+  // A small task (util starts at the 512 seed and decays with sleeping; use
+  // a fresh task woken rarely so PELT is small).
+  EventWorkerBehavior worker(WorkAtCapacity(kCapacityScale, UsToNs(50)));
+  Task* small = vm.kernel().CreateTask("small", TaskPolicy::kNormal, &worker);
+  vm.kernel().StartTask(small);
+  sim_.RunFor(SecToNs(1));  // Let its PELT decay to "small".
+
+  int choice = bvs.SelectVcpu(small, /*prev_cpu=*/3, /*waker_cpu=*/-1);
+  ASSERT_GE(choice, 0);
+  EXPECT_LT(choice, 2) << "bvs picked a high-latency vCPU";
+}
+
+TEST_F(BvsFixture, IgnoresCpuIntensiveTasks) {
+  Vm vm(&sim_, &machine_, AsymLatencySpec());
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Bvs bvs(&vm.kernel(), &vcap, &vact);
+  vcap.Start();
+  vact.Start();
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("hog", TaskPolicy::kNormal, &hog, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  sim_.RunFor(SecToNs(3));
+  EXPECT_GT(t->util(), 400.0);
+  EXPECT_EQ(bvs.SelectVcpu(t, 0, -1), -1);
+}
+
+TEST_F(BvsFixture, IgnoresSchedIdleTasks) {
+  Vm vm(&sim_, &machine_, AsymLatencySpec());
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Bvs bvs(&vm.kernel(), &vcap, &vact);
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("be", TaskPolicy::kIdle, &hog);
+  EXPECT_EQ(bvs.SelectVcpu(t, 0, -1), -1);
+}
+
+TEST_F(BvsFixture, FallsBackWithoutProbeResults) {
+  Vm vm(&sim_, &machine_, AsymLatencySpec());
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Bvs bvs(&vm.kernel(), &vcap, &vact);
+  EventWorkerBehavior worker(WorkAtCapacity(kCapacityScale, UsToNs(50)));
+  Task* small = vm.kernel().CreateTask("small", TaskPolicy::kNormal, &worker);
+  vm.kernel().StartTask(small);
+  sim_.RunFor(MsToNs(500));  // Let its seeded PELT decay below the threshold.
+  // Probers never started → no data → CFS fallback.
+  EXPECT_EQ(bvs.SelectVcpu(small, 0, -1), -1);
+  EXPECT_EQ(bvs.fallbacks(), 1u);
+}
+
+TEST_F(BvsFixture, AvoidsVcpusWithNormalWork) {
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  Vm vm(&sim_, &machine_, spec);
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Bvs bvs(&vm.kernel(), &vcap, &vact);
+  vcap.Start();
+  vact.Start();
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("hog", TaskPolicy::kNormal, &hog, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  sim_.RunFor(SecToNs(3));
+  EventWorkerBehavior worker(WorkAtCapacity(kCapacityScale, UsToNs(50)));
+  Task* small = vm.kernel().CreateTask("small", TaskPolicy::kNormal, &worker);
+  vm.kernel().StartTask(small);
+  sim_.RunFor(MsToNs(500));
+  int choice = bvs.SelectVcpu(small, 0, -1);
+  // Only vCPU 1 is free of normal work.
+  EXPECT_TRUE(choice == 1 || choice == -1);
+  EXPECT_NE(choice, 0);
+}
+
+}  // namespace
+}  // namespace vsched

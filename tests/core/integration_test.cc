@@ -1,0 +1,151 @@
+// Full-stack integration tests: the reference VMs boot with the full vSched
+// stack, probers converge to ground truth, rwc bans match it, the techniques
+// deliver their headline effects end-to-end, and the whole stack is
+// deterministic.
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+#include "src/core/vsched.h"
+#include "src/workloads/latency_app.h"
+#include "src/workloads/throughput_app.h"
+#include "tests/guest/test_behaviors.h"
+
+namespace vsched {
+namespace {
+
+TEST(IntegrationTest, RcvmProbersConvergeToGroundTruth) {
+  RunContext ctx = MakeRun(RcvmHostTopology(), MakeRcvmSpec(), VSchedOptions::Full(), 2024);
+  ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+  // A light background so the system is realistic but not saturated.
+  TaskParallelParams bg;
+  bg.threads = 12;
+  bg.chunk_mean = UsToNs(400);
+  bg.policy = TaskPolicy::kIdle;
+  TaskParallelApp background(&ctx.kernel(), bg);
+  background.Start();
+  ctx.sim->RunFor(SecToNs(12));
+
+  Vcap* vcap = ctx.vsched->vcap();
+  // Capacity ordering: hc (0-3) > lc (4-7) > stragglers (8-9).
+  double hc = (vcap->CapacityOf(0) + vcap->CapacityOf(2)) / 2;
+  double lc = (vcap->CapacityOf(4) + vcap->CapacityOf(6)) / 2;
+  double straggler = vcap->CapacityOf(8);
+  EXPECT_GT(hc, lc * 1.5);
+  EXPECT_GT(lc, straggler * 3);
+
+  // Latency ordering: hl classes (0,1 and 4,5) above ll classes (2,3 / 6,7).
+  Vact* vact = ctx.vsched->vact();
+  EXPECT_GT(vact->LatencyOf(0), vact->LatencyOf(2) * 1.5);
+  EXPECT_GT(vact->LatencyOf(4), vact->LatencyOf(6) * 1.5);
+
+  // Topology: the stacked pair is found; SMT pairs match the pinning.
+  ASSERT_TRUE(ctx.vsched->vtop()->has_topology());
+  const GuestTopology& topo = ctx.vsched->vtop()->probed_topology();
+  EXPECT_TRUE(topo.stack_mask[10].Test(11));
+  EXPECT_TRUE(topo.smt_mask[0].Test(1));
+  EXPECT_TRUE(topo.smt_mask[2].Test(3));
+
+  // rwc: stragglers banned for normal tasks, one of the stacked pair banned.
+  EXPECT_TRUE(ctx.kernel().straggler_banned().Test(8));
+  EXPECT_TRUE(ctx.kernel().straggler_banned().Test(9));
+  EXPECT_TRUE(ctx.kernel().stack_banned().Test(11));
+  EXPECT_FALSE(ctx.kernel().stack_banned().Test(10));
+  background.Stop();
+}
+
+TEST(IntegrationTest, HpvmProbersSeparateSockets) {
+  RunContext ctx = MakeRun(HpvmHostTopology(), MakeHpvmSpec(), VSchedOptions::Full(), 2025);
+  ShapeHpvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+  ctx.sim->RunFor(SecToNs(12));
+  ASSERT_TRUE(ctx.vsched->vtop()->has_topology());
+  const GuestTopology& topo = ctx.vsched->vtop()->probed_topology();
+  // Each group of 8 vCPUs shares one LLC domain; groups are disjoint.
+  for (int g = 0; g < 4; ++g) {
+    CpuMask expected;
+    for (int i = 0; i < 8; ++i) {
+      expected.Set(g * 8 + i);
+    }
+    EXPECT_EQ(topo.llc_mask[g * 8], expected) << "group " << g;
+  }
+  // No stacking, no straggler bans.
+  EXPECT_TRUE(ctx.kernel().stack_banned().Empty());
+  EXPECT_TRUE(ctx.kernel().straggler_banned().Empty());
+}
+
+TEST(IntegrationTest, VschedBeatsCfsOnConstrainedHost) {
+  // End-to-end: a straggler-and-stacking host; a synchronization-heavy
+  // workload must run measurably better under full vSched.
+  auto run = [](VSchedOptions options) {
+    RunContext ctx = MakeRun(RcvmHostTopology(), MakeRcvmSpec(), options, 31337);
+    ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+    MeasuredRun r = RunWorkload(ctx, "streamcluster", 12, SecToNs(6), SecToNs(8));
+    return r.result.throughput;
+  };
+  double cfs = run(VSchedOptions::Cfs());
+  double full = run(VSchedOptions::Full());
+  EXPECT_GT(full, cfs * 1.2);
+}
+
+TEST(IntegrationTest, VschedCutsTailLatencyOnConstrainedHost) {
+  auto run = [](VSchedOptions options) {
+    RunContext ctx = MakeRun(RcvmHostTopology(), MakeRcvmSpec(), options, 31338);
+    ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+    LatencyApp app(&ctx.kernel(), LatencyParamsFor("masstree", 12, 0.05));
+    MeasuredRun r = RunWorkloadObj(ctx, &app, SecToNs(6), SecToNs(8));
+    return r.result.p95_ns;
+  };
+  double cfs = run(VSchedOptions::Cfs());
+  double full = run(VSchedOptions::Full());
+  EXPECT_LT(full, cfs * 0.8);
+}
+
+TEST(IntegrationTest, TopologyChangeIsTrackedWithinSeconds) {
+  RunContext ctx = MakeRun(RcvmHostTopology(), MakeRcvmSpec(), VSchedOptions::Full(), 99);
+  ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+  ctx.sim->RunFor(SecToNs(10));
+  ASSERT_TRUE(ctx.kernel().stack_banned().Test(11));
+  // The hypervisor un-stacks vCPU 11 onto a free hardware thread.
+  ctx.vm->PinVcpu(11, 12);
+  ctx.sim->RunFor(SecToNs(10));
+  EXPECT_FALSE(ctx.kernel().stack_banned().Test(11));
+  EXPECT_EQ(ctx.vsched->vtop()->probed_topology().stack_mask[10].Count(), 1);
+}
+
+TEST(IntegrationTest, FullStackIsDeterministic) {
+  auto signature = [](uint64_t seed) {
+    RunContext ctx = MakeRun(RcvmHostTopology(), MakeRcvmSpec(), VSchedOptions::Full(), seed);
+    ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+    auto w = MakeWorkload(&ctx.kernel(), "canneal", 12);
+    w->Start();
+    ctx.sim->RunFor(SecToNs(6));
+    uint64_t sig = w->Result().completed;
+    sig = sig * 1000003 + ctx.kernel().counters().context_switches.value();
+    sig = sig * 1000003 + ctx.kernel().counters().migrations.value();
+    sig = sig * 1000003 + static_cast<uint64_t>(ctx.vsched->vcap()->CapacityOf(3));
+    w->Stop();
+    return sig;
+  };
+  EXPECT_EQ(signature(12345), signature(12345));
+  EXPECT_NE(signature(12345), signature(54321));
+}
+
+TEST(IntegrationTest, ProbersKeepWorkingUnderChurn) {
+  // Workloads starting/stopping constantly must not wedge the probers.
+  RunContext ctx = MakeRun(RcvmHostTopology(), MakeRcvmSpec(), VSchedOptions::Full(), 555);
+  ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+  Rng rng = ctx.sim->ForkRng();
+  for (int round = 0; round < 6; ++round) {
+    auto w = MakeWorkload(&ctx.kernel(), round % 2 == 0 ? "radix" : "silo",
+                          static_cast<int>(rng.UniformInt(2, 12)));
+    w->Start();
+    ctx.sim->RunFor(SecToNs(2));
+    w->Stop();
+    ctx.sim->RunFor(MsToNs(300));
+  }
+  EXPECT_GT(ctx.vsched->vcap()->windows_completed(), 8);
+  EXPECT_GT(ctx.vsched->vtop()->validations_run(), 2);
+  EXPECT_TRUE(ctx.vsched->vact()->has_results());
+}
+
+}  // namespace
+}  // namespace vsched

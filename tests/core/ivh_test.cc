@@ -1,0 +1,156 @@
+#include "src/core/ivh.h"
+
+#include <gtest/gtest.h>
+
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/sim/simulation.h"
+#include "tests/guest/test_behaviors.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec FlatSpec(int cores) {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = cores;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+class IvhFixture : public ::testing::Test {
+ protected:
+  IvhFixture() : sim_(99), machine_(&sim_, FlatSpec(8)) {}
+
+  // 2 vCPUs: vCPU0 shaped 5 ms on / 5 ms off; vCPU1 dedicated and unused.
+  VmSpec StalledSpec() {
+    VmSpec spec = MakeSimpleVmSpec("vm", 2);
+    spec.vcpus[0].bw_quota = MsToNs(5);
+    spec.vcpus[0].bw_period = MsToNs(10);
+    return spec;
+  }
+
+  Simulation sim_;
+  HostMachine machine_;
+};
+
+TEST_F(IvhFixture, HarvestsUnusedVcpu) {
+  Vm vm(&sim_, &machine_, StalledSpec());
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Ivh ivh(&vm.kernel(), &vcap, &vact);
+  ivh.Install();
+  // vcap is intentionally NOT started: without its probers the hog is never
+  // preempted, so stock CFS has no opportunity to move the running task —
+  // exactly the stalled-running-task premise (§2.3). ivh must do it.
+  vact.Start();
+
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("hog", TaskPolicy::kNormal, &hog, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  sim_.RunFor(SecToNs(3));  // Let vact learn vCPU0's latency.
+  TimeNs exec_before = t->total_exec_ns();
+  t->set_allowed(CpuMask::FirstN(2));
+  sim_.RunFor(SecToNs(2));
+  double progress =
+      static_cast<double>(t->total_exec_ns() - exec_before) / static_cast<double>(SecToNs(2));
+  // Without harvesting the task progresses 50%; ivh moves it to the unused
+  // dedicated vCPU where it runs nearly continuously.
+  EXPECT_GT(progress, 0.8);
+  EXPECT_GT(ivh.completed(), 0u);
+}
+
+TEST_F(IvhFixture, LeavesDedicatedVcpusAlone) {
+  Vm vm(&sim_, &machine_, MakeSimpleVmSpec("vm", 2));
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Ivh ivh(&vm.kernel(), &vcap, &vact);
+  ivh.Install();
+  vcap.Start();
+  vact.Start();
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("hog", TaskPolicy::kNormal, &hog);
+  vm.kernel().StartTask(t);
+  sim_.RunFor(SecToNs(3));
+  // Source has no inactive periods → nothing to harvest.
+  EXPECT_EQ(ivh.attempts(), 0u);
+}
+
+TEST_F(IvhFixture, IgnoresSmallTasks) {
+  Vm vm(&sim_, &machine_, StalledSpec());
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Ivh ivh(&vm.kernel(), &vcap, &vact);
+  ivh.Install();
+  vcap.Start();
+  vact.Start();
+  // Light periodic task: PELT util stays low.
+  PeriodicBehavior light(WorkAtCapacity(kCapacityScale, UsToNs(200)), MsToNs(5));
+  Task* t = vm.kernel().CreateTask("light", TaskPolicy::kNormal, &light, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  sim_.RunFor(SecToNs(3));
+  EXPECT_EQ(ivh.attempts(), 0u);
+}
+
+TEST_F(IvhFixture, ActivityAwareBeatsUnaware) {
+  // Both vCPUs shaped with anti-phased activity; the activity-aware variant
+  // should waste less time on migration delay.
+  auto run_with = [&](bool aware, uint64_t seed) {
+    Simulation sim(seed);
+    HostMachine machine(&sim, FlatSpec(8));
+    VmSpec spec = MakeSimpleVmSpec("vm", 2);
+    spec.vcpus[0].bw_quota = MsToNs(5);
+    spec.vcpus[0].bw_period = MsToNs(10);
+    spec.vcpus[1].bw_quota = MsToNs(7);
+    spec.vcpus[1].bw_period = MsToNs(10);
+    Vm vm(&sim, &machine, spec);
+    Vcap vcap(&vm.kernel());
+    Vact vact(&vm.kernel());
+    IvhConfig config;
+    config.activity_aware = aware;
+    Ivh ivh(&vm.kernel(), &vcap, &vact, config);
+    ivh.Install();
+    vcap.Start();
+    vact.Start();
+    HogBehavior hog;
+    Task* t = vm.kernel().CreateTask("hog", TaskPolicy::kNormal, &hog);
+    vm.kernel().StartTask(t);
+    sim.RunFor(SecToNs(5));
+    return t->total_exec_ns();
+  };
+  TimeNs aware = run_with(true, 5);
+  TimeNs unaware = run_with(false, 5);
+  EXPECT_GE(aware, unaware);
+}
+
+TEST_F(IvhFixture, HandshakeTimesOutWhenTargetNeverActivates) {
+  // Target vCPU exists but its hardware thread is monopolized by an RT
+  // stressor → pre-wake can never deliver; the handshake must abandon.
+  VmSpec spec = StalledSpec();
+  // Disable CFS's capacity-driven (active) balancing entirely so ivh's
+  // handshake is the only mechanism that could move the task.
+  spec.guest_params.active_balance_interval = SecToNs(1000);
+  spec.guest_params.imbalance_pct = 1e9;
+  Vm vm(&sim_, &machine_, spec);
+  Stressor rt(&sim_, "rt", 1024.0, /*rt=*/true);
+  rt.Start(&machine_, 1);
+  Vcap vcap(&vm.kernel());
+  Vact vact(&vm.kernel());
+  Ivh ivh(&vm.kernel(), &vcap, &vact);
+  ivh.Install();
+  vact.Start();
+  HogBehavior hog;
+  // Pin to vCPU 0 while vact learns, then widen so ivh can try vCPU 1.
+  Task* t = vm.kernel().CreateTask("hog", TaskPolicy::kNormal, &hog, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  sim_.RunFor(SecToNs(3));
+  t->set_allowed(CpuMask::FirstN(2));
+  sim_.RunFor(SecToNs(4));
+  EXPECT_GT(ivh.abandoned(), 0u);
+  EXPECT_EQ(t->cpu(), 0);  // Never successfully moved.
+  rt.Stop();
+}
+
+}  // namespace
+}  // namespace vsched

@@ -1,0 +1,173 @@
+// Randomized stress tests: long scenarios that mutate the host (re-pinning,
+// frequency changes, bandwidth re-shaping, stressor churn) and the guest
+// (bans, workload start/stop) while the full vSched stack runs, checking
+// global invariants throughout. These are the "failure injection" tests:
+// every mutation is a hypervisor-side event the guest must absorb.
+#include <gtest/gtest.h>
+
+#include "src/core/vsched.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/sim/simulation.h"
+#include "src/workloads/catalog.h"
+#include "tests/guest/test_behaviors.h"
+
+namespace vsched {
+namespace {
+
+class StressScenario : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressScenario, SurvivesRandomHypervisorEvents) {
+  Simulation sim(GetParam());
+  TopologySpec topo;
+  topo.sockets = 2;
+  topo.cores_per_socket = 4;
+  topo.threads_per_core = 2;
+  HostMachine machine(&sim, topo);
+  HostTopology host_topo(topo);
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 10));
+  VSched vsched(&vm.kernel(), VSchedOptions::Full());
+  vsched.Start();
+  Rng rng = sim.ForkRng();
+
+  std::vector<std::unique_ptr<Stressor>> stressors;
+  std::vector<std::unique_ptr<Workload>> workloads;
+  const std::vector<std::string> names = {"silo", "canneal", "dedup", "fio", "radix"};
+
+  for (int step = 0; step < 60; ++step) {
+    double action = rng.NextDouble();
+    if (action < 0.2) {
+      // Start a workload.
+      if (workloads.size() < 3) {
+        const std::string& name = names[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+        workloads.push_back(
+            MakeWorkload(&vm.kernel(), name, static_cast<int>(rng.UniformInt(1, 10))));
+        workloads.back()->Start();
+      }
+    } else if (action < 0.35) {
+      // Stop a workload.
+      if (!workloads.empty()) {
+        workloads.front()->Stop();
+        sim.RunFor(MsToNs(50));  // Let tasks drain before dropping behaviors.
+        workloads.erase(workloads.begin());
+      }
+    } else if (action < 0.5) {
+      // Hypervisor re-pins a random vCPU.
+      int vcpu = static_cast<int>(rng.UniformInt(0, 9));
+      int tid = static_cast<int>(rng.UniformInt(0, host_topo.num_threads() - 1));
+      vm.PinVcpu(vcpu, tid);
+    } else if (action < 0.62) {
+      // DVFS on a random core.
+      machine.SetCoreFreq(static_cast<int>(rng.UniformInt(0, host_topo.num_cores() - 1)),
+                          rng.Uniform(0.4, 2.0));
+    } else if (action < 0.74) {
+      // Co-tenant churn.
+      if (stressors.size() < 6 && rng.Bernoulli(0.7)) {
+        stressors.push_back(std::make_unique<Stressor>(&sim, "s", rng.Uniform(256, 4096)));
+        stressors.back()->Start(&machine,
+                                static_cast<int>(rng.UniformInt(0, host_topo.num_threads() - 1)));
+      } else if (!stressors.empty()) {
+        stressors.front()->Stop();
+        stressors.erase(stressors.begin());
+      }
+    } else if (action < 0.86) {
+      // Bandwidth re-shaping of a random vCPU.
+      int vcpu = static_cast<int>(rng.UniformInt(0, 9));
+      if (rng.Bernoulli(0.5)) {
+        TimeNs period = static_cast<TimeNs>(rng.Uniform(4, 20) * kNsPerMs);
+        vm.SetVcpuBandwidth(vcpu, static_cast<TimeNs>(rng.Uniform(0.2, 0.9) *
+                                                      static_cast<double>(period)),
+                            period);
+      } else {
+        vm.ClearVcpuBandwidth(vcpu);
+      }
+    }
+    // Otherwise: just run.
+    sim.RunFor(MsToNs(static_cast<int64_t>(rng.Uniform(50, 250))));
+
+    // Invariants after every step.
+    GuestKernel& kernel = vm.kernel();
+    TimeNs task_total = 0;
+    for (const auto& t : kernel.tasks()) {
+      task_total += t->total_exec_ns();
+    }
+    TimeNs vcpu_total = 0;
+    for (int c = 0; c < kernel.num_vcpus(); ++c) {
+      vcpu_total += kernel.vcpu(c).busy_ns();
+    }
+    ASSERT_EQ(task_total, vcpu_total) << "work conservation broke at step " << step;
+    for (const auto& t : kernel.tasks()) {
+      int placements = 0;
+      for (int c = 0; c < kernel.num_vcpus(); ++c) {
+        placements += kernel.vcpu(c).rq().Contains(t.get()) ? 1 : 0;
+        placements += kernel.vcpu(c).current() == t.get() ? 1 : 0;
+      }
+      ASSERT_LE(placements, 1) << t->name() << " at step " << step;
+    }
+  }
+  // The probers must still be alive and producing results at the end.
+  EXPECT_GE(vsched.vcap()->windows_completed(), 5);
+  EXPECT_TRUE(vsched.vact()->has_results());
+  for (auto& w : workloads) {
+    w->Stop();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressScenario, ::testing::Values(1001, 2002, 3003, 4004));
+
+TEST(MultiVmTest, VmsAreIsolated) {
+  // Two guest kernels share the host: counters and accounting stay per-VM,
+  // and the host time each VM receives is complementary.
+  Simulation sim(77);
+  TopologySpec topo;
+  topo.sockets = 1;
+  topo.cores_per_socket = 2;
+  topo.threads_per_core = 1;
+  HostMachine machine(&sim, topo);
+  Vm vm_a(&sim, &machine, MakeSimpleVmSpec("a", 2));
+  Vm vm_b(&sim, &machine, MakeSimpleVmSpec("b", 2));
+  HogBehavior ha;
+  HogBehavior hb;
+  Task* ta = vm_a.kernel().CreateTask("a", TaskPolicy::kNormal, &ha, CpuMask::Single(0));
+  Task* tb = vm_b.kernel().CreateTask("b", TaskPolicy::kNormal, &hb, CpuMask::Single(0));
+  vm_a.kernel().StartTask(ta);
+  vm_b.kernel().StartTask(tb);
+  sim.RunFor(SecToNs(2));
+  // The two vCPU0s share hardware thread 0 evenly.
+  EXPECT_NEAR(static_cast<double>(ta->total_exec_ns()) / static_cast<double>(sim.now()), 0.5,
+              0.05);
+  EXPECT_NEAR(static_cast<double>(tb->total_exec_ns()) / static_cast<double>(sim.now()), 0.5,
+              0.05);
+  // Each guest sees ~50% steal on its vCPU 0 and none on its idle vCPU 1.
+  EXPECT_GT(vm_a.kernel().vcpu(0).StealClock(sim.now()), MsToNs(800));
+  EXPECT_EQ(vm_a.kernel().vcpu(1).StealClock(sim.now()), 0);
+  // Counters are independent.
+  EXPECT_EQ(vm_b.kernel().counters().migrations.value(), 0u);
+}
+
+TEST(MultiVmTest, VSchedInOneVmDoesNotDisturbAnotherIdleVm) {
+  Simulation sim(78);
+  TopologySpec topo;
+  topo.sockets = 1;
+  topo.cores_per_socket = 4;
+  topo.threads_per_core = 1;
+  HostMachine machine(&sim, topo);
+  Vm busy(&sim, &machine, MakeSimpleVmSpec("busy", 4));
+  Vm quiet(&sim, &machine, MakeSimpleVmSpec("quiet", 4));
+  VSched vsched(&busy.kernel(), VSchedOptions::Full());
+  vsched.Start();
+  auto w = MakeWorkload(&busy.kernel(), "canneal", 4);
+  w->Start();
+  sim.RunFor(SecToNs(3));
+  // The quiet VM's kernel never scheduled anything.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(quiet.kernel().vcpu(c).busy_ns(), 0);
+  }
+  EXPECT_EQ(quiet.kernel().counters().context_switches.value(), 0u);
+  w->Stop();
+}
+
+}  // namespace
+}  // namespace vsched

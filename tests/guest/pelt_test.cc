@@ -1,0 +1,55 @@
+#include "src/guest/pelt.h"
+
+#include <gtest/gtest.h>
+
+namespace vsched {
+namespace {
+
+TEST(PeltTest, ConvergesToFullWhenAlwaysRunning) {
+  PeltSignal p;
+  p.Seed(0, 0);
+  for (int i = 1; i <= 500; ++i) {
+    p.Update(MsToNs(i), /*active=*/true);
+  }
+  EXPECT_GT(p.util(), 0.99 * kCapacityScale);
+}
+
+TEST(PeltTest, ConvergesToZeroWhenIdle) {
+  PeltSignal p;
+  p.Seed(0, kCapacityScale);
+  for (int i = 1; i <= 500; ++i) {
+    p.Update(MsToNs(i), /*active=*/false);
+  }
+  EXPECT_LT(p.util(), 0.01 * kCapacityScale);
+}
+
+TEST(PeltTest, HalfLifeIs32Ms) {
+  PeltSignal p;
+  p.Seed(0, kCapacityScale);
+  p.Update(MsToNs(32), /*active=*/false);
+  EXPECT_NEAR(p.util(), kCapacityScale / 2, 1.0);
+}
+
+TEST(PeltTest, ConvergesToDutyCycle) {
+  PeltSignal p;
+  p.Seed(0, 0);
+  // 25% duty: 1 ms on, 3 ms off.
+  TimeNs t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    t += MsToNs(1);
+    p.Update(t, /*active=*/true);
+    t += MsToNs(3);
+    p.Update(t, /*active=*/false);
+  }
+  EXPECT_NEAR(p.util() / kCapacityScale, 0.25, 0.05);
+}
+
+TEST(PeltTest, ZeroDtIsNoop) {
+  PeltSignal p;
+  p.Seed(100, 500);
+  p.Update(100, true);
+  EXPECT_DOUBLE_EQ(p.util(), 500);
+}
+
+}  // namespace
+}  // namespace vsched

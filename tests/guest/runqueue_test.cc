@@ -1,0 +1,102 @@
+#include "src/guest/runqueue.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/guest/test_behaviors.h"
+
+namespace vsched {
+namespace {
+
+class RunqueueTest : public ::testing::Test {
+ protected:
+  Task* Make(uint64_t id, TaskPolicy policy) {
+    tasks_.push_back(std::make_unique<Task>(id, "t" + std::to_string(id), policy, &behavior_,
+                                            CpuMask::FirstN(1)));
+    return tasks_.back().get();
+  }
+
+  HogBehavior behavior_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+};
+
+TEST_F(RunqueueTest, EmptyQueue) {
+  Runqueue rq;
+  EXPECT_TRUE(rq.empty());
+  EXPECT_EQ(rq.Pick(), nullptr);
+  EXPECT_FALSE(rq.OnlyIdleTasks());
+  EXPECT_DOUBLE_EQ(rq.load(), 0.0);
+}
+
+TEST_F(RunqueueTest, PicksMinVruntime) {
+  Runqueue rq;
+  Task* a = Make(1, TaskPolicy::kNormal);
+  Task* b = Make(2, TaskPolicy::kNormal);
+  rq.Enqueue(a);
+  rq.Enqueue(b);
+  // Equal vruntime (0): tie-break by id → a.
+  EXPECT_EQ(rq.Pick(), a);
+  rq.Dequeue(a);
+  EXPECT_EQ(rq.Pick(), b);
+}
+
+TEST_F(RunqueueTest, NormalBeatsIdlePolicy) {
+  Runqueue rq;
+  Task* idle = Make(1, TaskPolicy::kIdle);
+  Task* normal = Make(2, TaskPolicy::kNormal);
+  rq.Enqueue(idle);
+  EXPECT_TRUE(rq.OnlyIdleTasks());
+  rq.Enqueue(normal);
+  EXPECT_FALSE(rq.OnlyIdleTasks());
+  EXPECT_EQ(rq.Pick(), normal);
+}
+
+TEST_F(RunqueueTest, LoadCountsOnlyNormalTasks) {
+  Runqueue rq;
+  Task* idle = Make(1, TaskPolicy::kIdle);
+  Task* normal = Make(2, TaskPolicy::kNormal);
+  rq.Enqueue(idle);
+  EXPECT_DOUBLE_EQ(rq.load(), 0.0);
+  rq.Enqueue(normal);
+  EXPECT_DOUBLE_EQ(rq.load(), 1024.0);
+  rq.Dequeue(normal);
+  EXPECT_DOUBLE_EQ(rq.load(), 0.0);
+}
+
+TEST_F(RunqueueTest, CountsByClass) {
+  Runqueue rq;
+  rq.Enqueue(Make(1, TaskPolicy::kIdle));
+  rq.Enqueue(Make(2, TaskPolicy::kIdle));
+  rq.Enqueue(Make(3, TaskPolicy::kNormal));
+  EXPECT_EQ(rq.size(), 3u);
+  EXPECT_EQ(rq.idle_count(), 2u);
+  EXPECT_EQ(rq.normal_count(), 1u);
+}
+
+TEST_F(RunqueueTest, ContainsTracksMembership) {
+  Runqueue rq;
+  Task* a = Make(1, TaskPolicy::kNormal);
+  EXPECT_FALSE(rq.Contains(a));
+  rq.Enqueue(a);
+  EXPECT_TRUE(rq.Contains(a));
+  rq.Dequeue(a);
+  EXPECT_FALSE(rq.Contains(a));
+}
+
+TEST_F(RunqueueTest, MinVruntimeMonotone) {
+  Runqueue rq;
+  rq.RaiseMinVruntime(10.0);
+  rq.RaiseMinVruntime(5.0);
+  EXPECT_DOUBLE_EQ(rq.min_vruntime(), 10.0);
+}
+
+TEST_F(RunqueueTest, ForEachVisitsAll) {
+  Runqueue rq;
+  rq.Enqueue(Make(1, TaskPolicy::kNormal));
+  rq.Enqueue(Make(2, TaskPolicy::kIdle));
+  int visits = 0;
+  rq.ForEach([&](Task*) { ++visits; });
+  EXPECT_EQ(visits, 2);
+}
+
+}  // namespace
+}  // namespace vsched

@@ -1,0 +1,126 @@
+// Small reusable task behaviors for kernel tests.
+#ifndef TESTS_GUEST_TEST_BEHAVIORS_H_
+#define TESTS_GUEST_TEST_BEHAVIORS_H_
+
+#include <functional>
+
+#include "src/base/time.h"
+#include "src/guest/task.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+// Runs a fixed amount of work, then exits. Records the completion time.
+class FixedWorkBehavior : public TaskBehavior {
+ public:
+  explicit FixedWorkBehavior(Work total) : total_(total) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    if (reason == RunReason::kStarted) {
+      return TaskAction::Run(total_);
+    }
+    finished_at_ = ctx.sim->now();
+    done_ = true;
+    return TaskAction::Exit();
+  }
+
+  bool done() const { return done_; }
+  TimeNs finished_at() const { return finished_at_; }
+
+ private:
+  Work total_;
+  bool done_ = false;
+  TimeNs finished_at_ = -1;
+};
+
+// CPU hog: runs bursts of `chunk` work forever.
+class HogBehavior : public TaskBehavior {
+ public:
+  explicit HogBehavior(Work chunk = 1024.0 * kNsPerMs) : chunk_(chunk) {}
+
+  TaskAction Next(TaskContext&, RunReason) override {
+    ++bursts_;
+    return TaskAction::Run(chunk_);
+  }
+
+  int bursts() const { return bursts_; }
+
+ private:
+  Work chunk_;
+  int bursts_ = 0;
+};
+
+// Duty-cycled task: run `work`, sleep `sleep`, repeat (optionally bounded).
+class PeriodicBehavior : public TaskBehavior {
+ public:
+  PeriodicBehavior(Work work, TimeNs sleep, int repeats = -1)
+      : work_(work), sleep_(sleep), repeats_(repeats) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override {
+    (void)ctx;
+    switch (reason) {
+      case RunReason::kStarted:
+      case RunReason::kSleepExpired:
+      case RunReason::kEventWake:
+        return TaskAction::Run(work_);
+      case RunReason::kBurstComplete:
+        ++completed_;
+        if (repeats_ > 0 && completed_ >= repeats_) {
+          return TaskAction::Exit();
+        }
+        return TaskAction::Sleep(sleep_);
+    }
+    return TaskAction::Exit();
+  }
+
+  int completed() const { return completed_; }
+
+ private:
+  Work work_;
+  TimeNs sleep_;
+  int repeats_;
+  int completed_ = 0;
+};
+
+// Waits for events; each wake runs `work` then waits again.
+class EventWorkerBehavior : public TaskBehavior {
+ public:
+  explicit EventWorkerBehavior(Work work) : work_(work) {}
+
+  TaskAction Next(TaskContext&, RunReason reason) override {
+    switch (reason) {
+      case RunReason::kStarted:
+        return TaskAction::WaitEvent();
+      case RunReason::kEventWake:
+        return TaskAction::Run(work_);
+      case RunReason::kBurstComplete:
+        ++handled_;
+        return TaskAction::WaitEvent();
+      case RunReason::kSleepExpired:
+        return TaskAction::WaitEvent();
+    }
+    return TaskAction::Exit();
+  }
+
+  int handled() const { return handled_; }
+
+ private:
+  Work work_;
+  int handled_ = 0;
+};
+
+// Fully scriptable behavior.
+class LambdaBehavior : public TaskBehavior {
+ public:
+  using Fn = std::function<TaskAction(TaskContext&, RunReason)>;
+  explicit LambdaBehavior(Fn fn) : fn_(std::move(fn)) {}
+
+  TaskAction Next(TaskContext& ctx, RunReason reason) override { return fn_(ctx, reason); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace vsched
+
+#endif  // TESTS_GUEST_TEST_BEHAVIORS_H_

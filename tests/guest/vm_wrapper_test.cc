@@ -1,0 +1,96 @@
+// Vm wrapper lifecycle: pinning, bandwidth re-shaping at runtime, teardown
+// while workloads are live, and spec validation.
+#include <gtest/gtest.h>
+
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+#include "tests/guest/test_behaviors.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec FlatSpec(int cores) {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = cores;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+TEST(VmTest, SimpleSpecPinsOneToOne) {
+  VmSpec spec = MakeSimpleVmSpec("x", 4, /*first_tid=*/2);
+  ASSERT_EQ(spec.vcpus.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spec.vcpus[i].tid, 2 + i);
+  }
+}
+
+TEST(VmTest, PinVcpuMovesLiveVcpu) {
+  Simulation sim(91);
+  HostMachine machine(&sim, FlatSpec(4));
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 2));
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("h", TaskPolicy::kNormal, &hog, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  sim.RunFor(MsToNs(10));
+  machine.SetCoreFreq(3, 2.0);
+  vm.PinVcpu(0, 3);
+  EXPECT_EQ(vm.thread(0).tid(), 3);
+  // The running task keeps executing — now at double speed.
+  TimeNs exec_before = t->total_exec_ns();
+  Work work_before = vm.kernel().vcpu(0).work_done();
+  sim.RunFor(MsToNs(10));
+  EXPECT_EQ(t->total_exec_ns() - exec_before, MsToNs(10));
+  EXPECT_NEAR(vm.kernel().vcpu(0).work_done() - work_before,
+              WorkAtCapacity(2 * kCapacityScale, MsToNs(10)),
+              WorkAtCapacity(kCapacityScale, UsToNs(100)));
+}
+
+TEST(VmTest, BandwidthReshapeWhileRunning) {
+  Simulation sim(92);
+  HostMachine machine(&sim, FlatSpec(2));
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 1));
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("h", TaskPolicy::kNormal, &hog, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  sim.RunFor(MsToNs(100));
+  TimeNs full_exec = t->total_exec_ns();
+  EXPECT_EQ(full_exec, MsToNs(100));
+  vm.SetVcpuBandwidth(0, MsToNs(2), MsToNs(10));
+  sim.RunFor(MsToNs(200));
+  TimeNs capped_exec = t->total_exec_ns() - full_exec;
+  EXPECT_NEAR(static_cast<double>(capped_exec), MsToNs(40), static_cast<double>(MsToNs(8)));
+  vm.ClearVcpuBandwidth(0);
+  TimeNs before = t->total_exec_ns();
+  sim.RunFor(MsToNs(100));
+  EXPECT_EQ(t->total_exec_ns() - before, MsToNs(100));
+}
+
+TEST(VmTest, TeardownWithLiveWorkloadIsClean) {
+  Simulation sim(93);
+  HostMachine machine(&sim, FlatSpec(2));
+  auto hog = std::make_unique<HogBehavior>();
+  {
+    Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 2));
+    Task* t = vm.kernel().CreateTask("h", TaskPolicy::kNormal, hog.get());
+    vm.kernel().StartTask(t);
+    sim.RunFor(MsToNs(50));
+    // Vm destructor runs here with the hog still current.
+  }
+  // The host threads are free again; the simulation continues cleanly.
+  EXPECT_FALSE(machine.sched(0).busy());
+  EXPECT_FALSE(machine.sched(1).busy());
+  sim.RunFor(MsToNs(50));
+}
+
+TEST(VmDeathTest, EmptySpecRejected) {
+  Simulation sim(94);
+  HostMachine machine(&sim, FlatSpec(1));
+  VmSpec spec;
+  spec.name = "empty";
+  EXPECT_DEATH({ Vm vm(&sim, &machine, spec); }, "");
+}
+
+}  // namespace
+}  // namespace vsched

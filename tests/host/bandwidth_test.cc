@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec OneCoreSpec() {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = 1;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+class BandwidthFixture : public ::testing::Test {
+ protected:
+  BandwidthFixture() : sim_(1), machine_(&sim_, OneCoreSpec()) {}
+
+  Simulation sim_;
+  HostMachine machine_;
+};
+
+TEST_F(BandwidthFixture, QuotaCapsRuntime) {
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(5), MsToNs(10));  // 50% cap.
+  s.Start(&machine_, 0);
+  sim_.RunFor(SecToNs(1));
+  TimeNs now = sim_.now();
+  EXPECT_NEAR(static_cast<double>(s.ran_ns(now)) / static_cast<double>(now), 0.5, 0.01);
+  s.Stop();
+}
+
+TEST_F(BandwidthFixture, ThrottledTimeCountsAsSteal) {
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(2), MsToNs(10));  // 20% cap.
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(100));
+  TimeNs now = sim_.now();
+  // Wants to run the whole time; 80% of it is stolen (throttled).
+  EXPECT_NEAR(static_cast<double>(s.steal_ns(now)) / static_cast<double>(now), 0.8, 0.02);
+  s.Stop();
+}
+
+TEST_F(BandwidthFixture, AlternatingActiveInactivePattern) {
+  // quota=5ms, period=10ms with no competitor: the entity runs exactly 5 ms
+  // then is throttled exactly 5 ms, repeating — the Figure 3 host setup.
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(5), MsToNs(10));
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(5) - 1);
+  EXPECT_TRUE(s.running());
+  sim_.RunFor(2);
+  EXPECT_FALSE(s.running());
+  EXPECT_TRUE(s.throttled());
+  sim_.RunFor(MsToNs(5));
+  EXPECT_TRUE(s.running());
+  s.Stop();
+}
+
+TEST_F(BandwidthFixture, UnusedQuotaDoesNotAccumulate) {
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(5), MsToNs(10));
+  s.StartDutyCycle(&machine_, 0, MsToNs(1), MsToNs(99));  // Mostly idle.
+  sim_.RunFor(SecToNs(1));
+  TimeNs idle_ran = s.ran_ns(sim_.now());
+  EXPECT_NEAR(static_cast<double>(idle_ran), MsToNs(10), static_cast<double>(MsToNs(2)));
+  s.Stop();
+}
+
+TEST_F(BandwidthFixture, QuotaEqualPeriodNeverThrottles) {
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(10), MsToNs(10));
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(100));
+  EXPECT_EQ(s.ran_ns(sim_.now()), MsToNs(100));
+  EXPECT_FALSE(s.throttled());
+  s.Stop();
+}
+
+TEST_F(BandwidthFixture, BandwidthInteractsWithCompetition) {
+  // Capped entity competes with an uncapped one: it gets at most its quota;
+  // the competitor absorbs the rest.
+  Stressor capped(&sim_, "capped");
+  capped.SetBandwidth(MsToNs(2), MsToNs(10));
+  Stressor free_entity(&sim_, "free");
+  capped.Start(&machine_, 0);
+  free_entity.Start(&machine_, 0);
+  sim_.RunFor(SecToNs(1));
+  TimeNs now = sim_.now();
+  double capped_share = static_cast<double>(capped.ran_ns(now)) / static_cast<double>(now);
+  double free_share = static_cast<double>(free_entity.ran_ns(now)) / static_cast<double>(now);
+  EXPECT_LE(capped_share, 0.21);
+  EXPECT_NEAR(capped_share + free_share, 1.0, 0.01);
+  capped.Stop();
+  free_entity.Stop();
+}
+
+TEST_F(BandwidthFixture, ReattachAfterStopResetsThrottle) {
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(1), MsToNs(10));
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(2));
+  EXPECT_TRUE(s.throttled());
+  s.Stop();
+  EXPECT_FALSE(s.throttled());
+  s.Start(&machine_, 0);
+  EXPECT_TRUE(s.running());
+  s.Stop();
+}
+
+}  // namespace
+}  // namespace vsched

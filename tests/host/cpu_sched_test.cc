@@ -1,0 +1,166 @@
+#include "src/host/cpu_sched.h"
+
+#include <gtest/gtest.h>
+
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec OneCoreSpec() {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = 1;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+class HostFixture : public ::testing::Test {
+ protected:
+  HostFixture() : sim_(1), machine_(&sim_, OneCoreSpec()) {}
+
+  Simulation sim_;
+  HostMachine machine_;
+};
+
+TEST_F(HostFixture, SingleEntityRunsImmediately) {
+  Stressor s(&sim_, "s");
+  s.Start(&machine_, 0);
+  EXPECT_TRUE(s.running());
+  sim_.RunFor(MsToNs(100));
+  EXPECT_EQ(s.ran_ns(sim_.now()), MsToNs(100));
+  EXPECT_EQ(s.steal_ns(sim_.now()), 0);
+  s.Stop();
+}
+
+TEST_F(HostFixture, TwoEqualEntitiesShareFairly) {
+  Stressor a(&sim_, "a");
+  Stressor b(&sim_, "b");
+  a.Start(&machine_, 0);
+  b.Start(&machine_, 0);
+  sim_.RunFor(SecToNs(1));
+  TimeNs now = sim_.now();
+  double ra = static_cast<double>(a.ran_ns(now));
+  double rb = static_cast<double>(b.ran_ns(now));
+  EXPECT_NEAR(ra / (ra + rb), 0.5, 0.02);
+  // While one runs, the other accrues steal.
+  EXPECT_GT(a.steal_ns(now), MsToNs(400));
+  a.Stop();
+  b.Stop();
+}
+
+TEST_F(HostFixture, WeightsSkewTheShares) {
+  Stressor heavy(&sim_, "heavy", /*weight=*/3072.0);
+  Stressor light(&sim_, "light", /*weight=*/1024.0);
+  heavy.Start(&machine_, 0);
+  light.Start(&machine_, 0);
+  sim_.RunFor(SecToNs(2));
+  TimeNs now = sim_.now();
+  double rh = static_cast<double>(heavy.ran_ns(now));
+  double rl = static_cast<double>(light.ran_ns(now));
+  EXPECT_NEAR(rh / (rh + rl), 0.75, 0.03);
+  heavy.Stop();
+  light.Stop();
+}
+
+TEST_F(HostFixture, RtEntityStarvesFairTier) {
+  Stressor rt(&sim_, "rt", 1024.0, /*rt=*/true);
+  Stressor fair(&sim_, "fair");
+  fair.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(10));
+  rt.Start(&machine_, 0);
+  EXPECT_TRUE(rt.running());
+  EXPECT_FALSE(fair.running());
+  sim_.RunFor(MsToNs(100));
+  TimeNs now = sim_.now();
+  EXPECT_EQ(fair.ran_ns(now), MsToNs(10));
+  EXPECT_EQ(rt.ran_ns(now), MsToNs(100));
+  rt.Stop();
+  fair.Stop();
+}
+
+TEST_F(HostFixture, RtPreemptsImmediatelyOnWake) {
+  Stressor fair(&sim_, "fair");
+  fair.Start(&machine_, 0);
+  sim_.RunFor(UsToNs(100));
+  Stressor rt(&sim_, "rt", 1024.0, /*rt=*/true);
+  rt.Start(&machine_, 0);
+  // No wakeup-granularity wait for the RT tier.
+  EXPECT_TRUE(rt.running());
+  rt.Stop();
+  fair.Stop();
+}
+
+TEST_F(HostFixture, DutyCycleStressorTogglesDemand) {
+  Stressor s(&sim_, "s");
+  s.StartDutyCycle(&machine_, 0, MsToNs(5), MsToNs(5));
+  sim_.RunFor(MsToNs(100));
+  TimeNs now = sim_.now();
+  // 50% duty cycle alone on the thread → runs half the time.
+  EXPECT_NEAR(static_cast<double>(s.ran_ns(now)) / static_cast<double>(now), 0.5, 0.01);
+  EXPECT_EQ(s.steal_ns(now), 0);
+  s.Stop();
+}
+
+TEST_F(HostFixture, DetachedEntityStopsAccruing) {
+  Stressor s(&sim_, "s");
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(10));
+  s.Stop();
+  TimeNs ran = s.ran_ns(sim_.now());
+  sim_.RunFor(MsToNs(10));
+  EXPECT_EQ(s.ran_ns(sim_.now()), ran);
+  EXPECT_FALSE(machine_.sched(0).busy());
+}
+
+TEST_F(HostFixture, SleeperGetsWakeupCreditNotStarved) {
+  Stressor hog(&sim_, "hog");
+  hog.Start(&machine_, 0);
+  sim_.RunFor(SecToNs(1));
+  // A late joiner must not monopolize the CPU to "catch up" a full second of
+  // vruntime, nor be starved.
+  Stressor late(&sim_, "late");
+  late.Start(&machine_, 0);
+  TimeNs t0 = sim_.now();
+  sim_.RunFor(MsToNs(200));
+  TimeNs now = sim_.now();
+  double share = static_cast<double>(late.ran_ns(now)) / static_cast<double>(now - t0);
+  EXPECT_GT(share, 0.35);
+  EXPECT_LT(share, 0.65);
+  hog.Stop();
+  late.Stop();
+}
+
+TEST_F(HostFixture, RunnableCountAndCurrent) {
+  Stressor a(&sim_, "a");
+  Stressor b(&sim_, "b");
+  EXPECT_EQ(machine_.sched(0).runnable_count(), 0u);
+  a.Start(&machine_, 0);
+  b.Start(&machine_, 0);
+  EXPECT_EQ(machine_.sched(0).runnable_count(), 2u);
+  EXPECT_NE(machine_.sched(0).current(), nullptr);
+  a.Stop();
+  b.Stop();
+}
+
+TEST_F(HostFixture, ConservationOfThreadTime) {
+  Stressor a(&sim_, "a");
+  Stressor b(&sim_, "b");
+  Stressor c(&sim_, "c", 2048.0);
+  a.Start(&machine_, 0);
+  b.Start(&machine_, 0);
+  c.Start(&machine_, 0);
+  sim_.RunFor(SecToNs(1));
+  TimeNs now = sim_.now();
+  TimeNs total = a.ran_ns(now) + b.ran_ns(now) + c.ran_ns(now);
+  // The thread is never idle: total runtime equals elapsed time.
+  EXPECT_EQ(total, now);
+  a.Stop();
+  b.Stop();
+  c.Stop();
+}
+
+}  // namespace
+}  // namespace vsched

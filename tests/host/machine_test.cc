@@ -1,0 +1,159 @@
+#include "src/host/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/host/stressor.h"
+#include "src/host/vcpu_thread.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec SmtSpec() {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = 2;
+  spec.threads_per_core = 2;
+  spec.smt_factor = 0.6;
+  return spec;
+}
+
+class MachineFixture : public ::testing::Test {
+ protected:
+  MachineFixture() : sim_(1), machine_(&sim_, SmtSpec()) {}
+
+  Simulation sim_;
+  HostMachine machine_;
+};
+
+TEST_F(MachineFixture, IdleThreadFullSpeed) {
+  EXPECT_DOUBLE_EQ(machine_.SpeedOf(0), kCapacityScale);
+}
+
+TEST_F(MachineFixture, SmtContentionReducesSpeed) {
+  Stressor s(&sim_, "s");
+  s.Start(&machine_, 1);  // Sibling of thread 0.
+  EXPECT_DOUBLE_EQ(machine_.SpeedOf(0), kCapacityScale * 0.6);
+  EXPECT_DOUBLE_EQ(machine_.SpeedOf(2), kCapacityScale);  // Other core unaffected.
+  s.Stop();
+  EXPECT_DOUBLE_EQ(machine_.SpeedOf(0), kCapacityScale);
+}
+
+TEST_F(MachineFixture, FreqScalesSpeed) {
+  machine_.SetCoreFreq(0, 0.5);
+  EXPECT_DOUBLE_EQ(machine_.SpeedOf(0), kCapacityScale * 0.5);
+  EXPECT_DOUBLE_EQ(machine_.SpeedOf(1), kCapacityScale * 0.5);
+  EXPECT_DOUBLE_EQ(machine_.SpeedOf(2), kCapacityScale);
+}
+
+TEST_F(MachineFixture, FreqAndSmtCompose) {
+  machine_.SetCoreFreq(0, 2.0);
+  Stressor s(&sim_, "s");
+  s.Start(&machine_, 1);
+  EXPECT_DOUBLE_EQ(machine_.SpeedOf(0), kCapacityScale * 2.0 * 0.6);
+  s.Stop();
+}
+
+class RecordingClient : public VcpuHostClient {
+ public:
+  void OnVcpuScheduledIn(TimeNs now) override {
+    ++in_count;
+    last_in = now;
+  }
+  void OnVcpuScheduledOut(TimeNs now) override {
+    ++out_count;
+    last_out = now;
+  }
+  void OnVcpuRateChanged(TimeNs) override { ++rate_count; }
+
+  int in_count = 0;
+  int out_count = 0;
+  int rate_count = 0;
+  TimeNs last_in = -1;
+  TimeNs last_out = -1;
+};
+
+TEST_F(MachineFixture, VcpuThreadNotifiesClientOnActivity) {
+  VcpuThread vcpu("vcpu0");
+  RecordingClient client;
+  vcpu.BindClient(&client);
+  machine_.Attach(&vcpu, 0);
+  EXPECT_EQ(client.in_count, 0);
+  vcpu.GuestWake();
+  EXPECT_EQ(client.in_count, 1);
+  EXPECT_TRUE(vcpu.active());
+  sim_.RunFor(MsToNs(1));
+  vcpu.GuestHalt();
+  EXPECT_EQ(client.out_count, 1);
+  EXPECT_EQ(client.last_out, sim_.now());
+  machine_.sched(0).Detach(&vcpu);
+}
+
+TEST_F(MachineFixture, VcpuPreemptedByCompetitorSeesOutAndIn) {
+  VcpuThread vcpu("vcpu0");
+  RecordingClient client;
+  vcpu.BindClient(&client);
+  machine_.Attach(&vcpu, 0);
+  vcpu.GuestWake();
+  Stressor competitor(&sim_, "comp");
+  competitor.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(50));
+  // The vCPU was descheduled and rescheduled repeatedly.
+  EXPECT_GT(client.out_count, 2);
+  EXPECT_GT(client.in_count, 2);
+  EXPECT_GT(vcpu.steal_ns(sim_.now()), MsToNs(10));
+  competitor.Stop();
+  vcpu.GuestHalt();
+  machine_.sched(0).Detach(&vcpu);
+}
+
+TEST_F(MachineFixture, SiblingBusyTogglesDeliverRateChanges) {
+  VcpuThread vcpu("vcpu0");
+  RecordingClient client;
+  vcpu.BindClient(&client);
+  machine_.Attach(&vcpu, 0);
+  vcpu.GuestWake();
+  Stressor sibling(&sim_, "sib");
+  sibling.StartDutyCycle(&machine_, 1, MsToNs(2), MsToNs(2));
+  sim_.RunFor(MsToNs(20));
+  EXPECT_GE(client.rate_count, 8);
+  sibling.Stop();
+  vcpu.GuestHalt();
+  machine_.sched(0).Detach(&vcpu);
+}
+
+TEST_F(MachineFixture, MoveRelocatesEntity) {
+  VcpuThread vcpu("vcpu0");
+  machine_.Attach(&vcpu, 0);
+  vcpu.GuestWake();
+  EXPECT_EQ(vcpu.tid(), 0);
+  machine_.Move(&vcpu, 3);
+  EXPECT_EQ(vcpu.tid(), 3);
+  EXPECT_TRUE(vcpu.running());
+  EXPECT_FALSE(machine_.sched(0).busy());
+  EXPECT_TRUE(machine_.sched(3).busy());
+  vcpu.GuestHalt();
+  machine_.sched(3).Detach(&vcpu);
+}
+
+TEST_F(MachineFixture, StackedVcpusNeverRunSimultaneously) {
+  VcpuThread a("a");
+  VcpuThread b("b");
+  machine_.Attach(&a, 0);
+  machine_.Attach(&b, 0);
+  a.GuestWake();
+  b.GuestWake();
+  for (int i = 0; i < 100; ++i) {
+    sim_.RunFor(UsToNs(500));
+    EXPECT_FALSE(a.running() && b.running());
+  }
+  TimeNs now = sim_.now();
+  EXPECT_EQ(a.ran_ns(now) + b.ran_ns(now), now);
+  a.GuestHalt();
+  b.GuestHalt();
+  machine_.sched(0).Detach(&a);
+  machine_.sched(0).Detach(&b);
+}
+
+}  // namespace
+}  // namespace vsched

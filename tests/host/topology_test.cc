@@ -1,0 +1,75 @@
+#include "src/host/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace vsched {
+namespace {
+
+TopologySpec SmallSpec() {
+  TopologySpec spec;
+  spec.sockets = 2;
+  spec.cores_per_socket = 2;
+  spec.threads_per_core = 2;
+  return spec;
+}
+
+TEST(TopologyTest, Counts) {
+  HostTopology topo(SmallSpec());
+  EXPECT_EQ(topo.num_sockets(), 2);
+  EXPECT_EQ(topo.num_cores(), 4);
+  EXPECT_EQ(topo.num_threads(), 8);
+}
+
+TEST(TopologyTest, CoreAndSocketMapping) {
+  HostTopology topo(SmallSpec());
+  EXPECT_EQ(topo.CoreOf(0), 0);
+  EXPECT_EQ(topo.CoreOf(1), 0);
+  EXPECT_EQ(topo.CoreOf(2), 1);
+  EXPECT_EQ(topo.SocketOf(0), 0);
+  EXPECT_EQ(topo.SocketOf(3), 0);
+  EXPECT_EQ(topo.SocketOf(4), 1);
+  EXPECT_EQ(topo.SocketOf(7), 1);
+}
+
+TEST(TopologyTest, Siblings) {
+  HostTopology topo(SmallSpec());
+  EXPECT_EQ(topo.SiblingOf(0), 1);
+  EXPECT_EQ(topo.SiblingOf(1), 0);
+  EXPECT_EQ(topo.SiblingOf(6), 7);
+}
+
+TEST(TopologyTest, NoSiblingWithoutSmt) {
+  TopologySpec spec = SmallSpec();
+  spec.threads_per_core = 1;
+  HostTopology topo(spec);
+  EXPECT_EQ(topo.SiblingOf(0), -1);
+  EXPECT_EQ(topo.num_threads(), 4);
+}
+
+TEST(TopologyTest, ThreadsOfCore) {
+  HostTopology topo(SmallSpec());
+  auto threads = topo.ThreadsOfCore(1);
+  ASSERT_EQ(threads.size(), 2u);
+  EXPECT_EQ(threads[0], 2);
+  EXPECT_EQ(threads[1], 3);
+}
+
+TEST(TopologyTest, DistanceClasses) {
+  HostTopology topo(SmallSpec());
+  EXPECT_EQ(topo.DistanceClass(0, 0), HwDistance::kSame);
+  EXPECT_EQ(topo.DistanceClass(0, 1), HwDistance::kSmtSibling);
+  EXPECT_EQ(topo.DistanceClass(0, 2), HwDistance::kSameSocket);
+  EXPECT_EQ(topo.DistanceClass(0, 4), HwDistance::kCrossSocket);
+}
+
+TEST(TopologyTest, CacheLatenciesOrdered) {
+  HostTopology topo(SmallSpec());
+  double smt = topo.CacheLatencyNs(0, 1);
+  double socket = topo.CacheLatencyNs(0, 2);
+  double cross = topo.CacheLatencyNs(0, 4);
+  EXPECT_LT(smt, socket);
+  EXPECT_LT(socket, cross);
+}
+
+}  // namespace
+}  // namespace vsched

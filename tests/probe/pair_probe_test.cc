@@ -1,0 +1,144 @@
+// Direct PairProbe behaviour: measurement noise bounds, interference from
+// user workloads, lifecycle, and the never-co-run ⇒ stacked rule.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/probe/pair_probe.h"
+#include "src/sim/simulation.h"
+#include "tests/guest/test_behaviors.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec TwoSocket() {
+  TopologySpec spec;
+  spec.sockets = 2;
+  spec.cores_per_socket = 2;
+  spec.threads_per_core = 2;
+  return spec;
+}
+
+PairProbeResult ProbeOnce(Vm& vm, Simulation& sim, int a, int b, PairProbeConfig config = {}) {
+  PairProbeResult result;
+  bool done = false;
+  PairProbe probe(&vm.kernel(), a, b, config, [&](const PairProbeResult& r) {
+    result = r;
+    done = true;
+  });
+  probe.Start();
+  sim.RunFor(SecToNs(20));
+  EXPECT_TRUE(done);
+  return result;
+}
+
+TEST(PairProbeTest, NoiseStaysWithinConfiguredBound) {
+  Simulation sim(71);
+  HostMachine machine(&sim, TwoSocket());
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[1].tid = 2;  // same socket, other core → 48 ns class
+  Vm vm(&sim, &machine, spec);
+  PairProbeConfig config;
+  config.noise = 0.08;
+  PairProbeResult r = ProbeOnce(vm, sim, 0, 1, config);
+  EXPECT_GE(r.latency_ns, 48.0 * (1.0 - config.noise) - 0.5);
+  EXPECT_LE(r.latency_ns, 48.0 * (1.0 + config.noise) + 0.5);
+}
+
+TEST(PairProbeTest, SucceedsDespiteBusyWorkload) {
+  Simulation sim(72);
+  HostMachine machine(&sim, TwoSocket());
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[1].tid = 4;  // cross socket
+  Vm vm(&sim, &machine, spec);
+  // CPU hogs on both vCPUs: the probers time-share with them.
+  HogBehavior h0;
+  HogBehavior h1;
+  Task* t0 = vm.kernel().CreateTask("h0", TaskPolicy::kNormal, &h0, CpuMask::Single(0));
+  Task* t1 = vm.kernel().CreateTask("h1", TaskPolicy::kNormal, &h1, CpuMask::Single(1));
+  vm.kernel().StartTask(t0);
+  vm.kernel().StartTask(t1);
+  sim.RunFor(MsToNs(20));
+  PairProbeResult r = ProbeOnce(vm, sim, 0, 1);
+  EXPECT_FALSE(std::isinf(r.latency_ns));
+  EXPECT_GT(r.latency_ns, 85.0);
+}
+
+TEST(PairProbeTest, StackedNeedsExhaustedExtensions) {
+  Simulation sim(73);
+  HostMachine machine(&sim, TwoSocket());
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[1].tid = 0;  // stacked
+  Vm vm(&sim, &machine, spec);
+  PairProbeResult r = ProbeOnce(vm, sim, 0, 1);
+  EXPECT_TRUE(std::isinf(r.latency_ns));
+  EXPECT_EQ(r.extensions, PairProbeConfig{}.max_extensions);
+  EXPECT_EQ(r.transfers, 0.0);
+}
+
+TEST(PairProbeTest, AnyTransferDisprovesStacking) {
+  // Two vCPUs at very low duty (tiny overlap): the probe must classify them
+  // by the rare transfers it does see, not call them stacked.
+  Simulation sim(74);
+  HostMachine machine(&sim, TwoSocket());
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[0].tid = 0;
+  spec.vcpus[1].tid = 2;
+  spec.vcpus[0].bw_quota = MsToNs(1);
+  spec.vcpus[0].bw_period = MsToNs(12);
+  spec.vcpus[1].bw_quota = MsToNs(1);
+  spec.vcpus[1].bw_period = MsToNs(14);  // different periods → drifting phases
+  Vm vm(&sim, &machine, spec);
+  PairProbeResult r = ProbeOnce(vm, sim, 0, 1);
+  EXPECT_FALSE(std::isinf(r.latency_ns)) << "low-duty pair misread as stacked";
+}
+
+TEST(PairProbeTest, DurationReflectsWaitingForCoActivity) {
+  Simulation sim(75);
+  HostMachine machine(&sim, TwoSocket());
+  // Dedicated pair: near-instant. Shaped pair: must wait for overlap.
+  VmSpec spec = MakeSimpleVmSpec("vm", 4);
+  spec.vcpus[1].tid = 2;
+  spec.vcpus[2].tid = 4;
+  spec.vcpus[3].tid = 6;
+  spec.vcpus[2].bw_quota = MsToNs(2);
+  spec.vcpus[2].bw_period = MsToNs(10);
+  spec.vcpus[3].bw_quota = MsToNs(2);
+  spec.vcpus[3].bw_period = MsToNs(10);
+  Vm vm(&sim, &machine, spec);
+  // Busy workloads drain the shaped vCPUs' quotas so the probe must wait
+  // for genuinely overlapping active windows.
+  HogBehavior h2;
+  HogBehavior h3;
+  Task* t2 = vm.kernel().CreateTask("h2", TaskPolicy::kNormal, &h2, CpuMask::Single(2));
+  Task* t3 = vm.kernel().CreateTask("h3", TaskPolicy::kNormal, &h3, CpuMask::Single(3));
+  vm.kernel().StartTask(t2);
+  vm.kernel().StartTask(t3);
+  sim.RunFor(MsToNs(50));
+  PairProbeResult fast = ProbeOnce(vm, sim, 0, 1);
+  PairProbeResult slow = ProbeOnce(vm, sim, 2, 3);
+  EXPECT_LT(fast.duration, MsToNs(1));
+  EXPECT_GT(slow.duration, fast.duration * 3);
+}
+
+TEST(PairProbeTest, CanDestroyOnlyAfterSpinnersExit) {
+  Simulation sim(76);
+  HostMachine machine(&sim, TwoSocket());
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[1].tid = 2;
+  Vm vm(&sim, &machine, spec);
+  bool done = false;
+  PairProbe probe(&vm.kernel(), 0, 1, PairProbeConfig{}, [&](const PairProbeResult&) {
+    done = true;
+  });
+  probe.Start();
+  EXPECT_FALSE(probe.CanDestroy());
+  sim.RunFor(SecToNs(1));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(probe.CanDestroy());
+}
+
+}  // namespace
+}  // namespace vsched

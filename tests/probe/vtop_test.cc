@@ -1,0 +1,225 @@
+#include "src/probe/vtop.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/probe/pair_probe.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec TwoSocketSmt() {
+  TopologySpec spec;
+  spec.sockets = 2;
+  spec.cores_per_socket = 4;
+  spec.threads_per_core = 2;
+  return spec;
+}
+
+class VtopFixture : public ::testing::Test {
+ protected:
+  VtopFixture() : sim_(55), machine_(&sim_, TwoSocketSmt()) {}
+
+  Simulation sim_;
+  HostMachine machine_;
+};
+
+TEST_F(VtopFixture, PairProbeMeasuresSmtLatency) {
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[0].tid = 0;
+  spec.vcpus[1].tid = 1;  // SMT siblings
+  Vm vm(&sim_, &machine_, spec);
+  PairProbeResult result;
+  bool done = false;
+  PairProbe probe(&vm.kernel(), 0, 1, PairProbeConfig{}, [&](const PairProbeResult& r) {
+    result = r;
+    done = true;
+  });
+  probe.Start();
+  sim_.RunFor(SecToNs(1));
+  ASSERT_TRUE(done);
+  EXPECT_LT(result.latency_ns, 10.0);
+  EXPECT_GE(result.transfers, 500);
+}
+
+TEST_F(VtopFixture, PairProbeDetectsStackedPair) {
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[0].tid = 0;
+  spec.vcpus[1].tid = 0;  // stacked
+  Vm vm(&sim_, &machine_, spec);
+  PairProbeResult result;
+  bool done = false;
+  PairProbe probe(&vm.kernel(), 0, 1, PairProbeConfig{}, [&](const PairProbeResult& r) {
+    result = r;
+    done = true;
+  });
+  probe.Start();
+  sim_.RunFor(SecToNs(2));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(std::isinf(result.latency_ns));
+  EXPECT_GT(result.extensions, 0);  // Timeout was extended before deciding.
+}
+
+TEST_F(VtopFixture, PairProbeCrossSocketLatency) {
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[0].tid = 0;
+  spec.vcpus[1].tid = 8;  // other socket
+  Vm vm(&sim_, &machine_, spec);
+  double latency = 0;
+  bool done = false;
+  PairProbe probe(&vm.kernel(), 0, 1, PairProbeConfig{}, [&](const PairProbeResult& r) {
+    latency = r.latency_ns;
+    done = true;
+  });
+  probe.Start();
+  sim_.RunFor(SecToNs(1));
+  ASSERT_TRUE(done);
+  EXPECT_GT(latency, 80.0);
+  EXPECT_LT(latency, 140.0);
+}
+
+// The Figure 10(b) configuration: vCPU0-3 two SMT pairs in socket 0;
+// vCPU4/5 an SMT pair in socket 1; vCPU6/7 stacked in socket 1.
+VmSpec Fig10bSpec() {
+  VmSpec spec = MakeSimpleVmSpec("vm", 8);
+  spec.vcpus[0].tid = 0;
+  spec.vcpus[1].tid = 1;
+  spec.vcpus[2].tid = 2;
+  spec.vcpus[3].tid = 3;
+  spec.vcpus[4].tid = 8;
+  spec.vcpus[5].tid = 9;
+  spec.vcpus[6].tid = 10;
+  spec.vcpus[7].tid = 10;  // stacked
+  return spec;
+}
+
+TEST_F(VtopFixture, FullProbeRecoversFig10bTopology) {
+  Vm vm(&sim_, &machine_, Fig10bSpec());
+  Vtop vtop(&vm.kernel());
+  bool done = false;
+  vtop.RunFullProbe([&] { done = true; });
+  sim_.RunFor(SecToNs(10));
+  ASSERT_TRUE(done);
+  const GuestTopology& topo = vtop.probed_topology();
+  // SMT pairs.
+  EXPECT_TRUE(topo.smt_mask[0].Test(1));
+  EXPECT_FALSE(topo.smt_mask[0].Test(2));
+  EXPECT_TRUE(topo.smt_mask[2].Test(3));
+  EXPECT_TRUE(topo.smt_mask[4].Test(5));
+  // Stacked pair shares a hardware thread (and hence a "core group").
+  EXPECT_TRUE(topo.stack_mask[6].Test(7));
+  EXPECT_EQ(topo.stack_mask[6].Count(), 2);
+  EXPECT_EQ(topo.stack_mask[0].Count(), 1);
+  // Sockets.
+  EXPECT_EQ(topo.llc_mask[0], CpuMask(0b00001111));
+  EXPECT_EQ(topo.llc_mask[5], CpuMask(0b11110000));
+}
+
+TEST_F(VtopFixture, MatrixLatenciesAreOrdered) {
+  Vm vm(&sim_, &machine_, Fig10bSpec());
+  Vtop vtop(&vm.kernel());
+  bool done = false;
+  vtop.RunFullProbe([&] { done = true; });
+  sim_.RunFor(SecToNs(10));
+  ASSERT_TRUE(done);
+  double smt = vtop.MatrixAt(0, 1);
+  double socket = vtop.MatrixAt(0, 2);
+  double cross = vtop.MatrixAt(0, 4);
+  EXPECT_LT(smt, 12.0);
+  EXPECT_GT(socket, 30.0);
+  EXPECT_LT(socket, 70.0);
+  EXPECT_GT(cross, 85.0);
+  EXPECT_TRUE(std::isinf(vtop.MatrixAt(6, 7)));
+}
+
+TEST_F(VtopFixture, InferenceSkipsStackedPairs) {
+  Vm vm(&sim_, &machine_, Fig10bSpec());
+  Vtop vtop(&vm.kernel());
+  bool done = false;
+  vtop.RunFullProbe([&] { done = true; });
+  sim_.RunFor(SecToNs(10));
+  ASSERT_TRUE(done);
+  // vCPU7's relations to 4 and 5 are inferable from vCPU6's.
+  EXPECT_GT(vtop.pairs_inferred(), 0);
+}
+
+TEST_F(VtopFixture, ValidationPassesOnStableTopologyAndIsFaster) {
+  Vm vm(&sim_, &machine_, Fig10bSpec());
+  Vtop vtop(&vm.kernel());
+  bool full_done = false;
+  vtop.RunFullProbe([&] { full_done = true; });
+  sim_.RunFor(SecToNs(10));
+  ASSERT_TRUE(full_done);
+  bool ok = false;
+  bool validated = false;
+  vtop.RunValidation([&](bool result) {
+    ok = result;
+    validated = true;
+  });
+  sim_.RunFor(SecToNs(10));
+  ASSERT_TRUE(validated);
+  EXPECT_TRUE(ok);
+  EXPECT_LT(vtop.last_validate_duration(), vtop.last_full_duration());
+}
+
+TEST_F(VtopFixture, ValidationFailsAfterRepinning) {
+  Vm vm(&sim_, &machine_, Fig10bSpec());
+  Vtop vtop(&vm.kernel());
+  bool full_done = false;
+  vtop.RunFullProbe([&] { full_done = true; });
+  sim_.RunFor(SecToNs(10));
+  ASSERT_TRUE(full_done);
+  // Move vCPU1 to the other socket: the believed SMT pair (0,1) is now
+  // cross-socket.
+  vm.PinVcpu(1, 12);
+  bool ok = true;
+  bool validated = false;
+  vtop.RunValidation([&](bool result) {
+    ok = result;
+    validated = true;
+  });
+  sim_.RunFor(SecToNs(10));
+  ASSERT_TRUE(validated);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(VtopFixture, PeriodicLoopReprobesAfterChange) {
+  Vm vm(&sim_, &machine_, Fig10bSpec());
+  VtopConfig config;
+  config.probe_interval = MsToNs(500);
+  Vtop vtop(&vm.kernel(), config);
+  int topo_updates = 0;
+  GuestTopology latest;
+  vtop.SetTopologyCallback([&](const GuestTopology& t) {
+    ++topo_updates;
+    latest = t;
+  });
+  vtop.Start();
+  sim_.RunFor(SecToNs(4));
+  EXPECT_EQ(topo_updates, 1);
+  // Unstack vCPU7 onto a free core in socket 1.
+  vm.PinVcpu(7, 12);
+  sim_.RunFor(SecToNs(8));
+  vtop.Stop();
+  ASSERT_GE(topo_updates, 2);
+  EXPECT_EQ(latest.stack_mask[6].Count(), 1);
+  EXPECT_EQ(latest.stack_mask[7].Count(), 1);
+  EXPECT_TRUE(latest.llc_mask[7].Test(4));
+}
+
+TEST_F(VtopFixture, SingleVcpuTopologyTrivial) {
+  Vm vm(&sim_, &machine_, MakeSimpleVmSpec("vm", 1));
+  Vtop vtop(&vm.kernel());
+  bool done = false;
+  vtop.RunFullProbe([&] { done = true; });
+  sim_.RunFor(SecToNs(1));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(vtop.probed_topology().num_vcpus(), 1);
+}
+
+}  // namespace
+}  // namespace vsched

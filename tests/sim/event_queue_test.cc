@@ -1,0 +1,151 @@
+#include "src/sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vsched {
+namespace {
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.NextEventTime(), kTimeInfinity);
+  EXPECT_FALSE(q.RunOne());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, EqualTimestampsRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  while (q.RunOne()) {
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, AdvancesClockToEventTime) {
+  EventQueue q;
+  TimeNs seen = -1;
+  q.ScheduleAt(42, [&] { seen = q.now(); });
+  q.RunOne();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(q.RunOne());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  EventId id = q.ScheduleAt(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(EventId()));
+}
+
+TEST(EventQueueTest, CancelAfterExecutionReturnsFalse) {
+  EventQueue q;
+  EventId id = q.ScheduleAt(1, [] {});
+  q.RunOne();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int count = 0;
+  q.ScheduleAt(10, [&] { ++count; });
+  q.ScheduleAt(20, [&] { ++count; });
+  q.ScheduleAt(30, [&] { ++count; });
+  q.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), 20);
+  q.RunUntil(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      q.ScheduleAfter(10, chain);
+    }
+  };
+  q.ScheduleAt(0, chain);
+  q.RunUntil(1000);
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventQueueTest, ScheduleAtNowRunsImmediatelyNext) {
+  EventQueue q;
+  q.ScheduleAt(10, [] {});
+  q.RunOne();
+  bool ran = false;
+  q.ScheduleAt(q.now(), [&] { ran = true; });
+  q.RunOne();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 10);
+}
+
+TEST(EventQueueTest, PendingCountTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.ScheduleAt(1, [] {});
+  q.ScheduleAt(2, [] {});
+  EXPECT_EQ(q.PendingCount(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.RunOne();
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
+TEST(EventQueueTest, ManyInterleavedCancellations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int ran = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.ScheduleAt(i, [&] { ++ran; }));
+  }
+  for (int i = 0; i < 1000; i += 2) {
+    q.Cancel(ids[i]);
+  }
+  q.RunUntil(2000);
+  EXPECT_EQ(ran, 500);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  q.RunOne();
+  EXPECT_DEATH(q.ScheduleAt(50, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace vsched
