@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/latency_server.cpp" "examples/CMakeFiles/latency_server.dir/latency_server.cpp.o" "gcc" "examples/CMakeFiles/latency_server.dir/latency_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/vsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/vsched_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vsched_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/vsched_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

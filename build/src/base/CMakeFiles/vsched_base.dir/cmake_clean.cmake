@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_base.dir/check.cc.o"
+  "CMakeFiles/vsched_base.dir/check.cc.o.d"
+  "CMakeFiles/vsched_base.dir/log.cc.o"
+  "CMakeFiles/vsched_base.dir/log.cc.o.d"
+  "CMakeFiles/vsched_base.dir/time.cc.o"
+  "CMakeFiles/vsched_base.dir/time.cc.o.d"
+  "libvsched_base.a"
+  "libvsched_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
