@@ -5,7 +5,7 @@
 //  (4) tunable auto-configuration (§6) — derived vs Table-1 defaults.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/core/autotune.h"
 #include "src/workloads/throughput_app.h"
 

@@ -1,0 +1,33 @@
+// Minimal flag parsing shared by the runner-backed bench binaries.
+#ifndef BENCH_BENCH_ARGS_H_
+#define BENCH_BENCH_ARGS_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace vsched {
+
+// Value of "--name N" or "--name=N" in argv, else `fallback`.
+inline long FlagValue(int argc, char** argv, const char* name, long fallback) {
+  std::string flag = std::string("--") + name;
+  std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i] && i + 1 < argc) {
+      return std::atol(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atol(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+// Worker threads for a bench: "--jobs N", default 0 (hardware concurrency).
+inline int JobsArg(int argc, char** argv) {
+  return static_cast<int>(FlagValue(argc, argv, "jobs", 0));
+}
+
+}  // namespace vsched
+
+#endif  // BENCH_BENCH_ARGS_H_

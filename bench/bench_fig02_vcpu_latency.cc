@@ -3,73 +3,33 @@
 // A 32-vCPU VM whose vCPUs are shaped to 50% capacity with inactive periods
 // of 2/4/8/16 ms runs Tailbench-style services at a low arrival rate. The
 // p95 tail latency is reported normalized to the 16 ms configuration (lower
-// is better), with and without SCHED_IDLE best-effort background tasks.
+// is better), with and without SCHED_IDLE best-effort background tasks. The
+// 24 runs are sharded across worker threads (--jobs N, default: hardware
+// concurrency); results are identical to a serial sweep.
+#include <chrono>
 #include <cstdio>
-#include <map>
 
-#include "bench/bench_common.h"
-#include "src/workloads/latency_app.h"
-#include "src/workloads/throughput_app.h"
+#include "bench/bench_args.h"
+#include "src/metrics/experiment.h"
+#include "src/runner/report.h"
+#include "src/runner/runner.h"
+#include "src/runner/spec.h"
 
 using namespace vsched;
 
-namespace {
-
-double RunOne(const std::string& app_name, TimeNs vcpu_latency, bool best_effort) {
-  const int kVcpus = 32;
-  VmSpec spec = MakeSimpleVmSpec("vm", kVcpus);
-  // A co-located VM stresses every core (Sysbench in the paper); the host
-  // granularity knobs shape how long a runnable vCPU waits for the
-  // competitor's slice — i.e. the vCPU latency — without changing capacity.
-  HostSchedParams host;
-  host.min_granularity = vcpu_latency;
-  host.wakeup_granularity = vcpu_latency;
-  RunContext ctx = MakeRun(FlatHost(kVcpus), std::move(spec), VSchedOptions::Cfs(),
-                           /*seed=*/0xF16'02 + vcpu_latency, host);
-  for (int c = 0; c < kVcpus; ++c) {
-    ctx.AddStressor(c);
-  }
-  std::unique_ptr<TaskParallelApp> background;
-  if (best_effort) {
-    TaskParallelParams bp;
-    bp.name = "best-effort";
-    bp.threads = kVcpus;
-    bp.chunk_mean = MsToNs(1);
-    bp.policy = TaskPolicy::kIdle;
-    background = std::make_unique<TaskParallelApp>(&ctx.kernel(), bp);
-    background->Start();
-  }
-  MeasuredRun run = RunWorkload(ctx, app_name, /*threads=*/8, SecToNs(2), SecToNs(10));
-  if (background != nullptr) {
-    background->Stop();
-  }
-  return run.result.p95_ns;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   PrintBanner("Figure 2", "Impact of vCPU latency on p95 tail latency (normalized to 16 ms)");
-  const std::vector<std::string> apps = {"img-dnn", "silo", "specjbb"};
-  const std::vector<TimeNs> latencies = {MsToNs(2), MsToNs(4), MsToNs(8), MsToNs(16)};
-
-  for (bool best_effort : {false, true}) {
-    std::printf("\n%s best-effort tasks:\n", best_effort ? "With" : "Without");
-    TablePrinter table({"App", "2 ms", "4 ms", "8 ms", "16 ms", "p95@2ms", "p95@16ms"});
-    for (const std::string& app : apps) {
-      std::map<TimeNs, double> p95;
-      for (TimeNs lat : latencies) {
-        p95[lat] = RunOne(app, lat, best_effort);
-      }
-      double base = p95[MsToNs(16)];
-      table.AddRow({app, TablePrinter::Pct(100 * p95[MsToNs(2)] / base),
-                    TablePrinter::Pct(100 * p95[MsToNs(4)] / base),
-                    TablePrinter::Pct(100 * p95[MsToNs(8)] / base), TablePrinter::Pct(100.0),
-                    TablePrinter::Fmt(NsToMs(static_cast<TimeNs>(p95[MsToNs(2)])), 2) + " ms",
-                    TablePrinter::Fmt(NsToMs(static_cast<TimeNs>(base)), 2) + " ms"});
-    }
-    table.Print();
-  }
+  ExperimentSpec sweep = VcpuLatencySweep();
+  RunnerOptions options;
+  options.jobs = JobsArg(argc, argv);
+  options.on_run_done = [](const RunResult&) { std::fprintf(stderr, "."); };
+  auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results = Runner(options).Run(sweep);
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::fprintf(stderr, "\n");
+  PrintVcpuLatencyReport(results);
   std::printf("\nPaper: p95 grows up to ~20x from 2 ms to 16 ms vCPU latency.\n");
+  PrintRunSummary(results, elapsed.count());
   return 0;
 }

@@ -7,7 +7,7 @@
 // vCPU utilization.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/metrics/activity_trace.h"
 #include "src/workloads/micro.h"
 

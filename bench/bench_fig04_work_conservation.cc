@@ -8,7 +8,7 @@
 // workload present, avoids priority inversion entirely.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/workloads/throughput_app.h"
 
 using namespace vsched;

@@ -8,7 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/probe/vtop.h"
 #include "tests/guest/test_behaviors.h"
 

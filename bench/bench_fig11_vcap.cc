@@ -7,7 +7,7 @@
 //     adverse migrations under stock CFS, which vcap suppresses.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/workloads/throughput_app.h"
 
 using namespace vsched;

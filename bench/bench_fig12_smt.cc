@@ -8,7 +8,7 @@
 //     Fio; accurate SMT topology resolves sibling resource conflicts.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/workloads/latency_app.h"
 #include "src/workloads/micro.h"
 #include "src/workloads/throughput_app.h"

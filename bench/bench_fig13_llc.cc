@@ -7,7 +7,7 @@
 // cache-line transfers), and cross-socket rescheduling IPIs collapse.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 
 using namespace vsched;
 

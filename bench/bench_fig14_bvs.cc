@@ -8,7 +8,7 @@
 // and ablates bvs's vCPU-state check.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/workloads/latency_app.h"
 #include "src/workloads/throughput_app.h"
 

@@ -6,7 +6,7 @@
 // the activity-aware (pre-wake) migration on canneal.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/workloads/throughput_app.h"
 
 using namespace vsched;

@@ -6,7 +6,7 @@
 // throughput is reported per second for CFS and vSched.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/workloads/latency_app.h"
 
 using namespace vsched;

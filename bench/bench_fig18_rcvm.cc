@@ -3,15 +3,34 @@
 // All 31 workloads run with threads == vCPUs under three configurations:
 // stock CFS, enhanced CFS (vProbers + rwc feeding the existing heuristics),
 // and full vSched (bvs + ivh on top). rcvm has four vCPU quality classes,
-// two stragglers, and a stacked pair (§5.1).
-#include "bench/fig18_common.h"
+// two stragglers, and a stacked pair (§5.1). The 93 runs are sharded across
+// worker threads (--jobs N, default: hardware concurrency); results are
+// identical to a serial sweep.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_args.h"
+#include "src/metrics/experiment.h"
+#include "src/runner/report.h"
+#include "src/runner/runner.h"
+#include "src/runner/spec.h"
 
 using namespace vsched;
 
-int main() {
+int main(int argc, char** argv) {
   PrintBanner("Figure 18", "rcvm: CFS vs enhanced CFS vs vSched (31 workloads)");
-  RunOverallExperiment("rcvm", RcvmHostTopology(), MakeRcvmSpec(), 0xF16'18, /*rcvm=*/true);
+  ExperimentSpec sweep = OverallSweep(ExperimentFamily::kOverallRcvm);
+  RunnerOptions options;
+  options.jobs = JobsArg(argc, argv);
+  options.on_run_done = [](const RunResult&) { std::fprintf(stderr, "."); };
+  auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results = Runner(options).Run(sweep);
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::fprintf(stderr, "\n");
+  PrintOverallReport("rcvm", results);
   std::printf("\nPaper (Fig 18): enhanced CFS 1.4x lower latency / +59%% throughput;\n"
               "vSched 1.6x lower latency / +69%% throughput on average vs CFS.\n");
+  PrintRunSummary(results, elapsed.count());
   return 0;
 }

@@ -2,15 +2,33 @@
 //
 // Same protocol as Figure 18 in the 32-vCPU, 4-socket hpvm whose first
 // three vCPU groups mirror rcvm's quality classes and whose last group is
-// dedicated (§5.1).
-#include "bench/fig18_common.h"
+// dedicated (§5.1). The 93 runs are sharded across worker threads (--jobs N,
+// default: hardware concurrency); results are identical to a serial sweep.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_args.h"
+#include "src/metrics/experiment.h"
+#include "src/runner/report.h"
+#include "src/runner/runner.h"
+#include "src/runner/spec.h"
 
 using namespace vsched;
 
-int main() {
+int main(int argc, char** argv) {
   PrintBanner("Figure 19", "hpvm: CFS vs enhanced CFS vs vSched (31 workloads)");
-  RunOverallExperiment("hpvm", HpvmHostTopology(), MakeHpvmSpec(), 0xF16'19, /*rcvm=*/false);
+  ExperimentSpec sweep = OverallSweep(ExperimentFamily::kOverallHpvm);
+  RunnerOptions options;
+  options.jobs = JobsArg(argc, argv);
+  options.on_run_done = [](const RunResult&) { std::fprintf(stderr, "."); };
+  auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results = Runner(options).Run(sweep);
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::fprintf(stderr, "\n");
+  PrintOverallReport("hpvm", results);
   std::printf("\nPaper (Fig 19): enhanced CFS 1.5x lower latency / +13%% throughput;\n"
               "vSched 2.3x lower latency / +18%% throughput on average vs CFS.\n");
+  PrintRunSummary(results, elapsed.count());
   return 0;
 }

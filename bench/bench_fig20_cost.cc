@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/workloads/latency_app.h"
 #include "src/workloads/throughput_app.h"
 

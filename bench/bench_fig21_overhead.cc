@@ -6,7 +6,7 @@
 // overhead (probing cost).
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/workloads/latency_app.h"
 
 using namespace vsched;

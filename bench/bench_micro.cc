@@ -3,7 +3,7 @@
 // are not paper artifacts; they track the engine's own performance.
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/sim/event_queue.h"
 #include "src/workloads/throughput_app.h"
 

@@ -3,7 +3,7 @@
 // non-stacked pairs are misidentified as stacked.
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/probe/vtop.h"
 #include "src/workloads/throughput_app.h"
 

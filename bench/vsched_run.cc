@@ -1,0 +1,205 @@
+// vsched_run: unified CLI for the declarative experiment sweeps.
+//
+//   vsched_run [--experiment NAME] [--jobs N] [--seed S] [--out FILE]
+//              [--filter SUBSTR] [--warmup-ms N] [--measure-ms N]
+//              [--timings] [--list]
+//
+// Experiments: fig18_rcvm (default), fig19_hpvm, fig02, all.
+// JSONL rows go to --out (or stdout); the human report and wall-clock
+// summary go to stdout (or stderr when rows occupy stdout). Rows are
+// byte-identical for any --jobs value. See docs/RUNNER.md.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/runner/report.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/runner.h"
+#include "src/runner/spec.h"
+
+using namespace vsched;
+
+namespace {
+
+struct CliOptions {
+  std::string experiment = "fig18_rcvm";
+  int jobs = 0;
+  uint64_t seed = 0;  // 0: each sweep's built-in default
+  std::string out;    // empty: stdout
+  std::string filter;
+  long warmup_ms = -1;   // -1: sweep default
+  long measure_ms = -1;  // -1: sweep default
+  bool timings = false;
+  bool list = false;
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: vsched_run [options]\n"
+               "  --experiment NAME  fig18_rcvm | fig19_hpvm | fig02 | all (default:"
+               " fig18_rcvm)\n"
+               "  --jobs N           worker threads; 0 = hardware concurrency, 1 = serial\n"
+               "  --seed S           base seed override (default: the sweep's own)\n"
+               "  --out FILE         write JSONL rows to FILE instead of stdout\n"
+               "  --filter SUBSTR    keep only runs whose id contains SUBSTR\n"
+               "  --warmup-ms N      override per-run warmup (simulated ms)\n"
+               "  --measure-ms N     override per-run measurement window (simulated ms)\n"
+               "  --timings          include per-row wall_ms (non-deterministic) in JSONL\n"
+               "  --list             print the selected run ids and exit\n");
+}
+
+// Parses argv; returns false (after printing usage) on an unknown flag.
+bool ParseArgs(int argc, char** argv, CliOptions& cli) {
+  auto value = [&](int& i, const char** out_value) {
+    if (i + 1 >= argc) {
+      return false;
+    }
+    *out_value = argv[++i];
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const char* v = nullptr;
+    std::string inline_value;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      v = inline_value.c_str();
+    }
+    auto take = [&](const char* name) {
+      if (arg != name) {
+        return false;
+      }
+      if (v == nullptr && !value(i, &v)) {
+        std::fprintf(stderr, "vsched_run: %s needs a value\n", name);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      std::exit(0);
+    } else if (arg == "--timings") {
+      cli.timings = true;
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (take("--experiment")) {
+      cli.experiment = v;
+    } else if (take("--jobs")) {
+      cli.jobs = std::atoi(v);
+    } else if (take("--seed")) {
+      cli.seed = std::strtoull(v, nullptr, 0);
+    } else if (take("--out")) {
+      cli.out = v;
+    } else if (take("--filter")) {
+      cli.filter = v;
+    } else if (take("--warmup-ms")) {
+      cli.warmup_ms = std::atol(v);
+    } else if (take("--measure-ms")) {
+      cli.measure_ms = std::atol(v);
+    } else {
+      std::fprintf(stderr, "vsched_run: unknown flag %s\n", arg.c_str());
+      Usage(stderr);
+      return false;
+    }
+  }
+  return true;
+}
+
+ExperimentSpec BuildSweep(const CliOptions& cli) {
+  std::vector<ExperimentSpec> parts;
+  if (cli.experiment == "fig18_rcvm" || cli.experiment == "all") {
+    parts.push_back(OverallSweep(ExperimentFamily::kOverallRcvm, cli.seed));
+  }
+  if (cli.experiment == "fig19_hpvm" || cli.experiment == "all") {
+    parts.push_back(OverallSweep(ExperimentFamily::kOverallHpvm, cli.seed));
+  }
+  if (cli.experiment == "fig02" || cli.experiment == "all") {
+    parts.push_back(VcpuLatencySweep(cli.seed));
+  }
+  if (parts.empty()) {
+    std::fprintf(stderr, "vsched_run: unknown experiment %s\n", cli.experiment.c_str());
+    std::exit(2);
+  }
+  ExperimentSpec sweep;
+  sweep.name = cli.experiment;
+  for (ExperimentSpec& part : parts) {
+    for (RunSpec& run : part.runs) {
+      if (cli.warmup_ms >= 0) {
+        run.warmup = MsToNs(cli.warmup_ms);
+      }
+      if (cli.measure_ms >= 0) {
+        run.measure = MsToNs(cli.measure_ms);
+      }
+      sweep.runs.push_back(std::move(run));
+    }
+  }
+  sweep.Filter(cli.filter);
+  return sweep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, cli)) {
+    return 2;
+  }
+  ExperimentSpec sweep = BuildSweep(cli);
+  if (cli.list) {
+    for (const RunSpec& run : sweep.runs) {
+      std::printf("%s\n", run.Id().c_str());
+    }
+    return 0;
+  }
+  if (sweep.runs.empty()) {
+    std::fprintf(stderr, "vsched_run: no runs match the filter\n");
+    return 1;
+  }
+
+  // JSONL rows claim stdout unless --out is given; human output then moves
+  // to stderr so the stream stays machine-parseable.
+  std::ofstream out_file;
+  std::ostream* rows = &std::cout;
+  std::FILE* human = stderr;
+  if (!cli.out.empty()) {
+    out_file.open(cli.out, std::ios::out | std::ios::trunc);
+    if (!out_file) {
+      std::fprintf(stderr, "vsched_run: cannot open %s\n", cli.out.c_str());
+      return 1;
+    }
+    rows = &out_file;
+    human = stdout;
+  }
+
+  RunnerOptions options;
+  options.jobs = cli.jobs;
+  options.on_run_done = [&](const RunResult& result) {
+    std::fputc(result.ok ? '.' : 'x', stderr);
+  };
+  auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results = Runner(options).Run(sweep);
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::fprintf(stderr, "\n");
+
+  ResultSink::Options sink_options;
+  sink_options.include_timing = cli.timings;
+  ResultSink sink(rows, sink_options);
+  int failed = 0;
+  for (const RunResult& result : results) {
+    sink.Write(result);
+    if (!result.ok) {
+      ++failed;
+    }
+  }
+  rows->flush();
+
+  PrintRunSummary(results, elapsed.count(), human);
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+# ctest script: vsched_run must emit byte-identical JSONL at --jobs=1 and
+# --jobs=2. Run with:
+#   cmake -DVSCHED_RUN=<binary> -DWORK_DIR=<dir> -P vsched_run_determinism.cmake
+set(common_args --experiment fig02 --filter img-dnn
+                --warmup-ms 50 --measure-ms 200)
+
+execute_process(
+    COMMAND ${VSCHED_RUN} ${common_args} --jobs 1 --out ${WORK_DIR}/det_serial.jsonl
+    RESULT_VARIABLE serial_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial vsched_run failed (rc=${serial_rc})")
+endif()
+
+execute_process(
+    COMMAND ${VSCHED_RUN} ${common_args} --jobs 2 --out ${WORK_DIR}/det_sharded.jsonl
+    RESULT_VARIABLE sharded_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT sharded_rc EQUAL 0)
+  message(FATAL_ERROR "sharded vsched_run failed (rc=${sharded_rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/det_serial.jsonl ${WORK_DIR}/det_sharded.jsonl
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "JSONL differs between --jobs=1 and --jobs=2")
+endif()

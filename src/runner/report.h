@@ -1,0 +1,33 @@
+// Human-readable reports over runner results: the Figure 18/19 and Figure 2
+// tables previously hand-rolled in each bench binary, plus the wall-clock
+// summary every sweep prints (the perf baseline for trajectory tracking).
+#ifndef SRC_RUNNER_REPORT_H_
+#define SRC_RUNNER_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/runner/runner.h"
+
+namespace vsched {
+
+// Figure 18/19 table + normalized geomean summary. `banner_id` is "rcvm" or
+// "hpvm". Expects the results of OverallSweep() (any filtered subset works;
+// workloads missing a "cfs" baseline are skipped in the summary).
+void PrintOverallReport(const std::string& banner_id, const std::vector<RunResult>& results);
+
+// Figure 2 tables: p95 normalized to the 16 ms configuration, with and
+// without best-effort tasks. Expects the results of VcpuLatencySweep().
+void PrintVcpuLatencyReport(const std::vector<RunResult>& results);
+
+// Execution summary: run/failure counts, per-run wall times (all runs when
+// few, the slowest otherwise), the summed per-run wall time, and the elapsed
+// wall time `elapsed_ns` measured around the whole sweep.
+void PrintRunSummary(const std::vector<RunResult>& results, TimeNs elapsed_ns,
+                     std::FILE* out = stdout);
+
+}  // namespace vsched
+
+#endif  // SRC_RUNNER_REPORT_H_

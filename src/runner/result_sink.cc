@@ -1,0 +1,100 @@
+#include "src/runner/result_sink.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace vsched {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) {
+    return "null";
+  }
+  return std::string(buf, ptr);
+}
+
+std::string ResultRowJson(const RunResult& result, bool include_timing) {
+  std::string row = "{";
+  row += "\"run\":" + std::to_string(result.index);
+  row += ",\"id\":\"" + JsonEscape(result.spec.Id()) + "\"";
+  row += ",\"experiment\":\"" + JsonEscape(FamilyName(result.spec.family)) + "\"";
+  row += ",\"workload\":\"" + JsonEscape(result.spec.workload) + "\"";
+  row += ",\"config\":\"" + JsonEscape(result.spec.config) + "\"";
+  row += ",\"seed\":" + std::to_string(result.spec.seed);
+  row += ",\"ok\":";
+  row += result.ok ? "true" : "false";
+  row += ",\"attempts\":" + std::to_string(result.attempts);
+  if (!result.ok) {
+    row += ",\"error\":\"" + JsonEscape(result.error) + "\"";
+  }
+  row += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : result.metrics.values) {
+    if (!first) {
+      row += ",";
+    }
+    first = false;
+    row += "\"" + JsonEscape(key) + "\":" + JsonNumber(value);
+  }
+  row += "}";
+  if (include_timing) {
+    row += ",\"wall_ms\":" + JsonNumber(static_cast<double>(result.wall_ns) / 1e6);
+  }
+  row += "}";
+  return row;
+}
+
+ResultSink::ResultSink(std::ostream* out) : ResultSink(out, Options{}) {}
+
+ResultSink::ResultSink(std::ostream* out, Options options) : out_(out), options_(options) {}
+
+void ResultSink::Write(const RunResult& result) {
+  *out_ << ResultRowJson(result, options_.include_timing) << "\n";
+  ++rows_written_;
+}
+
+}  // namespace vsched

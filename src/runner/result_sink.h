@@ -1,0 +1,52 @@
+// Structured result output: one JSON object per run, one line per object.
+//
+// Rows contain only simulation-deterministic fields by default, so the JSONL
+// stream for a sweep is byte-identical however many worker threads produced
+// it; wall-clock timing is opt-in (`include_timing`) and lives in the human
+// summary otherwise.
+#ifndef SRC_RUNNER_RESULT_SINK_H_
+#define SRC_RUNNER_RESULT_SINK_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/runner/runner.h"
+
+namespace vsched {
+
+// Escapes a string for inclusion in a JSON string literal (quotes, control
+// characters, backslashes; non-ASCII bytes pass through untouched).
+std::string JsonEscape(const std::string& s);
+
+// Shortest round-trip decimal form of `value`; non-finite values become
+// "null" (JSON has no NaN/Infinity).
+std::string JsonNumber(double value);
+
+// The JSONL row for one run (no trailing newline). Schema documented in
+// docs/RUNNER.md.
+std::string ResultRowJson(const RunResult& result, bool include_timing = false);
+
+class ResultSink {
+ public:
+  struct Options {
+    bool include_timing = false;  // adds "wall_ms" (non-deterministic) per row
+  };
+
+  explicit ResultSink(std::ostream* out);
+  ResultSink(std::ostream* out, Options options);
+
+  // Appends one row. Call in spec order for reproducible files.
+  void Write(const RunResult& result);
+
+  int rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream* out_;
+  Options options_;
+  int rows_written_ = 0;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_RUNNER_RESULT_SINK_H_

@@ -1,0 +1,107 @@
+// One fully-wired simulated deployment and measurement helpers, shared by the
+// runner's spec executor and every hand-written bench binary.
+//
+// (Historically `bench/bench_common.h`; it moved into the runner subsystem so
+// declarative RunSpecs and ad-hoc benches build runs the same way.)
+#ifndef SRC_RUNNER_RUN_CONTEXT_H_
+#define SRC_RUNNER_RUN_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/vsched.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/metrics/experiment.h"
+#include "src/sim/simulation.h"
+#include "src/workloads/catalog.h"
+
+namespace vsched {
+
+// One fully-wired simulated deployment: host + VM + vSched configuration.
+struct RunContext {
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<HostMachine> machine;
+  std::unique_ptr<Vm> vm;
+  std::unique_ptr<VSched> vsched;
+  std::vector<std::unique_ptr<Stressor>> stressors;
+
+  GuestKernel& kernel() { return vm->kernel(); }
+
+  // Adds a continuously-running competitor on hardware thread `tid`.
+  void AddStressor(HwThreadId tid, double weight = 1024.0, bool rt = false) {
+    stressors.push_back(std::make_unique<Stressor>(sim.get(), "comp", weight, rt));
+    stressors.back()->Start(machine.get(), tid);
+  }
+};
+
+inline RunContext MakeRun(const TopologySpec& topo, VmSpec vm_spec, VSchedOptions options,
+                          uint64_t seed, HostSchedParams host_params = HostSchedParams{}) {
+  RunContext ctx;
+  ctx.sim = std::make_unique<Simulation>(seed);
+  ctx.machine = std::make_unique<HostMachine>(ctx.sim.get(), topo, host_params);
+  ctx.vm = std::make_unique<Vm>(ctx.sim.get(), ctx.machine.get(), std::move(vm_spec));
+  ctx.vsched = std::make_unique<VSched>(&ctx.vm->kernel(), options);
+  ctx.vsched->Start();
+  return ctx;
+}
+
+// A flat VM spec: `n` vCPUs pinned 1:1 starting at hardware thread 0.
+inline TopologySpec FlatHost(int cores, int threads_per_core = 1, int sockets = 1) {
+  TopologySpec spec;
+  spec.sockets = sockets;
+  spec.cores_per_socket = cores;
+  spec.threads_per_core = threads_per_core;
+  return spec;
+}
+
+// Runs one named workload with warm-up and measurement phases; returns its
+// result over the measurement window.
+struct MeasuredRun {
+  WorkloadResult result;
+  Work work_done = 0;        // VM "cycles" over the measurement window
+  TimeNs measured_ns = 0;
+  uint64_t migrations = 0;
+};
+
+inline MeasuredRun RunWorkloadObj(RunContext& ctx, Workload* workload, TimeNs warmup,
+                                  TimeNs measure) {
+  workload->Start();
+  ctx.sim->RunFor(warmup);
+  workload->ResetStats();
+  Work work_before = TotalWorkDone(ctx.kernel());
+  uint64_t migr_before = ctx.kernel().counters().migrations.value() +
+                         ctx.kernel().counters().active_migrations.value();
+  ctx.sim->RunFor(measure);
+  MeasuredRun out;
+  out.result = workload->Result();
+  out.work_done = TotalWorkDone(ctx.kernel()) - work_before;
+  out.measured_ns = measure;
+  out.migrations = ctx.kernel().counters().migrations.value() +
+                   ctx.kernel().counters().active_migrations.value() - migr_before;
+  workload->Stop();
+  ctx.sim->RunFor(MsToNs(50));
+  return out;
+}
+
+inline MeasuredRun RunWorkload(RunContext& ctx, const std::string& name, int threads,
+                               TimeNs warmup, TimeNs measure) {
+  auto workload = MakeWorkload(&ctx.kernel(), name, threads);
+  return RunWorkloadObj(ctx, workload.get(), warmup, measure);
+}
+
+// Performance number for normalization: throughput for throughput apps,
+// inverse p95 for latency apps (so "higher is better" uniformly).
+inline double Performance(const std::string& name, const WorkloadResult& r) {
+  if (MetricFor(name) == MetricKind::kP95Latency) {
+    return r.p95_ns > 0 ? 1e9 / r.p95_ns : 0;
+  }
+  return r.throughput;
+}
+
+}  // namespace vsched
+
+#endif  // SRC_RUNNER_RUN_CONTEXT_H_

@@ -1,0 +1,93 @@
+#include "src/runner/runner.h"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "src/runner/thread_pool.h"
+
+namespace vsched {
+
+namespace {
+
+TimeNs WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
+  if (options_.max_attempts < 1) {
+    options_.max_attempts = 1;
+  }
+}
+
+RunResult Runner::RunOne(const RunSpec& spec, int index, int max_attempts) {
+  RunResult result;
+  result.spec = spec;
+  result.index = index;
+  while (result.attempts < max_attempts) {
+    ++result.attempts;
+    TimeNs start = WallNowNs();
+    try {
+      result.metrics = ExecuteRun(spec);
+      result.wall_ns = WallNowNs() - start;
+      result.ok = true;
+      result.error.clear();
+      return result;
+    } catch (const std::exception& e) {
+      result.wall_ns = WallNowNs() - start;
+      result.error = e.what();
+    } catch (...) {
+      result.wall_ns = WallNowNs() - start;
+      result.error = "unknown exception";
+    }
+  }
+  return result;
+}
+
+std::vector<RunResult> Runner::Run(const ExperimentSpec& experiment) {
+  std::vector<RunResult> results;
+  results.reserve(experiment.runs.size());
+
+  if (options_.jobs == 1) {
+    for (size_t i = 0; i < experiment.runs.size(); ++i) {
+      results.push_back(RunOne(experiment.runs[i], static_cast<int>(i), options_.max_attempts));
+      if (options_.on_run_done) {
+        options_.on_run_done(results.back());
+      }
+    }
+    return results;
+  }
+
+  std::mutex progress_mu;
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(experiment.runs.size());
+  {
+    ThreadPool pool(options_.jobs);
+    for (size_t i = 0; i < experiment.runs.size(); ++i) {
+      const RunSpec& spec = experiment.runs[i];
+      int index = static_cast<int>(i);
+      int max_attempts = options_.max_attempts;
+      futures.push_back(pool.Submit([this, &spec, index, max_attempts, &progress_mu] {
+        RunResult result = RunOne(spec, index, max_attempts);
+        if (options_.on_run_done) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          options_.on_run_done(result);
+        }
+        return result;
+      }));
+    }
+    // Collect in spec order; output is independent of completion order.
+    for (std::future<RunResult>& future : futures) {
+      results.push_back(future.get());
+    }
+  }
+  return results;
+}
+
+}  // namespace vsched

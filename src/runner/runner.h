@@ -1,0 +1,60 @@
+// Executes a fleet of independent RunSpecs in parallel.
+//
+// Each run builds its own Simulation/Rng from its spec, so runs share no
+// mutable state and the result of a spec is independent of which thread ran
+// it or in what order. Results come back in spec order, which makes the
+// serialized output of `--jobs=N` byte-identical to `--jobs=1`.
+#ifndef SRC_RUNNER_RUNNER_H_
+#define SRC_RUNNER_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/runner/spec.h"
+
+namespace vsched {
+
+struct RunResult {
+  RunSpec spec;
+  int index = 0;     // position within the ExperimentSpec
+  int attempts = 0;  // 1 on first-try success
+  bool ok = false;
+  std::string error;   // what() of the last failure when !ok
+  RunMetrics metrics;  // empty when !ok
+  TimeNs wall_ns = 0;  // host wall-clock time of the last attempt
+};
+
+struct RunnerOptions {
+  // Worker threads; 0 picks hardware concurrency, 1 runs inline on the
+  // calling thread (the serial reference path).
+  int jobs = 0;
+  // A run whose execution throws is retried until it has been attempted
+  // this many times; deterministic failures simply fail fast again.
+  int max_attempts = 2;
+  // Optional progress hook, invoked once per finished run (any thread, but
+  // never concurrently; completion order, not spec order).
+  std::function<void(const RunResult&)> on_run_done;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = RunnerOptions{});
+
+  // Executes every run of `experiment`; the returned vector is parallel to
+  // `experiment.runs` regardless of completion order.
+  std::vector<RunResult> Run(const ExperimentSpec& experiment);
+
+  // Executes one spec with the retry policy applied; used by Run() and
+  // directly by tests.
+  static RunResult RunOne(const RunSpec& spec, int index, int max_attempts);
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_RUNNER_RUNNER_H_

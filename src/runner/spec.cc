@@ -1,0 +1,235 @@
+#include "src/runner/spec.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/base/check.h"
+#include "src/runner/run_context.h"
+#include "src/workloads/latency_app.h"
+#include "src/workloads/throughput_app.h"
+
+namespace vsched {
+
+const char* FamilyName(ExperimentFamily family) {
+  switch (family) {
+    case ExperimentFamily::kOverallRcvm:
+      return "fig18_rcvm";
+    case ExperimentFamily::kOverallHpvm:
+      return "fig19_hpvm";
+    case ExperimentFamily::kVcpuLatency:
+      return "fig02";
+  }
+  return "unknown";
+}
+
+const std::vector<SchedulerConfig>& SweepSchedulerConfigs() {
+  static const std::vector<SchedulerConfig> kConfigs = {
+      {"cfs", VSchedOptions::Cfs()},
+      {"enhanced", VSchedOptions::EnhancedCfs()},
+      {"vsched", VSchedOptions::Full()},
+  };
+  return kConfigs;
+}
+
+VSchedOptions OptionsForConfig(const std::string& name) {
+  for (const SchedulerConfig& config : SweepSchedulerConfigs()) {
+    if (config.name == name) {
+      return config.options;
+    }
+  }
+  throw std::invalid_argument("unknown scheduler config: " + name);
+}
+
+std::string RunSpec::Id() const {
+  std::string id = std::string(FamilyName(family)) + "/" + workload + "/" + config;
+  if (family == ExperimentFamily::kVcpuLatency) {
+    id += "/lat=" + std::to_string(vcpu_latency / kNsPerMs) + "ms";
+    if (best_effort) {
+      id += "+be";
+    }
+  }
+  return id;
+}
+
+void ExperimentSpec::Filter(const std::string& substr) {
+  if (substr.empty()) {
+    return;
+  }
+  runs.erase(std::remove_if(runs.begin(), runs.end(),
+                            [&](const RunSpec& run) {
+                              return run.Id().find(substr) == std::string::npos;
+                            }),
+             runs.end());
+}
+
+ExperimentSpec OverallSweep(ExperimentFamily family, uint64_t seed, TimeNs warmup,
+                            TimeNs measure) {
+  VSCHED_CHECK(family == ExperimentFamily::kOverallRcvm ||
+               family == ExperimentFamily::kOverallHpvm);
+  if (seed == 0) {
+    seed = family == ExperimentFamily::kOverallRcvm ? 0xF16'18 : 0xF16'19;
+  }
+  ExperimentSpec experiment;
+  experiment.name = FamilyName(family);
+  for (const std::string& name : Fig18WorkloadNames()) {
+    for (const SchedulerConfig& config : SweepSchedulerConfigs()) {
+      RunSpec run;
+      run.family = family;
+      run.workload = name;
+      run.config = config.name;
+      run.seed = seed;
+      run.warmup = warmup;
+      run.measure = measure;
+      experiment.runs.push_back(std::move(run));
+    }
+  }
+  return experiment;
+}
+
+ExperimentSpec VcpuLatencySweep(uint64_t base_seed, TimeNs warmup, TimeNs measure) {
+  if (base_seed == 0) {
+    base_seed = 0xF16'02;
+  }
+  ExperimentSpec experiment;
+  experiment.name = FamilyName(ExperimentFamily::kVcpuLatency);
+  for (bool best_effort : {false, true}) {
+    for (const char* app : {"img-dnn", "silo", "specjbb"}) {
+      for (TimeNs latency : {MsToNs(2), MsToNs(4), MsToNs(8), MsToNs(16)}) {
+        RunSpec run;
+        run.family = ExperimentFamily::kVcpuLatency;
+        run.workload = app;
+        run.config = "cfs";
+        run.seed = base_seed + static_cast<uint64_t>(latency);
+        run.warmup = warmup;
+        run.measure = measure;
+        run.vcpu_latency = latency;
+        run.best_effort = best_effort;
+        experiment.runs.push_back(std::move(run));
+      }
+    }
+  }
+  return experiment;
+}
+
+void RunMetrics::Set(const std::string& key, double value) {
+  for (auto& entry : values) {
+    if (entry.first == key) {
+      entry.second = value;
+      return;
+    }
+  }
+  values.emplace_back(key, value);
+}
+
+double RunMetrics::Get(const std::string& key, double fallback) const {
+  for (const auto& entry : values) {
+    if (entry.first == key) {
+      return entry.second;
+    }
+  }
+  return fallback;
+}
+
+namespace {
+
+void FillMetrics(const RunSpec& spec, const MeasuredRun& run, RunMetrics& metrics) {
+  metrics.Set("perf", Performance(spec.workload, run.result));
+  metrics.Set("throughput", run.result.throughput);
+  metrics.Set("p50_ns", run.result.p50_ns);
+  metrics.Set("p95_ns", run.result.p95_ns);
+  metrics.Set("p99_ns", run.result.p99_ns);
+  metrics.Set("mean_ns", run.result.mean_ns);
+  metrics.Set("completed", static_cast<double>(run.result.completed));
+  metrics.Set("work_done", static_cast<double>(run.work_done));
+  metrics.Set("migrations", static_cast<double>(run.migrations));
+}
+
+// Figure 18/19 protocol (previously bench/fig18_common.h): the reference VM
+// under one scheduler configuration, one workload at threads == vCPUs.
+RunMetrics ExecuteOverallRun(const RunSpec& spec) {
+  bool rcvm = spec.family == ExperimentFamily::kOverallRcvm;
+  TopologySpec host = rcvm ? RcvmHostTopology() : HpvmHostTopology();
+  VmSpec vm_spec = rcvm ? MakeRcvmSpec() : MakeHpvmSpec();
+  int threads = static_cast<int>(vm_spec.vcpus.size());
+  RunContext ctx =
+      MakeRun(host, std::move(vm_spec), OptionsForConfig(spec.config), spec.seed);
+  if (rcvm) {
+    ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+  } else {
+    ShapeHpvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
+  }
+  MeasuredRun run;
+  if (MetricFor(spec.workload) == MetricKind::kP95Latency) {
+    // Low offered load: tail latency, not queueing for workers, is the
+    // object of measurement (§5.1 reduces arrival rates similarly).
+    LatencyApp app(&ctx.kernel(), LatencyParamsFor(spec.workload, threads, 0.05));
+    run = RunWorkloadObj(ctx, &app, spec.warmup, spec.measure);
+  } else {
+    run = RunWorkload(ctx, spec.workload, threads, spec.warmup, spec.measure);
+  }
+  RunMetrics metrics;
+  FillMetrics(spec, run, metrics);
+  return metrics;
+}
+
+// Figure 2 protocol (previously inline in bench_fig02_vcpu_latency): a flat
+// 32-vCPU VM time-sharing every core with a stressor; the host granularity
+// knobs shape how long a runnable vCPU waits for the competitor's slice —
+// i.e. the vCPU latency — without changing capacity.
+RunMetrics ExecuteVcpuLatencyRun(const RunSpec& spec) {
+  const int kVcpus = 32;
+  VmSpec vm_spec = MakeSimpleVmSpec("vm", kVcpus);
+  HostSchedParams host;
+  host.min_granularity = spec.vcpu_latency;
+  host.wakeup_granularity = spec.vcpu_latency;
+  RunContext ctx = MakeRun(FlatHost(kVcpus), std::move(vm_spec),
+                           OptionsForConfig(spec.config), spec.seed, host);
+  for (int c = 0; c < kVcpus; ++c) {
+    ctx.AddStressor(c);
+  }
+  std::unique_ptr<TaskParallelApp> background;
+  if (spec.best_effort) {
+    TaskParallelParams bp;
+    bp.name = "best-effort";
+    bp.threads = kVcpus;
+    bp.chunk_mean = MsToNs(1);
+    bp.policy = TaskPolicy::kIdle;
+    background = std::make_unique<TaskParallelApp>(&ctx.kernel(), bp);
+    background->Start();
+  }
+  MeasuredRun run = RunWorkload(ctx, spec.workload, /*threads=*/8, spec.warmup, spec.measure);
+  if (background != nullptr) {
+    background->Stop();
+  }
+  RunMetrics metrics;
+  FillMetrics(spec, run, metrics);
+  return metrics;
+}
+
+}  // namespace
+
+RunMetrics ExecuteRun(const RunSpec& spec) {
+  // Bad names in hand-authored specs should surface as a failed RunResult,
+  // not as the VSCHED_CHECK abort MakeWorkload would hit mid-simulation.
+  bool known = false;
+  for (const CatalogEntry& entry : Catalog()) {
+    if (entry.name == spec.workload) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    throw std::invalid_argument("unknown workload: " + spec.workload);
+  }
+  switch (spec.family) {
+    case ExperimentFamily::kOverallRcvm:
+    case ExperimentFamily::kOverallHpvm:
+      return ExecuteOverallRun(spec);
+    case ExperimentFamily::kVcpuLatency:
+      return ExecuteVcpuLatencyRun(spec);
+  }
+  throw std::invalid_argument("unknown experiment family");
+}
+
+}  // namespace vsched

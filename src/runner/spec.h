@@ -1,0 +1,102 @@
+// Declarative experiment specs: a sweep is data, not a hand-written loop.
+//
+// A RunSpec names everything one simulation needs — deployment family, the
+// workload, the scheduler configuration, the seed and the measurement window
+// — so the Runner can shard a sweep across threads and any two executions of
+// the same spec are bit-identical.
+#ifndef SRC_RUNNER_SPEC_H_
+#define SRC_RUNNER_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/core/config.h"
+
+namespace vsched {
+
+// Which simulated deployment a run uses.
+enum class ExperimentFamily {
+  kOverallRcvm,  // Fig 18 protocol: rcvm (4 vCPU classes, stragglers, stacking)
+  kOverallHpvm,  // Fig 19 protocol: hpvm (4 sockets, one dedicated group)
+  kVcpuLatency,  // Fig 2 protocol: flat 32-vCPU VM with shaped vCPU latency
+};
+
+// Stable short name used in run ids and JSONL rows.
+const char* FamilyName(ExperimentFamily family);
+
+// The scheduler configurations the overall sweeps compare, in column order.
+struct SchedulerConfig {
+  std::string name;  // "cfs" | "enhanced" | "vsched"
+  VSchedOptions options;
+};
+const std::vector<SchedulerConfig>& SweepSchedulerConfigs();
+
+// Options for a config name from SweepSchedulerConfigs(); throws
+// std::invalid_argument for an unknown name.
+VSchedOptions OptionsForConfig(const std::string& name);
+
+struct RunSpec {
+  ExperimentFamily family = ExperimentFamily::kOverallRcvm;
+  std::string workload;
+  std::string config = "cfs";
+  uint64_t seed = 1;
+  TimeNs warmup = SecToNs(5);
+  TimeNs measure = SecToNs(10);
+
+  // kVcpuLatency knobs (ignored by the overall families).
+  TimeNs vcpu_latency = MsToNs(2);
+  bool best_effort = false;
+
+  // Human/filterable identity, e.g. "fig18_rcvm/canneal/vsched" or
+  // "fig02/img-dnn/cfs/lat=4ms+be".
+  std::string Id() const;
+};
+
+struct ExperimentSpec {
+  std::string name;
+  std::vector<RunSpec> runs;
+
+  // Keeps only runs whose Id() contains `substr` (empty keeps everything).
+  void Filter(const std::string& substr);
+};
+
+// ---------------------------------------------------------------------------
+// Sweep builders (the tables previously duplicated across bench binaries)
+// ---------------------------------------------------------------------------
+
+// Figure 18/19 protocol: all 31 workloads x {cfs, enhanced, vsched}. Every
+// run uses the same `seed`, as the original serial benches did, so results
+// stay comparable with the seed repo's output. Pass 0 for the bench default.
+ExperimentSpec OverallSweep(ExperimentFamily family, uint64_t seed = 0,
+                            TimeNs warmup = SecToNs(5), TimeNs measure = SecToNs(10));
+
+// Figure 2 protocol: {img-dnn, silo, specjbb} x {2,4,8,16 ms} x {+-best
+// effort} under stock CFS. Seeds derive as base_seed + vcpu_latency to match
+// the original bench. Pass 0 for the bench default.
+ExperimentSpec VcpuLatencySweep(uint64_t base_seed = 0, TimeNs warmup = SecToNs(2),
+                                TimeNs measure = SecToNs(10));
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+// Metrics produced by one run, in a stable emission order.
+struct RunMetrics {
+  std::vector<std::pair<std::string, double>> values;
+
+  void Set(const std::string& key, double value);
+  // Value for `key`, or `fallback` when absent.
+  double Get(const std::string& key, double fallback = 0) const;
+};
+
+// Builds the deployment a spec describes, runs it on the calling thread, and
+// returns its metrics. Deterministic: depends only on the spec. Throws on an
+// unknown workload/config name.
+RunMetrics ExecuteRun(const RunSpec& spec);
+
+}  // namespace vsched
+
+#endif  // SRC_RUNNER_SPEC_H_

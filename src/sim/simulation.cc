@@ -1,19 +1,9 @@
 #include "src/sim/simulation.h"
 
 #include <memory>
-#include <vector>
+#include <utility>
 
 namespace vsched {
-namespace {
-
-// Periodic handles live until process exit; they are tiny and this keeps
-// pointers stable for callers that cancel much later.
-std::vector<std::unique_ptr<Simulation::PeriodicHandle>>& HandlePool() {
-  static std::vector<std::unique_ptr<Simulation::PeriodicHandle>> pool;
-  return pool;
-}
-
-}  // namespace
 
 void Simulation::PeriodicHandle::Arm() {
   if (cancelled_) {
@@ -31,7 +21,7 @@ void Simulation::PeriodicHandle::Arm() {
 Simulation::PeriodicHandle* Simulation::Every(TimeNs period, std::function<void()> fn) {
   auto handle = std::make_unique<PeriodicHandle>(this, period, std::move(fn));
   PeriodicHandle* raw = handle.get();
-  HandlePool().push_back(std::move(handle));
+  periodic_handles_.push_back(std::move(handle));
   raw->Arm();
   return raw;
 }

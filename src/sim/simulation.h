@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "src/base/time.h"
 #include "src/sim/event_queue.h"
@@ -64,6 +66,11 @@ class Simulation {
  private:
   EventQueue queue_;
   Rng rng_;
+  // Handles live until the simulation dies; they are tiny and this keeps
+  // pointers stable for callers that cancel much later. Keeping them per
+  // simulation (not process-global) lets independent simulations run on
+  // different threads without sharing mutable state.
+  std::vector<std::unique_ptr<PeriodicHandle>> periodic_handles_;
 };
 
 }  // namespace vsched

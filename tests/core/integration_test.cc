@@ -4,7 +4,7 @@
 // deterministic.
 #include <gtest/gtest.h>
 
-#include "bench/bench_common.h"
+#include "src/runner/run_context.h"
 #include "src/core/vsched.h"
 #include "src/workloads/latency_app.h"
 #include "src/workloads/throughput_app.h"
