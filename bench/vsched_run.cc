@@ -201,5 +201,26 @@ int main(int argc, char** argv) {
   rows->flush();
 
   PrintRunSummary(results, elapsed.count(), human);
+  if (cli.timings) {
+    uint64_t events = 0;
+    uint64_t cb_heap_allocs = 0;
+    uint64_t slab_allocs = 0;
+    uint64_t picks = 0;
+    for (const RunResult& result : results) {
+      events += result.counters.events_executed;
+      cb_heap_allocs += result.counters.callback_heap_allocs;
+      slab_allocs += result.counters.event_slab_allocs;
+      picks += result.counters.rq_picks;
+    }
+    double secs = static_cast<double>(elapsed.count()) / 1e9;
+    std::fprintf(human,
+                 "core: %llu events (%.3g events/sec aggregate), %llu rq picks, "
+                 "%llu callback heap allocs, %llu slab allocs\n",
+                 static_cast<unsigned long long>(events),
+                 secs > 0 ? static_cast<double>(events) / secs : 0,
+                 static_cast<unsigned long long>(picks),
+                 static_cast<unsigned long long>(cb_heap_allocs),
+                 static_cast<unsigned long long>(slab_allocs));
+  }
   return failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,22 @@
+#include "src/base/perf_counters.h"
+
+namespace vsched {
+namespace internal {
+
+namespace {
+// Per-thread fallback so Current() is never null and un-scoped components
+// (tests, ad-hoc benches) can still count without setup.
+thread_local PerfCounters g_perf_default;
+}  // namespace
+
+thread_local PerfCounters* g_perf_current = &g_perf_default;
+
+}  // namespace internal
+
+PerfCounters::Scope::Scope(PerfCounters* counters) : prev_(internal::g_perf_current) {
+  internal::g_perf_current = counters;
+}
+
+PerfCounters::Scope::~Scope() { internal::g_perf_current = prev_; }
+
+}  // namespace vsched

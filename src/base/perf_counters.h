@@ -1,0 +1,63 @@
+// Lightweight hot-path accounting for the simulator core.
+//
+// Counters are plain per-thread tallies, not atomics: each simulation runs
+// entirely on one thread (the runner gives every run its own Simulation), so
+// a thread-local "current counters" pointer is race-free and costs one TLS
+// load per increment. Components cache the pointer at construction; the
+// runner installs a fresh PerfCounters around each run via Scope and attaches
+// the totals to the RunResult, where `vsched_run --timings` surfaces them as
+// events/sec and allocation tallies (see docs/PERF.md).
+#ifndef SRC_BASE_PERF_COUNTERS_H_
+#define SRC_BASE_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace vsched {
+
+struct PerfCounters {
+  // Event-queue traffic.
+  uint64_t events_scheduled = 0;
+  uint64_t events_executed = 0;
+  uint64_t events_cancelled = 0;
+
+  // Allocation pressure: steady state should be zero for both — slabs are
+  // amortized and callbacks should fit the inline buffer.
+  uint64_t callback_heap_allocs = 0;
+  uint64_t event_slab_allocs = 0;
+
+  // Runqueue traffic.
+  uint64_t rq_enqueues = 0;
+  uint64_t rq_dequeues = 0;
+  uint64_t rq_picks = 0;
+
+  void Reset() { *this = PerfCounters{}; }
+
+  // The thread's active counters; never null (falls back to a per-thread
+  // default sink when no Scope is installed).
+  static PerfCounters* Current();
+
+  // Installs `counters` as the calling thread's sink for its lifetime;
+  // restores the previous sink on destruction. Not reentrancy-hostile:
+  // scopes nest.
+  class Scope {
+   public:
+    explicit Scope(PerfCounters* counters);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PerfCounters* prev_;
+  };
+};
+
+namespace internal {
+extern thread_local PerfCounters* g_perf_current;
+}  // namespace internal
+
+inline PerfCounters* PerfCounters::Current() { return internal::g_perf_current; }
+
+}  // namespace vsched
+
+#endif  // SRC_BASE_PERF_COUNTERS_H_

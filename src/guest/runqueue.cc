@@ -1,45 +1,77 @@
 #include "src/guest/runqueue.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/base/check.h"
 
 namespace vsched {
 
-bool Runqueue::ByVruntime::operator()(const Task* a, const Task* b) const {
+namespace {
+
+// Binary search for the exact position of `task` in a (vruntime, id)-sorted
+// vector. Returns end() when absent. Relies on tasks never mutating vruntime
+// while queued — the invariant the ordered containers have always required.
+std::vector<Task*>::const_iterator Find(const std::vector<Task*>& v, const Task* task,
+                                        bool (*before)(const Task*, const Task*)) {
+  auto it = std::lower_bound(v.begin(), v.end(), task, before);
+  if (it != v.end() && *it == task) {
+    return it;
+  }
+  return v.end();
+}
+
+}  // namespace
+
+bool Runqueue::Before(const Task* a, const Task* b) {
   if (a->vruntime() != b->vruntime()) {
     return a->vruntime() < b->vruntime();
   }
   return a->id() < b->id();
 }
 
-void Runqueue::Enqueue(Task* task) {
-  if (task->policy() == TaskPolicy::kIdle) {
-    VSCHED_CHECK(idle_.insert(task).second);
+void Runqueue::AddLoad(double w) {
+  // Neumaier's variant of Kahan summation: exact for the integer weight
+  // table in use today, and bounded-error if weights ever become fractional.
+  double sum = load_ + w;
+  if (std::abs(load_) >= std::abs(w)) {
+    load_comp_ += (load_ - sum) + w;
   } else {
-    VSCHED_CHECK(normal_.insert(task).second);
-    load_ += task->weight();
+    load_comp_ += (w - sum) + load_;
+  }
+  load_ = sum;
+}
+
+void Runqueue::Enqueue(Task* task) {
+  ++counters_->rq_enqueues;
+  std::vector<Task*>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
+  auto it = std::lower_bound(v.begin(), v.end(), task, Before);
+  VSCHED_CHECK(it == v.end() || *it != task);  // double-enqueue
+  v.insert(it, task);
+  if (task->policy() != TaskPolicy::kIdle) {
+    AddLoad(task->weight());
   }
 }
 
 void Runqueue::Dequeue(Task* task) {
-  if (task->policy() == TaskPolicy::kIdle) {
-    VSCHED_CHECK(idle_.erase(task) == 1);
-  } else {
-    VSCHED_CHECK(normal_.erase(task) == 1);
-    load_ -= task->weight();
+  ++counters_->rq_dequeues;
+  std::vector<Task*>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
+  auto it = Find(v, task, Before);
+  VSCHED_CHECK(it != v.end());
+  v.erase(it);
+  if (task->policy() != TaskPolicy::kIdle) {
+    AddLoad(-task->weight());
+    VSCHED_DCHECK(load() >= -1e-9);
     if (normal_.empty()) {
       load_ = 0;  // Clear float dust.
+      load_comp_ = 0;
     }
   }
 }
 
 bool Runqueue::Contains(const Task* task) const {
-  Task* mutable_task = const_cast<Task*>(task);
-  if (task->policy() == TaskPolicy::kIdle) {
-    return idle_.find(mutable_task) != idle_.end();
-  }
-  return normal_.find(mutable_task) != normal_.end();
+  const std::vector<Task*>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
+  return Find(v, task, Before) != v.end();
 }
 
 Task* Runqueue::PickEevdf() const {
@@ -82,19 +114,17 @@ Task* Runqueue::PickEevdf() const {
 }
 
 Task* Runqueue::Pick() const {
+  ++counters_->rq_picks;
   if (eevdf_) {
     return PickEevdf();
   }
   // Leftmost by vruntime across both classes, like CFS's single rbtree:
   // SCHED_IDLE entities carry weight 3, so their vruntime advances ~341×
   // faster and they naturally receive only a sliver of CPU — but they are
-  // not starved outright.
-  Task* best = nullptr;
-  if (!normal_.empty()) {
-    best = *normal_.begin();
-  }
+  // not starved outright. Sorted storage makes both leftmosts front().
+  Task* best = normal_.empty() ? nullptr : normal_.front();
   if (!idle_.empty()) {
-    Task* idle_best = *idle_.begin();
+    Task* idle_best = idle_.front();
     if (best == nullptr || idle_best->vruntime() < best->vruntime()) {
       best = idle_best;
     }

@@ -149,6 +149,7 @@ class Task {
  private:
   friend class GuestKernel;
   friend class GuestVcpu;
+  friend struct TaskAccess;
 
   const uint64_t id_;
   const std::string name_;
@@ -179,6 +180,13 @@ class Task {
 
   // Pending timed-wake event id lives in the kernel.
   uint64_t sleep_token_ = 0;
+};
+
+// White-box access for tests and microbenches that drive runqueue orderings
+// directly; the kernel owns these fields in real simulations.
+struct TaskAccess {
+  static void SetVruntime(Task* task, double v) { task->vruntime_ = v; }
+  static void SetVdeadline(Task* task, double v) { task->vdeadline_ = v; }
 };
 
 }  // namespace vsched

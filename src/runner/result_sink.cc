@@ -83,6 +83,16 @@ std::string ResultRowJson(const RunResult& result, bool include_timing) {
   row += "}";
   if (include_timing) {
     row += ",\"wall_ms\":" + JsonNumber(static_cast<double>(result.wall_ns) / 1e6);
+    const PerfCounters& c = result.counters;
+    double secs = static_cast<double>(result.wall_ns) / 1e9;
+    row += ",\"events\":" + std::to_string(c.events_executed);
+    row += ",\"events_per_sec\":" +
+           JsonNumber(secs > 0 ? static_cast<double>(c.events_executed) / secs : 0);
+    row += ",\"events_cancelled\":" + std::to_string(c.events_cancelled);
+    row += ",\"cb_heap_allocs\":" + std::to_string(c.callback_heap_allocs);
+    row += ",\"slab_allocs\":" + std::to_string(c.event_slab_allocs);
+    row += ",\"rq_picks\":" + std::to_string(c.rq_picks);
+    row += ",\"rq_enqueues\":" + std::to_string(c.rq_enqueues);
   }
   row += "}";
   return row;

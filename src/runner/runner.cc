@@ -32,6 +32,8 @@ RunResult Runner::RunOne(const RunSpec& spec, int index, int max_attempts) {
   result.index = index;
   while (result.attempts < max_attempts) {
     ++result.attempts;
+    result.counters.Reset();
+    PerfCounters::Scope counters_scope(&result.counters);
     TimeNs start = WallNowNs();
     try {
       result.metrics = ExecuteRun(spec);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/perf_counters.h"
 #include "src/base/time.h"
 #include "src/runner/spec.h"
 
@@ -25,6 +26,10 @@ struct RunResult {
   std::string error;   // what() of the last failure when !ok
   RunMetrics metrics;  // empty when !ok
   TimeNs wall_ns = 0;  // host wall-clock time of the last attempt
+  // Hot-path tallies of the last attempt (events executed, allocations,
+  // runqueue traffic). Deterministic given the spec; the derived events/sec
+  // rate is not, so both surface only behind --timings.
+  PerfCounters counters;
 };
 
 struct RunnerOptions {

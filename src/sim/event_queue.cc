@@ -6,56 +6,149 @@
 
 namespace vsched {
 
-EventId EventQueue::ScheduleAt(TimeNs when, EventFn fn) {
+namespace {
+
+inline uint64_t PackId(uint32_t index, uint32_t generation) {
+  return (static_cast<uint64_t>(index) + 1) << 32 | generation;
+}
+
+inline uint32_t IdIndex(uint64_t raw) { return static_cast<uint32_t>(raw >> 32) - 1; }
+inline uint32_t IdGeneration(uint64_t raw) { return static_cast<uint32_t>(raw); }
+
+}  // namespace
+
+uint32_t EventQueue::AllocNode() {
+  if (free_.empty()) {
+    uint32_t base = static_cast<uint32_t>(slabs_.size()) * kSlabSize;
+    slabs_.push_back(std::make_unique<Slab>());
+    ++counters_->event_slab_allocs;
+    // Push in reverse so the lowest new index is handed out first.
+    for (uint32_t i = kSlabSize; i-- > 0;) {
+      free_.push_back(base + i);
+    }
+  }
+  uint32_t index = free_.back();
+  free_.pop_back();
+  return index;
+}
+
+void EventQueue::ReleaseNode(uint32_t index) {
+  Node& node = NodeAt(index);
+  node.heap_pos = -1;
+  ++node.generation;  // stale EventIds now miss
+  free_.push_back(index);
+}
+
+void EventQueue::SiftUp(size_t pos) {
+  HeapSlot slot = heap_[pos];
+  while (pos > 0) {
+    size_t parent = (pos - 1) / 4;
+    if (!Before(slot, heap_[parent])) {
+      break;
+    }
+    Place(pos, heap_[parent]);
+    pos = parent;
+  }
+  Place(pos, slot);
+}
+
+void EventQueue::SiftDown(size_t pos) {
+  HeapSlot slot = heap_[pos];
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t first_child = pos * 4 + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], slot)) {
+      break;
+    }
+    Place(pos, heap_[best]);
+    pos = best;
+  }
+  Place(pos, slot);
+}
+
+void EventQueue::RemoveAt(size_t pos) {
+  size_t last = heap_.size() - 1;
+  if (pos != last) {
+    Place(pos, heap_[last]);
+  }
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    // The relocated slot may belong either direction from `pos`.
+    SiftDown(pos);
+    SiftUp(pos);
+  }
+}
+
+uint32_t EventQueue::BeginSchedule(TimeNs when) {
   VSCHED_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
-  uint64_t id = next_id_++;
-  heap_.push(HeapEntry{when, next_seq_++, id});
-  live_.emplace(id, std::move(fn));
-  return EventId(id);
+  return AllocNode();
+}
+
+EventId EventQueue::FinishSchedule(TimeNs when, uint32_t index) {
+  Node& node = NodeAt(index);
+  heap_.push_back(HeapSlot{when, next_seq_++, index});
+  node.heap_pos = static_cast<int32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
+  ++counters_->events_scheduled;
+  return EventId(PackId(index, node.generation));
 }
 
 bool EventQueue::Cancel(EventId id) {
   if (!id.valid()) {
     return false;
   }
-  return live_.erase(id.raw_) > 0;
-}
-
-bool EventQueue::SkimCancelled() {
-  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
-    heap_.pop();
+  uint32_t index = IdIndex(id.raw_);
+  if (index >= slabs_.size() * kSlabSize) {
+    return false;
   }
-  return !heap_.empty();
-}
-
-bool EventQueue::Empty() { return !SkimCancelled(); }
-
-TimeNs EventQueue::NextEventTime() {
-  if (!SkimCancelled()) {
-    return kTimeInfinity;
+  Node& node = NodeAt(index);
+  if (node.heap_pos < 0 || node.generation != IdGeneration(id.raw_)) {
+    return false;
   }
-  return heap_.top().when;
+  RemoveAt(static_cast<size_t>(node.heap_pos));
+  node.fn = EventCallback();
+  ReleaseNode(index);
+  ++counters_->events_cancelled;
+  return true;
 }
 
 bool EventQueue::RunOne() {
-  if (!SkimCancelled()) {
+  if (heap_.empty()) {
     return false;
   }
-  HeapEntry entry = heap_.top();
-  heap_.pop();
-  auto it = live_.find(entry.id);
-  VSCHED_CHECK(it != live_.end());
-  EventFn fn = std::move(it->second);
-  live_.erase(it);
-  VSCHED_CHECK(entry.when >= now_);
-  now_ = entry.when;
+  HeapSlot top = heap_[0];
+  Node& node = NodeAt(top.node);
+  RemoveAt(0);
+  // Off-heap from this point: a Cancel() of the in-flight id (self-cancel
+  // from inside the callback is common) must miss, not remove a bystander.
+  node.heap_pos = -1;
+  VSCHED_CHECK(top.when >= now_);
+  now_ = top.when;
   ++executed_;
-  fn();
+  ++counters_->events_executed;
+  // Invoke straight from pool storage — no move-out. The node is off both
+  // the heap and the free list while running, so a callback that schedules
+  // new events cannot clobber it, and Cancel() of the in-flight id is a
+  // clean miss (heap_pos is already -1). Slab storage is stable, so the
+  // reference survives any scheduling the callback does.
+  node.fn();
+  node.fn = EventCallback();
+  ReleaseNode(top.node);
   return true;
 }
 
 void EventQueue::RunUntil(TimeNs deadline) {
-  while (SkimCancelled() && heap_.top().when <= deadline) {
+  while (!heap_.empty() && heap_[0].when <= deadline) {
     RunOne();
   }
   if (deadline > now_) {

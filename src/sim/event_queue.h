@@ -2,24 +2,33 @@
 // timestamped callbacks.
 //
 // Events at equal timestamps fire in scheduling order (FIFO), which makes
-// whole-simulation runs reproducible. Cancellation is O(1) via lazy deletion:
-// cancelled ids are dropped when they surface at the heap top.
+// whole-simulation runs reproducible. Storage is a slab-allocated pool of
+// event nodes recycled through a free list, indexed by a 4-ary min-heap that
+// tracks each node's heap position — so cancellation is a true O(log n)
+// removal (no lazy-deletion skimming), scheduling in steady state performs
+// zero allocations, and Empty()/NextEventTime() are const reads. Event ids
+// are generation-tagged: a recycled slot invalidates stale handles.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/base/perf_counters.h"
 #include "src/base/time.h"
+#include "src/sim/event_callback.h"
 
 namespace vsched {
 
-using EventFn = std::function<void()>;
+using EventFn = EventCallback;
 
 // Opaque handle for cancellation. Default-constructed ids are invalid.
+// Encodes (pool slot + 1) in the high 32 bits and the slot's generation in
+// the low 32, so a handle to an executed/cancelled event stays invalid even
+// after the slot is recycled.
 class EventId {
  public:
   EventId() = default;
@@ -45,20 +54,35 @@ class EventQueue {
   // Current simulated time. Advances only inside RunOne().
   TimeNs now() const { return now_; }
 
-  // Schedules `fn` at absolute time `when` (must be >= now()).
-  EventId ScheduleAt(TimeNs when, EventFn fn);
+  // Schedules `fn` at absolute time `when` (must be >= now()). Accepts any
+  // void() callable; it is constructed directly inside the pool node, so the
+  // common path does no intermediate moves and no allocation.
+  template <typename F>
+  EventId ScheduleAt(TimeNs when, F&& fn) {
+    uint32_t index = BeginSchedule(when);
+    Node& node = NodeAt(index);
+    if constexpr (std::is_same_v<std::decay_t<F>, EventCallback>) {
+      node.fn = std::forward<F>(fn);
+    } else {
+      node.fn.Emplace(std::forward<F>(fn));
+    }
+    return FinishSchedule(when, index);
+  }
 
   // Schedules `fn` `delay` ns from now.
-  EventId ScheduleAfter(TimeNs delay, EventFn fn) { return ScheduleAt(now_ + delay, std::move(fn)); }
+  template <typename F>
+  EventId ScheduleAfter(TimeNs delay, F&& fn) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
+  }
 
   // Cancels a pending event. Returns true if the event was still pending.
   bool Cancel(EventId id);
 
   // True when no live events remain.
-  bool Empty();
+  bool Empty() const { return heap_.empty(); }
 
   // Timestamp of the next live event, or kTimeInfinity when empty.
-  TimeNs NextEventTime();
+  TimeNs NextEventTime() const { return heap_.empty() ? kTimeInfinity : heap_[0].when; }
 
   // Pops and runs the next live event, advancing now(). Returns false when
   // the queue is empty.
@@ -68,35 +92,66 @@ class EventQueue {
   void RunUntil(TimeNs deadline);
 
   // Number of live (non-cancelled) pending events.
-  size_t PendingCount() const { return live_.size(); }
+  size_t PendingCount() const { return heap_.size(); }
 
   // Total events executed so far (for perf accounting).
   uint64_t executed_count() const { return executed_; }
 
  private:
-  struct HeapEntry {
-    TimeNs when;
-    uint64_t seq;
-    uint64_t id;
-    // Min-heap by (when, seq): std::priority_queue is a max-heap, so invert.
-    bool operator<(const HeapEntry& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return seq > other.seq;
-    }
+  static constexpr uint32_t kSlabBits = 8;
+  static constexpr uint32_t kSlabSize = 1u << kSlabBits;  // nodes per slab
+
+  // One pooled event. `heap_pos` is -1 while the node sits on the free list;
+  // `generation` advances on every release so stale EventIds miss.
+  struct Node {
+    EventCallback fn;
+    uint32_t generation = 1;
+    int32_t heap_pos = -1;
   };
 
-  // Drops cancelled entries from the heap top. Returns true if a live entry
-  // remains on top.
-  bool SkimCancelled();
+  struct Slab {
+    Node nodes[kSlabSize];
+  };
+
+  struct HeapSlot {
+    TimeNs when;
+    uint64_t seq;
+    uint32_t node;
+  };
+
+  static bool Before(const HeapSlot& a, const HeapSlot& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+
+  Node& NodeAt(uint32_t index) {
+    return slabs_[index >> kSlabBits]->nodes[index & (kSlabSize - 1)];
+  }
+
+  uint32_t AllocNode();
+  void ReleaseNode(uint32_t index);
+
+  // The non-template halves of ScheduleAt: past-check + node allocation,
+  // then heap insertion + id minting.
+  uint32_t BeginSchedule(TimeNs when);
+  EventId FinishSchedule(TimeNs when, uint32_t index);
+
+  // Index-tracking 4-ary heap primitives: every time a slot moves, the
+  // owning node's heap_pos follows it.
+  void Place(size_t pos, HeapSlot slot) {
+    heap_[pos] = slot;
+    NodeAt(slot.node).heap_pos = static_cast<int32_t>(pos);
+  }
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  void RemoveAt(size_t pos);
 
   TimeNs now_ = 0;
-  uint64_t next_id_ = 1;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
-  std::priority_queue<HeapEntry> heap_;
-  std::unordered_map<uint64_t, EventFn> live_;
+  std::vector<HeapSlot> heap_;
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::vector<uint32_t> free_;
+  PerfCounters* counters_ = PerfCounters::Current();
 };
 
 }  // namespace vsched

@@ -30,8 +30,14 @@ class Simulation {
   // Derives an independent RNG stream for a component.
   Rng ForkRng() { return rng_.Fork(); }
 
-  EventId At(TimeNs when, EventFn fn) { return queue_.ScheduleAt(when, std::move(fn)); }
-  EventId After(TimeNs delay, EventFn fn) { return queue_.ScheduleAfter(delay, std::move(fn)); }
+  template <typename F>
+  EventId At(TimeNs when, F&& fn) {
+    return queue_.ScheduleAt(when, std::forward<F>(fn));
+  }
+  template <typename F>
+  EventId After(TimeNs delay, F&& fn) {
+    return queue_.ScheduleAfter(delay, std::forward<F>(fn));
+  }
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
   // Runs the simulation until `deadline`, then sets now() == deadline.

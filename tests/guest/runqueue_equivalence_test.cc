@@ -1,0 +1,222 @@
+// Differential test: the flat sorted-vector Runqueue against an oracle that
+// re-implements the std::set-based structure it replaced, over random
+// enqueue/dequeue traces. Pick results (CFS and EEVDF), counts, load sums,
+// and membership must agree at every step — the swap is a pure data-structure
+// change, so any divergence is a bug.
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/guest/runqueue.h"
+#include "src/guest/task.h"
+
+namespace vsched {
+namespace {
+
+struct NoopBehavior : TaskBehavior {
+  TaskAction Next(TaskContext&, RunReason) override { return TaskAction::Exit(); }
+};
+
+// Byte-for-byte reimplementation of the pre-swap Runqueue semantics on the
+// original node-based containers.
+class SetOracle {
+ public:
+  explicit SetOracle(bool eevdf) : eevdf_(eevdf) {}
+
+  void Enqueue(Task* task) {
+    if (task->policy() == TaskPolicy::kIdle) {
+      idle_.insert(task);
+    } else {
+      normal_.insert(task);
+      load_ += task->weight();
+    }
+  }
+
+  void Dequeue(Task* task) {
+    if (task->policy() == TaskPolicy::kIdle) {
+      idle_.erase(task);
+    } else {
+      normal_.erase(task);
+      load_ -= task->weight();
+      if (normal_.empty()) {
+        load_ = 0;
+      }
+    }
+  }
+
+  bool Contains(const Task* task) const {
+    Task* mutable_task = const_cast<Task*>(task);
+    return task->policy() == TaskPolicy::kIdle ? idle_.count(mutable_task) > 0
+                                               : normal_.count(mutable_task) > 0;
+  }
+
+  double load() const { return load_; }
+  size_t size() const { return normal_.size() + idle_.size(); }
+  bool OnlyIdleTasks() const { return normal_.empty() && !idle_.empty(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Task* t : normal_) {
+      fn(t);
+    }
+    for (Task* t : idle_) {
+      fn(t);
+    }
+  }
+
+  Task* Pick() const {
+    if (eevdf_) {
+      return PickEevdf();
+    }
+    Task* best = nullptr;
+    if (!normal_.empty()) {
+      best = *normal_.begin();
+    }
+    if (!idle_.empty()) {
+      Task* idle_best = *idle_.begin();
+      if (best == nullptr || idle_best->vruntime() < best->vruntime()) {
+        best = idle_best;
+      }
+    }
+    return best;
+  }
+
+ private:
+  struct ByVruntime {
+    bool operator()(const Task* a, const Task* b) const {
+      if (a->vruntime() != b->vruntime()) {
+        return a->vruntime() < b->vruntime();
+      }
+      return a->id() < b->id();
+    }
+  };
+
+  Task* PickEevdf() const {
+    double avg = 0;
+    int n = 0;
+    for (const Task* t : normal_) {
+      avg += t->vruntime();
+      ++n;
+    }
+    for (const Task* t : idle_) {
+      avg += t->vruntime();
+      ++n;
+    }
+    if (n == 0) {
+      return nullptr;
+    }
+    avg /= n;
+    Task* best = nullptr;
+    Task* min_vr = nullptr;
+    auto consider = [&](Task* t) {
+      if (min_vr == nullptr || t->vruntime() < min_vr->vruntime()) {
+        min_vr = t;
+      }
+      if (t->vruntime() <= avg + 1e-6 &&
+          (best == nullptr || t->vdeadline() < best->vdeadline())) {
+        best = t;
+      }
+    };
+    for (Task* t : normal_) {
+      consider(t);
+    }
+    for (Task* t : idle_) {
+      consider(t);
+    }
+    return best != nullptr ? best : min_vr;
+  }
+
+  bool eevdf_;
+  std::set<Task*, ByVruntime> normal_;
+  std::set<Task*, ByVruntime> idle_;
+  double load_ = 0;
+};
+
+class RunqueueEquivalenceTest : public ::testing::TestWithParam<bool> {
+ protected:
+  Task* Make(uint64_t id, TaskPolicy policy) {
+    tasks_.push_back(std::make_unique<Task>(id, "t" + std::to_string(id), policy, &behavior_,
+                                            CpuMask::FirstN(1)));
+    return tasks_.back().get();
+  }
+
+  NoopBehavior behavior_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+};
+
+TEST_P(RunqueueEquivalenceTest, RandomTraceAgreesWithSetOracle) {
+  const bool eevdf = GetParam();
+  std::mt19937_64 rng(eevdf ? 0xEE5Fu : 0xCF5u);
+  auto uniform = [&](double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(rng() % (1u << 20)) / (1u << 20));
+  };
+
+  Runqueue rq;
+  rq.SetEevdf(eevdf);
+  SetOracle oracle(eevdf);
+
+  const int kTasks = 40;
+  std::vector<Task*> queued;
+  std::vector<Task*> idle_pool;
+  for (int i = 0; i < kTasks; ++i) {
+    TaskPolicy policy = i % 4 == 3 ? TaskPolicy::kIdle : TaskPolicy::kNormal;
+    Task* t = Make(i + 1, policy);
+    if (policy == TaskPolicy::kNormal) {
+      t->set_nice(static_cast<int>(rng() % 7) - 3);  // mixed weights
+    }
+    idle_pool.push_back(t);
+  }
+
+  for (int op = 0; op < 5000; ++op) {
+    bool do_enqueue = queued.empty() || (!idle_pool.empty() && rng() % 2 == 0);
+    if (do_enqueue) {
+      size_t i = rng() % idle_pool.size();
+      Task* t = idle_pool[i];
+      idle_pool.erase(idle_pool.begin() + i);
+      // Mutate ordering keys only while dequeued (the shared invariant).
+      // Occasionally duplicate another queued task's vruntime to exercise
+      // the (vruntime, id) tie-break.
+      if (!queued.empty() && rng() % 8 == 0) {
+        TaskAccess::SetVruntime(t, queued[rng() % queued.size()]->vruntime());
+      } else {
+        TaskAccess::SetVruntime(t, uniform(0, 1e6));
+      }
+      TaskAccess::SetVdeadline(t, uniform(0, 1e6));
+      rq.Enqueue(t);
+      oracle.Enqueue(t);
+      queued.push_back(t);
+    } else {
+      size_t i = rng() % queued.size();
+      Task* t = queued[i];
+      queued.erase(queued.begin() + i);
+      rq.Dequeue(t);
+      oracle.Dequeue(t);
+      idle_pool.push_back(t);
+    }
+
+    ASSERT_EQ(rq.Pick(), oracle.Pick()) << "op " << op;
+    ASSERT_EQ(rq.size(), oracle.size());
+    ASSERT_EQ(rq.OnlyIdleTasks(), oracle.OnlyIdleTasks());
+    ASSERT_DOUBLE_EQ(rq.load(), oracle.load());
+    Task* probe = tasks_[rng() % tasks_.size()].get();
+    ASSERT_EQ(rq.Contains(probe), oracle.Contains(probe));
+    // ForEach must visit in the oracle's order: normal ascending, then idle.
+    std::vector<Task*> visited;
+    rq.ForEach([&](Task* t) { visited.push_back(t); });
+    std::vector<Task*> expected;
+    oracle.ForEach([&](Task* t) { expected.push_back(t); });
+    ASSERT_EQ(visited, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RunqueueEquivalenceTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Eevdf" : "Cfs";
+                         });
+
+}  // namespace
+}  // namespace vsched

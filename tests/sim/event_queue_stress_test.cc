@@ -1,0 +1,114 @@
+// Randomized differential test: the pooled/heap-indexed EventQueue against a
+// naive ordered-map reference model, over schedule/cancel/run traces.
+//
+// The reference model is deliberately trivial — an ordered map keyed by
+// (timestamp, schedule order) — so any disagreement in execution order,
+// pending counts, next-event times, or cancellation results indicts the real
+// queue's slab pool, free list, generation tags, or 4-ary heap.
+#include <cstdint>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+
+namespace vsched {
+namespace {
+
+struct RefModel {
+  // (when, schedule order) -> tag. Mirrors the queue's FIFO-at-equal-times
+  // contract because schedule order increments monotonically.
+  std::map<std::pair<TimeNs, uint64_t>, int> pending;
+  uint64_t next_order = 0;
+
+  std::pair<TimeNs, uint64_t> Insert(TimeNs when, int tag) {
+    auto key = std::make_pair(when, next_order++);
+    pending.emplace(key, tag);
+    return key;
+  }
+
+  TimeNs NextTime() const { return pending.empty() ? kTimeInfinity : pending.begin()->first.first; }
+
+  // Pops the next (time, FIFO) event's tag; -1 when empty.
+  int PopNext() {
+    if (pending.empty()) {
+      return -1;
+    }
+    int tag = pending.begin()->second;
+    pending.erase(pending.begin());
+    return tag;
+  }
+};
+
+struct LiveHandle {
+  EventId id;
+  std::pair<TimeNs, uint64_t> key;
+};
+
+class EventQueueStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EventQueueStressTest, MatchesReferenceModel) {
+  std::mt19937_64 rng(GetParam());
+  EventQueue q;
+  RefModel ref;
+  std::vector<LiveHandle> cancellable;
+  std::vector<int> executed;
+  int next_tag = 0;
+
+  auto schedule_one = [&] {
+    TimeNs when = q.now() + static_cast<TimeNs>(rng() % 64);
+    int tag = next_tag++;
+    EventId id = q.ScheduleAt(when, [&executed, tag] { executed.push_back(tag); });
+    auto key = ref.Insert(when, tag);
+    if (rng() % 2 == 0) {
+      cancellable.push_back(LiveHandle{id, key});
+    }
+  };
+
+  for (int op = 0; op < 10000; ++op) {
+    uint64_t r = rng() % 100;
+    if (r < 45) {
+      schedule_one();
+    } else if (r < 60 && !cancellable.empty()) {
+      size_t i = rng() % cancellable.size();
+      LiveHandle handle = cancellable[i];
+      cancellable.erase(cancellable.begin() + i);
+      // The handle may already have fired; the model says which.
+      bool still_pending = ref.pending.erase(handle.key) > 0;
+      EXPECT_EQ(q.Cancel(handle.id), still_pending);
+      EXPECT_FALSE(q.Cancel(handle.id)) << "double-cancel must miss";
+    } else if (r < 62) {
+      EXPECT_FALSE(q.Cancel(EventId()));
+    } else {
+      size_t executed_before = executed.size();
+      int want = ref.PopNext();
+      bool ran = q.RunOne();
+      EXPECT_EQ(ran, want >= 0);
+      if (ran) {
+        ASSERT_EQ(executed.size(), executed_before + 1);
+        EXPECT_EQ(executed.back(), want);
+      }
+    }
+    ASSERT_EQ(q.PendingCount(), ref.pending.size());
+    ASSERT_EQ(q.NextEventTime(), ref.NextTime());
+    ASSERT_EQ(q.Empty(), ref.pending.empty());
+  }
+
+  // Drain: the remaining execution order must match the model exactly.
+  for (int want = ref.PopNext(); want >= 0; want = ref.PopNext()) {
+    ASSERT_TRUE(q.RunOne());
+    ASSERT_EQ(executed.back(), want);
+  }
+  EXPECT_FALSE(q.RunOne());
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueStressTest,
+                         ::testing::Values(1u, 2u, 3u, 0xDEADBEEFu));
+
+}  // namespace
+}  // namespace vsched

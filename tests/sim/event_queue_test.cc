@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/perf_counters.h"
+
 namespace vsched {
 namespace {
 
@@ -138,6 +140,94 @@ TEST(EventQueueTest, ManyInterleavedCancellations) {
   }
   q.RunUntil(2000);
   EXPECT_EQ(ran, 500);
+}
+
+TEST(EventQueueTest, ConstInspectionDoesNotMutate) {
+  EventQueue q;
+  const EventQueue& cq = q;
+  EXPECT_TRUE(cq.Empty());
+  EXPECT_EQ(cq.NextEventTime(), kTimeInfinity);
+  EventId id = q.ScheduleAt(5, [] {});
+  EXPECT_FALSE(cq.Empty());
+  EXPECT_EQ(cq.NextEventTime(), 5);
+  q.Cancel(id);
+  EXPECT_TRUE(cq.Empty());
+  EXPECT_EQ(cq.NextEventTime(), kTimeInfinity);
+  EXPECT_EQ(cq.PendingCount(), 0u);
+}
+
+TEST(EventQueueTest, StaleIdAfterSlotReuseMisses) {
+  EventQueue q;
+  EventId a = q.ScheduleAt(10, [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  // The next schedule recycles a's pool slot; the generation tag must keep
+  // the stale handle from cancelling the new occupant.
+  bool ran = false;
+  EventId b = q.ScheduleAt(20, [&] { ran = true; });
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_TRUE(q.RunOne());
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(q.Cancel(b));
+}
+
+TEST(EventQueueTest, SelfCancelDuringExecutionMisses) {
+  EventQueue q;
+  int runs = 0;
+  EventId id;
+  id = q.ScheduleAt(5, [&] {
+    ++runs;
+    EXPECT_FALSE(q.Cancel(id));
+  });
+  EXPECT_TRUE(q.RunOne());
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueTest, CancelledSlotIsRecycledNotLeaked) {
+  EventQueue q;
+  // Far more schedule/cancel cycles than one slab holds: without free-list
+  // recycling this would allocate ~40 slabs; with it, exactly one.
+  PerfCounters counters;
+  PerfCounters::Scope scope(&counters);
+  EventQueue pooled;
+  for (int i = 0; i < 10000; ++i) {
+    EventId id = pooled.ScheduleAt(i, [] {});
+    EXPECT_TRUE(pooled.Cancel(id));
+  }
+  EXPECT_EQ(counters.event_slab_allocs, 1u);
+  EXPECT_EQ(counters.events_cancelled, 10000u);
+}
+
+TEST(EventQueueTest, OversizedCaptureFallsBackToHeap) {
+  PerfCounters counters;
+  PerfCounters::Scope scope(&counters);
+  EventQueue q;
+  struct Big {
+    uint64_t words[16];  // 128 bytes: over the inline buffer
+  };
+  Big big{};
+  big.words[15] = 7;
+  uint64_t seen = 0;
+  q.ScheduleAt(1, [big, &seen] { seen = big.words[15]; });
+  EXPECT_EQ(counters.callback_heap_allocs, 1u);
+  EXPECT_TRUE(q.RunOne());
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueueTest, InlineCaptureDoesNotHeapAllocate) {
+  PerfCounters counters;
+  PerfCounters::Scope scope(&counters);
+  EventQueue q;
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.ScheduleAt(i, [&hits] { ++hits; });
+  }
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(hits, 100);
+  EXPECT_EQ(counters.callback_heap_allocs, 0u);
+  EXPECT_EQ(counters.events_executed, 100u);
+  EXPECT_EQ(counters.events_scheduled, 100u);
 }
 
 TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
