@@ -41,7 +41,8 @@ void RunEmaTracking() {
       ctx.vm->ClearVcpuBandwidth(0);
     } else {
       TimeNs period = MsToNs(10);
-      ctx.vm->SetVcpuBandwidth(0, static_cast<TimeNs>(phase.share * period), period);
+      ctx.vm->SetVcpuBandwidth(
+          0, static_cast<TimeNs>(phase.share * static_cast<double>(period)), period);
     }
     TimeNs end = ctx.sim->now() + phase.duration;
     while (ctx.sim->now() < end) {

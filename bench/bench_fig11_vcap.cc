@@ -67,7 +67,8 @@ AsymResult RunAsym(bool with_vcap) {
     }
   }
   AsymResult r;
-  r.high_cap_share_pct = total > 0 ? 100.0 * static_cast<double>(high) / total : 0;
+  r.high_cap_share_pct =
+      total > 0 ? 100.0 * static_cast<double>(high) / static_cast<double>(total) : 0;
   r.throughput = app.Result().throughput;
   app.Stop();
   return r;

@@ -92,7 +92,7 @@ int main() {
     }
     table.Print();
     std::printf("Average p95 reduction: %.0f%% (paper: 42%% on average)\n",
-                100.0 * sum_reduction / apps.size());
+                100.0 * sum_reduction / static_cast<double>(apps.size()));
   }
 
   PrintBanner("Table 3", "Masstree p95 breakdown (ms)");

@@ -47,6 +47,6 @@ int main() {
   table.Print();
   std::printf("\nAverage degradation: %.2f%% (paper: 0.7%% on average; negative values\n"
               "mean vSched was marginally faster).\n",
-              sum / apps.size());
+              sum / static_cast<double>(apps.size()));
   return 0;
 }

@@ -106,7 +106,8 @@ ChurnResult RunEventChurn(uint64_t target_events) {
   ChurnResult r;
   r.events = q.executed_count();
   r.wall_ns = WallNs(start);
-  r.events_per_sec = r.wall_ns > 0 ? r.events * 1e9 / r.wall_ns : 0;
+  r.events_per_sec =
+      r.wall_ns > 0 ? static_cast<double>(r.events) * 1e9 / static_cast<double>(r.wall_ns) : 0;
   return r;
 }
 
@@ -157,7 +158,8 @@ RqChurnResult RunRunqueueChurn(uint64_t target_ops, bool eevdf) {
   RqChurnResult r;
   r.ops = ops;
   r.wall_ns = WallNs(start);
-  r.ops_per_sec = r.wall_ns > 0 ? ops * 1e9 / r.wall_ns : 0;
+  r.ops_per_sec =
+      r.wall_ns > 0 ? static_cast<double>(ops) * 1e9 / static_cast<double>(r.wall_ns) : 0;
   return r;
 }
 
@@ -186,7 +188,7 @@ CellResult RunFig18Cell(int jobs) {
   std::vector<RunResult> results = Runner(options).Run(sweep);
   CellResult r;
   r.wall_ns = WallNs(start);
-  r.wall_ms = r.wall_ns / 1e6;
+  r.wall_ms = static_cast<double>(r.wall_ns) / 1e6;
   for (const RunResult& result : results) {
     if (!result.ok) {
       std::fprintf(stderr, "bench_perf_core: run %s failed: %s\n", result.spec.Id().c_str(),
@@ -250,7 +252,8 @@ int CompareBaseline(const std::string& path, double max_regress, const ChurnResu
   check_rate("event_churn", "events_per_sec", churn.events_per_sec);
   check_rate("runqueue_churn", "ops_per_sec", rq.ops_per_sec);
   // For wall clock, lower is better: compare inverted.
-  check_rate("fig18_cell", "cells_per_sec", cell.wall_ns > 0 ? 1e9 / cell.wall_ns : 0);
+  check_rate("fig18_cell", "cells_per_sec",
+             cell.wall_ns > 0 ? 1e9 / static_cast<double>(cell.wall_ns) : 0);
   return failures == 0 ? 0 : 1;
 }
 
@@ -335,7 +338,8 @@ int main(int argc, char** argv) {
        << ", \"ops_per_sec\": " << JsonNumber(rq_eevdf.ops_per_sec) << "},\n";
   json << "  \"fig18_cell\": {\"runs\": " << cell.runs << ", \"jobs\": " << opt.jobs
        << ", \"wall_ns\": " << cell.wall_ns << ", \"wall_ms\": " << JsonNumber(cell.wall_ms)
-       << ", \"cells_per_sec\": " << JsonNumber(cell.wall_ns > 0 ? 1e9 / cell.wall_ns : 0)
+       << ", \"cells_per_sec\": "
+       << JsonNumber(cell.wall_ns > 0 ? 1e9 / static_cast<double>(cell.wall_ns) : 0)
        << "}\n";
   json << "}\n";
 

@@ -2,7 +2,7 @@
 //
 //   vsched_run [--experiment NAME] [--jobs N] [--seed S] [--out FILE]
 //              [--filter SUBSTR] [--warmup-ms N] [--measure-ms N]
-//              [--timings] [--list]
+//              [--timings] [--audit] [--list]
 //
 // Experiments: fig18_rcvm (default), fig19_hpvm, fig02, all.
 // JSONL rows go to --out (or stdout); the human report and wall-clock
@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/audit.h"
 #include "src/runner/report.h"
 #include "src/runner/result_sink.h"
 #include "src/runner/runner.h"
@@ -34,6 +35,7 @@ struct CliOptions {
   long warmup_ms = -1;   // -1: sweep default
   long measure_ms = -1;  // -1: sweep default
   bool timings = false;
+  bool audit = false;
   bool list = false;
 };
 
@@ -49,6 +51,8 @@ void Usage(std::FILE* out) {
                "  --warmup-ms N      override per-run warmup (simulated ms)\n"
                "  --measure-ms N     override per-run measurement window (simulated ms)\n"
                "  --timings          include per-row wall_ms (non-deterministic) in JSONL\n"
+               "  --audit            verify core invariants after every mutation (slow);\n"
+               "                     output stays byte-identical, violations abort\n"
                "  --list             print the selected run ids and exit\n");
 }
 
@@ -86,6 +90,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
       std::exit(0);
     } else if (arg == "--timings") {
       cli.timings = true;
+    } else if (arg == "--audit") {
+      cli.audit = true;
     } else if (arg == "--list") {
       cli.list = true;
     } else if (take("--experiment")) {
@@ -150,6 +156,9 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, cli)) {
     return 2;
   }
+  if (cli.audit) {
+    audit::SetEnabled(true);
+  }
   ExperimentSpec sweep = BuildSweep(cli);
   if (cli.list) {
     for (const RunSpec& run : sweep.runs) {
@@ -201,6 +210,15 @@ int main(int argc, char** argv) {
   rows->flush();
 
   PrintRunSummary(results, elapsed.count(), human);
+  if (audit::Enabled()) {
+    // The default handler aborts on the first violation, so reaching here
+    // normally means zero; a custom handler may have let the run continue.
+    std::fprintf(human, "audit: %llu invariant violation(s)\n",
+                 static_cast<unsigned long long>(audit::ViolationCount()));
+    if (audit::ViolationCount() != 0) {
+      return 1;
+    }
+  }
   if (cli.timings) {
     uint64_t events = 0;
     uint64_t cb_heap_allocs = 0;

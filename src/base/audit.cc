@@ -1,0 +1,49 @@
+#include "src/base/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vsched {
+namespace audit {
+
+namespace {
+
+bool EnvRequestsAudit() {
+  const char* v = std::getenv("VSCHED_AUDIT");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+void DefaultHandler(const char* file, int line, const char* invariant, const char* detail) {
+  std::fprintf(stderr, "[vsched audit] %s:%d: invariant violated: %s%s%s\n", file, line,
+               invariant, detail != nullptr ? " — " : "", detail != nullptr ? detail : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<uint64_t> g_violations{0};
+std::atomic<Handler> g_handler{&DefaultHandler};
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_enabled{EnvRequestsAudit()};
+}  // namespace internal
+
+void SetEnabled(bool on) { internal::g_enabled.store(on, std::memory_order_relaxed); }
+
+uint64_t ViolationCount() { return g_violations.load(std::memory_order_relaxed); }
+
+void ResetViolationCount() { g_violations.store(0, std::memory_order_relaxed); }
+
+Handler SetHandler(Handler h) {
+  return g_handler.exchange(h != nullptr ? h : &DefaultHandler, std::memory_order_acq_rel);
+}
+
+void ReportViolation(const char* file, int line, const char* invariant, const char* detail) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  g_handler.load(std::memory_order_acquire)(file, line, invariant, detail);
+}
+
+}  // namespace audit
+}  // namespace vsched

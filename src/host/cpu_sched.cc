@@ -1,7 +1,9 @@
 #include "src/host/cpu_sched.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "src/base/audit.h"
 #include "src/base/check.h"
 #include "src/host/machine.h"
 #include "src/sim/simulation.h"
@@ -43,14 +45,14 @@ TimeNs CpuSched::now() const { return sim_->now(); }
 void CpuSched::RefreshMinVruntime() {
   // CFS keeps min_vruntime as a monotonic floor tracking the minimum of the
   // running entity and the queue, so new arrivals are placed near the pack.
-  double floor_v = kTimeInfinity;
+  double floor_v = static_cast<double>(kTimeInfinity);
   if (current_ != nullptr) {
     floor_v = current_->vruntime_;
   }
   for (const HostEntity* e : queue_) {
     floor_v = std::min(floor_v, e->vruntime_);
   }
-  if (floor_v < kTimeInfinity) {
+  if (floor_v < static_cast<double>(kTimeInfinity)) {
     min_vruntime_ = std::max(min_vruntime_, floor_v);
   }
 }
@@ -79,6 +81,9 @@ void CpuSched::Attach(HostEntity* e) {
   if (e->wants_to_run_) {
     EntityWoke(e);
   }
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
 }
 
 void CpuSched::Detach(HostEntity* e) {
@@ -104,6 +109,9 @@ void CpuSched::Detach(HostEntity* e) {
   }
   e->throttled_ = false;
   entities_.erase(std::find(entities_.begin(), entities_.end(), e));
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
 }
 
 void CpuSched::EntityWoke(HostEntity* e) {
@@ -141,6 +149,9 @@ void CpuSched::EntityWoke(HostEntity* e) {
     PutCurrent(now, /*requeue=*/true);
     PickNext(now);
   }
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
 }
 
 void CpuSched::EntitySlept(HostEntity* e) {
@@ -157,6 +168,9 @@ void CpuSched::EntitySlept(HostEntity* e) {
     queue_.erase(it);
     e->queued_ = false;
   }
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
 }
 
 void CpuSched::UpdateCurrentRuntime(TimeNs now) {
@@ -168,6 +182,7 @@ void CpuSched::UpdateCurrentRuntime(TimeNs now) {
     return;
   }
   last_runtime_sync_ = now;
+  // vsched-lint: allow(raw-double-accum) — increments are exact small-int multiples; audited against drift
   current_->vruntime_ += static_cast<double>(delta) * (kCapacityScale / current_->weight());
   if (current_->has_bandwidth()) {
     current_->bw_used_ += delta;
@@ -252,6 +267,9 @@ void CpuSched::OnSliceEnd() {
   }
   PutCurrent(now, /*requeue=*/true);
   PickNext(now);
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
 }
 
 void CpuSched::ThrottleCurrent(TimeNs now) {
@@ -261,6 +279,9 @@ void CpuSched::ThrottleCurrent(TimeNs now) {
   e->throttled_ = true;
   PutCurrent(now, /*requeue=*/false);
   PickNext(now);
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
 }
 
 void CpuSched::RefillBandwidth(HostEntity* e) {
@@ -282,12 +303,49 @@ void CpuSched::RefillBandwidth(HostEntity* e) {
       EntityWoke(e);
     }
   }
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
 }
 
 void CpuSched::NotifyRateChanged(TimeNs now) {
   if (current_ != nullptr) {
     current_->RateChanged(now);
   }
+}
+
+void CpuSched::AuditVerify() const {
+  // Current entity: running, dequeued, attached here.
+  if (current_ != nullptr) {
+    VSCHED_AUDIT_CHECK(current_->sched_ == this, "cpu_sched: current entity attached elsewhere");
+    VSCHED_AUDIT_CHECK(current_->running_, "cpu_sched: current entity not marked running");
+    VSCHED_AUDIT_CHECK(!current_->queued_, "cpu_sched: current entity still marked queued");
+  }
+  // Runnable queue: flags consistent, no duplicates, current never queued.
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const HostEntity* e = queue_[i];
+    VSCHED_AUDIT_CHECK(e != current_, "cpu_sched: current entity also sits in the queue");
+    VSCHED_AUDIT_CHECK(e->sched_ == this, "cpu_sched: queued entity attached elsewhere");
+    VSCHED_AUDIT_CHECK(e->queued_, "cpu_sched: queued entity not marked queued");
+    VSCHED_AUDIT_CHECK(!e->running_, "cpu_sched: queued entity marked running");
+    VSCHED_AUDIT_CHECK(!e->throttled_, "cpu_sched: throttled entity left in the queue");
+    for (size_t j = i + 1; j < queue_.size(); ++j) {
+      VSCHED_AUDIT_CHECK(queue_[j] != e, "cpu_sched: entity queued twice");
+    }
+  }
+  // Attached set: back-pointers, finite vruntime, bandwidth accounting never
+  // negative (the invariant throttling correctness rests on).
+  for (const HostEntity* e : entities_) {
+    VSCHED_AUDIT_CHECK(e->sched_ == this, "cpu_sched: attached entity points elsewhere");
+    VSCHED_AUDIT_CHECK(std::isfinite(e->vruntime_), "cpu_sched: entity vruntime not finite");
+    if (e->has_bandwidth()) {
+      VSCHED_AUDIT_CHECK(e->bw_used_ >= 0, "cpu_sched: bandwidth usage went negative");
+      VSCHED_AUDIT_CHECK(e->bw_quota_ > 0, "cpu_sched: bandwidth quota not positive");
+    } else {
+      VSCHED_AUDIT_CHECK(!e->throttled_, "cpu_sched: throttled entity has no bandwidth cap");
+    }
+  }
+  VSCHED_AUDIT_CHECK(std::isfinite(min_vruntime_), "cpu_sched: min_vruntime not finite");
 }
 
 }  // namespace vsched

@@ -61,6 +61,12 @@ class CpuSched {
   // an entity is running (SMT sibling toggled or frequency changed).
   void NotifyRateChanged(TimeNs now);
 
+  // Full structural self-check, reported through src/base/audit.h: queue and
+  // current-entity bookkeeping flags agree, every attached entity points back
+  // here, and bandwidth accounting never goes negative. Runs automatically
+  // after every scheduling transition while auditing is enabled.
+  void AuditVerify() const;
+
  private:
   friend class HostEntity;
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/base/audit.h"
 #include "src/base/check.h"
 
 namespace vsched {
@@ -16,6 +17,44 @@ inline uint32_t IdIndex(uint64_t raw) { return static_cast<uint32_t>(raw >> 32) 
 inline uint32_t IdGeneration(uint64_t raw) { return static_cast<uint32_t>(raw); }
 
 }  // namespace
+
+void EventQueue::AuditVerify() const {
+  const uint32_t capacity = static_cast<uint32_t>(slabs_.size()) * kSlabSize;
+  const size_t n = heap_.size();
+  // Heap slots: 4-ary ordering, in-range node indices, back-pointer
+  // agreement, and strictly increasing-unique sequence numbers.
+  std::vector<char> on_heap(capacity, 0);
+  for (size_t pos = 0; pos < n; ++pos) {
+    const HeapSlot& slot = heap_[pos];
+    if (pos > 0) {
+      VSCHED_AUDIT_CHECK(!Before(slot, heap_[(pos - 1) / 4]),
+                         "event heap: child orders before its parent");
+    }
+    VSCHED_AUDIT_CHECK(slot.node < capacity, "event heap: node index out of slab range");
+    if (slot.node >= capacity) {
+      continue;  // The remaining per-node checks would read out of bounds.
+    }
+    VSCHED_AUDIT_CHECK(!on_heap[slot.node], "event heap: node referenced twice");
+    on_heap[slot.node] = 1;
+    VSCHED_AUDIT_CHECK(NodeAt(slot.node).heap_pos == static_cast<int32_t>(pos),
+                       "event heap: node heap_pos disagrees with its slot");
+    VSCHED_AUDIT_CHECK(slot.seq < next_seq_, "event heap: seq from the future");
+    VSCHED_AUDIT_CHECK(slot.when >= now_, "event heap: pending event in the past");
+  }
+  // Free list: disjoint from the heap, marked off-heap, no duplicates.
+  std::vector<char> on_free(capacity, 0);
+  for (uint32_t index : free_) {
+    VSCHED_AUDIT_CHECK(index < capacity, "event free list: index out of slab range");
+    if (index >= capacity) {
+      continue;
+    }
+    VSCHED_AUDIT_CHECK(!on_free[index], "event free list: index listed twice");
+    on_free[index] = 1;
+    VSCHED_AUDIT_CHECK(!on_heap[index], "event free list: index also live on the heap");
+    VSCHED_AUDIT_CHECK(NodeAt(index).heap_pos == -1,
+                       "event free list: node still claims a heap position");
+  }
+}
 
 uint32_t EventQueue::AllocNode() {
   if (free_.empty()) {
@@ -100,6 +139,9 @@ EventId EventQueue::FinishSchedule(TimeNs when, uint32_t index) {
   node.heap_pos = static_cast<int32_t>(heap_.size() - 1);
   SiftUp(heap_.size() - 1);
   ++counters_->events_scheduled;
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
   return EventId(PackId(index, node.generation));
 }
 
@@ -119,12 +161,19 @@ bool EventQueue::Cancel(EventId id) {
   node.fn = EventCallback();
   ReleaseNode(index);
   ++counters_->events_cancelled;
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
   return true;
 }
 
 bool EventQueue::RunOne() {
   if (heap_.empty()) {
     return false;
+  }
+  if (audit::Enabled()) {
+    AuditVerify();
+    VSCHED_AUDIT_CHECK(heap_[0].when >= now_, "event dispatch would move the clock backwards");
   }
   HeapSlot top = heap_[0];
   Node& node = NodeAt(top.node);
@@ -154,6 +203,8 @@ void EventQueue::RunUntil(TimeNs deadline) {
   if (deadline > now_) {
     now_ = deadline;
   }
+  VSCHED_AUDIT_CHECK(heap_.empty() || heap_[0].when > deadline,
+                     "RunUntil left a due event pending");
 }
 
 }  // namespace vsched

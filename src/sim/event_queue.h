@@ -97,7 +97,16 @@ class EventQueue {
   // Total events executed so far (for perf accounting).
   uint64_t executed_count() const { return executed_; }
 
+  // Full structural self-check, reported through src/base/audit.h: heap
+  // ordering, heap_pos back-pointers, slab/free-list bookkeeping, and seq
+  // uniqueness. Called automatically after every mutation while auditing is
+  // enabled; safe (and O(capacity)) to call directly at any time.
+  void AuditVerify() const;
+
  private:
+  // Deliberate-corruption backdoor for the audit tests (tests/audit/); never
+  // referenced by the library itself.
+  friend struct AuditTestAccess;
   static constexpr uint32_t kSlabBits = 8;
   static constexpr uint32_t kSlabSize = 1u << kSlabBits;  // nodes per slab
 
@@ -124,6 +133,9 @@ class EventQueue {
   }
 
   Node& NodeAt(uint32_t index) {
+    return slabs_[index >> kSlabBits]->nodes[index & (kSlabSize - 1)];
+  }
+  const Node& NodeAt(uint32_t index) const {
     return slabs_[index >> kSlabBits]->nodes[index & (kSlabSize - 1)];
   }
 

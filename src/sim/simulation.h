@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/audit.h"
 #include "src/base/time.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
@@ -41,7 +42,13 @@ class Simulation {
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
   // Runs the simulation until `deadline`, then sets now() == deadline.
-  void RunUntil(TimeNs deadline) { queue_.RunUntil(deadline); }
+  void RunUntil(TimeNs deadline) {
+    const TimeNs before = queue_.now();
+    queue_.RunUntil(deadline);
+    VSCHED_AUDIT_CHECK(queue_.now() >= before, "simulation clock moved backwards");
+    VSCHED_AUDIT_CHECK(deadline <= before || queue_.now() == deadline,
+                       "RunUntil did not land on its deadline");
+  }
 
   // Runs `dur` more nanoseconds of simulated time.
   void RunFor(TimeNs dur) { queue_.RunUntil(queue_.now() + dur); }

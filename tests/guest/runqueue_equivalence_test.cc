@@ -214,8 +214,8 @@ TEST_P(RunqueueEquivalenceTest, RandomTraceAgreesWithSetOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, RunqueueEquivalenceTest, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Eevdf" : "Cfs";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "Eevdf" : "Cfs";
                          });
 
 }  // namespace

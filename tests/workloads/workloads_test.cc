@@ -210,7 +210,8 @@ TEST_F(WorkloadFixture, CatalogInstantiatesEveryFig18Workload) {
     w->Start();
     sim.RunFor(MsToNs(500));
     WorkloadResult r = w->Result();
-    EXPECT_GT(r.throughput + r.completed, 0.0) << name << " made no progress";
+    EXPECT_GT(r.throughput + static_cast<double>(r.completed), 0.0)
+        << name << " made no progress";
     w->Stop();
     sim.RunFor(MsToNs(100));
   }

@@ -1,0 +1,336 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace vsched {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification. Rules bind to directory scopes: everything under
+// these prefixes executes *inside* the simulated world, where determinism
+// rules are absolute. src/base is infrastructure (logging, counters, the
+// audit switch) and src/runner is the parallel harness around the simulator
+// (it legitimately reads wall clocks for reports).
+
+bool PathContains(const std::string& path, const char* fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+// Simulated-world code: wall-clock reads are forbidden here.
+bool IsSimPath(const std::string& path) {
+  return PathContains(path, "src/sim") || PathContains(path, "src/guest") ||
+         PathContains(path, "src/host") || PathContains(path, "src/core") ||
+         PathContains(path, "src/probe") || PathContains(path, "src/workloads") ||
+         PathContains(path, "src/metrics") || PathContains(path, "src/stats");
+}
+
+// The hot scheduler state: hash-container iteration order must never be able
+// to influence event or pick order.
+bool IsSchedCorePath(const std::string& path) {
+  return PathContains(path, "src/sim") || PathContains(path, "src/guest") ||
+         PathContains(path, "src/host");
+}
+
+bool IsBasePath(const std::string& path) { return PathContains(path, "src/base"); }
+
+bool IsSrcPath(const std::string& path) { return PathContains(path, "src/"); }
+
+// ---------------------------------------------------------------------------
+// Per-line preprocessing: the scanner works on a copy of each line with
+// comments and string/char literal *contents* blanked out, so a rule token
+// inside a doc comment or a log message never fires. Block-comment state
+// carries across lines. Suppression comments are read from the raw line
+// (they live inside comments by design).
+
+struct ScrubState {
+  bool in_block_comment = false;
+  // Raw-string literals are not handled; none appear in this codebase and
+  // the worst case is a spurious finding, fixable with a suppression.
+};
+
+std::string ScrubLine(const std::string& raw, ScrubState* state) {
+  std::string out;
+  out.reserve(raw.size());
+  size_t i = 0;
+  const size_t n = raw.size();
+  while (i < n) {
+    if (state->in_block_comment) {
+      if (raw[i] == '*' && i + 1 < n && raw[i + 1] == '/') {
+        state->in_block_comment = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    char c = raw[i];
+    if (c == '/' && i + 1 < n && raw[i + 1] == '/') {
+      break;  // line comment: rest of line is dead
+    }
+    if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
+      state->in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < n) {
+        if (raw[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (raw[i] == quote) {
+          out.push_back(quote);
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: "vsched-lint: allow(rule-a, rule-b)" in a comment on the
+// offending line or the line directly above.
+
+std::vector<std::string> ParseAllowList(const std::string& raw) {
+  static const std::regex kAllowRe(R"(vsched-lint:\s*allow\(([A-Za-z0-9_\-, ]+)\))");
+  std::vector<std::string> rules;
+  std::smatch m;
+  std::string rest = raw;
+  while (std::regex_search(rest, m, kAllowRe)) {
+    std::stringstream list(m[1].str());
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      size_t b = item.find_first_not_of(" \t");
+      size_t e = item.find_last_not_of(" \t");
+      if (b != std::string::npos) {
+        rules.push_back(item.substr(b, e - b + 1));
+      }
+    }
+    rest = m.suffix();
+  }
+  return rules;
+}
+
+bool Allowed(const std::vector<std::string>& allows, const char* rule) {
+  return std::find(allows.begin(), allows.end(), rule) != allows.end();
+}
+
+// ---------------------------------------------------------------------------
+// Namespace-scope tracking for the mutable-global rule. A tiny brace
+// machine: each '{' is classified as namespace-opening (the code before it
+// ends in a namespace declarator) or other (function/class/init-list). A
+// line starts "at namespace scope" when every open brace is a namespace.
+
+struct ScopeState {
+  std::vector<char> stack;  // 'n' = namespace, 'o' = other
+  std::string pending;      // code since the last brace, for classification
+  int paren_depth = 0;      // >0 at line start: inside a multi-line (...) list
+
+  bool AtNamespaceScope() const {
+    return paren_depth == 0 &&
+           std::all_of(stack.begin(), stack.end(), [](char k) { return k == 'n'; });
+  }
+
+  void Feed(const std::string& code) {
+    static const std::regex kNamespaceTail(R"((^|[^\w])(inline\s+)?namespace(\s+[\w:]+)?\s*$)");
+    for (char c : code) {
+      if (c == '(') {
+        ++paren_depth;
+        pending.push_back(c);
+      } else if (c == ')') {
+        paren_depth = std::max(0, paren_depth - 1);
+        pending.push_back(c);
+      } else if (c == '{') {
+        bool is_ns = std::regex_search(pending, kNamespaceTail);
+        stack.push_back(is_ns ? 'n' : 'o');
+        pending.clear();
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          stack.pop_back();
+        }
+        pending.clear();
+      } else if (c == ';') {
+        pending.clear();
+      } else {
+        pending.push_back(c);
+      }
+    }
+  }
+};
+
+bool LooksLikeMutableGlobal(const std::string& code) {
+  // Cheap exclusions first: type/alias/function machinery, immutables.
+  static const std::regex kExcluded(
+      R"(^\s*(#|using\b|typedef\b|class\b|struct\b|enum\b|template\b|friend\b|extern\b|namespace\b|static_assert\b|\[\[))");
+  if (std::regex_search(code, kExcluded)) {
+    return false;
+  }
+  if (code.find("const") != std::string::npos) {
+    return false;  // const / constexpr / constinit const — all immutable
+  }
+  // A definition with an initializer, e.g. "static int g_x = 0;" or
+  // "thread_local Foo g_f{};". Parenthesised lines are treated as function
+  // declarations unless the '(' appears after '=' (initializer call).
+  static const std::regex kDecl(
+      R"(^\s*((static|thread_local|inline)\s+)*[A-Za-z_][\w:<>,\*&\s]*[\s\*&][A-Za-z_]\w*\s*(=[^=].*;|\{.*\}\s*;|;)\s*$)");
+  if (!std::regex_match(code, kDecl)) {
+    return false;
+  }
+  size_t paren = code.find('(');
+  size_t eq = code.find('=');
+  if (paren != std::string::npos && (eq == std::string::npos || paren < eq)) {
+    return false;  // function declaration
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Token rules.
+
+struct TokenRule {
+  const char* name;
+  const char* message;
+  std::regex re;
+  bool (*applies)(const std::string& path);
+};
+
+const std::vector<TokenRule>& TokenRules() {
+  static const std::vector<TokenRule>* rules = new std::vector<TokenRule>{
+      {"wall-clock",
+       "wall-clock read in simulated code: all time must come from Simulation::now()",
+       std::regex(R"(\b(std::chrono::|chrono::)?(system_clock|steady_clock|high_resolution_clock)\b|\b(clock_gettime|gettimeofday|timespec_get)\s*\(|\bstd::time\s*\()"),
+       &IsSimPath},
+      {"libc-rand",
+       "unseeded libc/global entropy source: use the simulation's seeded Rng",
+       std::regex(R"(\bstd::random_device\b|\brandom_device\b|\b(std::)?(rand|srand|drand48|lrand48|mrand48)\s*\()"),
+       &IsSrcPath},
+      {"unordered-container",
+       "hash container in scheduler-core code: iteration order is not deterministic "
+       "across libstdc++ versions/ASLR; use a sorted/flat container",
+       std::regex(R"(\bunordered_(map|set|multimap|multiset)\b)"), &IsSchedCorePath},
+      {"unseeded-rng",
+       "std random engine constructed without an explicit seed: derive one from "
+       "Simulation::ForkRng() or the run's seed",
+       std::regex(
+           R"(\b(std::)?(mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux(24|48)(_base)?|knuth_b)\s+\w+\s*(;|\{\s*\}|\(\s*\)))"),
+       &IsSrcPath},
+      {"raw-double-accum",
+       "raw floating-point accumulation into long-lived load/vruntime state: use a "
+       "compensated (Neumaier) sum or integer units",
+       std::regex(R"(\b\w*(load|vruntime)\w*_\s*[+\-]=)"), &IsSimPath},
+  };
+  return *rules;
+}
+
+constexpr const char kMutableGlobalName[] = "mutable-global";
+constexpr const char kMutableGlobalMsg[] =
+    "mutable namespace-scope state outside src/base: shared mutable globals break "
+    "parallel-run determinism; move it into src/base or behind a per-Simulation object";
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo>* rules = [] {
+    auto* r = new std::vector<RuleInfo>();
+    for (const TokenRule& t : TokenRules()) {
+      r->push_back({t.name, t.message});
+    }
+    r->push_back({kMutableGlobalName, kMutableGlobalMsg});
+    return r;
+  }();
+  return *rules;
+}
+
+std::vector<Finding> LintFile(const std::string& path, const std::string& content) {
+  std::vector<Finding> findings;
+  ScrubState scrub;
+  ScopeState scope;
+  std::vector<std::string> prev_allows;
+
+  std::istringstream in(content);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::vector<std::string> allows = ParseAllowList(raw);
+    // A suppression on its own line covers the next line too.
+    std::vector<std::string> effective = allows;
+    effective.insert(effective.end(), prev_allows.begin(), prev_allows.end());
+
+    const bool at_ns_scope = scope.AtNamespaceScope();
+    std::string code = ScrubLine(raw, &scrub);
+    scope.Feed(code);
+
+    for (const TokenRule& rule : TokenRules()) {
+      if (!rule.applies(path)) {
+        continue;
+      }
+      if (std::regex_search(code, rule.re) && !Allowed(effective, rule.name)) {
+        findings.push_back({path, line_no, rule.name, rule.message});
+      }
+    }
+    if (!IsBasePath(path) && IsSrcPath(path) && at_ns_scope && LooksLikeMutableGlobal(code) &&
+        !Allowed(effective, kMutableGlobalName)) {
+      findings.push_back({path, line_no, kMutableGlobalName, kMutableGlobalMsg});
+    }
+    prev_allows = std::move(allows);
+  }
+  return findings;
+}
+
+bool LintPath(const std::string& path, std::vector<Finding>* out) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::file_status st = fs::status(path, ec);
+  if (ec) {
+    return false;
+  }
+  std::vector<std::string> files;
+  if (fs::is_directory(st)) {
+    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+        files.push_back(entry.path().generic_string());
+      }
+    }
+    if (ec) {
+      return false;
+    }
+  } else {
+    files.push_back(path);
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+  for (const std::string& file : files) {
+    std::ifstream f(file, std::ios::binary);
+    if (!f) {
+      return false;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    std::vector<Finding> found = LintFile(file, buf.str());
+    out->insert(out->end(), found.begin(), found.end());
+  }
+  return true;
+}
+
+}  // namespace lint
+}  // namespace vsched

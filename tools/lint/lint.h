@@ -1,0 +1,57 @@
+// vsched-lint: a determinism-focused static checker for the simulator.
+//
+// The simulator's headline property is bit-exact reproducibility (same seed →
+// byte-identical JSONL, any --jobs value). That property rests on coding
+// rules no compiler enforces: simulated components must never read wall
+// clocks or unseeded entropy, never iterate hash containers (iteration order
+// varies across libstdc++ versions and ASLR), and never accumulate
+// long-lived load/vruntime state with raw floating-point `+=` (drift breaks
+// cross-ordering equivalence). vsched-lint enforces those rules with a
+// token/regex scan of the source tree — no compiler front-end needed, which
+// keeps it dependency-free and fast enough to run as a ctest.
+//
+// Every rule is individually suppressible at a call site with
+//
+//   // vsched-lint: allow(<rule>[, <rule>...]) — optional rationale
+//
+// placed on the offending line or the line directly above it. Suppressions
+// are deliberate and reviewable; the CI job fails on any unsuppressed
+// finding. Rules and rationale are documented in docs/ANALYSIS.md.
+#ifndef TOOLS_LINT_LINT_H_
+#define TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace vsched {
+namespace lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+// All rules in report order (stable; tests and --list-rules rely on it).
+const std::vector<RuleInfo>& Rules();
+
+// Lints one file. `path` decides which directory-scoped rules apply (e.g.
+// wall-clock rules bind to simulated code under src/sim|guest|host|core|...,
+// not to the runner, which legitimately measures harness wall time).
+// `content` is the full file text.
+std::vector<Finding> LintFile(const std::string& path, const std::string& content);
+
+// Recursively lints every .h/.cc/.cpp/.hpp under `path` (or the single file),
+// appending to `out`. Returns false if `path` cannot be read.
+bool LintPath(const std::string& path, std::vector<Finding>* out);
+
+}  // namespace lint
+}  // namespace vsched
+
+#endif  // TOOLS_LINT_LINT_H_

@@ -1,0 +1,54 @@
+// vsched_lint: CLI driver for the determinism checker (see lint.h).
+//
+//   vsched_lint [--list-rules] PATH...
+//
+// Each PATH is a file or a directory (scanned recursively for C++ sources).
+// Prints one line per finding and exits 1 when any finding is unsuppressed —
+// which is how the ctest/CI hook fails the build. Exit 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const vsched::lint::RuleInfo& rule : vsched::lint::Rules()) {
+        std::printf("%-20s %s\n", rule.name, rule.summary);
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: vsched_lint [--list-rules] PATH...\n");
+      return 0;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "vsched_lint: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+    paths.push_back(argv[i]);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: vsched_lint [--list-rules] PATH...\n");
+    return 2;
+  }
+
+  std::vector<vsched::lint::Finding> findings;
+  for (const std::string& path : paths) {
+    if (!vsched::lint::LintPath(path, &findings)) {
+      std::fprintf(stderr, "vsched_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+  }
+  for (const vsched::lint::Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "vsched_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
