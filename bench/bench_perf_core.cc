@@ -1,9 +1,11 @@
-// bench_perf_core: the perf-regression harness for the simulator's two
-// hottest data structures (the DES event queue and the CFS/EEVDF runqueue)
-// plus one end-to-end Figure 18 cell as a whole-stack canary.
+// bench_perf_core: the perf-regression harness for the simulator's hottest
+// data structures (the DES event queue, the CFS/EEVDF runqueue, and the
+// hierarchical timer wheel), the tickless idle path, plus one end-to-end
+// Figure 18 cell as a whole-stack canary.
 //
 //   bench_perf_core [--out FILE] [--baseline FILE] [--max-regress F]
-//                   [--jobs N] [--events N] [--rq-ops N] [--quick]
+//                   [--jobs N] [--events N] [--rq-ops N] [--timer-fires N]
+//                   [--idle-ms N] [--quick]
 //
 // Emits one JSON object (schema below) to --out (default stdout). With
 // --baseline, re-reads a previously emitted JSON (e.g. the committed
@@ -14,19 +16,23 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/base/perf_counters.h"
 #include "src/base/time.h"
 #include "src/guest/runqueue.h"
 #include "src/guest/task.h"
 #include "src/runner/result_sink.h"
+#include "src/runner/run_context.h"
 #include "src/runner/runner.h"
 #include "src/runner/spec.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
+#include "src/sim/timer_wheel.h"
 
 using namespace vsched;
 
@@ -39,6 +45,8 @@ struct BenchOptions {
   int jobs = 1;
   uint64_t events = 4'000'000;
   uint64_t rq_ops = 2'000'000;
+  uint64_t timer_fires = 2'000'000;
+  uint64_t idle_ms = 4'000;
 };
 
 int64_t WallNs(std::chrono::steady_clock::time_point start) {
@@ -164,6 +172,162 @@ RqChurnResult RunRunqueueChurn(uint64_t target_ops, bool eevdf) {
 }
 
 // ---------------------------------------------------------------------------
+// Timer churn: the periodic-timer pattern the tickless work moved off the
+// main heap — 256 periodic timers with mixed periods, every firing re-arms
+// itself, and every 16th firing cancel-and-re-arms a random victim. The same
+// logical workload runs once on the hierarchical timer wheel and once on the
+// heap-backed event queue, so the section is its own before/after ledger.
+// ---------------------------------------------------------------------------
+
+struct TimerChurnResult {
+  uint64_t fires = 0;
+  int64_t wall_ns = 0;  // timer wheel
+  double ops_per_sec = 0;
+  int64_t heap_wall_ns = 0;  // event-queue backend, same logical workload
+  double heap_ops_per_sec = 0;
+  double speedup = 0;
+};
+
+// Periods between ~51us and ~1.6ms, slightly detuned so buckets stay mixed.
+TimeNs ChurnPeriod(int i) {
+  return static_cast<TimeNs>((i % 32 + 1) * 51'200 + 1'024 * (i % 7));
+}
+
+TimerChurnResult RunTimerChurn(uint64_t target_fires) {
+  const int kTimers = 256;
+  TimerChurnResult r;
+
+  {
+    TimerWheel wheel;
+    Rng rng(0x77EE1u);
+    std::vector<TimerId> ids(kTimers);
+    std::vector<TimeNs> deadline(kTimers, 0);
+    uint64_t fires = 0;
+    for (int i = 0; i < kTimers; ++i) {
+      ids[i] = wheel.Register([&, i] {
+        deadline[i] += ChurnPeriod(i);
+        wheel.Arm(ids[i], deadline[i]);
+        ++fires;
+        if (fires % 16 == 0) {
+          int victim = static_cast<int>(rng.NextU64() % kTimers);
+          if (victim != i && wheel.Cancel(ids[victim])) {
+            deadline[victim] = deadline[i] + 2 * ChurnPeriod(victim);
+            wheel.Arm(ids[victim], deadline[victim]);
+          }
+        }
+      });
+    }
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kTimers; ++i) {
+      deadline[i] = ChurnPeriod(i);
+      wheel.Arm(ids[i], deadline[i]);
+    }
+    while (fires < target_fires) {
+      TimeNs when = wheel.NextDeadlineAtMost(kTimeInfinity - 1);
+      wheel.RunOne(when);
+    }
+    r.fires = fires;
+    r.wall_ns = WallNs(start);
+  }
+
+  {
+    EventQueue q;
+    Rng rng(0x77EE1u);
+    std::vector<EventId> eids(kTimers);
+    std::vector<TimeNs> deadline(kTimers, 0);
+    std::vector<std::function<void()>> fns(kTimers);
+    uint64_t fires = 0;
+    for (int i = 0; i < kTimers; ++i) {
+      fns[i] = [&, i] {
+        deadline[i] += ChurnPeriod(i);
+        eids[i] = q.ScheduleAt(deadline[i], fns[i]);
+        ++fires;
+        if (fires % 16 == 0) {
+          int victim = static_cast<int>(rng.NextU64() % kTimers);
+          if (victim != i && q.Cancel(eids[victim])) {
+            deadline[victim] = deadline[i] + 2 * ChurnPeriod(victim);
+            eids[victim] = q.ScheduleAt(deadline[victim], fns[victim]);
+          }
+        }
+      };
+    }
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kTimers; ++i) {
+      deadline[i] = ChurnPeriod(i);
+      eids[i] = q.ScheduleAt(deadline[i], fns[i]);
+    }
+    while (fires < target_fires) {
+      q.RunOne();
+    }
+    r.heap_wall_ns = WallNs(start);
+  }
+
+  r.ops_per_sec = r.wall_ns > 0
+                      ? static_cast<double>(r.fires) * 1e9 / static_cast<double>(r.wall_ns)
+                      : 0;
+  r.heap_ops_per_sec =
+      r.heap_wall_ns > 0
+          ? static_cast<double>(r.fires) * 1e9 / static_cast<double>(r.heap_wall_ns)
+          : 0;
+  r.speedup = r.heap_ops_per_sec > 0 ? r.ops_per_sec / r.heap_ops_per_sec : 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Idle tick: a mostly-idle 32-vCPU VM (a 2-thread workload, 30 vCPUs idle) —
+// the shape where NOHZ-style elision pays. The same deployment runs once with
+// tickless on and once off; the ratio of simulated-time rates is the elision
+// speedup and, like timer_churn, doubles as this section's pre-PR ledger.
+// ---------------------------------------------------------------------------
+
+struct IdleTickResult {
+  double sim_ms = 0;
+  int64_t wall_ns = 0;          // tickless
+  int64_t wall_ns_ticking = 0;  // periodic ticks everywhere
+  double sim_ms_per_sec = 0;
+  double sim_ms_per_sec_ticking = 0;
+  uint64_t ticks_avoided = 0;  // timer firings the tickless pass never ran
+  double speedup = 0;
+};
+
+IdleTickResult RunIdleTick(TimeNs sim_time) {
+  auto one_pass = [&](bool tickless, uint64_t* fires) -> int64_t {
+    PerfCounters counters;
+    PerfCounters::Scope scope(&counters);
+    VmSpec vm_spec = MakeSimpleVmSpec("vm", 32);
+    vm_spec.guest_params.tickless = tickless;
+    HostSchedParams host;
+    host.tickless = tickless;
+    // Stock CFS: vSched's probers deliberately keep idle vCPUs warm, which is
+    // the opposite of the idle shape this section measures.
+    RunContext ctx =
+        MakeRun(FlatHost(32), std::move(vm_spec), VSchedOptions::Cfs(), /*seed=*/0x1D1Eu, host);
+    auto workload = MakeWorkload(&ctx.kernel(), "matmul", /*threads=*/2);
+    workload->Start();
+    ctx.sim->RunFor(MsToNs(100));  // settle: balancing moves the threads apart
+    auto start = std::chrono::steady_clock::now();
+    ctx.sim->RunFor(sim_time);
+    int64_t wall = WallNs(start);
+    workload->Stop();
+    *fires = counters.timer_fires;
+    return wall;
+  };
+  IdleTickResult r;
+  r.sim_ms = static_cast<double>(sim_time) / 1e6;
+  uint64_t fires_ticking = 0;
+  uint64_t fires_tickless = 0;
+  r.wall_ns_ticking = one_pass(/*tickless=*/false, &fires_ticking);
+  r.wall_ns = one_pass(/*tickless=*/true, &fires_tickless);
+  r.ticks_avoided = fires_ticking > fires_tickless ? fires_ticking - fires_tickless : 0;
+  r.sim_ms_per_sec =
+      r.wall_ns > 0 ? r.sim_ms * 1e9 / static_cast<double>(r.wall_ns) : 0;
+  r.sim_ms_per_sec_ticking =
+      r.wall_ns_ticking > 0 ? r.sim_ms * 1e9 / static_cast<double>(r.wall_ns_ticking) : 0;
+  r.speedup = r.sim_ms_per_sec_ticking > 0 ? r.sim_ms_per_sec / r.sim_ms_per_sec_ticking : 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end canary: a small fig18 cell through the real runner, so the
 // harness notices regressions the microbenches can't see (kernel, workloads,
 // metrics plumbing).
@@ -223,7 +387,8 @@ bool FindJsonNumber(const std::string& text, const std::string& section, const s
 
 // Returns 0 when every rate stayed within the allowed regression, 1 otherwise.
 int CompareBaseline(const std::string& path, double max_regress, const ChurnResult& churn,
-                    const RqChurnResult& rq, const CellResult& cell) {
+                    const RqChurnResult& rq, const TimerChurnResult& timer,
+                    const IdleTickResult& idle, const CellResult& cell) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_perf_core: cannot open baseline %s\n", path.c_str());
@@ -251,6 +416,8 @@ int CompareBaseline(const std::string& path, double max_regress, const ChurnResu
                max_regress * 100);
   check_rate("event_churn", "events_per_sec", churn.events_per_sec);
   check_rate("runqueue_churn", "ops_per_sec", rq.ops_per_sec);
+  check_rate("timer_churn", "ops_per_sec", timer.ops_per_sec);
+  check_rate("idle_tick", "sim_ms_per_sec", idle.sim_ms_per_sec);
   // For wall clock, lower is better: compare inverted.
   check_rate("fig18_cell", "cells_per_sec",
              cell.wall_ns > 0 ? 1e9 / static_cast<double>(cell.wall_ns) : 0);
@@ -266,6 +433,8 @@ void Usage(std::FILE* out) {
                "  --jobs N          worker threads for the fig18 cell (default 1)\n"
                "  --events N        event-churn event count (default 4000000)\n"
                "  --rq-ops N        runqueue-churn op count (default 2000000)\n"
+               "  --timer-fires N   timer-churn firing count (default 2000000)\n"
+               "  --idle-ms N       idle-tick simulated milliseconds (default 4000)\n"
                "  --quick           1/4 size run for smoke testing\n");
 }
 
@@ -297,9 +466,15 @@ int main(int argc, char** argv) {
       opt.events = std::strtoull(value(), nullptr, 0);
     } else if (arg == "--rq-ops") {
       opt.rq_ops = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--timer-fires") {
+      opt.timer_fires = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--idle-ms") {
+      opt.idle_ms = std::strtoull(value(), nullptr, 0);
     } else if (arg == "--quick") {
       opt.events /= 4;
       opt.rq_ops /= 4;
+      opt.timer_fires /= 4;
+      opt.idle_ms /= 4;
     } else {
       std::fprintf(stderr, "bench_perf_core: unknown flag %s\n", arg.c_str());
       Usage(stderr);
@@ -322,6 +497,19 @@ int main(int argc, char** argv) {
   RqChurnResult rq_eevdf = RunRunqueueChurn(opt.rq_ops / 4, /*eevdf=*/true);
   std::fprintf(stderr, "  %.3g ops/sec\n", rq_eevdf.ops_per_sec);
 
+  std::fprintf(stderr, "timer churn: %llu fires (wheel, then heap oracle)...\n",
+               static_cast<unsigned long long>(opt.timer_fires));
+  TimerChurnResult timer = RunTimerChurn(opt.timer_fires);
+  std::fprintf(stderr, "  %.3g fires/sec wheel, %.3g heap (%.2fx)\n", timer.ops_per_sec,
+               timer.heap_ops_per_sec, timer.speedup);
+
+  std::fprintf(stderr, "idle tick: %llu sim-ms, 32 vCPUs mostly idle...\n",
+               static_cast<unsigned long long>(opt.idle_ms));
+  IdleTickResult idle = RunIdleTick(MsToNs(static_cast<TimeNs>(opt.idle_ms)));
+  std::fprintf(stderr, "  %.3g sim-ms/sec tickless, %.3g ticking (%.2fx, %llu ticks avoided)\n",
+               idle.sim_ms_per_sec, idle.sim_ms_per_sec_ticking, idle.speedup,
+               static_cast<unsigned long long>(idle.ticks_avoided));
+
   std::fprintf(stderr, "fig18 cell (canneal x 3 configs, jobs=%d)...\n", opt.jobs);
   CellResult cell = RunFig18Cell(opt.jobs);
   std::fprintf(stderr, "  %d runs in %.1f ms\n", cell.runs, cell.wall_ms);
@@ -336,6 +524,18 @@ int main(int argc, char** argv) {
   json << "  \"runqueue_churn_eevdf\": {\"ops\": " << rq_eevdf.ops
        << ", \"wall_ns\": " << rq_eevdf.wall_ns
        << ", \"ops_per_sec\": " << JsonNumber(rq_eevdf.ops_per_sec) << "},\n";
+  json << "  \"timer_churn\": {\"fires\": " << timer.fires << ", \"wall_ns\": " << timer.wall_ns
+       << ", \"ops_per_sec\": " << JsonNumber(timer.ops_per_sec)
+       << ", \"heap_wall_ns\": " << timer.heap_wall_ns
+       << ", \"heap_ops_per_sec\": " << JsonNumber(timer.heap_ops_per_sec)
+       << ", \"speedup\": " << JsonNumber(timer.speedup) << "},\n";
+  json << "  \"idle_tick\": {\"sim_ms\": " << JsonNumber(idle.sim_ms)
+       << ", \"wall_ns\": " << idle.wall_ns
+       << ", \"sim_ms_per_sec\": " << JsonNumber(idle.sim_ms_per_sec)
+       << ", \"wall_ns_ticking\": " << idle.wall_ns_ticking
+       << ", \"sim_ms_per_sec_ticking\": " << JsonNumber(idle.sim_ms_per_sec_ticking)
+       << ", \"ticks_avoided\": " << idle.ticks_avoided
+       << ", \"speedup\": " << JsonNumber(idle.speedup) << "},\n";
   json << "  \"fig18_cell\": {\"runs\": " << cell.runs << ", \"jobs\": " << opt.jobs
        << ", \"wall_ns\": " << cell.wall_ns << ", \"wall_ms\": " << JsonNumber(cell.wall_ms)
        << ", \"cells_per_sec\": "
@@ -355,7 +555,7 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.baseline.empty()) {
-    return CompareBaseline(opt.baseline, opt.max_regress, churn, rq_cfs, cell);
+    return CompareBaseline(opt.baseline, opt.max_regress, churn, rq_cfs, timer, idle, cell);
   }
   return 0;
 }

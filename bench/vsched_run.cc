@@ -2,7 +2,7 @@
 //
 //   vsched_run [--experiment NAME] [--jobs N] [--seed S] [--out FILE]
 //              [--filter SUBSTR] [--warmup-ms N] [--measure-ms N]
-//              [--timings] [--audit] [--list]
+//              [--tickless] [--timings] [--audit] [--list]
 //
 // Experiments: fig18_rcvm (default), fig19_hpvm, fig02, all.
 // JSONL rows go to --out (or stdout); the human report and wall-clock
@@ -34,6 +34,7 @@ struct CliOptions {
   std::string filter;
   long warmup_ms = -1;   // -1: sweep default
   long measure_ms = -1;  // -1: sweep default
+  bool tickless = false;
   bool timings = false;
   bool audit = false;
   bool list = false;
@@ -50,6 +51,8 @@ void Usage(std::FILE* out) {
                "  --filter SUBSTR    keep only runs whose id contains SUBSTR\n"
                "  --warmup-ms N      override per-run warmup (simulated ms)\n"
                "  --measure-ms N     override per-run measurement window (simulated ms)\n"
+               "  --tickless         elide no-op periodic timers (NOHZ-style); rows are\n"
+               "                     byte-identical with or without this flag, just faster\n"
                "  --timings          include per-row wall_ms (non-deterministic) in JSONL\n"
                "  --audit            verify core invariants after every mutation (slow);\n"
                "                     output stays byte-identical, violations abort\n"
@@ -88,6 +91,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
     if (arg == "--help" || arg == "-h") {
       Usage(stdout);
       std::exit(0);
+    } else if (arg == "--tickless") {
+      cli.tickless = true;
     } else if (arg == "--timings") {
       cli.timings = true;
     } else if (arg == "--audit") {
@@ -142,6 +147,7 @@ ExperimentSpec BuildSweep(const CliOptions& cli) {
       if (cli.measure_ms >= 0) {
         run.measure = MsToNs(cli.measure_ms);
       }
+      run.tickless = cli.tickless;
       sweep.runs.push_back(std::move(run));
     }
   }
@@ -224,11 +230,17 @@ int main(int argc, char** argv) {
     uint64_t cb_heap_allocs = 0;
     uint64_t slab_allocs = 0;
     uint64_t picks = 0;
+    uint64_t timer_fires = 0;
+    uint64_t timer_cascades = 0;
+    uint64_t ticks_elided = 0;
     for (const RunResult& result : results) {
       events += result.counters.events_executed;
       cb_heap_allocs += result.counters.callback_heap_allocs;
       slab_allocs += result.counters.event_slab_allocs;
       picks += result.counters.rq_picks;
+      timer_fires += result.counters.timer_fires;
+      timer_cascades += result.counters.timer_cascades;
+      ticks_elided += result.counters.ticks_elided;
     }
     double secs = static_cast<double>(elapsed.count()) / 1e9;
     std::fprintf(human,
@@ -239,6 +251,12 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(picks),
                  static_cast<unsigned long long>(cb_heap_allocs),
                  static_cast<unsigned long long>(slab_allocs));
+    std::fprintf(human,
+                 "timers: %llu fires, %llu cascades, %llu ticks elided%s\n",
+                 static_cast<unsigned long long>(timer_fires),
+                 static_cast<unsigned long long>(timer_cascades),
+                 static_cast<unsigned long long>(ticks_elided),
+                 cli.tickless ? " (--tickless)" : "");
   }
   return failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,41 @@
+# ctest script: --tickless must not change a single output byte. Tick elision
+# and dormant bandwidth refills only skip firings that are provable no-ops, so
+# the JSONL rows of a sweep byte-compare across the two modes. Run with:
+#   cmake -DVSCHED_RUN=<binary> -DWORK_DIR=<dir> -P vsched_run_tickless.cmake
+#
+# Two slices cover both execution paths: fig02 (flat VM, host-granularity
+# shaping — exercises guest NOHZ on mostly-idle vCPUs) and fig18_rcvm
+# (bandwidth-capped vCPU classes — exercises dormant host refill timers).
+
+function(run_pair experiment filter tag)
+  set(common_args --experiment ${experiment} --filter ${filter}
+                  --warmup-ms 50 --measure-ms 200)
+
+  execute_process(
+      COMMAND ${VSCHED_RUN} ${common_args} --out ${WORK_DIR}/${tag}_ticking.jsonl
+      RESULT_VARIABLE ticking_rc
+      OUTPUT_QUIET ERROR_QUIET)
+  if(NOT ticking_rc EQUAL 0)
+    message(FATAL_ERROR "${tag}: ticking vsched_run failed (rc=${ticking_rc})")
+  endif()
+
+  execute_process(
+      COMMAND ${VSCHED_RUN} ${common_args} --tickless
+              --out ${WORK_DIR}/${tag}_tickless.jsonl
+      RESULT_VARIABLE tickless_rc
+      OUTPUT_QUIET ERROR_QUIET)
+  if(NOT tickless_rc EQUAL 0)
+    message(FATAL_ERROR "${tag}: tickless vsched_run failed (rc=${tickless_rc})")
+  endif()
+
+  execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${WORK_DIR}/${tag}_ticking.jsonl ${WORK_DIR}/${tag}_tickless.jsonl
+      RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "${tag}: JSONL differs with --tickless")
+  endif()
+endfunction()
+
+run_pair(fig02 img-dnn tl_fig02)
+run_pair(fig18_rcvm canneal tl_fig18)

@@ -1,0 +1,50 @@
+#include "src/base/decay.h"
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+namespace {
+
+constexpr int kFracBits = 8;
+constexpr int kFracSlots = 1 << kFracBits;
+
+// table[i] = 2^-(i/256), i in [0, 256]; built once (thread-safe magic
+// static), read-only afterwards.
+const std::array<double, kFracSlots + 1>& FracTable() {
+  static const std::array<double, kFracSlots + 1> table = [] {
+    std::array<double, kFracSlots + 1> t{};
+    for (size_t i = 0; i < t.size(); ++i) {
+      t[i] = std::exp2(-static_cast<double>(i) / kFracSlots);
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+double HalfLifeDecay(TimeNs dt, TimeNs half_life) {
+  VSCHED_CHECK(dt >= 0 && half_life > 0);
+  if (dt == 0) {
+    return 1.0;
+  }
+  const TimeNs whole = dt / half_life;
+  if (whole > 1100) {
+    return 0.0;  // past double's subnormal floor: 2^-1075 is already zero
+  }
+  const double frac =
+      static_cast<double>(dt % half_life) / static_cast<double>(half_life);
+  const double scaled = frac * kFracSlots;  // in [0, 256)
+  const size_t idx = static_cast<size_t>(scaled);
+  const double sub = scaled - static_cast<double>(idx);
+  const std::array<double, kFracSlots + 1>& table = FracTable();
+  const double f = table[idx] + (table[idx + 1] - table[idx]) * sub;
+  return std::ldexp(f, -static_cast<int>(whole));
+}
+
+}  // namespace vsched

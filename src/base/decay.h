@@ -1,0 +1,24 @@
+// Fast half-life exponential decay.
+//
+// PELT-style signals decay by 2^-(dt/half_life). The naive std::exp2 call
+// sits on the tick path for every task and vCPU; with lazy PELT the call
+// count drops but each remaining call covers a longer, arbitrary dt, so the
+// evaluation itself must be cheap and branch-light. HalfLifeDecay splits the
+// exponent into its integer part (an exact std::ldexp scale, which also
+// handles underflow to subnormals/zero for very long idle gaps) and a
+// fractional part looked up in a 256-slot table of 2^-i/256 with linear
+// interpolation (relative error < 1e-6). dt == 0 returns exactly 1.0, so
+// zero-length updates are exact no-ops.
+#ifndef SRC_BASE_DECAY_H_
+#define SRC_BASE_DECAY_H_
+
+#include "src/base/time.h"
+
+namespace vsched {
+
+// 2^-(dt/half_life); dt must be >= 0, half_life > 0.
+double HalfLifeDecay(TimeNs dt, TimeNs half_life);
+
+}  // namespace vsched
+
+#endif  // SRC_BASE_DECAY_H_

@@ -30,6 +30,16 @@ struct PerfCounters {
   uint64_t rq_dequeues = 0;
   uint64_t rq_picks = 0;
 
+  // Timer-wheel traffic (the periodic "timer band"; see src/sim/timer_wheel.h).
+  uint64_t timer_arms = 0;
+  uint64_t timer_fires = 0;
+  uint64_t timer_cancels = 0;
+  uint64_t timer_cascades = 0;
+
+  // Periodic firings skipped entirely by tickless elision (guest scheduler
+  // ticks on inactive vCPUs, dormant host bandwidth refills).
+  uint64_t ticks_elided = 0;
+
   void Reset() { *this = PerfCounters{}; }
 
   // The thread's active counters; never null (falls back to a per-thread

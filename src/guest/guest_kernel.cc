@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/base/decay.h"
 #include "src/base/log.h"
+#include "src/base/perf_counters.h"
 #include "src/host/machine.h"
 #include "src/sim/simulation.h"
 
@@ -28,18 +30,22 @@ GuestKernel::GuestKernel(Simulation* sim, HostMachine* machine, std::vector<Vcpu
   }
   topology_ = GuestTopology::FlatUma(n);
   capacity_override_.assign(n, -1.0);
-  tick_events_.resize(n);
+  tick_timers_.reserve(static_cast<size_t>(n));
+  tick_origins_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    // Stagger ticks so all vCPUs do not interrupt at the same instant.
+    // Stagger ticks so all vCPUs do not interrupt at the same instant. The
+    // first firing defines the vCPU's tick grid for the whole run.
     TimeNs offset = params_.tick_period + static_cast<TimeNs>(i) * 1777;
-    tick_events_[i] = sim_->After(offset, [this, i] { OnTick(i); });
+    tick_timers_.push_back(sim_->CreateTimer([this, i] { OnTick(i); }));
+    tick_origins_.push_back(sim_->now() + offset);
+    sim_->ArmTimerAt(tick_timers_[static_cast<size_t>(i)], tick_origins_[static_cast<size_t>(i)]);
   }
 }
 
 GuestKernel::~GuestKernel() {
   shutting_down_ = true;
-  for (EventId& id : tick_events_) {
-    sim_->Cancel(id);
+  for (TimerId id : tick_timers_) {
+    sim_->DestroyTimer(id);
   }
   for (auto& v : vcpus_) {
     sim_->Cancel(v->completion_event_);
@@ -339,6 +345,8 @@ void GuestKernel::EnqueueTask(Task* task, int cpu, bool wakeup, int waker_cpu) {
   task->cpu_ = cpu;
   task->prev_cpu_ = cpu;
   task->enqueue_time_ = now;
+  // Designated PELT entry point: closes the task's waiting/sleeping span.
+  // vsched-lint: allow(pelt-eager-update)
   task->pelt_.Update(now, /*active=*/false);
 
   double credit = wakeup ? static_cast<double>(params_.min_granularity) : 0.0;
@@ -467,8 +475,7 @@ double GuestKernel::CfsCapacityOf(int cpu) const {
     // Steal is invisible while idle: the estimate drifts back toward full
     // capacity — the very mismatch §5.3 demonstrates.
     TimeNs idle_for = sim_->now() - v.cfs_cap_last_update_;
-    double decay = std::exp2(-static_cast<double>(idle_for) /
-                             static_cast<double>(params_.cfs_cap_idle_drift_half_life));
+    double decay = HalfLifeDecay(idle_for, params_.cfs_cap_idle_drift_half_life);
     return kCapacityScale + (raw - kCapacityScale) * decay;
   }
   return raw;
@@ -563,17 +570,43 @@ void GuestKernel::OnTick(int cpu) {
   if (shutting_down_) {
     return;
   }
-  tick_events_[cpu] = sim_->After(params_.tick_period, [this, cpu] { OnTick(cpu); });
   GuestVcpu* v = vcpus_[cpu].get();
+  const TimerId timer = tick_timers_[static_cast<size_t>(cpu)];
   if (!v->active()) {
-    return;  // Tick interrupts are not delivered to a descheduled vCPU.
+    // Tick interrupts are not delivered to a descheduled vCPU — this firing
+    // mutates nothing. In tickless mode stop the tick entirely (NOHZ);
+    // ResumeTick re-arms it on the same grid when the vCPU runs again.
+    if (params_.tickless) {
+      v->tick_stopped_ = true;
+      v->tick_stop_time_ = sim_->now();
+    } else {
+      sim_->ArmTimerAfter(timer, params_.tick_period);
+    }
+    return;
   }
+  sim_->ArmTimerAfter(timer, params_.tick_period);
   TimeNs now = sim_->now();
   CfsTick(v, now);
   for (auto& hook : tick_hooks_) {
     hook(v, now);
   }
   v->last_tick_ = now;
+}
+
+void GuestKernel::ResumeTick(int cpu) {
+  GuestVcpu* v = vcpus_[static_cast<size_t>(cpu)].get();
+  if (!v->tick_stopped_) {
+    return;
+  }
+  v->tick_stopped_ = false;
+  const TimerId timer = tick_timers_[static_cast<size_t>(cpu)];
+  const TimeNs when = sim_->NextGridPoint(tick_origins_[static_cast<size_t>(cpu)],
+                                          params_.tick_period, timer);
+  // Every grid point between the stop and the resume would have been a
+  // no-op firing on an inactive vCPU — those are the elided ticks.
+  PerfCounters::Current()->ticks_elided +=
+      static_cast<uint64_t>((when - v->tick_stop_time_) / params_.tick_period - 1);
+  sim_->ArmTimerAt(timer, when);
 }
 
 void GuestKernel::CfsTick(GuestVcpu* v, TimeNs now) {
@@ -591,8 +624,7 @@ void GuestKernel::CfsTick(GuestVcpu* v, TimeNs now) {
                                          static_cast<double>(wall),
                                      0.0, 1.0);
       double sample = kCapacityScale * frac;
-      double alpha = 1.0 - std::exp2(-static_cast<double>(wall) /
-                                     static_cast<double>(params_.cfs_cap_half_life));
+      double alpha = 1.0 - HalfLifeDecay(wall, params_.cfs_cap_half_life);
       v->cfs_cap_raw_ += alpha * (sample - v->cfs_cap_raw_);
     }
   }
@@ -626,8 +658,10 @@ void GuestKernel::MisfitCheck(GuestVcpu* v, TimeNs now) {
     return;
   }
   double cap = CfsCapacityOf(v->index());
-  curr->pelt_.Update(now, /*active=*/v->segment_open_);
-  if (curr->util() < params_.misfit_util_fraction * cap) {
+  // Lazy PELT: evaluate at `now` without writing the signal back — the tick
+  // path must not be a mutation point (see the pelt-eager-update lint rule).
+  if (curr->pelt_.UtilAt(now, /*active=*/v->segment_open_) <
+      params_.misfit_util_fraction * cap) {
     return;
   }
   CpuMask allowed = EffectiveAllowed(curr);

@@ -20,6 +20,7 @@
 #include "src/guest/guest_vcpu.h"
 #include "src/guest/task.h"
 #include "src/sim/rng.h"
+#include "src/sim/timer_wheel.h"
 #include "src/stats/stats.h"
 
 namespace vsched {
@@ -33,6 +34,12 @@ struct GuestParams {
   // portability across fair schedulers (§4).
   bool use_eevdf = false;
   TimeNs tick_period = MsToNs(1);
+  // NOHZ-style tick elision: an inactive (descheduled) vCPU stops its
+  // periodic tick and re-arms on the grid when it is next scheduled in.
+  // Elided firings are provable no-ops, so observable state — vruntime,
+  // PELT, bvs/ivh classifications, stats, JSONL — is byte-identical either
+  // way (enforced by the vsched_run_tickless ctest).
+  bool tickless = false;
   // Guest CFS granularities (guest-side, distinct from the host's).
   TimeNs min_granularity = UsToNs(1500);
   TimeNs wakeup_granularity = UsToNs(1000);
@@ -188,6 +195,9 @@ class GuestKernel {
   void OnTick(int cpu);
   void CfsTick(GuestVcpu* v, TimeNs now);
   void MisfitCheck(GuestVcpu* v, TimeNs now);
+  // Re-arms a NOHZ-stopped tick on its grid; called when the vCPU is
+  // scheduled back in. No-op unless the tick is stopped.
+  void ResumeTick(int cpu);
 
   // Load balancing.
   void PeriodicBalance(GuestVcpu* v, TimeNs now);
@@ -222,7 +232,13 @@ class GuestKernel {
   KernelCounters counters_;
   int scan_rotor_ = 0;
 
-  std::vector<EventId> tick_events_;
+  // One registered wheel timer per vCPU, re-armed in place every period.
+  // (This replaces a vector of per-firing heap EventIds, which kept stale
+  // cancelled handles alive for the VM lifetime; a TimerId is a stable slot
+  // that re-arming reclaims.) tick_origins_ pins each vCPU's tick grid so a
+  // NOHZ-stopped tick resumes on exactly the phase it would have kept.
+  std::vector<TimerId> tick_timers_;
+  std::vector<TimeNs> tick_origins_;
   bool shutting_down_ = false;
 };
 

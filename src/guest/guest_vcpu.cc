@@ -18,6 +18,7 @@ GuestVcpu::GuestVcpu(GuestKernel* kernel, int index, VcpuThread* thread)
 double GuestVcpu::CfsCapacity() const { return kernel_->CfsCapacityOf(index_); }
 
 void GuestVcpu::OnVcpuScheduledIn(TimeNs now) {
+  kernel_->ResumeTick(index_);  // NOHZ: restart a stopped tick on its grid.
   if (current_ != nullptr) {
     OpenSegment(now);
   }
@@ -53,6 +54,8 @@ void GuestVcpu::OpenSegment(TimeNs now) {
   }
   // Guest PELT cannot observe steal: any host-inactive gap while this task
   // was current counts as running time (as it would on real Linux in a VM).
+  // Designated PELT entry point: opening a running span.
+  // vsched-lint: allow(pelt-eager-update)
   current_->pelt_.Update(now, /*active=*/true);
   segment_open_ = true;
   segment_start_ = now;
@@ -83,7 +86,8 @@ void GuestVcpu::SyncSegment(TimeNs now) {
   t->exec_per_cpu_[index_] += delta;
   // vsched-lint: allow(raw-double-accum) — increments are exact small-int multiples; audited against drift
   t->vruntime_ += static_cast<double>(delta) * (kCapacityScale / t->weight());
-  t->pelt_.Update(now, /*active=*/true);
+  // Lazy PELT: the per-tick sync no longer writes the signal; the running
+  // span folds in once, when the segment closes (CloseSegment below).
   rq_.RaiseMinVruntime(t->vruntime_);
   work_done_ += executed;
   busy_ns_ += delta;
@@ -96,6 +100,11 @@ void GuestVcpu::CloseSegment(TimeNs now) {
     return;
   }
   SyncSegment(now);
+  // Designated PELT entry point: fold the whole running span in one update
+  // (the per-tick Update this replaces advanced the same exponential in
+  // smaller steps — identical in the closed form).
+  // vsched-lint: allow(pelt-eager-update)
+  current_->pelt_.Update(now, /*active=*/true);
   segment_open_ = false;
   sim_->Cancel(completion_event_);
   completion_event_.Invalidate();
@@ -115,7 +124,9 @@ void GuestVcpu::OnBurstComplete() {
 void GuestVcpu::Dispatch(Task* next, TimeNs now) {
   VSCHED_CHECK(current_ == nullptr);
   VSCHED_CHECK(next->state_ == TaskState::kRunnable);
-  next->pelt_.Update(now, /*active=*/false);  // Close out the waiting interval.
+  // Designated PELT entry point: close out the waiting interval.
+  // vsched-lint: allow(pelt-eager-update)
+  next->pelt_.Update(now, /*active=*/false);
   TimeNs delay = now - next->enqueue_time_;
   next->last_queue_delay_ = delay;
   next->queue_wait_total_ns_ += delay;
@@ -142,6 +153,8 @@ void GuestVcpu::PutCurrent(TimeNs now, bool requeue) {
   if (requeue) {
     prev->state_ = TaskState::kRunnable;
     prev->enqueue_time_ = now;
+    // Designated PELT entry point: the preempted task starts waiting here.
+    // vsched-lint: allow(pelt-eager-update)
     prev->pelt_.Update(now, /*active=*/false);
     rq_.Enqueue(prev);
   }

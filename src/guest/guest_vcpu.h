@@ -132,6 +132,12 @@ class GuestVcpu : public VcpuHostClient {
   TimeNs last_tick_ = 0;
   TimeNs next_balance_ = 0;
   TimeNs next_active_balance_ = 0;
+
+  // NOHZ state (tickless mode only): set when the periodic tick fired on an
+  // inactive vCPU and went dormant; GuestKernel::ResumeTick re-arms on the
+  // tick grid when the vCPU is scheduled back in.
+  bool tick_stopped_ = false;
+  TimeNs tick_stop_time_ = 0;
 };
 
 }  // namespace vsched

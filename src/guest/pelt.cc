@@ -1,8 +1,12 @@
+// The only file allowed to mutate a PeltSignal directly: every other caller
+// goes through the designated lazy-evaluation entry points (segment
+// open/close and dispatch transitions in guest_vcpu.cc, the wait-span close
+// in guest_kernel.cc) or reads via UtilAt. The vsched-lint rule
+// "pelt-eager-update" enforces this.
 #include "src/guest/pelt.h"
 
-#include <cmath>
-
 #include "src/base/check.h"
+#include "src/base/decay.h"
 
 namespace vsched {
 
@@ -13,7 +17,7 @@ void PeltSignal::Update(TimeNs now, bool active) {
     return;
   }
   last_update_ = now;
-  double decay = std::exp2(-static_cast<double>(dt) / static_cast<double>(half_life_));
+  double decay = HalfLifeDecay(dt, half_life_);
   double target = active ? kCapacityScale : 0.0;
   // Closed form of "decay old signal, accumulate `target` over dt".
   util_ = util_ * decay + target * (1.0 - decay);
@@ -24,7 +28,7 @@ double PeltSignal::UtilAt(TimeNs now, bool active) const {
     return util_;
   }
   TimeNs dt = now - last_update_;
-  double decay = std::exp2(-static_cast<double>(dt) / static_cast<double>(half_life_));
+  double decay = HalfLifeDecay(dt, half_life_);
   double target = active ? kCapacityScale : 0.0;
   return util_ * decay + target * (1.0 - decay);
 }

@@ -5,6 +5,7 @@
 
 #include "src/base/audit.h"
 #include "src/base/check.h"
+#include "src/base/perf_counters.h"
 #include "src/host/machine.h"
 #include "src/sim/simulation.h"
 
@@ -75,8 +76,10 @@ void CpuSched::Attach(HostEntity* e) {
     // Stagger the refill grid per hardware thread so co-scheduled vCPUs do
     // not throttle in lock-step (real hosts interleave slices).
     TimeNs offset = (static_cast<TimeNs>(tid_) * 2654435761LL) % e->bw_period_;
-    e->bw_refill_event_ =
-        sim_->After(e->bw_period_ - offset, [this, e] { RefillBandwidth(e); });
+    e->bw_refill_origin_ = now + (e->bw_period_ - offset);
+    e->bw_refill_timer_ = sim_->CreateTimer([this, e] { RefillBandwidth(e); });
+    sim_->ArmTimerAt(e->bw_refill_timer_, e->bw_refill_origin_);
+    e->bw_refill_armed_ = true;
   }
   if (e->wants_to_run_) {
     EntityWoke(e);
@@ -89,8 +92,11 @@ void CpuSched::Attach(HostEntity* e) {
 void CpuSched::Detach(HostEntity* e) {
   VSCHED_CHECK(e->sched_ == this);
   TimeNs now = sim_->now();
-  sim_->Cancel(e->bw_refill_event_);
-  e->bw_refill_event_.Invalidate();
+  if (e->bw_refill_timer_ != kInvalidTimerId) {
+    sim_->DestroyTimer(e->bw_refill_timer_);
+    e->bw_refill_timer_ = kInvalidTimerId;
+    e->bw_refill_armed_ = false;
+  }
   sim_->Cancel(e->bw_throttle_event_);
   e->bw_throttle_event_.Invalidate();
   if (current_ == e) {
@@ -224,6 +230,19 @@ void CpuSched::PickNext(TimeNs now) {
   min_vruntime_ = std::max(min_vruntime_, next->vruntime_);
   ArmSliceTimer(now);
   if (next->has_bandwidth()) {
+    if (!next->bw_refill_armed_) {
+      // Tickless: the refill went dormant while this entity was off-CPU (every
+      // skipped firing was a no-op: quota full, not throttled). Re-arm on the
+      // original grid before any quota can be consumed — an unarmed refill
+      // with a running entity would throttle forever.
+      TimeNs when = sim_->NextGridPoint(next->bw_refill_origin_, next->bw_period_,
+                                        next->bw_refill_timer_);
+      PerfCounters::Current()->ticks_elided +=
+          static_cast<uint64_t>((when - next->bw_refill_origin_) / next->bw_period_ - 1);
+      next->bw_refill_origin_ = when;
+      sim_->ArmTimerAt(next->bw_refill_timer_, when);
+      next->bw_refill_armed_ = true;
+    }
     TimeNs remaining = next->bw_quota_ - next->bw_used_;
     if (remaining <= 0) {
       // Quota already exhausted (can happen if refill raced); throttle now.
@@ -287,9 +306,10 @@ void CpuSched::ThrottleCurrent(TimeNs now) {
 void CpuSched::RefillBandwidth(HostEntity* e) {
   VSCHED_CHECK(e->sched_ == this);
   TimeNs now = sim_->now();
-  // Re-arm the next refill first so the period grid stays fixed.
-  e->bw_refill_event_ = sim_->After(e->bw_period_, [this, e] { RefillBandwidth(e); });
+  e->bw_refill_origin_ = now;  // Last firing pins the grid for resume/elision.
   if (e == current_) {
+    // Re-arm first so the period grid stays fixed.
+    sim_->ArmTimerAfter(e->bw_refill_timer_, e->bw_period_);
     UpdateCurrentRuntime(now);
     e->bw_used_ = 0;
     sim_->Cancel(e->bw_throttle_event_);
@@ -298,10 +318,19 @@ void CpuSched::RefillBandwidth(HostEntity* e) {
   }
   e->bw_used_ = 0;
   if (e->throttled_) {
+    // Unthrottle may make the entity current again; re-arm before it can run.
+    sim_->ArmTimerAfter(e->bw_refill_timer_, e->bw_period_);
     e->throttled_ = false;
     if (e->wants_to_run_) {
       EntityWoke(e);
     }
+  } else if (params_.tickless) {
+    // Off-CPU, unthrottled, quota now full: every further firing before the
+    // entity next runs is a no-op. Stop the timer; PickNext resumes it on
+    // this grid (NOHZ for the host bandwidth machinery).
+    e->bw_refill_armed_ = false;
+  } else {
+    sim_->ArmTimerAfter(e->bw_refill_timer_, e->bw_period_);
   }
   if (audit::Enabled()) {
     AuditVerify();
@@ -341,6 +370,12 @@ void CpuSched::AuditVerify() const {
     if (e->has_bandwidth()) {
       VSCHED_AUDIT_CHECK(e->bw_used_ >= 0, "cpu_sched: bandwidth usage went negative");
       VSCHED_AUDIT_CHECK(e->bw_quota_ > 0, "cpu_sched: bandwidth quota not positive");
+      VSCHED_AUDIT_CHECK(e->bw_refill_timer_ != kInvalidTimerId,
+                         "cpu_sched: bandwidth entity has no refill timer");
+      VSCHED_AUDIT_CHECK(e->bw_refill_armed_ == sim_->TimerArmed(e->bw_refill_timer_),
+                         "cpu_sched: refill dormancy flag out of sync with its timer");
+      VSCHED_AUDIT_CHECK(!e->throttled_ || e->bw_refill_armed_,
+                         "cpu_sched: throttled entity with a dormant refill timer");
     } else {
       VSCHED_AUDIT_CHECK(!e->throttled_, "cpu_sched: throttled entity has no bandwidth cap");
     }

@@ -13,6 +13,7 @@
 
 #include "src/base/time.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/timer_wheel.h"
 
 namespace vsched {
 
@@ -85,11 +86,17 @@ class HostEntity {
   bool throttled_ = false;
   bool queued_ = false;
 
-  // Bandwidth control.
+  // Bandwidth control. The refill is a periodic wheel timer (timer band);
+  // bw_refill_origin_ pins its grid so a dormant refill (tickless hosts park
+  // the timer while the entity is off-CPU, unthrottled, and fully refilled)
+  // resumes on exactly the phase it would have kept. bw_refill_armed_ is the
+  // dormancy flag; CpuSched::PickNext re-arms before the entity runs again.
   TimeNs bw_quota_ = 0;
   TimeNs bw_period_ = 0;
   TimeNs bw_used_ = 0;
-  EventId bw_refill_event_;
+  TimerId bw_refill_timer_ = kInvalidTimerId;
+  TimeNs bw_refill_origin_ = 0;
+  bool bw_refill_armed_ = false;
   EventId bw_throttle_event_;
 
   // Accounting.

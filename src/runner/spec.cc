@@ -151,9 +151,12 @@ RunMetrics ExecuteOverallRun(const RunSpec& spec) {
   bool rcvm = spec.family == ExperimentFamily::kOverallRcvm;
   TopologySpec host = rcvm ? RcvmHostTopology() : HpvmHostTopology();
   VmSpec vm_spec = rcvm ? MakeRcvmSpec() : MakeHpvmSpec();
+  vm_spec.guest_params.tickless = spec.tickless;
+  HostSchedParams host_params;
+  host_params.tickless = spec.tickless;
   int threads = static_cast<int>(vm_spec.vcpus.size());
-  RunContext ctx =
-      MakeRun(host, std::move(vm_spec), OptionsForConfig(spec.config), spec.seed);
+  RunContext ctx = MakeRun(host, std::move(vm_spec), OptionsForConfig(spec.config),
+                           spec.seed, host_params);
   if (rcvm) {
     ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
   } else {
@@ -180,9 +183,11 @@ RunMetrics ExecuteOverallRun(const RunSpec& spec) {
 RunMetrics ExecuteVcpuLatencyRun(const RunSpec& spec) {
   const int kVcpus = 32;
   VmSpec vm_spec = MakeSimpleVmSpec("vm", kVcpus);
+  vm_spec.guest_params.tickless = spec.tickless;
   HostSchedParams host;
   host.min_granularity = spec.vcpu_latency;
   host.wakeup_granularity = spec.vcpu_latency;
+  host.tickless = spec.tickless;
   RunContext ctx = MakeRun(FlatHost(kVcpus), std::move(vm_spec),
                            OptionsForConfig(spec.config), spec.seed, host);
   for (int c = 0; c < kVcpus; ++c) {

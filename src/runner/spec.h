@@ -50,6 +50,12 @@ struct RunSpec {
   TimeNs vcpu_latency = MsToNs(2);
   bool best_effort = false;
 
+  // Tickless simulation (guest NOHZ tick elision + dormant host bandwidth
+  // refills). Deliberately NOT part of Id(): rows must byte-compare across
+  // the two modes, which is exactly what the vsched_run_tickless ctest and
+  // the tickless CI job assert.
+  bool tickless = false;
+
   // Human/filterable identity, e.g. "fig18_rcvm/canneal/vsched" or
   // "fig02/img-dnn/cfs/lat=4ms+be".
   std::string Id() const;

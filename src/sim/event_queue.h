@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/check.h"
 #include "src/base/perf_counters.h"
 #include "src/base/time.h"
 #include "src/sim/event_callback.h"
@@ -90,6 +91,17 @@ class EventQueue {
 
   // Runs events with timestamp <= deadline, then advances now() to deadline.
   void RunUntil(TimeNs deadline);
+
+  // Moves the clock forward to `t` without running anything. `t` must not
+  // skip a pending event. Used by Simulation's interleaved run loop to hand
+  // the clock to the timer wheel between heap dispatches; no-op if t <= now.
+  void AdvanceClockTo(TimeNs t) {
+    if (t <= now_) {
+      return;
+    }
+    VSCHED_CHECK_MSG(t <= NextEventTime(), "AdvanceClockTo would skip a pending event");
+    now_ = t;
+  }
 
   // Number of live (non-cancelled) pending events.
   size_t PendingCount() const { return heap_.size(); }

@@ -1,34 +1,62 @@
 #include "src/sim/simulation.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 namespace vsched {
 
-void Simulation::PeriodicHandle::Arm() {
-  if (cancelled_) {
-    return;
-  }
-  pending_ = sim_->After(period_, [this] {
-    if (cancelled_) {
-      return;
+void Simulation::RunUntil(TimeNs deadline) {
+  const TimeNs before = queue_.now();
+  // Interleave the two backends. At equal timestamps the wheel's timer band
+  // fires first (tw <= limit includes tw == tq), so periodic timers always
+  // precede heap events at their instant — in both tickless modes, which is
+  // what keeps the heap's sequence-number stream mode-invariant.
+  for (;;) {
+    const TimeNs tq = queue_.NextEventTime();
+    const TimeNs limit = std::min(tq, deadline);
+    const TimeNs tw = wheel_.NextDeadlineAtMost(limit);
+    if (tw <= limit) {
+      queue_.AdvanceClockTo(tw);
+      wheel_.RunOne(tw);
+      if (audit::Enabled()) {
+        wheel_.AuditVerify();
+      }
+      continue;
     }
-    fn_();
-    Arm();
-  });
+    if (tq > deadline) {
+      break;
+    }
+    last_heap_exec_time_ = tq;
+    queue_.RunOne();
+  }
+  queue_.AdvanceClockTo(deadline);
+  VSCHED_AUDIT_CHECK(queue_.now() >= before, "simulation clock moved backwards");
+  VSCHED_AUDIT_CHECK(deadline <= before || queue_.now() == deadline,
+                     "RunUntil did not land on its deadline");
 }
 
 Simulation::PeriodicHandle* Simulation::Every(TimeNs period, std::function<void()> fn) {
+  VSCHED_CHECK(period > 0);
   auto handle = std::make_unique<PeriodicHandle>(this, period, std::move(fn));
   PeriodicHandle* raw = handle.get();
   periodic_handles_.push_back(std::move(handle));
-  raw->Arm();
+  raw->timer_ = CreateTimer([raw] {
+    if (raw->cancelled_) {
+      return;
+    }
+    raw->fn_();
+    if (!raw->cancelled_) {
+      raw->sim_->ArmTimerAfter(raw->timer_, raw->period_);
+    }
+  });
+  ArmTimerAfter(raw->timer_, period);
   return raw;
 }
 
 void Simulation::CancelPeriodic(PeriodicHandle* handle) {
   handle->cancelled_ = true;
-  Cancel(handle->pending_);
+  wheel_.Cancel(handle->timer_);
 }
 
 }  // namespace vsched

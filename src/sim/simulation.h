@@ -1,19 +1,33 @@
-// Top-level simulation context: clock + event queue + root RNG.
+// Top-level simulation context: clock + event queue + timer wheel + root RNG.
 //
 // Every simulated component (host scheduler, guest kernel, workloads,
 // probers) holds a Simulation* and schedules its activity through it.
+//
+// Two timer backends share the clock (see docs/PERF.md, "Tickless
+// simulation"):
+//  - the 4-ary event heap (At/After) for one-shot and far-future events;
+//  - the hierarchical timer wheel (CreateTimer/ArmTimerAt) for periodic and
+//    near-future timers — scheduler ticks, bandwidth refills, Every().
+// The run loop drains them in lockstep; at equal timestamps the wheel's
+// "timer band" fires before heap events, and within the band timers fire in
+// (deadline, TimerId) order. Both orderings are history-independent, which
+// is what lets tickless elision skip firings without perturbing any
+// neighbouring event (the byte-identical-JSONL contract).
 #ifndef SRC_SIM_SIMULATION_H_
 #define SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/base/audit.h"
+#include "src/base/check.h"
 #include "src/base/time.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
+#include "src/sim/timer_wheel.h"
 
 namespace vsched {
 
@@ -26,6 +40,7 @@ class Simulation {
 
   TimeNs now() const { return queue_.now(); }
   EventQueue& queue() { return queue_; }
+  TimerWheel& wheel() { return wheel_; }
   Rng& rng() { return rng_; }
 
   // Derives an independent RNG stream for a component.
@@ -41,21 +56,66 @@ class Simulation {
   }
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
-  // Runs the simulation until `deadline`, then sets now() == deadline.
-  void RunUntil(TimeNs deadline) {
-    const TimeNs before = queue_.now();
-    queue_.RunUntil(deadline);
-    VSCHED_AUDIT_CHECK(queue_.now() >= before, "simulation clock moved backwards");
-    VSCHED_AUDIT_CHECK(deadline <= before || queue_.now() == deadline,
-                       "RunUntil did not land on its deadline");
+  // --- timer-wheel backend -------------------------------------------------
+  // A timer is a registered slot with a fixed callback, re-armed in place:
+  // the natural shape for periodic work (no per-firing allocation, no stale
+  // handle growth). Ids are stable until DestroyTimer.
+
+  template <typename F>
+  TimerId CreateTimer(F&& fn) {
+    return wheel_.Register(EventCallback(std::forward<F>(fn)));
+  }
+  void DestroyTimer(TimerId id) { wheel_.Unregister(id); }
+
+  void ArmTimerAt(TimerId id, TimeNs when) {
+    VSCHED_CHECK_MSG(when >= now(), "cannot arm a timer in the past");
+    wheel_.Arm(id, when);
+  }
+  void ArmTimerAfter(TimerId id, TimeNs delay) { ArmTimerAt(id, now() + delay); }
+  bool CancelTimer(TimerId id) { return wheel_.Cancel(id); }
+  bool TimerArmed(TimerId id) const { return wheel_.IsArmed(id); }
+
+  // True if a wheel timer `id` armed *right now* for deadline `when` ==
+  // now() would still fire at this instant, i.e. the current timestamp's
+  // timer band has not yet passed the timer's (when, id) position and the
+  // heap phase has not begun. Tickless re-arm logic uses this to decide
+  // whether an elided periodic timer can still fire in its natural band
+  // position this instant.
+  bool TimerStillFiresAt(TimerId id, TimeNs when) const {
+    if (when > now()) {
+      return true;
+    }
+    if (last_heap_exec_time_ == when) {
+      return false;  // heap phase at `when` has begun: the band is closed
+    }
+    return wheel_.StillFiresAt(id, when);
   }
 
-  // Runs `dur` more nanoseconds of simulated time.
-  void RunFor(TimeNs dur) { queue_.RunUntil(queue_.now() + dur); }
+  // Next firing time on the grid {origin + k*period, k >= 0} for a periodic
+  // wheel timer being re-armed at now(): now() itself when now() sits on the
+  // grid and the timer's band position this instant has not yet passed,
+  // otherwise the next strictly-future grid point. This is what keeps an
+  // elided-then-resumed periodic timer bit-identical to one that never
+  // stopped. Requires now() >= origin.
+  TimeNs NextGridPoint(TimeNs origin, TimeNs period, TimerId id) const {
+    VSCHED_CHECK(period > 0 && now() >= origin);
+    const TimeNs k = (now() - origin) / period;
+    const TimeNs at_or_before = origin + k * period;
+    if (at_or_before == now() && TimerStillFiresAt(id, now())) {
+      return now();
+    }
+    return origin + (k + 1) * period;
+  }
 
-  // Installs a repeating callback every `period` ns starting at now()+period.
-  // The callback keeps firing until the returned handle is cancelled via
-  // CancelPeriodic. Handles stay valid across firings.
+  // Runs the simulation until `deadline`, then sets now() == deadline.
+  void RunUntil(TimeNs deadline);
+
+  // Runs `dur` more nanoseconds of simulated time.
+  void RunFor(TimeNs dur) { RunUntil(now() + dur); }
+
+  // Installs a repeating callback every `period` ns starting at now()+period
+  // (wheel-backed). The callback keeps firing until the returned handle is
+  // cancelled via CancelPeriodic. Handles stay valid across firings.
   class PeriodicHandle;
   PeriodicHandle* Every(TimeNs period, std::function<void()> fn);
   void CancelPeriodic(PeriodicHandle* handle);
@@ -67,18 +127,21 @@ class Simulation {
 
    private:
     friend class Simulation;
-    void Arm();
 
     Simulation* sim_;
     TimeNs period_;
     std::function<void()> fn_;
-    EventId pending_;
+    TimerId timer_ = kInvalidTimerId;
     bool cancelled_ = false;
   };
 
  private:
   EventQueue queue_;
+  TimerWheel wheel_;
   Rng rng_;
+  // Timestamp of the most recent heap event dispatched; marks the timer
+  // band at that instant as closed (see TimerStillFiresAt).
+  TimeNs last_heap_exec_time_ = -1;
   // Handles live until the simulation dies; they are tiny and this keeps
   // pointers stable for callers that cancel much later. Keeping them per
   // simulation (not process-global) lets independent simulations run on

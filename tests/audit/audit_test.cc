@@ -14,10 +14,12 @@
 #include <vector>
 
 #include "src/base/audit.h"
+#include "src/base/time.h"
 #include "src/guest/runqueue.h"
 #include "src/guest/task.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/simulation.h"
+#include "src/sim/timer_wheel.h"
 #include "tests/guest/test_behaviors.h"
 
 namespace vsched {
@@ -53,6 +55,87 @@ struct AuditTestAccess {
   static void BreakSortOrder(Runqueue& rq) {
     ASSERT_GE(rq.normal_.size(), 2u);
     std::swap(rq.normal_.front(), rq.normal_.back());
+  }
+
+  // ---- TimerWheel backdoors ----
+
+  // Shifts the farthest bucketed timer's deadline by two bucket widths: its
+  // bucket membership no longer matches the deadline's (level, bucket) hash.
+  // (Farthest, so near-term dispatch keeps working and run-loop hooks still
+  // get a chance to notice.)
+  static void BreakWheelBucketDeadline(TimerWheel& w) {
+    TimerWheel::Timer* worst = nullptr;
+    for (auto& t : w.timers_) {
+      if (t.state == TimerWheel::State::kBucket &&
+          (worst == nullptr || t.deadline > worst->deadline)) {
+        worst = &t;
+      }
+    }
+    ASSERT_NE(worst, nullptr) << "no bucketed timer to corrupt";
+    worst->deadline += 2 * TimerWheel::BucketWidth(worst->level);
+  }
+
+  // Clears the occupancy bit of a non-empty bucket: the dispatch probe would
+  // skip it, silently losing every timer inside.
+  static void BreakWheelOccupancy(TimerWheel& w) {
+    for (int level = 0; level < TimerWheel::kLevels; ++level) {
+      for (int b = 0; b < TimerWheel::kBuckets; ++b) {
+        if (!w.Bucket(level, b).empty()) {
+          w.occupancy_[level] &= ~(uint64_t{1} << b);
+          return;
+        }
+      }
+    }
+    FAIL() << "no occupied bucket to corrupt";
+  }
+
+  // Breaks a bucketed timer's (level, bucket, slot) back-pointer.
+  static void BreakWheelBackPointer(TimerWheel& w) {
+    for (auto& t : w.timers_) {
+      if (t.state == TimerWheel::State::kBucket) {
+        t.slot += 7;
+        return;
+      }
+    }
+    FAIL() << "no bucketed timer to corrupt";
+  }
+
+  // Drops a timer from its bucket without fixing armed_count_ — the "timer
+  // lost across a cascade" failure mode.
+  static void LoseWheelTimer(TimerWheel& w) {
+    for (int level = 0; level < TimerWheel::kLevels; ++level) {
+      for (int b = 0; b < TimerWheel::kBuckets; ++b) {
+        std::vector<uint32_t>& bucket = w.Bucket(level, b);
+        if (!bucket.empty()) {
+          w.timers_[bucket.back() - 1].state = TimerWheel::State::kIdle;
+          bucket.pop_back();
+          if (bucket.empty()) {
+            w.occupancy_[level] &= ~(uint64_t{1} << b);
+          }
+          return;
+        }
+      }
+    }
+    FAIL() << "no occupied bucket to corrupt";
+  }
+
+  // Pretends dispatch already passed an armed timer's deadline (monotone
+  // dispatch violation).
+  static void BreakWheelMonotoneDispatch(TimerWheel& w) {
+    for (auto& t : w.timers_) {
+      if (t.state == TimerWheel::State::kBucket) {
+        w.fired_any_ = true;
+        w.last_fire_when_ = t.deadline + 1;
+        return;
+      }
+    }
+    FAIL() << "no bucketed timer to corrupt";
+  }
+
+  // Swaps two ready-heap entries (requires >= 2 live entries).
+  static void BreakWheelReadyOrder(TimerWheel& w) {
+    ASSERT_GE(w.ready_.size(), 2u);
+    std::swap(w.ready_.front(), w.ready_.back());
   }
 };
 
@@ -191,6 +274,100 @@ TEST_F(AuditTest, RunqueueSortCorruptionFiresFromThePickHook) {
   rq.Pick();  // the hook inside Pick must notice
   EXPECT_GT(audit::ViolationCount(), 0u);
   EXPECT_TRUE(AnyViolationContains("out of (vruntime, id) order"));
+}
+
+TEST_F(AuditTest, CleanTimerWheelChurnReportsNothing) {
+  TimerWheel w;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(w.Register([] {}));
+    w.Arm(ids.back(), (i + 1) * UsToNs(700));
+  }
+  for (int i = 0; i < 32; i += 3) {
+    w.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  for (;;) {
+    TimeNs next = w.NextDeadlineAtMost(MsToNs(100));
+    if (next == kTimeInfinity) {
+      break;
+    }
+    w.RunOne(next);
+  }
+  w.AuditVerify();
+  EXPECT_EQ(audit::ViolationCount(), 0u);
+}
+
+TEST_F(AuditTest, WheelBucketHashCorruptionIsCaught) {
+  TimerWheel w;
+  w.Arm(w.Register([] {}), MsToNs(5));
+  AuditTestAccess::BreakWheelBucketDeadline(w);
+  w.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("hashes to a different bucket"));
+}
+
+TEST_F(AuditTest, WheelOccupancyCorruptionIsCaught) {
+  TimerWheel w;
+  w.Arm(w.Register([] {}), MsToNs(5));
+  AuditTestAccess::BreakWheelOccupancy(w);
+  w.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("occupancy bit disagrees"));
+}
+
+TEST_F(AuditTest, WheelBackPointerCorruptionIsCaught) {
+  TimerWheel w;
+  w.Arm(w.Register([] {}), MsToNs(5));
+  AuditTestAccess::BreakWheelBackPointer(w);
+  w.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("back-pointer disagrees"));
+}
+
+TEST_F(AuditTest, WheelLostTimerIsCaught) {
+  TimerWheel w;
+  w.Arm(w.Register([] {}), MsToNs(5));
+  AuditTestAccess::LoseWheelTimer(w);
+  w.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("armed count out of sync"));
+}
+
+TEST_F(AuditTest, WheelMonotoneDispatchViolationIsCaught) {
+  TimerWheel w;
+  w.Arm(w.Register([] {}), MsToNs(5));
+  AuditTestAccess::BreakWheelMonotoneDispatch(w);
+  w.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("precedes the last dispatch"));
+}
+
+TEST_F(AuditTest, WheelReadyOrderCorruptionIsCaught) {
+  TimerWheel w;
+  w.Arm(w.Register([] {}), MsToNs(2));
+  w.Arm(w.Register([] {}), MsToNs(2) + 100);
+  // Promote both into the ready heap without firing them.
+  ASSERT_EQ(w.NextDeadlineAtMost(MsToNs(3)), MsToNs(2));
+  AuditTestAccess::BreakWheelReadyOrder(w);
+  w.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("ready heap order violated"));
+}
+
+TEST_F(AuditTest, WheelCorruptionFiresFromTheRunLoopHook) {
+  Simulation sim(/*seed=*/7);
+  int near_fires = 0;
+  sim.Every(MsToNs(1), [&] { ++near_fires; });
+  sim.Every(MsToNs(200), [] {});  // far periodic: sits in a high-level bucket
+  sim.RunFor(MsToNs(1));
+  ASSERT_EQ(audit::ViolationCount(), 0u);
+  AuditTestAccess::BreakWheelBucketDeadline(sim.wheel());
+  // No direct AuditVerify call: the run loop's post-dispatch hook must fire
+  // on the next near-timer dispatch.
+  sim.RunFor(MsToNs(2));
+  EXPECT_GT(near_fires, 1);
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("hashes to a different bucket"));
 }
 
 TEST_F(AuditTest, SimulationClockStaysMonotone) {

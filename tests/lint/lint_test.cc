@@ -121,6 +121,43 @@ TEST(LintRawAccum, IgnoresLocalsAndPlainAssignment) {
       HasRule(LintFile("src/guest/a.cc", "load_ = recompute();\n"), "raw-double-accum"));
 }
 
+// --- pelt-eager-update -----------------------------------------------------
+
+TEST(LintPeltUpdate, FiresOnDirectMemberUpdateInSrc) {
+  EXPECT_TRUE(HasRule(LintFile("src/guest/guest_kernel.cc",
+                               "task->pelt_.Update(now, true);\n"),
+                      "pelt-eager-update"));
+  EXPECT_TRUE(HasRule(LintFile("src/core/bvs.cc", "t->pelt_.Update(now, false);\n"),
+                      "pelt-eager-update"));
+  EXPECT_TRUE(HasRule(LintFile("src/guest/a.cc", "PeltSignal::Update(now, true);\n"),
+                      "pelt-eager-update"));
+}
+
+TEST(LintPeltUpdate, IgnoresPeltImplementationAndReaders) {
+  // pelt.cc / pelt.h are the signal's own implementation.
+  EXPECT_FALSE(HasRule(LintFile("src/guest/pelt.cc",
+                                "void PeltSignal::Update(TimeNs now, bool active) {\n"),
+                       "pelt-eager-update"));
+  EXPECT_FALSE(HasRule(LintFile("src/guest/pelt.h", "void Update(TimeNs now, bool active);\n"),
+                       "pelt-eager-update"));
+  // Lazy reads are the intended API.
+  EXPECT_FALSE(HasRule(LintFile("src/core/bvs.cc",
+                                "double u = t->pelt_.UtilAt(now, active);\n"),
+                       "pelt-eager-update"));
+  // Tests and tools are out of scope.
+  EXPECT_FALSE(HasRule(LintFile("tests/guest/pelt_test.cc", "sig.pelt_.Update(now, true);\n"),
+                       "pelt-eager-update"));
+}
+
+TEST(LintPeltUpdate, AllowCommentMarksDesignatedEntryPoints) {
+  const std::string snippet =
+      "void GuestVcpu::CloseSegment(TimeNs now) {\n"
+      "  // vsched-lint: allow(pelt-eager-update)\n"
+      "  current_->pelt_.Update(now, true);\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/guest/guest_vcpu.cc", snippet).empty());
+}
+
 // --- mutable-global --------------------------------------------------------
 
 TEST(LintMutableGlobal, FiresOnNamespaceScopeState) {
@@ -238,8 +275,10 @@ TEST(LintRules, RegistryListsEveryRuleExactlyOnce) {
   for (const RuleInfo& r : Rules()) {
     names.push_back(r.name);
   }
-  std::vector<std::string> expected = {"wall-clock",   "libc-rand",        "unordered-container",
-                                       "unseeded-rng", "raw-double-accum", "mutable-global"};
+  std::vector<std::string> expected = {"wall-clock",       "libc-rand",
+                                       "unordered-container", "unseeded-rng",
+                                       "raw-double-accum",    "pelt-eager-update",
+                                       "mutable-global"};
   std::sort(names.begin(), names.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(names, expected);

@@ -42,6 +42,13 @@ bool IsBasePath(const std::string& path) { return PathContains(path, "src/base")
 
 bool IsSrcPath(const std::string& path) { return PathContains(path, "src/"); }
 
+// PELT is lazily evaluated: readers use UtilAt, and only the designated
+// segment/dispatch transition points may fold the signal forward. pelt.cc
+// itself (the signal's implementation) is exempt by path.
+bool IsPeltUpdateScope(const std::string& path) {
+  return IsSrcPath(path) && !PathContains(path, "src/guest/pelt");
+}
+
 // ---------------------------------------------------------------------------
 // Per-line preprocessing: the scanner works on a copy of each line with
 // comments and string/char literal *contents* blanked out, so a rule token
@@ -234,6 +241,12 @@ const std::vector<TokenRule>& TokenRules() {
        "raw floating-point accumulation into long-lived load/vruntime state: use a "
        "compensated (Neumaier) sum or integer units",
        std::regex(R"(\b\w*(load|vruntime)\w*_\s*[+\-]=)"), &IsSimPath},
+      {"pelt-eager-update",
+       "direct PeltSignal::Update outside src/guest/pelt.cc: PELT is pull-based — "
+       "read with UtilAt and mutate only at the designated segment/dispatch entry "
+       "points (mark those with a vsched-lint allow comment)",
+       std::regex(R"(\bpelt_\.\s*Update\s*\(|\bPeltSignal::Update\b)"),
+       &IsPeltUpdateScope},
   };
   return *rules;
 }
