@@ -3,12 +3,17 @@
 //   vsched_run [--experiment NAME] [--jobs N] [--seed S] [--out FILE]
 //              [--filter SUBSTR] [--warmup-ms N] [--measure-ms N]
 //              [--tickless] [--timings] [--audit] [--list]
+//              [--fault-plan NAME] [--event-budget N] [--resume FILE]
 //
 // Experiments: fig18_rcvm (default), fig19_hpvm, fig02, all.
 // JSONL rows go to --out (or stdout); the human report and wall-clock
 // summary go to stdout (or stderr when rows occupy stdout). Rows are
-// byte-identical for any --jobs value. See docs/RUNNER.md.
+// byte-identical for any --jobs value. SIGINT drains in-flight runs, flushes
+// every finished row (a valid --resume checkpoint) and exits 130. See
+// docs/RUNNER.md and docs/ROBUSTNESS.md.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,14 +22,20 @@
 #include <vector>
 
 #include "src/base/audit.h"
+#include "src/fault/fault_plan.h"
 #include "src/runner/report.h"
 #include "src/runner/result_sink.h"
+#include "src/runner/resume.h"
 #include "src/runner/runner.h"
 #include "src/runner/spec.h"
 
 using namespace vsched;
 
 namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void OnSigint(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 
 struct CliOptions {
   std::string experiment = "fig18_rcvm";
@@ -38,6 +49,9 @@ struct CliOptions {
   bool timings = false;
   bool audit = false;
   bool list = false;
+  std::string fault_plan;       // empty: clean run
+  uint64_t event_budget = 0;    // 0: no watchdog
+  std::string resume;           // empty: fresh sweep
 };
 
 void Usage(std::FILE* out) {
@@ -56,7 +70,14 @@ void Usage(std::FILE* out) {
                "  --timings          include per-row wall_ms (non-deterministic) in JSONL\n"
                "  --audit            verify core invariants after every mutation (slow);\n"
                "                     output stays byte-identical, violations abort\n"
-               "  --list             print the selected run ids and exit\n");
+               "  --list             print the selected run ids and exit\n"
+               "  --fault-plan NAME  deterministic chaos plan for every run (see --list-plans);\n"
+               "                     'none' is byte-identical to omitting the flag\n"
+               "  --list-plans       print the canned fault plan names and exit\n"
+               "  --event-budget N   per-run simulated-event watchdog; a run exceeding N\n"
+               "                     events reports status=timeout instead of hanging\n"
+               "  --resume FILE      reuse ok rows from a previous JSONL output and execute\n"
+               "                     only the missing/failed cells\n");
 }
 
 // Parses argv; returns false (after printing usage) on an unknown flag.
@@ -99,6 +120,17 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
       cli.audit = true;
     } else if (arg == "--list") {
       cli.list = true;
+    } else if (arg == "--list-plans") {
+      for (const std::string& name : FaultPlanNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      std::exit(0);
+    } else if (take("--fault-plan")) {
+      cli.fault_plan = v;
+    } else if (take("--event-budget")) {
+      cli.event_budget = std::strtoull(v, nullptr, 0);
+    } else if (take("--resume")) {
+      cli.resume = v;
     } else if (take("--experiment")) {
       cli.experiment = v;
     } else if (take("--jobs")) {
@@ -148,6 +180,8 @@ ExperimentSpec BuildSweep(const CliOptions& cli) {
         run.measure = MsToNs(cli.measure_ms);
       }
       run.tickless = cli.tickless;
+      run.fault_plan = cli.fault_plan;
+      run.event_budget = cli.event_budget;
       sweep.runs.push_back(std::move(run));
     }
   }
@@ -164,6 +198,14 @@ int main(int argc, char** argv) {
   }
   if (cli.audit) {
     audit::SetEnabled(true);
+  }
+  if (!cli.fault_plan.empty()) {
+    FaultPlan plan;
+    if (!LookupFaultPlan(cli.fault_plan, &plan)) {
+      std::fprintf(stderr, "vsched_run: unknown fault plan %s (see --list-plans)\n",
+                   cli.fault_plan.c_str());
+      return 2;
+    }
   }
   ExperimentSpec sweep = BuildSweep(cli);
   if (cli.list) {
@@ -192,22 +234,68 @@ int main(int argc, char** argv) {
     human = stdout;
   }
 
+  // --resume: reuse rows the previous invocation already completed; only the
+  // missing (or failed) cells execute.
+  ResumeState resume;
+  if (!cli.resume.empty()) {
+    std::string error;
+    if (!LoadResumeState(cli.resume, &resume, &error)) {
+      std::fprintf(stderr, "vsched_run: --resume: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "resume: %zu completed row(s) reused from %s\n",
+                 resume.completed.size(), cli.resume.c_str());
+  }
+  ExperimentSpec todo;
+  todo.name = sweep.name;
+  std::vector<int> todo_index;  // position of each todo run within the sweep
+  for (size_t i = 0; i < sweep.runs.size(); ++i) {
+    if (resume.completed.count(sweep.runs[i].Id()) == 0) {
+      todo.runs.push_back(sweep.runs[i]);
+      todo_index.push_back(static_cast<int>(i));
+    }
+  }
+
+  std::signal(SIGINT, OnSigint);
   RunnerOptions options;
   options.jobs = cli.jobs;
+  options.cancel = &g_interrupted;
   options.on_run_done = [&](const RunResult& result) {
     std::fputc(result.ok ? '.' : 'x', stderr);
   };
   auto start = std::chrono::steady_clock::now();
-  std::vector<RunResult> results = Runner(options).Run(sweep);
+  std::vector<RunResult> results = Runner(options).Run(todo);
   auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - start);
   std::fprintf(stderr, "\n");
+  // Re-key executed results to their sweep positions so a resumed file is
+  // byte-identical to an uninterrupted run of the full sweep.
+  for (size_t j = 0; j < results.size(); ++j) {
+    results[j].index = todo_index[j];
+  }
 
   ResultSink::Options sink_options;
   sink_options.include_timing = cli.timings;
   ResultSink sink(rows, sink_options);
   int failed = 0;
-  for (const RunResult& result : results) {
+  bool interrupted = g_interrupted.load(std::memory_order_relaxed);
+  size_t next_result = 0;
+  for (size_t i = 0; i < sweep.runs.size(); ++i) {
+    auto cached = resume.completed.find(sweep.runs[i].Id());
+    if (cached != resume.completed.end()) {
+      // Byte-stable apart from the run index, which is re-keyed to this
+      // sweep's position (the checkpoint may have numbered the cell under a
+      // different --filter).
+      *rows << RekeyRunIndex(cached->second, static_cast<int>(i)) << "\n";
+      continue;
+    }
+    const RunResult& result = results[next_result++];
+    // Cells that never started because of SIGINT are left out of the file:
+    // the checkpoint then contains exactly the finished work, and --resume
+    // picks up the rest.
+    if (interrupted && !result.ok && result.error == "interrupted") {
+      continue;
+    }
     sink.Write(result);
     if (!result.ok) {
       ++failed;
@@ -216,6 +304,11 @@ int main(int argc, char** argv) {
   rows->flush();
 
   PrintRunSummary(results, elapsed.count(), human);
+  if (interrupted) {
+    std::fprintf(human, "interrupted: partial results flushed; rerun with --resume %s\n",
+                 cli.out.empty() ? "<file>" : cli.out.c_str());
+    return 130;
+  }
   if (audit::Enabled()) {
     // The default handler aborts on the first violation, so reaching here
     // normally means zero; a custom handler may have let the run continue.

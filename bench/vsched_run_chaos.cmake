@@ -1,0 +1,68 @@
+# ctest script: chaos sweeps are deterministic and resumable. Run with:
+#   cmake -DVSCHED_RUN=<binary> -DWORK_DIR=<dir> -P vsched_run_chaos.cmake
+#
+# Three invariants (docs/ROBUSTNESS.md):
+#   1. `--fault-plan none` is byte-identical to no flag at all — the fault
+#      layer is provably inert when unused.
+#   2. The same (seed, plan) chaos sweep is byte-identical across --jobs 1
+#      and --jobs 2: injection is driven entirely by per-run seeded RNG.
+#   3. `--resume` of a partial checkpoint completes only the missing cells
+#      and reproduces the uninterrupted file byte for byte.
+
+set(common_args --experiment fig02 --filter img-dnn --warmup-ms 50 --measure-ms 200)
+
+function(run_sweep out rc_expected)
+  execute_process(
+      COMMAND ${VSCHED_RUN} ${ARGN} --out ${out}
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL ${rc_expected})
+    message(FATAL_ERROR "vsched_run ${ARGN} exited ${rc}, expected ${rc_expected}")
+  endif()
+endfunction()
+
+function(expect_identical a b what)
+  execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+      RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} differs from ${b}")
+  endif()
+endfunction()
+
+# --- 1. plan "none" is the clean run, byte for byte ------------------------
+run_sweep(${WORK_DIR}/chaos_clean.jsonl 0 ${common_args})
+run_sweep(${WORK_DIR}/chaos_none.jsonl 0 ${common_args} --fault-plan none)
+expect_identical(${WORK_DIR}/chaos_clean.jsonl ${WORK_DIR}/chaos_none.jsonl
+                 "--fault-plan none is not inert")
+
+# --- 2. chaos replay across job counts -------------------------------------
+run_sweep(${WORK_DIR}/chaos_j1.jsonl 0 ${common_args}
+          --fault-plan interference-burst --jobs 1)
+run_sweep(${WORK_DIR}/chaos_j2.jsonl 0 ${common_args}
+          --fault-plan interference-burst --jobs 2)
+expect_identical(${WORK_DIR}/chaos_j1.jsonl ${WORK_DIR}/chaos_j2.jsonl
+                 "chaos sweep diverges across --jobs")
+
+# The plan must actually have injected faults, or this test proves nothing.
+file(READ ${WORK_DIR}/chaos_j1.jsonl chaos_rows)
+if(NOT chaos_rows MATCHES "\"fault_applied\":")
+  message(FATAL_ERROR "interference-burst sweep recorded no fault metrics")
+endif()
+
+# --- 3. resume completes only the missing cells ----------------------------
+# A partial checkpoint: just the img-dnn/lat=2ms cells of the same sweep.
+run_sweep(${WORK_DIR}/chaos_partial.jsonl 0
+          --experiment fig02 --filter lat=2ms --warmup-ms 50 --measure-ms 200
+          --fault-plan interference-burst)
+execute_process(
+    COMMAND ${VSCHED_RUN} ${common_args} --fault-plan interference-burst
+            --resume ${WORK_DIR}/chaos_partial.jsonl
+            --out ${WORK_DIR}/chaos_resumed.jsonl
+    RESULT_VARIABLE resume_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT resume_rc EQUAL 0)
+  message(FATAL_ERROR "--resume run failed (rc=${resume_rc})")
+endif()
+expect_identical(${WORK_DIR}/chaos_resumed.jsonl ${WORK_DIR}/chaos_j1.jsonl
+                 "resumed sweep differs from the uninterrupted run")

@@ -55,6 +55,10 @@ bool Bvs::AcceptableVcpu(const GuestVcpu& v, double median_cap, double median_la
 int Bvs::SelectVcpu(Task* task, int prev_cpu, int waker_cpu) {
   (void)prev_cpu;
   (void)waker_cpu;
+  if (degraded_) {
+    ++fallbacks_;
+    return -1;  // Untrusted probe data: take the CFS path unconditionally.
+  }
   TimeNs now_check = kernel_->sim()->now();
   if (task->policy() == TaskPolicy::kIdle || task->UtilAt(now_check) > config_.small_task_util) {
     return -1;  // Not a small latency-sensitive task: CFS path.

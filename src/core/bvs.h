@@ -34,6 +34,11 @@ class Bvs {
   // The hook body (public for tests): returns the chosen vCPU or -1.
   int SelectVcpu(Task* task, int prev_cpu, int waker_cpu);
 
+  // Degraded mode: probe confidence is too low to trust the latency-based
+  // placement, so every selection falls back to the CFS heuristic (-1).
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+  bool degraded() const { return degraded_; }
+
   uint64_t placements() const { return placements_; }
   uint64_t fallbacks() const { return fallbacks_; }
 
@@ -44,6 +49,7 @@ class Bvs {
   Vcap* vcap_;
   Vact* vact_;
   BvsConfig config_;
+  bool degraded_ = false;
   uint64_t placements_ = 0;
   uint64_t fallbacks_ = 0;
   int rotor_ = 0;

@@ -3,6 +3,7 @@
 #define SRC_CORE_CONFIG_H_
 
 #include "src/base/time.h"
+#include "src/probe/robust.h"
 #include "src/probe/vact.h"
 #include "src/probe/vcap.h"
 #include "src/probe/vtop.h"
@@ -62,6 +63,14 @@ struct VSchedOptions {
   BvsConfig bvs;
   IvhConfig ivh;
   RwcConfig rwc;
+
+  // Graceful degradation under fault injection. When `robust.enabled`, the
+  // settings are propagated into every prober config and the orchestrator
+  // monitors probe confidence: low-confidence components fall back to
+  // pessimistic capacities, topology-agnostic placement, CFS wake placement,
+  // paused harvesting, and frozen straggler bans. Off by default — clean
+  // runs are byte-identical to a build without the robustness layer.
+  ProbeRobustConfig robust;
 
   // Stock Linux CFS: no probing, no new techniques.
   static VSchedOptions Cfs() {

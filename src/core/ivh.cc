@@ -27,6 +27,9 @@ void Ivh::OnTick(GuestVcpu* v, TimeNs now) {
     }
     return;
   }
+  if (degraded_) {
+    return;  // Untrusted activity estimates: start no new harvests.
+  }
   Task* curr = v->current();
   if (curr == nullptr || curr->policy() == TaskPolicy::kIdle) {
     return;

@@ -36,6 +36,11 @@ class Ivh {
   // Installs the tick hook.
   void Install();
 
+  // Degraded mode: activity estimates are untrusted, so no new harvest
+  // handshakes are started (in-flight ones still resolve or time out).
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+  bool degraded() const { return degraded_; }
+
   uint64_t attempts() const { return attempts_; }
   uint64_t completed() const { return completed_; }
   uint64_t abandoned() const { return abandoned_; }
@@ -63,6 +68,7 @@ class Ivh {
   Vcap* vcap_;
   Vact* vact_;
   IvhConfig config_;
+  bool degraded_ = false;
   std::vector<Handshake> handshakes_;  // one slot per source vCPU
   uint64_t next_id_ = 1;
   uint64_t attempts_ = 0;

@@ -32,6 +32,12 @@ void Rwc::OnTopology(const GuestTopology& topo) {
 }
 
 void Rwc::Reevaluate() {
+  if (freeze_) {
+    // Keep the previous straggler verdicts; still propagate stack bans,
+    // which come from the (separately gated) topology rather than vcap.
+    kernel_->SetBans(straggler_bans_, stack_bans_);
+    return;
+  }
   CpuMask stragglers;
   if (vcap_ != nullptr && vcap_->windows_completed() >= config_.min_windows) {
     int n = kernel_->num_vcpus();

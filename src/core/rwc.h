@@ -33,6 +33,12 @@ class Rwc {
   // Called by the bridge whenever vtop publishes a topology.
   void OnTopology(const GuestTopology& topo);
 
+  // Frozen mode: capacity estimates are untrusted, so straggler verdicts are
+  // kept at their last trusted state instead of being recomputed (a vCPU
+  // must not be banned — or unbanned — on corrupted measurements).
+  void set_freeze(bool freeze) { freeze_ = freeze; }
+  bool frozen() const { return freeze_; }
+
   CpuMask straggler_bans() const { return straggler_bans_; }
   CpuMask stack_bans() const { return stack_bans_; }
 
@@ -42,6 +48,7 @@ class Rwc {
   GuestKernel* kernel_;
   Vcap* vcap_;
   RwcConfig config_;
+  bool freeze_ = false;
   CpuMask straggler_bans_;
   CpuMask stack_bans_;
 };

@@ -16,6 +16,7 @@
 #include "src/core/config.h"
 #include "src/core/ivh.h"
 #include "src/core/rwc.h"
+#include "src/fault/degradation.h"
 #include "src/probe/vact.h"
 #include "src/probe/vcap.h"
 #include "src/probe/vtop.h"
@@ -44,10 +45,17 @@ class VSched {
   Ivh* ivh() { return ivh_.get(); }
   Rwc* rwc() { return rwc_.get(); }
 
+  // Degradation bookkeeping (only populated when options().robust.enabled).
+  const DegradationTracker& degradation() const { return degradation_; }
+
  private:
   // The "kernel module": pushes probed capacities and schedule domains into
   // the kernel after each sampling window / topology probe.
   void PublishCapacities();
+
+  // Re-reads probe confidences and flips each component between its normal
+  // and degraded mode. No-op unless options().robust.enabled.
+  void EvaluateDegradation();
 
   GuestKernel* kernel_;
   VSchedOptions options_;
@@ -59,6 +67,8 @@ class VSched {
   std::unique_ptr<Bvs> bvs_;
   std::unique_ptr<Ivh> ivh_;
   std::unique_ptr<Rwc> rwc_;
+
+  DegradationTracker degradation_;
 };
 
 }  // namespace vsched

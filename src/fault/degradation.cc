@@ -1,0 +1,61 @@
+#include "src/fault/degradation.h"
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+const char* DegradedComponentName(DegradedComponent c) {
+  switch (c) {
+    case DegradedComponent::kCapacity:
+      return "capacity";
+    case DegradedComponent::kTopology:
+      return "topology";
+    case DegradedComponent::kPlacement:
+      return "placement";
+    case DegradedComponent::kHarvest:
+      return "harvest";
+    case DegradedComponent::kBans:
+      return "bans";
+  }
+  return "unknown";
+}
+
+void DegradationTracker::SetState(DegradedComponent component, bool degraded, TimeNs now) {
+  ComponentState& s = states_[static_cast<size_t>(component)];
+  if (s.degraded == degraded) {
+    return;
+  }
+  s.degraded = degraded;
+  if (degraded) {
+    s.since = now;
+    ++transitions_;
+  } else {
+    VSCHED_CHECK(now >= s.since);
+    s.accumulated += now - s.since;
+  }
+  events_.push_back(DegradationEvent{now, component, degraded});
+}
+
+bool DegradationTracker::IsDegraded(DegradedComponent component) const {
+  return states_[static_cast<size_t>(component)].degraded;
+}
+
+bool DegradationTracker::AnyDegraded() const {
+  for (const ComponentState& s : states_) {
+    if (s.degraded) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TimeNs DegradationTracker::TimeDegraded(DegradedComponent component, TimeNs now) const {
+  const ComponentState& s = states_[static_cast<size_t>(component)];
+  TimeNs total = s.accumulated;
+  if (s.degraded && now > s.since) {
+    total += now - s.since;
+  }
+  return total;
+}
+
+}  // namespace vsched

@@ -1,0 +1,69 @@
+// Degradation bookkeeping for the graceful-fallback paths in src/core/.
+//
+// Each vSched component that can fall back (capacity publishing, topology
+// placement, BVS placement, IVH harvesting, RWC bans) registers state
+// transitions here; the tracker timestamps them and accumulates time spent
+// degraded, so chaos runs can surface "how degraded was this cell" through
+// the runner's metrics without the components growing their own ledgers.
+#ifndef SRC_FAULT_DEGRADATION_H_
+#define SRC_FAULT_DEGRADATION_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace vsched {
+
+enum class DegradedComponent : int {
+  kCapacity = 0,   // vcap low confidence → pessimistic capacity published
+  kTopology = 1,   // vtop low confidence → topology-agnostic (flat UMA) domains
+  kPlacement = 2,  // BVS degraded → guest-default placement (-1 fallback)
+  kHarvest = 3,    // IVH degraded → harvesting paused
+  kBans = 4,       // RWC degraded → ban set frozen
+};
+
+inline constexpr int kNumDegradedComponents = 5;
+
+const char* DegradedComponentName(DegradedComponent c);
+
+struct DegradationEvent {
+  TimeNs at = 0;
+  DegradedComponent component = DegradedComponent::kCapacity;
+  bool degraded = false;  // true = entered degraded state, false = recovered
+};
+
+class DegradationTracker {
+ public:
+  // Records a state change for `component` at time `now`. No-op when the
+  // state is unchanged, so callers can report unconditionally each window.
+  void SetState(DegradedComponent component, bool degraded, TimeNs now);
+
+  bool IsDegraded(DegradedComponent component) const;
+  bool AnyDegraded() const;
+
+  // Total entries into the degraded state, across all components.
+  uint64_t transitions() const { return transitions_; }
+
+  // Cumulative simulated time spent degraded by `component`; components
+  // still degraded accrue up to `now`.
+  TimeNs TimeDegraded(DegradedComponent component, TimeNs now) const;
+
+  const std::vector<DegradationEvent>& events() const { return events_; }
+
+ private:
+  struct ComponentState {
+    bool degraded = false;
+    TimeNs since = 0;        // time of the last entry into degraded
+    TimeNs accumulated = 0;  // closed degraded intervals
+  };
+
+  std::array<ComponentState, kNumDegradedComponents> states_;
+  std::vector<DegradationEvent> events_;
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_FAULT_DEGRADATION_H_

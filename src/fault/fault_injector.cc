@@ -1,0 +1,337 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/base/audit.h"
+#include "src/base/check.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+namespace {
+constexpr uint32_t kAllProbePoints = (1u << kNumProbePoints) - 1u;
+// Floor for any imposed or scaled bandwidth quota, so jitter never creates a
+// quota so small the vCPU effectively never runs.
+constexpr TimeNs kMinJitterQuota = UsToNs(100);
+}  // namespace
+
+FaultInjector::FaultInjector(Simulation* sim, HostMachine* machine, Vm* vm, FaultPlan plan)
+    : sim_(sim),
+      machine_(machine),
+      vm_(vm),
+      plan_(std::move(plan)),
+      rng_(sim->ForkRng()),
+      registered_points_(kAllProbePoints) {
+  droop_active_core_.assign(static_cast<size_t>(machine_->topology().num_cores()), 0);
+  bw_active_vcpu_.assign(vm_ != nullptr ? static_cast<size_t>(vm_->num_vcpus()) : 0, 0);
+}
+
+FaultInjector::~FaultInjector() { Stop(); }
+
+bool FaultInjector::WithinHorizon(TimeNs now) const {
+  if (now < plan_.start) {
+    return false;
+  }
+  return plan_.horizon <= 0 || now <= plan_.start + plan_.horizon;
+}
+
+TimeNs FaultInjector::DrawGap(const FaultArrivalSpec& spec) {
+  const double gap_sec = rng_.Exponential(1.0 / spec.rate_per_sec);
+  const auto gap = static_cast<TimeNs>(gap_sec * static_cast<double>(kNsPerSec));
+  return std::max<TimeNs>(1, gap);
+}
+
+TimeNs FaultInjector::DrawDuration(const FaultArrivalSpec& spec) {
+  return std::max<TimeNs>(1, rng_.UniformInt(spec.min_duration, spec.max_duration));
+}
+
+void FaultInjector::NoteApplied(TimeNs now) {
+  VSCHED_AUDIT_CHECK(now >= last_applied_time_, "fault: plan cursor moved backwards");
+  last_applied_time_ = now;
+  ++events_applied_;
+}
+
+template <typename F>
+void FaultInjector::ArmArrival(const FaultArrivalSpec& spec, F&& fn) {
+  const TimeNs base = std::max(sim_->now(), plan_.start);
+  const TimeNs at = base + DrawGap(spec);
+  if (!WithinHorizon(at)) {
+    return;
+  }
+  Track(sim_->At(at, std::forward<F>(fn)));
+}
+
+void FaultInjector::Start() {
+  if (active_ || plan_.Empty()) {
+    return;
+  }
+  active_ = true;
+  // Arm in a fixed class order so the RNG draw sequence is plan-stable.
+  if (plan_.steal.arrival.active()) {
+    ArmArrival(plan_.steal.arrival, [this] { OnStealArrival(); });
+  }
+  if (plan_.storm.arrival.active()) {
+    ArmArrival(plan_.storm.arrival, [this] { OnStormArrival(); });
+  }
+  if (plan_.droop.arrival.active()) {
+    ArmArrival(plan_.droop.arrival, [this] { OnDroopArrival(); });
+  }
+  if (plan_.bandwidth.arrival.active() && vm_ != nullptr && vm_->num_vcpus() > 0) {
+    ArmArrival(plan_.bandwidth.arrival, [this] { OnBandwidthArrival(); });
+  }
+}
+
+void FaultInjector::Stop() {
+  for (EventId id : scheduled_) {
+    sim_->Cancel(id);
+  }
+  scheduled_.clear();
+  for (ActiveDroop& d : droops_) {
+    if (d.open) {
+      machine_->SetCoreFreq(d.core, d.prev_freq);
+      d.open = false;
+      droop_active_core_[static_cast<size_t>(d.core)] = 0;
+    }
+  }
+  for (ActiveBandwidth& b : bandwidths_) {
+    if (b.open) {
+      EndBandwidthLocked(b);
+    }
+  }
+  for (auto& s : burst_pool_) {
+    s->Stop();
+  }
+  for (auto& s : storm_pool_) {
+    s->Stop();
+  }
+  active_ = false;
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
+}
+
+Stressor* FaultInjector::AcquireStressor(std::vector<std::unique_ptr<Stressor>>* pool,
+                                         double weight, bool rt, const char* prefix) {
+  for (auto& s : *pool) {
+    if (!s->attached()) {
+      return s.get();
+    }
+  }
+  std::string name = std::string(prefix) + "-" + std::to_string(pool->size());
+  pool->push_back(std::make_unique<Stressor>(sim_, std::move(name), weight, rt));
+  return pool->back().get();
+}
+
+void FaultInjector::OnStealArrival() {
+  if (!active_) {
+    return;
+  }
+  const TimeNs now = sim_->now();
+  if (!WithinHorizon(now)) {
+    return;
+  }
+  const TimeNs dur = DrawDuration(plan_.steal.arrival);
+  const auto tid = static_cast<HwThreadId>(rng_.UniformInt(0, machine_->num_threads() - 1));
+  Stressor* s = AcquireStressor(&burst_pool_, plan_.steal.weight, plan_.steal.rt, "fault-burst");
+  s->Start(machine_, tid);
+  Track(sim_->After(dur, [s] { s->Stop(); }));
+  ++stats_.steal_bursts;
+  NoteApplied(now);
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
+  ArmArrival(plan_.steal.arrival, [this] { OnStealArrival(); });
+}
+
+void FaultInjector::OnStormArrival() {
+  if (!active_) {
+    return;
+  }
+  const TimeNs now = sim_->now();
+  if (!WithinHorizon(now)) {
+    return;
+  }
+  const TimeNs dur = DrawDuration(plan_.storm.arrival);
+  const auto count =
+      static_cast<int>(rng_.UniformInt(plan_.storm.min_stressors, plan_.storm.max_stressors));
+  std::vector<Stressor*> started;
+  started.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto tid = static_cast<HwThreadId>(rng_.UniformInt(0, machine_->num_threads() - 1));
+    Stressor* s = AcquireStressor(&storm_pool_, /*weight=*/1024.0, /*rt=*/false, "fault-storm");
+    s->StartDutyCycle(machine_, tid, plan_.storm.duty_on, plan_.storm.duty_off);
+    started.push_back(s);
+  }
+  Track(sim_->After(dur, [started] {
+    for (Stressor* s : started) {
+      s->Stop();
+    }
+  }));
+  ++stats_.stressor_storms;
+  NoteApplied(now);
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
+  ArmArrival(plan_.storm.arrival, [this] { OnStormArrival(); });
+}
+
+void FaultInjector::OnDroopArrival() {
+  if (!active_) {
+    return;
+  }
+  const TimeNs now = sim_->now();
+  if (!WithinHorizon(now)) {
+    return;
+  }
+  // Draw every parameter up front so the RNG stream has the same shape
+  // whether or not the intervention is skipped by the nesting guard.
+  const TimeNs dur = DrawDuration(plan_.droop.arrival);
+  const auto core = static_cast<int>(rng_.UniformInt(0, machine_->topology().num_cores() - 1));
+  const double mult = rng_.Uniform(plan_.droop.min_multiplier, plan_.droop.max_multiplier);
+  if (droop_active_core_[static_cast<size_t>(core)] == 0) {
+    droops_.push_back(ActiveDroop{core, machine_->CoreFreq(core), true});
+    droop_active_core_[static_cast<size_t>(core)] = 1;
+    machine_->SetCoreFreq(core, droops_.back().prev_freq * mult);
+    const size_t index = droops_.size() - 1;
+    Track(sim_->After(dur, [this, index] { EndDroop(index); }));
+    ++stats_.freq_droops;
+    NoteApplied(now);
+    if (audit::Enabled()) {
+      AuditVerify();
+    }
+  }
+  ArmArrival(plan_.droop.arrival, [this] { OnDroopArrival(); });
+}
+
+void FaultInjector::EndDroop(size_t index) {
+  ActiveDroop& d = droops_[index];
+  if (!d.open) {
+    return;
+  }
+  machine_->SetCoreFreq(d.core, d.prev_freq);
+  d.open = false;
+  droop_active_core_[static_cast<size_t>(d.core)] = 0;
+}
+
+void FaultInjector::OnBandwidthArrival() {
+  if (!active_) {
+    return;
+  }
+  const TimeNs now = sim_->now();
+  if (!WithinHorizon(now)) {
+    return;
+  }
+  const TimeNs dur = DrawDuration(plan_.bandwidth.arrival);
+  const auto vcpu = static_cast<int>(rng_.UniformInt(0, vm_->num_vcpus() - 1));
+  const double scale = rng_.Uniform(plan_.bandwidth.min_scale, plan_.bandwidth.max_scale);
+  if (bw_active_vcpu_[static_cast<size_t>(vcpu)] == 0) {
+    VcpuThread& t = vm_->thread(vcpu);
+    const TimeNs orig_quota = t.has_bandwidth() ? t.bw_quota() : 0;
+    const TimeNs orig_period = t.has_bandwidth() ? t.bw_period() : 0;
+    const TimeNs period = orig_period > 0 ? orig_period : plan_.bandwidth.imposed_period;
+    const TimeNs base_quota = orig_period > 0 ? orig_quota : period;
+    const auto quota = std::max<TimeNs>(
+        kMinJitterQuota, static_cast<TimeNs>(static_cast<double>(base_quota) * scale));
+    machine_->sched(t.tid()).SetBandwidthLive(&t, quota, period);
+    bandwidths_.push_back(ActiveBandwidth{vcpu, orig_quota, orig_period, true});
+    bw_active_vcpu_[static_cast<size_t>(vcpu)] = 1;
+    const size_t index = bandwidths_.size() - 1;
+    Track(sim_->After(dur, [this, index] { EndBandwidth(index); }));
+    ++stats_.bandwidth_jitters;
+    NoteApplied(now);
+    if (audit::Enabled()) {
+      AuditVerify();
+    }
+  }
+  ArmArrival(plan_.bandwidth.arrival, [this] { OnBandwidthArrival(); });
+}
+
+void FaultInjector::EndBandwidth(size_t index) {
+  ActiveBandwidth& b = bandwidths_[index];
+  if (!b.open) {
+    return;
+  }
+  EndBandwidthLocked(b);
+}
+
+void FaultInjector::EndBandwidthLocked(ActiveBandwidth& b) {
+  VcpuThread& t = vm_->thread(b.vcpu);
+  machine_->sched(t.tid()).SetBandwidthLive(&t, b.orig_quota, b.orig_period);
+  b.open = false;
+  bw_active_vcpu_[static_cast<size_t>(b.vcpu)] = 0;
+}
+
+bool FaultInjector::DropSample(ProbePoint point) {
+  VSCHED_AUDIT_CHECK((registered_points_ >> static_cast<int>(point)) & 1u,
+                     "fault: probe query from unregistered injection point");
+  if (!active_ || plan_.probe.drop_probability <= 0.0) {
+    return false;
+  }
+  const TimeNs now = sim_->now();
+  if (!WithinHorizon(now)) {
+    return false;
+  }
+  if (!rng_.Bernoulli(plan_.probe.drop_probability)) {
+    return false;
+  }
+  ++stats_.samples_dropped;
+  NoteApplied(now);
+  return true;
+}
+
+double FaultInjector::CorruptSample(ProbePoint point, double value) {
+  VSCHED_AUDIT_CHECK((registered_points_ >> static_cast<int>(point)) & 1u,
+                     "fault: probe query from unregistered injection point");
+  if (!active_ || plan_.probe.corrupt_probability <= 0.0) {
+    return value;
+  }
+  const TimeNs now = sim_->now();
+  if (!WithinHorizon(now)) {
+    return value;
+  }
+  if (!rng_.Bernoulli(plan_.probe.corrupt_probability)) {
+    return value;
+  }
+  const double factor = std::max(1.0, plan_.probe.corrupt_factor);
+  const double scale =
+      rng_.Bernoulli(0.5) ? rng_.Uniform(1.0, factor) : 1.0 / rng_.Uniform(1.0, factor);
+  ++stats_.samples_corrupted;
+  NoteApplied(now);
+  return value * scale;
+}
+
+void FaultInjector::AuditVerify() const {
+  VSCHED_AUDIT_CHECK(last_applied_time_ <= sim_->now(), "fault: plan cursor is in the future");
+  VSCHED_AUDIT_CHECK(events_applied_ == stats_.total_applied(),
+                     "fault: plan cursor disagrees with the stats ledger");
+  VSCHED_AUDIT_CHECK(registered_points_ == kAllProbePoints,
+                     "fault: a probe injection point was unregistered");
+  size_t open_droops = 0;
+  for (const ActiveDroop& d : droops_) {
+    open_droops += d.open ? 1 : 0;
+  }
+  size_t open_bandwidths = 0;
+  for (const ActiveBandwidth& b : bandwidths_) {
+    open_bandwidths += b.open ? 1 : 0;
+  }
+  VSCHED_AUDIT_CHECK(open_droops <= stats_.freq_droops,
+                     "fault: more open droops than ever applied");
+  VSCHED_AUDIT_CHECK(open_bandwidths <= stats_.bandwidth_jitters,
+                     "fault: more open bandwidth jitters than ever applied");
+  if (!active_) {
+    VSCHED_AUDIT_CHECK(open_droops == 0 && open_bandwidths == 0,
+                       "fault: intervention still open after Stop()");
+    for (const auto& s : burst_pool_) {
+      VSCHED_AUDIT_CHECK(!s->attached(), "fault: burst stressor still attached after Stop()");
+    }
+    for (const auto& s : storm_pool_) {
+      VSCHED_AUDIT_CHECK(!s->attached(), "fault: storm stressor still attached after Stop()");
+    }
+  }
+}
+
+}  // namespace vsched

@@ -1,0 +1,167 @@
+// Deterministic fault injector: turns a FaultPlan into seeded perturbation
+// events on a live simulation.
+//
+// All randomness comes from one RNG stream forked off the simulation's root
+// RNG at construction, and every intervention is an ordinary simulation
+// event, so a chaos run replays byte-identically from (seed, plan). The
+// injector never reaches into scheduler internals: it acts only through the
+// public host surface (Stressor, HostMachine::SetCoreFreq,
+// CpuSched::SetBandwidthLive) and through the registered probe injection
+// points (DropSample/CorruptSample), which the vsched-lint
+// `fault-injection-point` rule confines to the designated probe call sites.
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/fault/fault_plan.h"
+#include "src/host/stressor.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace vsched {
+
+class HostMachine;
+class Simulation;
+class Vm;
+
+// The compiled-in probe injection points. Each probe consults the injector
+// at exactly one place; AuditVerify checks that queries only arrive from
+// registered points.
+enum class ProbePoint : int {
+  kVcapWindow = 0,   // vcap heavy-prober capacity sample (per vCPU, per window)
+  kPairLatency = 1,  // pair-probe cache-line transfer observation
+  kVactTick = 2,     // vact guest-tick steal-jump observation
+};
+
+inline constexpr int kNumProbePoints = 3;
+
+struct FaultStats {
+  uint64_t steal_bursts = 0;
+  uint64_t stressor_storms = 0;
+  uint64_t freq_droops = 0;
+  uint64_t bandwidth_jitters = 0;
+  uint64_t samples_dropped = 0;
+  uint64_t samples_corrupted = 0;
+
+  uint64_t total_applied() const {
+    return steal_bursts + stressor_storms + freq_droops + bandwidth_jitters + samples_dropped +
+           samples_corrupted;
+  }
+};
+
+class FaultInjector {
+ public:
+  // `vm` may be null when no guest is attached (bandwidth jitter is then
+  // disabled). The injector must be destroyed before `sim`.
+  FaultInjector(Simulation* sim, HostMachine* machine, Vm* vm, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Begins injecting per the plan. Arrival processes start at
+  // max(now, plan.start) and stop issuing new interventions past
+  // start + horizon (when horizon > 0).
+  void Start();
+
+  // Cancels pending injector events and ends all in-flight interventions
+  // (stressors stopped, frequencies and bandwidths restored).
+  void Stop();
+
+  bool active() const { return active_; }
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  // --- probe injection points ----------------------------------------------
+  // Called by the probes (and only the probes) at the registered points.
+  // Both are no-ops returning "no fault" whenever the injector is inactive
+  // or the plan's probe-chaos class is disabled, so a null/quiet injector
+  // leaves probe behaviour untouched.
+
+  // True when the sample at `point` should be discarded entirely.
+  bool DropSample(ProbePoint point);
+
+  // Returns `value`, possibly scaled by up to plan.probe.corrupt_factor in
+  // either direction.
+  double CorruptSample(ProbePoint point, double value);
+
+  // Read-only invariants, called under the src/base/audit.h gate: the plan
+  // cursor (time of the last applied intervention) is monotone and never in
+  // the future, the stats ledger matches the cursor's event count, probe
+  // queries only arrive from registered points, and no intervention stays
+  // open after Stop().
+  void AuditVerify() const;
+
+ private:
+  friend struct FaultInjectorTestAccess;
+
+  struct ActiveDroop {
+    int core = -1;
+    double prev_freq = 1.0;
+    bool open = false;
+  };
+  struct ActiveBandwidth {
+    int vcpu = -1;
+    TimeNs orig_quota = 0;
+    TimeNs orig_period = 0;
+    bool open = false;
+  };
+
+  bool WithinHorizon(TimeNs now) const;
+  TimeNs DrawDuration(const FaultArrivalSpec& spec);
+  TimeNs DrawGap(const FaultArrivalSpec& spec);
+  // Records an applied intervention at time `now` on the plan cursor.
+  void NoteApplied(TimeNs now);
+  // Schedules fn at now + DrawGap and tracks the event for Stop().
+  template <typename F>
+  void ArmArrival(const FaultArrivalSpec& spec, F&& fn);
+  void Track(EventId id) { scheduled_.push_back(id); }
+
+  void OnStealArrival();
+  void OnStormArrival();
+  void OnDroopArrival();
+  void OnBandwidthArrival();
+
+  void EndDroop(size_t index);
+  void EndBandwidth(size_t index);
+  void EndBandwidthLocked(ActiveBandwidth& b);
+
+  Stressor* AcquireStressor(std::vector<std::unique_ptr<Stressor>>* pool, double weight, bool rt,
+                            const char* prefix);
+
+  Simulation* sim_;
+  HostMachine* machine_;
+  Vm* vm_;
+  FaultPlan plan_;
+  Rng rng_;
+  bool active_ = false;
+
+  FaultStats stats_;
+  // Plan cursor: time of the most recent applied intervention and how many
+  // have been applied. AuditVerify checks it against stats_ and now().
+  TimeNs last_applied_time_ = -1;
+  uint64_t events_applied_ = 0;
+  // Bitmask of registered probe injection points; all compiled-in points are
+  // registered at construction. Only the audit-test backdoor mutates this.
+  uint32_t registered_points_ = 0;
+
+  // Every event the injector ever schedules, cancelled en masse by Stop().
+  // EventIds are generation-tagged, so cancelling already-fired ones is a
+  // safe no-op.
+  std::vector<EventId> scheduled_;
+
+  std::vector<std::unique_ptr<Stressor>> burst_pool_;
+  std::vector<std::unique_ptr<Stressor>> storm_pool_;
+  std::vector<ActiveDroop> droops_;
+  std::vector<ActiveBandwidth> bandwidths_;
+  std::vector<char> droop_active_core_;   // per-core nesting guard
+  std::vector<char> bw_active_vcpu_;      // per-vCPU nesting guard
+};
+
+}  // namespace vsched
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

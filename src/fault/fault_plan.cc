@@ -1,0 +1,92 @@
+#include "src/fault/fault_plan.h"
+
+namespace vsched {
+
+namespace {
+
+FaultPlan NonePlan() {
+  FaultPlan plan;
+  plan.name = "none";
+  return plan;
+}
+
+// Steal bursts plus stressor storms plus heavy probe chaos: the interference
+// profile the degradation paths are designed against (acceptance scenario).
+// Probe rates are chosen so window confidence (accepted=1.0, rejected=0.25,
+// dropped=0.0) falls below the default low-confidence threshold of 0.5 and
+// the core demonstrably enters its fallback modes.
+FaultPlan InterferenceBurstPlan() {
+  FaultPlan plan;
+  plan.name = "interference-burst";
+  plan.steal.arrival = {/*rate_per_sec=*/4.0, MsToNs(20), MsToNs(80)};
+  plan.storm.arrival = {/*rate_per_sec=*/1.5, MsToNs(50), MsToNs(150)};
+  plan.probe.drop_probability = 0.55;
+  plan.probe.corrupt_probability = 0.25;
+  plan.probe.corrupt_factor = 5.0;
+  return plan;
+}
+
+FaultPlan BandwidthJitterPlan() {
+  FaultPlan plan;
+  plan.name = "bandwidth-jitter";
+  plan.bandwidth.arrival = {/*rate_per_sec=*/3.0, MsToNs(30), MsToNs(120)};
+  return plan;
+}
+
+FaultPlan FreqDroopPlan() {
+  FaultPlan plan;
+  plan.name = "freq-droop";
+  plan.droop.arrival = {/*rate_per_sec=*/2.0, MsToNs(40), MsToNs(200)};
+  return plan;
+}
+
+FaultPlan ProbeChaosPlan() {
+  FaultPlan plan;
+  plan.name = "probe-chaos";
+  plan.probe.drop_probability = 0.50;
+  plan.probe.corrupt_probability = 0.40;
+  plan.probe.corrupt_factor = 6.0;
+  return plan;
+}
+
+// Every class at once, at moderate rates: the stress plan for chaos sweeps.
+FaultPlan EverythingPlan() {
+  FaultPlan plan;
+  plan.name = "everything";
+  plan.steal.arrival = {/*rate_per_sec=*/2.0, MsToNs(20), MsToNs(60)};
+  plan.storm.arrival = {/*rate_per_sec=*/1.0, MsToNs(40), MsToNs(120)};
+  plan.droop.arrival = {/*rate_per_sec=*/1.5, MsToNs(30), MsToNs(150)};
+  plan.bandwidth.arrival = {/*rate_per_sec=*/1.5, MsToNs(30), MsToNs(100)};
+  plan.probe.drop_probability = 0.10;
+  plan.probe.corrupt_probability = 0.10;
+  plan.probe.corrupt_factor = 4.0;
+  return plan;
+}
+
+}  // namespace
+
+bool LookupFaultPlan(const std::string& name, FaultPlan* out) {
+  if (name == "none") {
+    *out = NonePlan();
+  } else if (name == "interference-burst") {
+    *out = InterferenceBurstPlan();
+  } else if (name == "bandwidth-jitter") {
+    *out = BandwidthJitterPlan();
+  } else if (name == "freq-droop") {
+    *out = FreqDroopPlan();
+  } else if (name == "probe-chaos") {
+    *out = ProbeChaosPlan();
+  } else if (name == "everything") {
+    *out = EverythingPlan();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> FaultPlanNames() {
+  return {"none",       "interference-burst", "bandwidth-jitter",
+          "freq-droop", "probe-chaos",        "everything"};
+}
+
+}  // namespace vsched

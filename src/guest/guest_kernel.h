@@ -25,6 +25,7 @@
 
 namespace vsched {
 
+class FaultInjector;
 class HostMachine;
 class Simulation;
 class VcpuThread;
@@ -176,6 +177,12 @@ class GuestKernel {
   // True if the two vCPUs' hardware threads are in different sockets now.
   bool CrossSocketPhysical(int cpu_a, int cpu_b) const;
 
+  // ---- Fault injection (src/fault/) ----
+  // The probes consult this at their registered injection points; null (the
+  // default) means no chaos and leaves every probe path untouched.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
   // ---- Test/bench utilities ----
   Rng& rng() { return rng_; }
   const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
@@ -228,6 +235,7 @@ class GuestKernel {
 
   SelectHook select_hook_;
   std::vector<TickHook> tick_hooks_;
+  FaultInjector* fault_injector_ = nullptr;
 
   KernelCounters counters_;
   int scan_rotor_ = 0;

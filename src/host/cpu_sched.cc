@@ -179,6 +179,44 @@ void CpuSched::EntitySlept(HostEntity* e) {
   }
 }
 
+void CpuSched::SetBandwidthLive(HostEntity* e, TimeNs quota, TimeNs period) {
+  VSCHED_CHECK(e->sched_ == this);
+  VSCHED_CHECK((quota > 0 && period > 0) || (quota == 0 && period == 0));
+  TimeNs now = sim_->now();
+  // Fold in-flight runtime first so the old cap's usage is fully accounted
+  // before the machinery is torn down.
+  UpdateCurrentRuntime(now);
+  if (e->bw_refill_timer_ != kInvalidTimerId) {
+    sim_->DestroyTimer(e->bw_refill_timer_);
+    e->bw_refill_timer_ = kInvalidTimerId;
+    e->bw_refill_armed_ = false;
+  }
+  sim_->Cancel(e->bw_throttle_event_);
+  e->bw_throttle_event_.Invalidate();
+  const bool was_throttled = e->throttled_;
+  e->throttled_ = false;
+  e->bw_quota_ = quota;
+  e->bw_period_ = period;
+  e->bw_used_ = 0;
+  if (e->has_bandwidth()) {
+    // Same staggered refill grid as Attach, restarted at the change point.
+    TimeNs offset = (static_cast<TimeNs>(tid_) * 2654435761LL) % e->bw_period_;
+    e->bw_refill_origin_ = now + (e->bw_period_ - offset);
+    e->bw_refill_timer_ = sim_->CreateTimer([this, e] { RefillBandwidth(e); });
+    sim_->ArmTimerAt(e->bw_refill_timer_, e->bw_refill_origin_);
+    e->bw_refill_armed_ = true;
+    if (e == current_) {
+      e->bw_throttle_event_ = sim_->After(e->bw_quota_, [this] { ThrottleCurrent(sim_->now()); });
+    }
+  }
+  if (was_throttled && e->wants_to_run_) {
+    EntityWoke(e);
+  }
+  if (audit::Enabled()) {
+    AuditVerify();
+  }
+}
+
 void CpuSched::UpdateCurrentRuntime(TimeNs now) {
   if (current_ == nullptr) {
     return;

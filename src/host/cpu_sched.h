@@ -57,6 +57,14 @@ class CpuSched {
   void EntityWoke(HostEntity* e);
   void EntitySlept(HostEntity* e);
 
+  // Re-shapes an attached entity's CFS-bandwidth cap in place (bandwidth
+  // jitter injection, runtime reconfiguration): unlike detach/re-attach, the
+  // entity keeps its vruntime and queue position. quota == period == 0
+  // removes the cap. The new period starts a fresh refill grid (same
+  // per-thread stagger rule as Attach) with a full quota; an entity
+  // throttled under the old cap becomes runnable immediately.
+  void SetBandwidthLive(HostEntity* e, TimeNs quota, TimeNs period);
+
   HostEntity* current() const { return current_; }
   bool busy() const { return current_ != nullptr; }
   size_t attached_count() const { return entities_.size(); }

@@ -81,6 +81,7 @@ ScenarioRunner::~ScenarioRunner() {
   }
   workloads_.clear();
   vsched_.reset();
+  fault_.reset();
   vm_.reset();
   stressors_.clear();
   machine_.reset();
@@ -147,8 +148,8 @@ bool ScenarioRunner::RunLine(const std::string& line) {
     machine_ = std::make_unique<HostMachine>(sim_.get(), topo);
     return true;
   }
-  static const char* kKnown[] = {"gran", "freq",   "stressor", "vm",    "bandwidth",
-                                 "vsched", "workload", "run",   "report"};
+  static const char* kKnown[] = {"gran",   "freq",     "stressor", "vm",    "bandwidth",
+                                 "fault",  "vsched",   "workload", "run",   "report"};
   bool known = false;
   for (const char* k : kKnown) {
     if (directive == k) {
@@ -267,6 +268,25 @@ bool ScenarioRunner::RunLine(const std::string& line) {
     vm_->SetVcpuBandwidth(vcpu, quota, period);
     return true;
   }
+  if (directive == "fault") {
+    if (fault_ != nullptr) {
+      return Fail("fault already declared");
+    }
+    std::string name;
+    if (!need("plan", &name)) {
+      return Fail("fault requires plan=<name>");
+    }
+    FaultPlan plan;
+    if (!LookupFaultPlan(name, &plan)) {
+      return Fail("unknown fault plan '" + name + "'");
+    }
+    if (!plan.Empty()) {
+      fault_ = std::make_unique<FaultInjector>(sim_.get(), machine_.get(), vm_.get(), plan);
+      fault_->Start();
+      vm_->kernel().set_fault_injector(fault_.get());
+    }
+    return true;
+  }
   if (directive == "vsched") {
     std::string preset;
     if (!need("preset", &preset)) {
@@ -282,6 +302,7 @@ bool ScenarioRunner::RunLine(const std::string& line) {
     } else {
       return Fail("unknown preset '" + preset + "'");
     }
+    options.robust.enabled = args.count("robust") > 0 || fault_ != nullptr;
     vsched_ = std::make_unique<VSched>(&vm_->kernel(), options);
     vsched_->Start();
     return true;

@@ -10,7 +10,8 @@
 //   stressor tid=<t> [weight=<w>] [rt] [on=<dur> off=<dur>]
 //   vm vcpus=<n> [pin=<t0,t1,...>] [eevdf]
 //   bandwidth vcpu=<i> quota=<dur> period=<dur>
-//   vsched preset=<cfs|enhanced|full>
+//   fault plan=<name>                             # seeded fault injection
+//   vsched preset=<cfs|enhanced|full> [robust]
 //   workload name=<catalog-name> threads=<n>
 //   run <dur>
 //   report                                        # print workload results
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "src/core/vsched.h"
+#include "src/fault/fault_injector.h"
 #include "src/guest/vm.h"
 #include "src/host/machine.h"
 #include "src/host/stressor.h"
@@ -53,6 +55,7 @@ class ScenarioRunner {
   Simulation* sim() { return sim_.get(); }
   Vm* vm() { return vm_.get(); }
   VSched* vsched() { return vsched_.get(); }
+  FaultInjector* fault() { return fault_.get(); }
   const std::vector<std::unique_ptr<Workload>>& workloads() const { return workloads_; }
 
   // Parses "123", "45us", "10ms", "2s" into nanoseconds; false on error.
@@ -66,6 +69,7 @@ class ScenarioRunner {
   std::unique_ptr<Simulation> sim_;
   std::unique_ptr<HostMachine> machine_;
   std::unique_ptr<Vm> vm_;
+  std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<VSched> vsched_;
   std::vector<std::unique_ptr<Stressor>> stressors_;
   std::vector<std::unique_ptr<Workload>> workloads_;

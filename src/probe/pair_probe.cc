@@ -1,11 +1,20 @@
 #include "src/probe/pair_probe.h"
 
+#include <algorithm>
+
 #include "src/base/check.h"
+#include "src/fault/fault_injector.h"
 #include "src/guest/guest_kernel.h"
 #include "src/host/machine.h"
 #include "src/sim/simulation.h"
 
 namespace vsched {
+
+namespace {
+// Cap on stored observations for the robust median: the first samples are an
+// unbiased draw (corruption is i.i.d.), so a bounded prefix suffices.
+constexpr size_t kMaxObservations = 128;
+}  // namespace
 
 // Spins in short bursts until the probe finishes.
 class PairProbe::SpinBehavior : public TaskBehavior {
@@ -80,8 +89,26 @@ void PairProbe::Sample() {
                                                                vb.thread()->tid());
     double jitter = 1.0 + config_.noise * (kernel_->rng().NextDouble() * 2.0 - 1.0);
     double observed = lat * jitter;
-    min_latency_seen_ = std::min(min_latency_seen_, observed);
-    transfers_ += quantum / lat;
+    FaultInjector* injector = kernel_->fault_injector();
+    bool dropped = false;
+    if (injector != nullptr) {
+      // vsched-lint: allow(fault-injection-point) — registered kPairLatency site
+      if (injector->DropSample(ProbePoint::kPairLatency)) {
+        dropped = true;  // the transfers of this quantum are lost
+        ++samples_dropped_;
+      } else {
+        // vsched-lint: allow(fault-injection-point) — registered kPairLatency site
+        observed = injector->CorruptSample(ProbePoint::kPairLatency, observed);
+      }
+    }
+    if (!dropped) {
+      ++samples_kept_;
+      min_latency_seen_ = std::min(min_latency_seen_, observed);
+      if (config_.robust.enabled && observations_.size() < kMaxObservations) {
+        observations_.push_back(observed);
+      }
+      transfers_ += quantum / lat;
+    }
     attempts_ += quantum / static_cast<double>(config_.attempt_period);
   } else if (a_running || b_running) {
     // One prober spins while the other is inactive or preempted.
@@ -119,11 +146,22 @@ void PairProbe::Finish(double latency) {
   done_reported_ = true;
   sim_->Cancel(sample_event_);
   sample_event_.Invalidate();
+  if (config_.robust.enabled && latency != kInfiniteLatency && !observations_.empty()) {
+    // Median instead of minimum: a handful of corrupted-low observations
+    // would otherwise make any pair look like SMT siblings.
+    std::vector<double> sorted = observations_;
+    std::sort(sorted.begin(), sorted.end());
+    latency = sorted[(sorted.size() - 1) / 2];
+  }
   // Let the spin tasks exit at their next burst boundary; stop demanding CPU.
   PairProbeResult result;
   result.cpu_a = cpu_a_;
   result.cpu_b = cpu_b_;
   result.latency_ns = latency;
+  if (samples_dropped_ > 0) {
+    result.confidence = static_cast<double>(samples_kept_) /
+                        static_cast<double>(samples_kept_ + samples_dropped_);
+  }
   result.transfers = transfers_;
   result.duration = sim_->now() - started_at_;
   result.extensions = extensions_;

@@ -10,12 +10,15 @@
 #ifndef SRC_PROBE_PAIR_PROBE_H_
 #define SRC_PROBE_PAIR_PROBE_H_
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <vector>
 
 #include "src/base/time.h"
 #include "src/guest/task.h"
+#include "src/probe/robust.h"
 #include "src/sim/event_queue.h"
 
 namespace vsched {
@@ -31,6 +34,10 @@ struct PairProbeConfig {
   TimeNs attempt_period = UsToNs(1);  // one spin attempt per µs
   TimeNs sample_quantum = UsToNs(10);
   double noise = 0.08;  // multiplicative measurement jitter
+  // Robust latency estimation under fault injection: the reported latency
+  // becomes the median of the first observations instead of the minimum
+  // (a single corrupted-low sample would otherwise fake an SMT sibling).
+  ProbeRobustConfig robust;
 };
 
 inline constexpr double kInfiniteLatency = std::numeric_limits<double>::infinity();
@@ -42,6 +49,10 @@ struct PairProbeResult {
   double transfers = 0;
   TimeNs duration = 0;
   int extensions = 0;
+  // Fraction of this probe's transfer observations that survived fault
+  // injection; 1.0 on clean runs (and for stacking verdicts, which rest on
+  // the absence of transfers rather than on latency samples).
+  double confidence = 1.0;
 };
 
 class PairProbe {
@@ -85,6 +96,10 @@ class PairProbe {
   double current_timeout_ = 0;
   int extensions_ = 0;
   double min_latency_seen_ = kInfiniteLatency;
+  // First observations (bounded), for the robust median estimate.
+  std::vector<double> observations_;
+  uint64_t samples_kept_ = 0;
+  uint64_t samples_dropped_ = 0;
   bool done_reported_ = false;
   EventId sample_event_;
 };

@@ -1,0 +1,70 @@
+#include "src/probe/robust.h"
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+namespace {
+constexpr double kAcceptedScore = 1.0;
+constexpr double kRejectedScore = 0.25;
+constexpr double kDroppedScore = 0.0;
+}  // namespace
+
+ConfidenceTracker::ConfidenceTracker(int window) {
+  VSCHED_CHECK(window > 0);
+  ring_.assign(static_cast<size_t>(window), 0.0);
+}
+
+void ConfidenceTracker::Push(double score) {
+  ring_[next_] = score;
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) {
+    ++count_;
+  }
+}
+
+void ConfidenceTracker::RecordAccepted() {
+  Push(kAcceptedScore);
+  consecutive_rejects_ = 0;
+  ++accepted_;
+}
+
+void ConfidenceTracker::RecordRejected() {
+  Push(kRejectedScore);
+  ++consecutive_rejects_;
+  ++rejected_;
+}
+
+void ConfidenceTracker::RecordDropped() {
+  // A drop is absence of data, not an outlier: it lowers confidence but
+  // neither extends nor resets the rejection streak that gates the
+  // regime-change override.
+  Push(kDroppedScore);
+  ++dropped_;
+}
+
+void ConfidenceTracker::Reset() {
+  next_ = 0;
+  count_ = 0;
+  consecutive_rejects_ = 0;
+}
+
+double ConfidenceTracker::confidence() const {
+  if (count_ == 0) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < count_; ++i) {
+    sum += ring_[i];
+  }
+  return sum / static_cast<double>(count_);
+}
+
+bool WithinOutlierBand(double sample, double estimate, double ratio) {
+  if (estimate <= 0.0 || sample <= 0.0) {
+    return true;
+  }
+  return sample <= estimate * ratio && sample * ratio >= estimate;
+}
+
+}  // namespace vsched

@@ -1,0 +1,91 @@
+// Shared robustness primitives for the vProbers.
+//
+// Under host-side fault injection (src/fault/) probe samples can be dropped
+// or corrupted. Each prober screens its raw samples through an outlier
+// filter and feeds the accept/reject/drop outcomes into a ConfidenceTracker;
+// consumers (src/core/) read the resulting confidence score and fall back to
+// pessimistic behaviour when it drops below ProbeRobustConfig::low_confidence
+// instead of acting on garbage measurements.
+//
+// Everything here is deterministic: trackers are pure functions of the
+// outcome sequence, and the config is plain data. When `enabled` is false
+// (the default) probers take their original code paths bit-for-bit.
+#ifndef SRC_PROBE_ROBUST_H_
+#define SRC_PROBE_ROBUST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace vsched {
+
+struct ProbeRobustConfig {
+  // Master switch. Off by default so clean runs are byte-identical to a
+  // build without the robustness layer.
+  bool enabled = false;
+
+  // A sample more than `outlier_ratio`× above or below the current estimate
+  // is rejected as an outlier (vcap capacities, pair-probe latencies).
+  double outlier_ratio = 4.0;
+
+  // After this many consecutive rejections the next sample is accepted
+  // unconditionally: a genuine regime change looks like a run of outliers,
+  // and the filter must not wedge on the stale estimate forever.
+  int max_consecutive_rejects = 3;
+
+  // Confidence is the mean outcome score over this many recent windows.
+  int confidence_window = 8;
+
+  // Below this confidence the consumer takes its documented fallback path
+  // (pessimistic capacity, topology-agnostic placement, harvest pause).
+  double low_confidence = 0.5;
+
+  // vtop: bounded re-probe with exponential backoff after a failed
+  // validation or an unusable full probe.
+  int max_reprobes = 3;
+  TimeNs reprobe_backoff = MsToNs(50);
+  double backoff_multiplier = 2.0;
+};
+
+// Sliding-window confidence score built from per-sample outcomes.
+// accepted → 1.0, rejected (outlier) → 0.25, dropped (no sample) → 0.0.
+// confidence() is the mean over the last `window` outcomes and 1.0 while
+// empty, so consumers start trusting and only degrade on evidence.
+class ConfidenceTracker {
+ public:
+  explicit ConfidenceTracker(int window = 8);
+
+  void RecordAccepted();
+  void RecordRejected();
+  void RecordDropped();
+  void Reset();
+
+  double confidence() const;
+  int consecutive_rejects() const { return consecutive_rejects_; }
+
+  uint64_t accepted() const { return accepted_; }
+  uint64_t rejected() const { return rejected_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  void Push(double score);
+
+  std::vector<double> ring_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  int consecutive_rejects_ = 0;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// True when `sample` is within a factor of `ratio` of `estimate`. Both
+// values must be positive for the test to be meaningful; non-positive
+// estimates accept everything (there is nothing to compare against yet).
+bool WithinOutlierBand(double sample, double estimate, double ratio);
+
+}  // namespace vsched
+
+#endif  // SRC_PROBE_ROBUST_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/fault/fault_injector.h"
 #include "src/guest/guest_kernel.h"
 #include "src/sim/simulation.h"
 
@@ -17,9 +18,12 @@ Vact::Vact(GuestKernel* kernel, VactConfig config)
   window_preempts_.assign(n, 0);
   last_window_preempts_.assign(n, 0);
   window_start_steal_.assign(n, 0);
+  window_drops_.assign(n, 0);
+  window_ticks_.assign(n, 0);
   for (int i = 0; i < n; ++i) {
     latency_ema_.push_back(Ema::WithHalfLife(config_.ema_half_life_windows));
     active_period_ema_.push_back(Ema::WithHalfLife(config_.ema_half_life_windows));
+    confidence_.emplace_back(config_.robust.confidence_window);
   }
 }
 
@@ -50,6 +54,15 @@ void Vact::Start() {
 void Vact::OnTick(GuestVcpu* v, TimeNs now) {
   int cpu = v->index();
   heartbeat_[cpu] = now;
+  ++window_ticks_[cpu];
+  FaultInjector* injector = kernel_->fault_injector();
+  // vsched-lint: allow(fault-injection-point) — registered kVactTick site
+  if (injector != nullptr && injector->DropSample(ProbePoint::kVactTick)) {
+    // The tick ran (heartbeat updated) but its steal reading was lost; the
+    // jump accumulates into the next surviving tick.
+    ++window_drops_[cpu];
+    return;
+  }
   TimeNs steal = v->StealClock(now);
   TimeNs jump = steal - last_tick_steal_[cpu];
   last_tick_steal_[cpu] = steal;
@@ -74,19 +87,41 @@ void Vact::OnWindowEnd() {
     int preempts = window_preempts_[i];
     last_window_preempts_[i] = preempts;
     window_preempts_[i] = 0;
+    bool updated = false;
     if (preempts > 0) {
       latency_ema_[i].Add(steal / preempts);
       active_period_ema_[i].Add(std::max(0.0, window - steal) / preempts);
+      updated = true;
     } else if (steal >= 0.95 * window) {
       // Inactive essentially the whole window (no tick ever ran): the
       // latency is at least the window length.
       latency_ema_[i].Add(window);
+      updated = true;
     } else if (steal <= 0.01 * window) {
       // Effectively dedicated in this window.
       latency_ema_[i].Add(0.0);
       active_period_ema_[i].Add(window);
+      updated = true;
     }
     // Otherwise: mixed window without qualified jumps; keep the estimate.
+    if (config_.robust.enabled) {
+      int drops = window_drops_[i];
+      int survivors = window_ticks_[i] - drops;
+      if (drops > survivors) {
+        // Most tick samples were lost this window: the preempt count (and
+        // hence any estimate derived from it) rests on starved data, however
+        // the window ended up classified.
+        confidence_[i].RecordDropped();
+      } else if (updated) {
+        confidence_[i].RecordAccepted();
+      } else if (drops > 0) {
+        confidence_[i].RecordDropped();
+      } else {
+        confidence_[i].RecordRejected();  // stale: mixed window, no update
+      }
+    }
+    window_drops_[i] = 0;
+    window_ticks_[i] = 0;
   }
   ++windows_completed_;
   window_start_ = now;
@@ -115,6 +150,30 @@ double Vact::MedianLatency() const {
   }
   std::sort(v.begin(), v.end());
   return v[(v.size() - 1) / 2];
+}
+
+double Vact::ConfidenceOf(int cpu) const {
+  VSCHED_CHECK(cpu >= 0 && cpu < static_cast<int>(confidence_.size()));
+  if (!config_.robust.enabled) {
+    return 1.0;
+  }
+  return confidence_[cpu].confidence();
+}
+
+double Vact::MedianConfidence() const {
+  if (!config_.robust.enabled) {
+    return 1.0;
+  }
+  std::vector<double> scores;
+  scores.reserve(confidence_.size());
+  for (const ConfidenceTracker& t : confidence_) {
+    scores.push_back(t.confidence());
+  }
+  if (scores.empty()) {
+    return 1.0;
+  }
+  std::sort(scores.begin(), scores.end());
+  return scores[(scores.size() - 1) / 2];
 }
 
 VcpuStateView Vact::QueryState(int cpu) const {

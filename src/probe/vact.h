@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/base/time.h"
+#include "src/probe/robust.h"
 #include "src/stats/stats.h"
 
 namespace vsched {
@@ -32,6 +33,9 @@ struct VactConfig {
   TimeNs update_interval = SecToNs(1);
   // Smoothing across windows.
   double ema_half_life_windows = 2.0;
+  // Confidence scoring under fault injection (tick-sample dropout, stale
+  // windows). Disabled by default.
+  ProbeRobustConfig robust;
 };
 
 // Near-real-time activity of one vCPU as seen by an examiner.
@@ -61,6 +65,12 @@ class Vact {
   // Heartbeat-based state query (the new kernel function of §4).
   VcpuStateView QueryState(int cpu) const;
 
+  // Confidence in the latency estimate, in [0, 1]; 1.0 while the robust
+  // layer is disabled. Reflects recent windows: updated estimates score
+  // high, windows with dropped tick samples or stale estimates score low.
+  double ConfidenceOf(int cpu) const;
+  double MedianConfidence() const;
+
   // Preemptions detected in the last completed window (for tests).
   int LastWindowPreemptions(int cpu) const { return last_window_preempts_[cpu]; }
   bool has_results() const { return windows_completed_ > 0; }
@@ -85,6 +95,9 @@ class Vact {
   TimeNs window_start_ = 0;
   std::vector<Ema> latency_ema_;
   std::vector<Ema> active_period_ema_;
+  std::vector<ConfidenceTracker> confidence_;
+  std::vector<int> window_drops_;  // tick samples dropped this window
+  std::vector<int> window_ticks_;  // ticks that fired this window (incl. drops)
 };
 
 }  // namespace vsched

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/fault/fault_injector.h"
 #include "src/guest/guest_kernel.h"
 #include "src/sim/simulation.h"
 
@@ -48,6 +49,7 @@ Vcap::Vcap(GuestKernel* kernel, VcapConfig config)
   last_samples_.resize(n);
   for (int i = 0; i < n; ++i) {
     capacity_ema_.push_back(Ema::WithHalfLife(config_.ema_half_life_periods));
+    confidence_.emplace_back(config_.robust.confidence_window);
   }
 }
 
@@ -149,6 +151,32 @@ void Vcap::EndWindow() {
     sample.core_capacity = core_capacity_[i];
     double noise = 1.0 + config_.measurement_noise * (rng_.NextDouble() * 2.0 - 1.0);
     sample.vcpu_capacity = core_capacity_[i] * (1.0 - steal_frac) * noise;
+    FaultInjector* injector = kernel_->fault_injector();
+    if (injector != nullptr) {
+      // vsched-lint: allow(fault-injection-point) — registered kVcapWindow site
+      if (injector->DropSample(ProbePoint::kVcapWindow)) {
+        // Sample lost: keep the previous estimate and score the gap.
+        if (config_.robust.enabled) {
+          confidence_[i].RecordDropped();
+        }
+        continue;
+      }
+      // vsched-lint: allow(fault-injection-point) — registered kVcapWindow site
+      sample.vcpu_capacity = injector->CorruptSample(ProbePoint::kVcapWindow, sample.vcpu_capacity);
+    }
+    if (config_.robust.enabled) {
+      const double estimate = capacity_ema_[i].has_value() ? capacity_ema_[i].value() : -1.0;
+      const bool outlier =
+          !WithinOutlierBand(sample.vcpu_capacity, estimate, config_.robust.outlier_ratio);
+      // A bounded run of rejections protects the EMA from corrupted samples;
+      // past the bound the sample is accepted anyway so a genuine regime
+      // change (a real capacity collapse) still gets through.
+      if (outlier && confidence_[i].consecutive_rejects() < config_.robust.max_consecutive_rejects) {
+        confidence_[i].RecordRejected();
+        continue;
+      }
+      confidence_[i].RecordAccepted();
+    }
     last_samples_[i] = sample;
     capacity_ema_[i].Add(sample.vcpu_capacity);
   }
@@ -173,6 +201,31 @@ double Vcap::CapacityOf(int cpu) const {
 }
 
 double Vcap::RawCapacityOf(int cpu) const { return last_samples_[cpu].vcpu_capacity; }
+
+double Vcap::ConfidenceOf(int cpu) const {
+  VSCHED_CHECK(cpu >= 0 && cpu < static_cast<int>(confidence_.size()));
+  if (!config_.robust.enabled) {
+    return 1.0;
+  }
+  return confidence_[cpu].confidence();
+}
+
+double Vcap::MedianConfidence() const {
+  if (!config_.robust.enabled) {
+    return 1.0;
+  }
+  std::vector<double> scores;
+  for (int i = 0; i < static_cast<int>(confidence_.size()); ++i) {
+    if (!skip_mask_.Test(i)) {
+      scores.push_back(confidence_[i].confidence());
+    }
+  }
+  if (scores.empty()) {
+    return 1.0;
+  }
+  std::sort(scores.begin(), scores.end());
+  return scores[(scores.size() - 1) / 2];
+}
 
 double Vcap::MedianCapacity() const {
   std::vector<double> caps;

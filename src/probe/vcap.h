@@ -20,6 +20,7 @@
 
 #include "src/base/time.h"
 #include "src/guest/cpumask.h"
+#include "src/probe/robust.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
 #include "src/guest/task.h"
@@ -40,6 +41,9 @@ struct VcapConfig {
   // Multiplicative measurement noise on each capacity sample (rdtsc and
   // steal-clock readings jitter on real VMs); the EMA smooths it out.
   double measurement_noise = 0.03;
+  // Outlier rejection + confidence scoring under fault injection. Disabled
+  // by default: clean runs take the original path bit-for-bit.
+  ProbeRobustConfig robust;
 };
 
 // One sampling window's outcome for a vCPU (exposed for tests/benches).
@@ -70,6 +74,12 @@ class Vcap {
   bool has_results() const { return windows_completed_ > 0; }
   int windows_completed() const { return windows_completed_; }
   const VcapSample& last_sample(int cpu) const { return last_samples_[cpu]; }
+
+  // Confidence in the capacity estimate for a vCPU, in [0, 1]. Always 1.0
+  // while the robust layer is disabled; under fault injection it reflects
+  // the recent accept/reject/drop history of that vCPU's samples.
+  double ConfidenceOf(int cpu) const;
+  double MedianConfidence() const;
 
   // Skips probing on these vCPUs (rwc bans stack-banned vCPUs from vcap).
   void SetSkipMask(CpuMask mask) { skip_mask_ = mask; }
@@ -109,6 +119,7 @@ class Vcap {
   std::vector<Work> prober_work_at_start_;
 
   std::vector<Ema> capacity_ema_;
+  std::vector<ConfidenceTracker> confidence_;
   std::vector<double> core_capacity_;  // last heavy-phase core capacity
   std::vector<VcapSample> last_samples_;
   std::vector<WindowCallback> window_callbacks_;

@@ -12,6 +12,11 @@ namespace vsched {
 
 Vtop::Vtop(GuestKernel* kernel, VtopConfig config)
     : kernel_(kernel), sim_(kernel->sim()), config_(config), n_(kernel->num_vcpus()) {
+  if (config_.robust.enabled) {
+    // Individual pair probes inherit the robust settings so they report
+    // per-probe confidence and use the median latency estimator.
+    config_.pair.robust = config_.robust;
+  }
   matrix_.assign(n_, std::vector<double>(n_, -1.0));
   for (int i = 0; i < n_; ++i) {
     matrix_[i][i] = 0.0;
@@ -56,6 +61,37 @@ void Vtop::OnCycle() {
       ScheduleNextCycle();
       return;
     }
+    OnValidationFailed();
+  });
+}
+
+void Vtop::OnValidationFailed() {
+  if (!config_.robust.enabled) {
+    RunFullProbe([this] { ScheduleNextCycle(); });
+    return;
+  }
+  // Bounded re-probe: escalate to a full probe only after an exponentially
+  // growing backoff, and give up escalating once the budget is exhausted —
+  // the (low-confidence) topology is kept and TopologyConfidence() lets the
+  // core degrade to topology-agnostic placement instead.
+  if (reprobe_count_ > config_.robust.max_reprobes) {
+    ScheduleNextCycle();
+    return;
+  }
+  ++reprobes_scheduled_;
+  double scale = 1.0;
+  for (int k = 1; k < reprobe_count_; ++k) {
+    scale *= config_.robust.backoff_multiplier;
+  }
+  TimeNs delay = static_cast<TimeNs>(static_cast<double>(config_.robust.reprobe_backoff) * scale);
+  cycle_event_ = sim_->After(delay, [this] {
+    if (!running_) {
+      return;
+    }
+    if (busy_) {
+      ScheduleNextCycle();
+      return;
+    }
     RunFullProbe([this] { ScheduleNextCycle(); });
   });
 }
@@ -81,6 +117,13 @@ double Vtop::MatrixAt(int a, int b) const {
   return matrix_[a][b];
 }
 
+double Vtop::TopologyConfidence() const {
+  if (!config_.robust.enabled) {
+    return 1.0;
+  }
+  return confidence_ema_.has_value() ? confidence_ema_.value() : 1.0;
+}
+
 void Vtop::Record(int a, int b, double latency) {
   matrix_[a][b] = latency;
   matrix_[b][a] = latency;
@@ -100,6 +143,7 @@ void Vtop::ProbePair(int a, int b, std::function<void(double)> cont) {
       kernel_, a, b, config_.pair,
       [this, a, b, cont = std::move(cont)](const PairProbeResult& result) {
         Record(a, b, result.latency_ns);
+        confidence_ema_.Add(result.confidence);
         SweepFinishedProbes();
         cont(result.latency_ns);
       });
@@ -469,6 +513,12 @@ void Vtop::ValidationBatchStep(size_t batch_index) {
     auto done = std::move(validate_done_);
     validate_done_ = nullptr;
     bool ok = validation_ok_;
+    confidence_ema_.Add(ok ? 1.0 : 0.0);
+    if (ok) {
+      reprobe_count_ = 0;
+    } else {
+      ++reprobe_count_;
+    }
     if (done) {
       done(ok);
     }

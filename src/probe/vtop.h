@@ -17,6 +17,8 @@
 #include "src/base/time.h"
 #include "src/guest/guest_topology.h"
 #include "src/probe/pair_probe.h"
+#include "src/probe/robust.h"
+#include "src/stats/stats.h"
 
 namespace vsched {
 
@@ -29,6 +31,11 @@ struct VtopConfig {
   double smt_threshold_ns = 20.0;
   double socket_threshold_ns = 80.0;
   PairProbeConfig pair;
+  // Robust operation under fault injection: topology confidence scoring and
+  // bounded re-probe backoff after failed validations. When enabled, the
+  // robust settings are also propagated into the pair-probe config so
+  // individual probes report per-probe confidence. Disabled by default.
+  ProbeRobustConfig robust;
 };
 
 // Distance class derived from a measured latency.
@@ -66,6 +73,15 @@ class Vtop {
   int pair_probes_run() const { return pair_probes_run_; }
   int pairs_inferred() const { return pairs_inferred_; }
 
+  // Confidence in the current topology, in [0, 1]; 1.0 while the robust
+  // layer is disabled. Fed by per-probe sample survival and by validation
+  // outcomes (a failed validation scores 0, a passed one scores 1).
+  double TopologyConfidence() const;
+  // Consecutive validation failures since the last pass (bounded re-probes).
+  int consecutive_failed_validations() const { return reprobe_count_; }
+  // Backoff re-probes scheduled so far (for tests/metrics).
+  int reprobes_scheduled() const { return reprobes_scheduled_; }
+
   // Invoked whenever a full probe produced a (possibly changed) topology.
   void SetTopologyCallback(std::function<void(const GuestTopology&)> cb) {
     topology_callback_ = std::move(cb);
@@ -99,6 +115,7 @@ class Vtop {
 
   void ScheduleNextCycle();
   void OnCycle();
+  void OnValidationFailed();
 
   GuestKernel* kernel_;
   Simulation* sim_;
@@ -135,6 +152,12 @@ class Vtop {
   int validations_run_ = 0;
   int pair_probes_run_ = 0;
   int pairs_inferred_ = 0;
+
+  // Robust-layer state: smoothed topology confidence and bounded re-probe
+  // backoff after consecutive validation failures.
+  Ema confidence_ema_ = Ema::WithHalfLife(8.0);
+  int reprobe_count_ = 0;
+  int reprobes_scheduled_ = 0;
 };
 
 }  // namespace vsched

@@ -93,7 +93,7 @@ void PrintVcpuLatencyReport(const std::vector<RunResult>& results) {
 }
 
 void PrintRunSummary(const std::vector<RunResult>& results, TimeNs elapsed_ns, std::FILE* out) {
-  int failures = 0, retried = 0;
+  int failures = 0, retried = 0, timeouts = 0, degraded = 0;
   TimeNs summed = 0;
   for (const RunResult& result : results) {
     summed += result.wall_ns;
@@ -102,6 +102,12 @@ void PrintRunSummary(const std::vector<RunResult>& results, TimeNs elapsed_ns, s
     }
     if (result.attempts > 1) {
       ++retried;
+    }
+    if (result.status == RunStatus::kTimeout) {
+      ++timeouts;
+    }
+    if (result.status == RunStatus::kDegraded) {
+      ++degraded;
     }
   }
 
@@ -113,8 +119,15 @@ void PrintRunSummary(const std::vector<RunResult>& results, TimeNs elapsed_ns, s
   std::stable_sort(by_wall.begin(), by_wall.end(),
                    [](const RunResult* a, const RunResult* b) { return a->wall_ns > b->wall_ns; });
 
-  std::fprintf(out, "\nruns: %zu ok: %zu failed: %d retried: %d\n", results.size(),
+  std::fprintf(out, "\nruns: %zu ok: %zu failed: %d retried: %d", results.size(),
                results.size() - failures, failures, retried);
+  if (timeouts > 0) {
+    std::fprintf(out, " timeout: %d", timeouts);
+  }
+  if (degraded > 0) {
+    std::fprintf(out, " degraded: %d", degraded);
+  }
+  std::fprintf(out, "\n");
   // Per-run wall times: all of them when the sweep is small, else the tail
   // that dominates the wall clock.
   size_t shown = results.size() <= 24 ? by_wall.size() : std::min<size_t>(5, by_wall.size());

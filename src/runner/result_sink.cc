@@ -65,8 +65,18 @@ std::string ResultRowJson(const RunResult& result, bool include_timing) {
   row += ",\"workload\":\"" + JsonEscape(result.spec.workload) + "\"";
   row += ",\"config\":\"" + JsonEscape(result.spec.config) + "\"";
   row += ",\"seed\":" + std::to_string(result.spec.seed);
+  // The empty "none" plan is a clean run; its rows must byte-compare against
+  // rows produced with no plan at all.
+  if (!result.spec.fault_plan.empty() && result.spec.fault_plan != "none") {
+    row += ",\"fault_plan\":\"" + JsonEscape(result.spec.fault_plan) + "\"";
+  }
   row += ",\"ok\":";
   row += result.ok ? "true" : "false";
+  if (result.status != RunStatus::kOk) {
+    row += ",\"status\":\"";
+    row += RunStatusName(result.status);
+    row += "\"";
+  }
   row += ",\"attempts\":" + std::to_string(result.attempts);
   if (!result.ok) {
     row += ",\"error\":\"" + JsonEscape(result.error) + "\"";

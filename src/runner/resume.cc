@@ -1,0 +1,83 @@
+#include "src/runner/resume.h"
+
+#include <cctype>
+#include <fstream>
+
+namespace vsched {
+
+std::string JsonlStringField(const std::string& row, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  size_t start = row.find(needle);
+  if (start == std::string::npos) {
+    return "";
+  }
+  start += needle.size();
+  std::string out;
+  for (size_t i = start; i < row.size(); ++i) {
+    char c = row[i];
+    if (c == '\\' && i + 1 < row.size()) {
+      // Enough unescaping for run ids (which JsonEscape only touches for
+      // quotes and backslashes); other escapes pass through verbatim.
+      char next = row[i + 1];
+      if (next == '"' || next == '\\') {
+        out += next;
+        ++i;
+        continue;
+      }
+    }
+    if (c == '"') {
+      return out;
+    }
+    out += c;
+  }
+  return "";  // unterminated string: treat as absent
+}
+
+bool JsonlRowOk(const std::string& row) {
+  return row.find("\"ok\":true") != std::string::npos;
+}
+
+std::string RekeyRunIndex(const std::string& row, int run) {
+  const std::string prefix = "{\"run\":";
+  if (row.compare(0, prefix.size(), prefix) != 0) {
+    return row;
+  }
+  size_t end = prefix.size();
+  while (end < row.size() && (std::isdigit(static_cast<unsigned char>(row[end])) != 0 ||
+                              row[end] == '-')) {
+    ++end;
+  }
+  return prefix + std::to_string(run) + row.substr(end);
+}
+
+bool LoadResumeState(const std::string& path, ResumeState* state, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::string id = JsonlStringField(line, "id");
+    if (id.empty()) {
+      ++state->rows_skipped;
+      continue;
+    }
+    ++state->rows_seen;
+    if (!JsonlRowOk(line)) {
+      ++state->rows_skipped;  // failed/timeout/interrupted cells rerun
+      continue;
+    }
+    // Last occurrence wins: a checkpoint appended across several partial
+    // invocations resolves to its freshest row per id.
+    state->completed[id] = line;
+  }
+  return true;
+}
+
+}  // namespace vsched

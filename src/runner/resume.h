@@ -1,0 +1,45 @@
+// Checkpoint/resume for sweeps: `vsched_run --resume FILE` reuses the rows a
+// previous (possibly interrupted) invocation already completed and executes
+// only the missing or failed cells.
+//
+// The checkpoint *is* the JSONL output file — no side-channel state. Rows
+// are matched by their "id" field; only rows with "ok":true are reused, and
+// they are re-emitted with the "run" index rewritten to the current sweep's
+// position (a checkpoint taken under a different --filter numbers the same
+// cell differently), so a resumed sweep's final file is byte-identical to an
+// uninterrupted run of the same sweep.
+#ifndef SRC_RUNNER_RESUME_H_
+#define SRC_RUNNER_RESUME_H_
+
+#include <string>
+#include <unordered_map>
+
+namespace vsched {
+
+struct ResumeState {
+  // Run id → verbatim JSONL row (no trailing newline) of a completed run.
+  std::unordered_map<std::string, std::string> completed;
+  int rows_seen = 0;     // total parseable rows in the checkpoint
+  int rows_skipped = 0;  // rows ignored (not ok, or unparseable)
+};
+
+// Parses a prior JSONL output file. Returns false (with `error` set) when
+// the file cannot be opened; malformed lines are counted in rows_skipped
+// rather than failing the whole resume.
+bool LoadResumeState(const std::string& path, ResumeState* state, std::string* error);
+
+// Extracts the value of a top-level string field ("key":"value") from one
+// JSONL row; returns the empty string when absent. Exposed for tests.
+std::string JsonlStringField(const std::string& row, const std::string& key);
+
+// True when the row contains `"ok":true`. Exposed for tests.
+bool JsonlRowOk(const std::string& row);
+
+// Rewrites the leading `{"run":N` of a JSONL row to the given sweep
+// position; returns the row unchanged when it does not start with a run
+// field. Reused checkpoint rows must be re-keyed to the *current* sweep.
+std::string RekeyRunIndex(const std::string& row, int run);
+
+}  // namespace vsched
+
+#endif  // SRC_RUNNER_RESUME_H_

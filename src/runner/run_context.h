@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/core/vsched.h"
+#include "src/fault/fault_injector.h"
 #include "src/guest/vm.h"
 #include "src/host/machine.h"
 #include "src/host/stressor.h"
@@ -28,6 +29,10 @@ struct RunContext {
   std::unique_ptr<Vm> vm;
   std::unique_ptr<VSched> vsched;
   std::vector<std::unique_ptr<Stressor>> stressors;
+  // Optional chaos driver (set by the spec executor when a fault plan is
+  // active). Declared last so it is destroyed before the machine/VM it
+  // perturbs.
+  std::unique_ptr<FaultInjector> fault;
 
   GuestKernel& kernel() { return vm->kernel(); }
 

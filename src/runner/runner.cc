@@ -1,12 +1,16 @@
 #include "src/runner/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <future>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "src/runner/thread_pool.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulation.h"
 
 namespace vsched {
 
@@ -20,16 +24,44 @@ TimeNs WallNowNs() {
 
 }  // namespace
 
+const char* RunStatusName(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kRetried:
+      return "retried";
+    case RunStatus::kDegraded:
+      return "degraded";
+    case RunStatus::kTimeout:
+      return "timeout";
+    case RunStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
 Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
   if (options_.max_attempts < 1) {
     options_.max_attempts = 1;
   }
 }
 
-RunResult Runner::RunOne(const RunSpec& spec, int index, int max_attempts) {
+RunResult Runner::RunOne(const RunSpec& spec, int index, const RunnerOptions& options) {
   RunResult result;
   result.spec = spec;
   result.index = index;
+  if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+    result.attempts = 0;
+    result.ok = false;
+    result.status = RunStatus::kFailed;
+    result.error = "interrupted";
+    return result;
+  }
+  int max_attempts = std::max(1, options.max_attempts);
+  // Retry waits are jittered from a stream seeded by the cell itself, so a
+  // given sweep produces the same backoff sequence on every execution.
+  Rng backoff_rng(spec.seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(index + 1)));
+  TimeNs backoff = options.retry_backoff;
   while (result.attempts < max_attempts) {
     ++result.attempts;
     result.counters.Reset();
@@ -40,6 +72,18 @@ RunResult Runner::RunOne(const RunSpec& spec, int index, int max_attempts) {
       result.wall_ns = WallNowNs() - start;
       result.ok = true;
       result.error.clear();
+      if (result.metrics.Get("degraded_transitions", 0) > 0) {
+        result.status = RunStatus::kDegraded;
+      } else {
+        result.status = result.attempts > 1 ? RunStatus::kRetried : RunStatus::kOk;
+      }
+      return result;
+    } catch (const SimBudgetExceeded& e) {
+      // Deterministic watchdog: the same spec would exhaust the same budget
+      // on every retry, so fail the cell immediately.
+      result.wall_ns = WallNowNs() - start;
+      result.error = e.what();
+      result.status = RunStatus::kTimeout;
       return result;
     } catch (const std::exception& e) {
       result.wall_ns = WallNowNs() - start;
@@ -47,6 +91,16 @@ RunResult Runner::RunOne(const RunSpec& spec, int index, int max_attempts) {
     } catch (...) {
       result.wall_ns = WallNowNs() - start;
       result.error = "unknown exception";
+    }
+    result.status = RunStatus::kFailed;
+    if (result.attempts < max_attempts && options.retry_backoff > 0) {
+      double jitter = 0.5 + backoff_rng.NextDouble();  // [0.5, 1.5)
+      TimeNs wait = std::min<TimeNs>(options.retry_backoff_cap,
+                                     static_cast<TimeNs>(static_cast<double>(backoff) * jitter));
+      std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+      backoff = std::min<TimeNs>(
+          options.retry_backoff_cap,
+          static_cast<TimeNs>(static_cast<double>(backoff) * options.retry_backoff_multiplier));
     }
   }
   return result;
@@ -58,7 +112,7 @@ std::vector<RunResult> Runner::Run(const ExperimentSpec& experiment) {
 
   if (options_.jobs == 1) {
     for (size_t i = 0; i < experiment.runs.size(); ++i) {
-      results.push_back(RunOne(experiment.runs[i], static_cast<int>(i), options_.max_attempts));
+      results.push_back(RunOne(experiment.runs[i], static_cast<int>(i), options_));
       if (options_.on_run_done) {
         options_.on_run_done(results.back());
       }
@@ -74,9 +128,8 @@ std::vector<RunResult> Runner::Run(const ExperimentSpec& experiment) {
     for (size_t i = 0; i < experiment.runs.size(); ++i) {
       const RunSpec& spec = experiment.runs[i];
       int index = static_cast<int>(i);
-      int max_attempts = options_.max_attempts;
-      futures.push_back(pool.Submit([this, &spec, index, max_attempts, &progress_mu] {
-        RunResult result = RunOne(spec, index, max_attempts);
+      futures.push_back(pool.Submit([this, &spec, index, &progress_mu] {
+        RunResult result = RunOne(spec, index, options_);
         if (options_.on_run_done) {
           std::lock_guard<std::mutex> lock(progress_mu);
           options_.on_run_done(result);

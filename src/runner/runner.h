@@ -7,6 +7,7 @@
 #ifndef SRC_RUNNER_RUNNER_H_
 #define SRC_RUNNER_RUNNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -18,11 +19,25 @@
 
 namespace vsched {
 
+// Structured error taxonomy for one sweep cell (docs/ROBUSTNESS.md):
+//   kOk       — completed on the first attempt;
+//   kRetried  — completed, but only after at least one retry;
+//   kDegraded — completed, but the core took a degradation fallback during
+//               the run (only observable under a fault plan);
+//   kTimeout  — the simulated event budget was exhausted (deterministic
+//               watchdog; never retried — the same spec would hang again);
+//   kFailed   — every attempt threw, or the run was cancelled.
+enum class RunStatus { kOk, kRetried, kDegraded, kTimeout, kFailed };
+
+// Stable lowercase name used in JSONL rows ("ok", "retried", ...).
+const char* RunStatusName(RunStatus status);
+
 struct RunResult {
   RunSpec spec;
   int index = 0;     // position within the ExperimentSpec
   int attempts = 0;  // 1 on first-try success
   bool ok = false;
+  RunStatus status = RunStatus::kFailed;
   std::string error;   // what() of the last failure when !ok
   RunMetrics metrics;  // empty when !ok
   TimeNs wall_ns = 0;  // host wall-clock time of the last attempt
@@ -37,8 +52,21 @@ struct RunnerOptions {
   // calling thread (the serial reference path).
   int jobs = 0;
   // A run whose execution throws is retried until it has been attempted
-  // this many times; deterministic failures simply fail fast again.
+  // this many times; deterministic failures simply fail fast again, and
+  // simulated-budget timeouts are never retried.
   int max_attempts = 2;
+  // Wall-clock wait before each retry: starts at `retry_backoff`, grows by
+  // `retry_backoff_multiplier` per attempt, is capped at `retry_backoff_cap`
+  // and jittered by a stream seeded from (spec seed, index) so the waits are
+  // reproducible for a given sweep. Zero disables the wait entirely.
+  TimeNs retry_backoff = MsToNs(10);
+  double retry_backoff_multiplier = 2.0;
+  TimeNs retry_backoff_cap = MsToNs(500);
+  // When non-null and set, runs that have not started yet complete
+  // immediately as kFailed/"interrupted" instead of executing; runs already
+  // in flight finish normally. Lets a SIGINT handler drain the sweep into a
+  // valid partial JSONL checkpoint.
+  std::atomic<bool>* cancel = nullptr;
   // Optional progress hook, invoked once per finished run (any thread, but
   // never concurrently; completion order, not spec order).
   std::function<void(const RunResult&)> on_run_done;
@@ -52,9 +80,9 @@ class Runner {
   // `experiment.runs` regardless of completion order.
   std::vector<RunResult> Run(const ExperimentSpec& experiment);
 
-  // Executes one spec with the retry policy applied; used by Run() and
-  // directly by tests.
-  static RunResult RunOne(const RunSpec& spec, int index, int max_attempts);
+  // Executes one spec with the retry/backoff/cancel policy applied; used by
+  // Run() and directly by tests.
+  static RunResult RunOne(const RunSpec& spec, int index, const RunnerOptions& options);
 
  private:
   RunnerOptions options_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/base/check.h"
+#include "src/fault/fault_plan.h"
 #include "src/runner/run_context.h"
 #include "src/workloads/latency_app.h"
 #include "src/workloads/throughput_app.h"
@@ -133,6 +134,64 @@ double RunMetrics::Get(const std::string& key, double fallback) const {
 
 namespace {
 
+// Resolves the spec's fault plan into `plan`; throws on an unknown name.
+// Returns false for a clean run (no plan, or the empty "none" plan), in
+// which case the execution path is byte-identical to a pre-fault-layer
+// build: no injector, no robust probing.
+bool ResolveFaultPlan(const RunSpec& spec, FaultPlan* plan) {
+  if (spec.fault_plan.empty()) {
+    return false;
+  }
+  if (!LookupFaultPlan(spec.fault_plan, plan)) {
+    throw std::invalid_argument("unknown fault plan: " + spec.fault_plan);
+  }
+  return !plan->Empty();
+}
+
+// Arms the simulated-event watchdog and (for an active plan) the injector.
+void ApplyFaults(const RunSpec& spec, bool chaos, const FaultPlan& plan, RunContext& ctx) {
+  if (spec.event_budget > 0) {
+    ctx.sim->SetEventBudget(spec.event_budget);
+  }
+  if (!chaos) {
+    return;
+  }
+  ctx.fault =
+      std::make_unique<FaultInjector>(ctx.sim.get(), ctx.machine.get(), ctx.vm.get(), plan);
+  ctx.kernel().set_fault_injector(ctx.fault.get());
+  ctx.fault->Start();
+}
+
+// Stops the injector and appends the fault/degradation tallies. Clean runs
+// (no injector) add no keys, keeping their rows byte-identical.
+void AppendFaultMetrics(RunContext& ctx, RunMetrics& metrics) {
+  if (ctx.fault == nullptr) {
+    return;
+  }
+  ctx.fault->Stop();
+  const FaultStats& st = ctx.fault->stats();
+  metrics.Set("fault_applied", static_cast<double>(st.total_applied()));
+  metrics.Set("fault_steal_bursts", static_cast<double>(st.steal_bursts));
+  metrics.Set("fault_storms", static_cast<double>(st.stressor_storms));
+  metrics.Set("fault_droops", static_cast<double>(st.freq_droops));
+  metrics.Set("fault_bw_jitters", static_cast<double>(st.bandwidth_jitters));
+  metrics.Set("fault_samples_dropped", static_cast<double>(st.samples_dropped));
+  metrics.Set("fault_samples_corrupted", static_cast<double>(st.samples_corrupted));
+  const DegradationTracker& deg = ctx.vsched->degradation();
+  TimeNs now = ctx.sim->now();
+  metrics.Set("degraded_transitions", static_cast<double>(deg.transitions()));
+  metrics.Set("degraded_capacity_ms",
+              static_cast<double>(deg.TimeDegraded(DegradedComponent::kCapacity, now)) / 1e6);
+  metrics.Set("degraded_topology_ms",
+              static_cast<double>(deg.TimeDegraded(DegradedComponent::kTopology, now)) / 1e6);
+  metrics.Set("degraded_placement_ms",
+              static_cast<double>(deg.TimeDegraded(DegradedComponent::kPlacement, now)) / 1e6);
+  metrics.Set("degraded_harvest_ms",
+              static_cast<double>(deg.TimeDegraded(DegradedComponent::kHarvest, now)) / 1e6);
+  metrics.Set("degraded_bans_ms",
+              static_cast<double>(deg.TimeDegraded(DegradedComponent::kBans, now)) / 1e6);
+}
+
 void FillMetrics(const RunSpec& spec, const MeasuredRun& run, RunMetrics& metrics) {
   metrics.Set("perf", Performance(spec.workload, run.result));
   metrics.Set("throughput", run.result.throughput);
@@ -155,8 +214,14 @@ RunMetrics ExecuteOverallRun(const RunSpec& spec) {
   HostSchedParams host_params;
   host_params.tickless = spec.tickless;
   int threads = static_cast<int>(vm_spec.vcpus.size());
-  RunContext ctx = MakeRun(host, std::move(vm_spec), OptionsForConfig(spec.config),
-                           spec.seed, host_params);
+  FaultPlan plan;
+  bool chaos = ResolveFaultPlan(spec, &plan);
+  VSchedOptions options = OptionsForConfig(spec.config);
+  if (chaos) {
+    options.robust.enabled = true;  // chaos runs arm the degradation layer
+  }
+  RunContext ctx = MakeRun(host, std::move(vm_spec), options, spec.seed, host_params);
+  ApplyFaults(spec, chaos, plan, ctx);
   if (rcvm) {
     ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);
   } else {
@@ -173,6 +238,7 @@ RunMetrics ExecuteOverallRun(const RunSpec& spec) {
   }
   RunMetrics metrics;
   FillMetrics(spec, run, metrics);
+  AppendFaultMetrics(ctx, metrics);
   return metrics;
 }
 
@@ -188,8 +254,14 @@ RunMetrics ExecuteVcpuLatencyRun(const RunSpec& spec) {
   host.min_granularity = spec.vcpu_latency;
   host.wakeup_granularity = spec.vcpu_latency;
   host.tickless = spec.tickless;
-  RunContext ctx = MakeRun(FlatHost(kVcpus), std::move(vm_spec),
-                           OptionsForConfig(spec.config), spec.seed, host);
+  FaultPlan plan;
+  bool chaos = ResolveFaultPlan(spec, &plan);
+  VSchedOptions options = OptionsForConfig(spec.config);
+  if (chaos) {
+    options.robust.enabled = true;
+  }
+  RunContext ctx = MakeRun(FlatHost(kVcpus), std::move(vm_spec), options, spec.seed, host);
+  ApplyFaults(spec, chaos, plan, ctx);
   for (int c = 0; c < kVcpus; ++c) {
     ctx.AddStressor(c);
   }
@@ -209,6 +281,7 @@ RunMetrics ExecuteVcpuLatencyRun(const RunSpec& spec) {
   }
   RunMetrics metrics;
   FillMetrics(spec, run, metrics);
+  AppendFaultMetrics(ctx, metrics);
   return metrics;
 }
 

@@ -56,6 +56,19 @@ struct RunSpec {
   // the tickless CI job assert.
   bool tickless = false;
 
+  // Named fault plan (src/fault/fault_plan.h) driving deterministic chaos
+  // injection, or empty/"none" for a clean run. NOT part of Id(): a chaos
+  // sweep resumes against its own checkpoint, and the resume matcher must
+  // see the same ids a clean sweep would emit. The plan name is recorded per
+  // row ("fault_plan") instead.
+  std::string fault_plan;
+
+  // Simulated-event watchdog: a run dispatching more than this many events
+  // throws SimBudgetExceeded and the cell reports status "timeout" instead
+  // of hanging the sweep. 0 disables the budget. Deterministic (counts
+  // simulated events, not wall time), so also NOT part of Id().
+  uint64_t event_budget = 0;
+
   // Human/filterable identity, e.g. "fig18_rcvm/canneal/vsched" or
   // "fig02/img-dnn/cfs/lat=4ms+be".
   std::string Id() const;

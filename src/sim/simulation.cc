@@ -18,6 +18,10 @@ void Simulation::RunUntil(TimeNs deadline) {
     const TimeNs tw = wheel_.NextDeadlineAtMost(limit);
     if (tw <= limit) {
       queue_.AdvanceClockTo(tw);
+      ++events_dispatched_;
+      if (event_budget_ != 0 && events_dispatched_ > event_budget_) {
+        throw SimBudgetExceeded(event_budget_);
+      }
       wheel_.RunOne(tw);
       if (audit::Enabled()) {
         wheel_.AuditVerify();
@@ -28,6 +32,10 @@ void Simulation::RunUntil(TimeNs deadline) {
       break;
     }
     last_heap_exec_time_ = tq;
+    ++events_dispatched_;
+    if (event_budget_ != 0 && events_dispatched_ > event_budget_) {
+      throw SimBudgetExceeded(event_budget_);
+    }
     queue_.RunOne();
   }
   queue_.AdvanceClockTo(deadline);

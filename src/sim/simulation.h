@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -30,6 +32,18 @@
 #include "src/sim/timer_wheel.h"
 
 namespace vsched {
+
+// Thrown by Simulation::RunUntil when the dispatched-event budget set via
+// SetEventBudget is exhausted. A runaway run (livelocked event storm,
+// pathological plan) trips this deterministically — the budget counts
+// simulated events, not wall time — so the runner can record the cell as
+// `timeout` and move on, reproducibly.
+class SimBudgetExceeded : public std::runtime_error {
+ public:
+  explicit SimBudgetExceeded(uint64_t budget)
+      : std::runtime_error("simulated event budget exceeded (" + std::to_string(budget) +
+                           " events)") {}
+};
 
 class Simulation {
  public:
@@ -107,6 +121,13 @@ class Simulation {
     return origin + (k + 1) * period;
   }
 
+  // Deterministic watchdog: caps the total number of events + timer firings
+  // this simulation may dispatch across all RunUntil calls; exceeding it
+  // throws SimBudgetExceeded. 0 (the default) means unlimited. Pure
+  // bookkeeping — a budget large enough never to trip changes nothing.
+  void SetEventBudget(uint64_t budget) { event_budget_ = budget; }
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
   // Runs the simulation until `deadline`, then sets now() == deadline.
   void RunUntil(TimeNs deadline);
 
@@ -142,6 +163,8 @@ class Simulation {
   // Timestamp of the most recent heap event dispatched; marks the timer
   // band at that instant as closed (see TimerStillFiresAt).
   TimeNs last_heap_exec_time_ = -1;
+  uint64_t event_budget_ = 0;
+  uint64_t events_dispatched_ = 0;
   // Handles live until the simulation dies; they are tiny and this keeps
   // pointers stable for callers that cancel much later. Keeping them per
   // simulation (not process-global) lets independent simulations run on

@@ -1,0 +1,173 @@
+// Tests for FaultInjector::AuditVerify (src/fault/fault_injector.cc): a
+// clean chaos run must report nothing, and deliberate corruption through the
+// FaultInjectorTestAccess backdoor — cursor skew, ledger mismatch, an
+// unregistered probe point, interventions left open past Stop() — must be
+// caught by the src/base/audit.h gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/base/audit.h"
+#include "src/fault/fault_injector.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+// Deliberate-corruption backdoor; FaultInjector declares this struct a
+// friend so these tests can break invariants the public API makes
+// unreachable.
+struct FaultInjectorTestAccess {
+  static void SkewCursorIntoFuture(FaultInjector& injector, TimeNs future) {
+    injector.last_applied_time_ = future;
+  }
+
+  static void SkewLedger(FaultInjector& injector) { ++injector.events_applied_; }
+
+  static void UnregisterPoint(FaultInjector& injector, ProbePoint point) {
+    injector.registered_points_ &= ~(1u << static_cast<int>(point));
+  }
+
+  // Fabricates an open droop that was never accounted in the stats ledger.
+  static void FakeOpenDroop(FaultInjector& injector) {
+    injector.droops_.push_back(FaultInjector::ActiveDroop{0, 1.0, true});
+  }
+};
+
+namespace {
+
+std::vector<std::string>& Violations() {
+  static std::vector<std::string> v;
+  return v;
+}
+
+void RecordViolation(const char* file, int line, const char* invariant, const char* detail) {
+  (void)file;
+  (void)line;
+  Violations().push_back(detail != nullptr ? detail : invariant);
+}
+
+bool AnyViolationContains(const std::string& needle) {
+  return std::any_of(Violations().begin(), Violations().end(), [&](const std::string& v) {
+    return v.find(needle) != std::string::npos;
+  });
+}
+
+TopologySpec FlatSpec(int cores) {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = cores;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+class FaultAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Violations().clear();
+    audit::ResetViolationCount();
+  }
+  void TearDown() override { Violations().clear(); }
+
+  FaultPlan EverythingPlan() {
+    FaultPlan plan;
+    EXPECT_TRUE(LookupFaultPlan("everything", &plan));
+    return plan;
+  }
+
+  audit::ScopedEnable enable_;
+  audit::ScopedHandler handler_{&RecordViolation};
+};
+
+TEST_F(FaultAuditTest, CleanChaosRunReportsNothing) {
+  Simulation sim(17);
+  HostMachine machine(&sim, FlatSpec(4));
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 2));
+  FaultInjector injector(&sim, &machine, &vm, EverythingPlan());
+  injector.Start();
+  sim.RunFor(SecToNs(3));  // AuditVerify fires after every intervention
+  injector.Stop();         // and once more at teardown
+  ASSERT_GT(injector.stats().total_applied(), 0u);
+  EXPECT_EQ(audit::ViolationCount(), 0u);
+}
+
+TEST_F(FaultAuditTest, FutureCursorIsCaught) {
+  Simulation sim(3);
+  HostMachine machine(&sim, FlatSpec(2));
+  FaultInjector injector(&sim, &machine, /*vm=*/nullptr, EverythingPlan());
+  FaultInjectorTestAccess::SkewCursorIntoFuture(injector, sim.now() + SecToNs(1));
+  injector.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("plan cursor is in the future"));
+}
+
+TEST_F(FaultAuditTest, LedgerMismatchIsCaught) {
+  Simulation sim(3);
+  HostMachine machine(&sim, FlatSpec(2));
+  FaultInjector injector(&sim, &machine, /*vm=*/nullptr, EverythingPlan());
+  FaultInjectorTestAccess::SkewLedger(injector);
+  injector.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("disagrees with the stats ledger"));
+}
+
+TEST_F(FaultAuditTest, UnregisteredProbePointQueryIsCaught) {
+  FaultPlan plan;
+  plan.name = "probes";
+  plan.probe.drop_probability = 0.5;
+  Simulation sim(3);
+  HostMachine machine(&sim, FlatSpec(2));
+  FaultInjector injector(&sim, &machine, /*vm=*/nullptr, plan);
+  injector.Start();
+  FaultInjectorTestAccess::UnregisterPoint(injector, ProbePoint::kVactTick);
+  ASSERT_EQ(audit::ViolationCount(), 0u);
+  // The query itself carries the check: no explicit AuditVerify call needed.
+  injector.DropSample(ProbePoint::kVactTick);
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("unregistered injection point"));
+  // A full verify also notices the registry itself is damaged.
+  Violations().clear();
+  injector.AuditVerify();
+  EXPECT_TRUE(AnyViolationContains("injection point was unregistered"));
+}
+
+TEST_F(FaultAuditTest, UnaccountedOpenInterventionIsCaught) {
+  Simulation sim(3);
+  HostMachine machine(&sim, FlatSpec(2));
+  FaultInjector injector(&sim, &machine, /*vm=*/nullptr, EverythingPlan());
+  injector.Start();
+  FaultInjectorTestAccess::FakeOpenDroop(injector);
+  injector.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("more open droops than ever applied"));
+}
+
+TEST_F(FaultAuditTest, InterventionOpenAfterStopIsCaught) {
+  Simulation sim(3);
+  HostMachine machine(&sim, FlatSpec(2));
+  FaultInjector injector(&sim, &machine, /*vm=*/nullptr, EverythingPlan());
+  injector.Start();
+  injector.Stop();
+  ASSERT_EQ(audit::ViolationCount(), 0u);
+  FaultInjectorTestAccess::FakeOpenDroop(injector);
+  injector.AuditVerify();
+  EXPECT_GT(audit::ViolationCount(), 0u);
+  EXPECT_TRUE(AnyViolationContains("still open after Stop()"));
+}
+
+TEST_F(FaultAuditTest, DisabledAuditorNeverReports) {
+  audit::SetEnabled(false);
+  Simulation sim(3);
+  HostMachine machine(&sim, FlatSpec(2));
+  FaultInjector injector(&sim, &machine, /*vm=*/nullptr, EverythingPlan());
+  FaultInjectorTestAccess::SkewLedger(injector);
+  FaultInjectorTestAccess::FakeOpenDroop(injector);
+  injector.AuditVerify();
+  EXPECT_EQ(audit::ViolationCount(), 0u);
+}
+
+}  // namespace
+}  // namespace vsched

@@ -1,0 +1,164 @@
+// Tests for the degradation bookkeeping (src/fault/degradation.h) and for
+// the end-to-end graceful-degradation path: a fault plan aggressive enough
+// to starve the probes must flip the core into its documented fallbacks —
+// pessimistic capacity, paused harvesting, frozen bans — without crashing.
+#include "src/fault/degradation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/vsched.h"
+#include "src/fault/fault_injector.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+namespace {
+
+TEST(DegradationTrackerTest, TransitionsCountEntriesOnly) {
+  DegradationTracker tracker;
+  EXPECT_FALSE(tracker.AnyDegraded());
+  tracker.SetState(DegradedComponent::kCapacity, true, 100);
+  tracker.SetState(DegradedComponent::kCapacity, true, 200);  // no-op
+  EXPECT_EQ(tracker.transitions(), 1u);
+  EXPECT_TRUE(tracker.IsDegraded(DegradedComponent::kCapacity));
+  tracker.SetState(DegradedComponent::kCapacity, false, 300);
+  EXPECT_EQ(tracker.transitions(), 1u);  // recovery is not an entry
+  tracker.SetState(DegradedComponent::kCapacity, true, 400);
+  EXPECT_EQ(tracker.transitions(), 2u);
+}
+
+TEST(DegradationTrackerTest, TimeDegradedAccumulatesOpenAndClosedIntervals) {
+  DegradationTracker tracker;
+  tracker.SetState(DegradedComponent::kHarvest, true, 100);
+  tracker.SetState(DegradedComponent::kHarvest, false, 350);
+  EXPECT_EQ(tracker.TimeDegraded(DegradedComponent::kHarvest, 1000), 250);
+  // A still-open interval accrues up to `now`.
+  tracker.SetState(DegradedComponent::kHarvest, true, 600);
+  EXPECT_EQ(tracker.TimeDegraded(DegradedComponent::kHarvest, 1000), 250 + 400);
+  // Components are independent.
+  EXPECT_EQ(tracker.TimeDegraded(DegradedComponent::kBans, 1000), 0);
+}
+
+TEST(DegradationTrackerTest, EventsRecordEveryTransition) {
+  DegradationTracker tracker;
+  tracker.SetState(DegradedComponent::kTopology, true, 10);
+  tracker.SetState(DegradedComponent::kTopology, true, 20);  // no-op: no event
+  tracker.SetState(DegradedComponent::kTopology, false, 30);
+  ASSERT_EQ(tracker.events().size(), 2u);
+  EXPECT_EQ(tracker.events()[0].at, 10);
+  EXPECT_TRUE(tracker.events()[0].degraded);
+  EXPECT_EQ(tracker.events()[1].at, 30);
+  EXPECT_FALSE(tracker.events()[1].degraded);
+}
+
+TEST(DegradationTrackerTest, ComponentNamesAreStable) {
+  EXPECT_STREQ(DegradedComponentName(DegradedComponent::kCapacity), "capacity");
+  EXPECT_STREQ(DegradedComponentName(DegradedComponent::kTopology), "topology");
+  EXPECT_STREQ(DegradedComponentName(DegradedComponent::kPlacement), "placement");
+  EXPECT_STREQ(DegradedComponentName(DegradedComponent::kHarvest), "harvest");
+  EXPECT_STREQ(DegradedComponentName(DegradedComponent::kBans), "bans");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: probe starvation flips the core into its fallback modes.
+
+TopologySpec FlatSpec(int cores) {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = cores;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+TEST(DegradationIntegrationTest, ProbeStarvationDegradesTheCoreWithoutCrashing) {
+  Simulation sim(/*seed=*/11);
+  HostMachine machine(&sim, FlatSpec(4));
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 4));
+
+  // Drop (nearly) every probe sample: confidence must collapse well below
+  // the 0.5 threshold on every prober.
+  FaultPlan plan;
+  plan.name = "starve";
+  plan.probe.drop_probability = 0.95;
+  FaultInjector injector(&sim, &machine, &vm, plan);
+  injector.Start();
+  vm.kernel().set_fault_injector(&injector);
+
+  VSchedOptions options = VSchedOptions::Full();
+  options.robust.enabled = true;
+  VSched vsched(&vm.kernel(), options);
+  vsched.Start();
+  sim.RunFor(SecToNs(6));
+
+  const DegradationTracker& degradation = vsched.degradation();
+  EXPECT_GT(degradation.transitions(), 0u);
+  EXPECT_TRUE(degradation.IsDegraded(DegradedComponent::kCapacity));
+  EXPECT_GT(degradation.TimeDegraded(DegradedComponent::kCapacity, sim.now()), 0);
+  // The documented fallbacks are engaged: BVS declines placement, IVH pauses,
+  // RWC freezes its ban verdicts.
+  EXPECT_TRUE(vsched.bvs()->degraded());
+  EXPECT_TRUE(vsched.ivh()->degraded());
+  EXPECT_TRUE(vsched.rwc()->frozen());
+  // Published capacities stay finite — degraded, never NaN.
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_TRUE(std::isfinite(vsched.vcap()->CapacityOf(cpu)));
+    EXPECT_TRUE(std::isfinite(vsched.vcap()->ConfidenceOf(cpu)));
+  }
+  EXPECT_LT(vsched.vcap()->MedianConfidence(), 0.5);
+
+  injector.Stop();
+  vsched.Stop();
+}
+
+TEST(DegradationIntegrationTest, CleanRunNeverDegrades) {
+  Simulation sim(/*seed=*/11);
+  HostMachine machine(&sim, FlatSpec(4));
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 4));
+  VSchedOptions options = VSchedOptions::Full();
+  options.robust.enabled = true;  // robust on, but no injector: no faults
+  VSched vsched(&vm.kernel(), options);
+  vsched.Start();
+  sim.RunFor(SecToNs(6));
+  EXPECT_EQ(vsched.degradation().transitions(), 0u);
+  EXPECT_FALSE(vsched.degradation().AnyDegraded());
+  EXPECT_FALSE(vsched.bvs()->degraded());
+  EXPECT_DOUBLE_EQ(vsched.vcap()->MedianConfidence(), 1.0);
+  vsched.Stop();
+}
+
+TEST(DegradationIntegrationTest, CoreRecoversWhenFaultsStop) {
+  Simulation sim(/*seed=*/13);
+  HostMachine machine(&sim, FlatSpec(4));
+  Vm vm(&sim, &machine, MakeSimpleVmSpec("vm", 4));
+
+  FaultPlan plan;
+  plan.name = "starve-then-recover";
+  plan.probe.drop_probability = 0.95;
+  plan.horizon = SecToNs(4);  // injection quiesces after 4 s
+  FaultInjector injector(&sim, &machine, &vm, plan);
+  injector.Start();
+  vm.kernel().set_fault_injector(&injector);
+
+  VSchedOptions options = VSchedOptions::Full();
+  options.robust.enabled = true;
+  VSched vsched(&vm.kernel(), options);
+  vsched.Start();
+  sim.RunFor(SecToNs(4));
+  EXPECT_TRUE(vsched.degradation().IsDegraded(DegradedComponent::kCapacity));
+  // Faults over: confidence windows refill with accepted samples and the
+  // core must leave its fallback modes.
+  sim.RunFor(SecToNs(12));
+  EXPECT_FALSE(vsched.degradation().IsDegraded(DegradedComponent::kCapacity));
+  EXPECT_FALSE(vsched.bvs()->degraded());
+  EXPECT_FALSE(vsched.rwc()->frozen());
+  EXPECT_GT(vsched.vcap()->MedianConfidence(), 0.5);
+
+  injector.Stop();
+  vsched.Stop();
+}
+
+}  // namespace
+}  // namespace vsched

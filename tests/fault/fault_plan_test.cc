@@ -1,0 +1,76 @@
+// Tests for the canned FaultPlan registry (src/fault/fault_plan.h).
+#include "src/fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace vsched {
+namespace {
+
+TEST(FaultPlanTest, NoneIsTheEmptyPlan) {
+  FaultPlan plan;
+  ASSERT_TRUE(LookupFaultPlan("none", &plan));
+  EXPECT_EQ(plan.name, "none");
+  EXPECT_TRUE(plan.Empty());
+}
+
+TEST(FaultPlanTest, UnknownNameIsRejected) {
+  FaultPlan plan;
+  EXPECT_FALSE(LookupFaultPlan("no-such-plan", &plan));
+  EXPECT_FALSE(LookupFaultPlan("", &plan));
+}
+
+TEST(FaultPlanTest, EveryListedNameResolves) {
+  std::vector<std::string> names = FaultPlanNames();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "none");
+  for (const std::string& name : names) {
+    FaultPlan plan;
+    ASSERT_TRUE(LookupFaultPlan(name, &plan)) << name;
+    EXPECT_EQ(plan.name, name);
+    if (name != "none") {
+      EXPECT_FALSE(plan.Empty()) << name;
+    }
+  }
+}
+
+TEST(FaultPlanTest, ArrivalSpecActivityFollowsRate) {
+  FaultArrivalSpec spec;
+  EXPECT_FALSE(spec.active());
+  spec.rate_per_sec = 2.0;
+  EXPECT_TRUE(spec.active());
+}
+
+TEST(FaultPlanTest, InterferenceBurstDrivesProbesBelowLowConfidence) {
+  // The acceptance scenario relies on this plan dropping enough samples to
+  // push window confidence (accepted=1.0, dropped=0.0) under the default
+  // low-confidence threshold of 0.5.
+  FaultPlan plan;
+  ASSERT_TRUE(LookupFaultPlan("interference-burst", &plan));
+  EXPECT_TRUE(plan.steal.arrival.active());
+  EXPECT_TRUE(plan.storm.arrival.active());
+  EXPECT_TRUE(plan.probe.active());
+  EXPECT_GT(plan.probe.drop_probability, 0.5);
+}
+
+TEST(FaultPlanTest, ProbeChaosTouchesOnlyProbes) {
+  FaultPlan plan;
+  ASSERT_TRUE(LookupFaultPlan("probe-chaos", &plan));
+  EXPECT_TRUE(plan.probe.active());
+  EXPECT_FALSE(plan.steal.arrival.active());
+  EXPECT_FALSE(plan.storm.arrival.active());
+  EXPECT_FALSE(plan.droop.arrival.active());
+  EXPECT_FALSE(plan.bandwidth.arrival.active());
+}
+
+TEST(FaultPlanTest, EverythingEnablesEveryClass) {
+  FaultPlan plan;
+  ASSERT_TRUE(LookupFaultPlan("everything", &plan));
+  EXPECT_TRUE(plan.steal.arrival.active());
+  EXPECT_TRUE(plan.storm.arrival.active());
+  EXPECT_TRUE(plan.droop.arrival.active());
+  EXPECT_TRUE(plan.bandwidth.arrival.active());
+  EXPECT_TRUE(plan.probe.active());
+}
+
+}  // namespace
+}  // namespace vsched

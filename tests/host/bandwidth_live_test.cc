@@ -1,0 +1,110 @@
+// Tests for CpuSched::SetBandwidthLive: changing a CFS bandwidth cap on a
+// *running* entity (the fault injector's bandwidth-jitter primitive) without
+// detaching it, including cap imposition, tightening, and removal.
+#include <gtest/gtest.h>
+
+#include "src/host/machine.h"
+#include "src/host/stressor.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec OneCoreSpec() {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = 1;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+class BandwidthLiveFixture : public ::testing::Test {
+ protected:
+  BandwidthLiveFixture() : sim_(1), machine_(&sim_, OneCoreSpec()) {}
+
+  // Share of the window [from, now) the entity actually ran.
+  static double ShareSince(const Stressor& s, TimeNs from, TimeNs now, TimeNs ran_at_from) {
+    return static_cast<double>(s.ran_ns(now) - ran_at_from) / static_cast<double>(now - from);
+  }
+
+  Simulation sim_;
+  HostMachine machine_;
+};
+
+TEST_F(BandwidthLiveFixture, ImposesACapOnAnUncappedRunningEntity) {
+  Stressor s(&sim_, "s");
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(100));
+  ASSERT_FALSE(s.has_bandwidth());
+  TimeNs from = sim_.now();
+  TimeNs ran = s.ran_ns(from);
+  machine_.sched(0).SetBandwidthLive(&s, MsToNs(2), MsToNs(10));  // 20% cap
+  sim_.RunFor(SecToNs(1));
+  EXPECT_TRUE(s.has_bandwidth());
+  EXPECT_NEAR(ShareSince(s, from, sim_.now(), ran), 0.2, 0.02);
+  s.Stop();
+}
+
+TEST_F(BandwidthLiveFixture, TightensAnExistingCapMidPeriod) {
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(8), MsToNs(10));  // 80%
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(103));  // mid-period on the staggered refill grid
+  TimeNs from = sim_.now();
+  TimeNs ran = s.ran_ns(from);
+  machine_.sched(0).SetBandwidthLive(&s, MsToNs(3), MsToNs(10));  // → 30%
+  sim_.RunFor(SecToNs(1));
+  EXPECT_NEAR(ShareSince(s, from, sim_.now(), ran), 0.3, 0.03);
+  s.Stop();
+}
+
+TEST_F(BandwidthLiveFixture, RemovingTheCapUnthrottlesImmediately) {
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(2), MsToNs(10));  // 20%
+  s.Start(&machine_, 0);
+  // Run until mid-throttle: 2ms of quota burns within the first period.
+  sim_.RunFor(MsToNs(5));
+  ASSERT_TRUE(s.throttled());
+  TimeNs from = sim_.now();
+  TimeNs ran = s.ran_ns(from);
+  machine_.sched(0).SetBandwidthLive(&s, 0, 0);  // uncapped
+  EXPECT_FALSE(s.throttled());
+  sim_.RunFor(SecToNs(1));
+  EXPECT_FALSE(s.has_bandwidth());
+  EXPECT_NEAR(ShareSince(s, from, sim_.now(), ran), 1.0, 0.01);
+  s.Stop();
+}
+
+TEST_F(BandwidthLiveFixture, RestoringTheOriginalCapRestoresTheOriginalShare) {
+  // The injector's end-of-jitter path: scale the quota down, then put the
+  // original (quota, period) back and expect the original behaviour.
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(5), MsToNs(10));  // 50%
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(200));
+  machine_.sched(0).SetBandwidthLive(&s, MsToNs(1), MsToNs(10));  // jitter: 10%
+  sim_.RunFor(MsToNs(200));
+  machine_.sched(0).SetBandwidthLive(&s, MsToNs(5), MsToNs(10));  // restore
+  TimeNs from = sim_.now();
+  TimeNs ran = s.ran_ns(from);
+  sim_.RunFor(SecToNs(1));
+  EXPECT_NEAR(ShareSince(s, from, sim_.now(), ran), 0.5, 0.02);
+  s.Stop();
+}
+
+TEST_F(BandwidthLiveFixture, UsageResetGrantsAFreshQuota) {
+  // SetBandwidthLive resets bw_used_: an entity throttled under the old cap
+  // immediately gets the new quota rather than staying throttled until the
+  // next refill.
+  Stressor s(&sim_, "s");
+  s.SetBandwidth(MsToNs(1), MsToNs(100));
+  s.Start(&machine_, 0);
+  sim_.RunFor(MsToNs(10));
+  ASSERT_TRUE(s.throttled());
+  machine_.sched(0).SetBandwidthLive(&s, MsToNs(1), MsToNs(100));
+  EXPECT_TRUE(s.running());  // fresh quota, running again right now
+  s.Stop();
+}
+
+}  // namespace
+}  // namespace vsched

@@ -158,6 +158,35 @@ TEST(LintPeltUpdate, AllowCommentMarksDesignatedEntryPoints) {
   EXPECT_TRUE(LintFile("src/guest/guest_vcpu.cc", snippet).empty());
 }
 
+// --- fault-injection-point -------------------------------------------------
+
+TEST(LintFaultHook, FiresOnHooksOutsideDesignatedPoints) {
+  EXPECT_TRUE(HasRule(LintFile("src/core/bvs.cc",
+                               "if (injector->DropSample(ProbePoint::kVcapWindow)) {\n"),
+                      "fault-injection-point"));
+  EXPECT_TRUE(HasRule(LintFile("src/guest/guest_kernel.cc",
+                               "v = injector->CorruptSample(ProbePoint::kVactTick, v);\n"),
+                      "fault-injection-point"));
+}
+
+TEST(LintFaultHook, IgnoresTheInjectorImplementationAndTests) {
+  // src/fault owns the hooks' implementation.
+  EXPECT_FALSE(HasRule(LintFile("src/fault/fault_injector.cc",
+                                "bool FaultInjector::DropSample(ProbePoint point) {\n"),
+                       "fault-injection-point"));
+  // Tests and tools are out of scope.
+  EXPECT_FALSE(HasRule(LintFile("tests/fault/fault_injector_test.cc",
+                                "EXPECT_FALSE(injector.DropSample(ProbePoint::kVactTick));\n"),
+                       "fault-injection-point"));
+}
+
+TEST(LintFaultHook, AllowCommentMarksDesignatedInjectionPoints) {
+  const std::string snippet =
+      "// vsched-lint: allow(fault-injection-point) — registered kVcapWindow site\n"
+      "if (injector->DropSample(ProbePoint::kVcapWindow)) {\n";
+  EXPECT_TRUE(LintFile("src/probe/vcap.cc", snippet).empty());
+}
+
 // --- mutable-global --------------------------------------------------------
 
 TEST(LintMutableGlobal, FiresOnNamespaceScopeState) {
@@ -278,7 +307,7 @@ TEST(LintRules, RegistryListsEveryRuleExactlyOnce) {
   std::vector<std::string> expected = {"wall-clock",       "libc-rand",
                                        "unordered-container", "unseeded-rng",
                                        "raw-double-accum",    "pelt-eager-update",
-                                       "mutable-global"};
+                                       "fault-injection-point", "mutable-global"};
   std::sort(names.begin(), names.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(names, expected);

@@ -1,0 +1,90 @@
+// Tests for the shared probe-robustness primitives (src/probe/robust.h):
+// confidence scoring from accept/reject/drop outcomes and the outlier band.
+#include "src/probe/robust.h"
+
+#include <gtest/gtest.h>
+
+namespace vsched {
+namespace {
+
+TEST(ConfidenceTrackerTest, StartsFullyConfident) {
+  ConfidenceTracker tracker(4);
+  EXPECT_DOUBLE_EQ(tracker.confidence(), 1.0);
+  EXPECT_EQ(tracker.consecutive_rejects(), 0);
+}
+
+TEST(ConfidenceTrackerTest, OutcomeScoresAreAveraged) {
+  ConfidenceTracker tracker(4);
+  tracker.RecordAccepted();  // 1.0
+  tracker.RecordRejected();  // 0.25
+  tracker.RecordDropped();   // 0.0
+  tracker.RecordAccepted();  // 1.0
+  EXPECT_DOUBLE_EQ(tracker.confidence(), (1.0 + 0.25 + 0.0 + 1.0) / 4.0);
+  EXPECT_EQ(tracker.accepted(), 2u);
+  EXPECT_EQ(tracker.rejected(), 1u);
+  EXPECT_EQ(tracker.dropped(), 1u);
+}
+
+TEST(ConfidenceTrackerTest, SustainedDropsReachZero) {
+  ConfidenceTracker tracker(8);
+  for (int i = 0; i < 8; ++i) {
+    tracker.RecordDropped();
+  }
+  EXPECT_DOUBLE_EQ(tracker.confidence(), 0.0);
+}
+
+TEST(ConfidenceTrackerTest, WindowSlidesPastOldOutcomes) {
+  ConfidenceTracker tracker(4);
+  for (int i = 0; i < 4; ++i) {
+    tracker.RecordDropped();
+  }
+  ASSERT_DOUBLE_EQ(tracker.confidence(), 0.0);
+  // Four accepts push the drops out of the window entirely.
+  for (int i = 0; i < 4; ++i) {
+    tracker.RecordAccepted();
+  }
+  EXPECT_DOUBLE_EQ(tracker.confidence(), 1.0);
+}
+
+TEST(ConfidenceTrackerTest, ConsecutiveRejectsResetOnAccept) {
+  ConfidenceTracker tracker(8);
+  tracker.RecordRejected();
+  tracker.RecordRejected();
+  EXPECT_EQ(tracker.consecutive_rejects(), 2);
+  tracker.RecordAccepted();
+  EXPECT_EQ(tracker.consecutive_rejects(), 0);
+  // Drops are not rejects: the counter tracks outlier streaks only.
+  tracker.RecordRejected();
+  tracker.RecordDropped();
+  EXPECT_EQ(tracker.consecutive_rejects(), 1);
+}
+
+TEST(ConfidenceTrackerTest, ResetClearsTheWindow) {
+  ConfidenceTracker tracker(4);
+  tracker.RecordDropped();
+  tracker.RecordRejected();
+  tracker.Reset();
+  EXPECT_DOUBLE_EQ(tracker.confidence(), 1.0);
+  EXPECT_EQ(tracker.consecutive_rejects(), 0);
+}
+
+TEST(OutlierBandTest, AcceptsWithinRatio) {
+  EXPECT_TRUE(WithinOutlierBand(100.0, 100.0, 4.0));
+  EXPECT_TRUE(WithinOutlierBand(390.0, 100.0, 4.0));
+  EXPECT_TRUE(WithinOutlierBand(26.0, 100.0, 4.0));
+}
+
+TEST(OutlierBandTest, RejectsBeyondRatioEitherDirection) {
+  EXPECT_FALSE(WithinOutlierBand(500.0, 100.0, 4.0));
+  EXPECT_FALSE(WithinOutlierBand(20.0, 100.0, 4.0));
+}
+
+TEST(OutlierBandTest, NonPositiveValuesAcceptEverything) {
+  // No estimate yet (or a degenerate sample): nothing to compare against.
+  EXPECT_TRUE(WithinOutlierBand(1e9, 0.0, 4.0));
+  EXPECT_TRUE(WithinOutlierBand(1e9, -1.0, 4.0));
+  EXPECT_TRUE(WithinOutlierBand(0.0, 100.0, 4.0));
+}
+
+}  // namespace
+}  // namespace vsched

@@ -37,6 +37,7 @@ RunResult SampleResult() {
   result.index = 3;
   result.attempts = 1;
   result.ok = true;
+  result.status = RunStatus::kOk;
   result.metrics.Set("perf", 1.25);
   result.metrics.Set("migrations", 7);
   result.wall_ns = 1'500'000;  // 1.5 ms

@@ -1,0 +1,114 @@
+// Tests for checkpoint/resume (src/runner/resume.h): JSONL row parsing and
+// resume-state loading from a (possibly interrupted, possibly appended-to)
+// prior output file.
+#include "src/runner/resume.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace vsched {
+namespace {
+
+TEST(JsonlFieldTest, ExtractsSimpleStringFields) {
+  const std::string row = R"({"id":"fig02/img-dnn/cfs/lat=2ms","ok":true,"seed":2000001})";
+  EXPECT_EQ(JsonlStringField(row, "id"), "fig02/img-dnn/cfs/lat=2ms");
+  EXPECT_EQ(JsonlStringField(row, "missing"), "");
+}
+
+TEST(JsonlFieldTest, UnescapesQuotesAndBackslashes) {
+  const std::string row = R"({"id":"a\"b\\c","ok":true})";
+  EXPECT_EQ(JsonlStringField(row, "id"), "a\"b\\c");
+}
+
+TEST(JsonlFieldTest, UnterminatedStringReadsAsAbsent) {
+  EXPECT_EQ(JsonlStringField(R"({"id":"runaway)", "id"), "");
+}
+
+TEST(JsonlRowOkTest, DetectsTheOkFlag) {
+  EXPECT_TRUE(JsonlRowOk(R"({"id":"x","ok":true})"));
+  EXPECT_FALSE(JsonlRowOk(R"({"id":"x","ok":false,"error":"boom"})"));
+  EXPECT_FALSE(JsonlRowOk(""));
+}
+
+TEST(RekeyRunIndexTest, RewritesTheLeadingRunField) {
+  EXPECT_EQ(RekeyRunIndex(R"({"run":3,"id":"a","ok":true})", 7),
+            R"({"run":7,"id":"a","ok":true})");
+  // Same index: byte-identical, the common resume-of-same-sweep case.
+  EXPECT_EQ(RekeyRunIndex(R"({"run":4,"id":"a"})", 4), R"({"run":4,"id":"a"})");
+}
+
+TEST(RekeyRunIndexTest, RowsWithoutALeadingRunFieldPassThrough) {
+  EXPECT_EQ(RekeyRunIndex(R"({"id":"a","run":3})", 9), R"({"id":"a","run":3})");
+  EXPECT_EQ(RekeyRunIndex("", 9), "");
+}
+
+class ResumeStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "resume_test_checkpoint.jsonl";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteCheckpoint(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(ResumeStateTest, MissingFileFailsWithError) {
+  ResumeState state;
+  std::string error;
+  EXPECT_FALSE(LoadResumeState(path_ + ".does-not-exist", &state, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(ResumeStateTest, OnlyOkRowsAreReused) {
+  WriteCheckpoint(
+      "{\"id\":\"a\",\"ok\":true,\"perf\":1}\n"
+      "{\"id\":\"b\",\"ok\":false,\"error\":\"boom\"}\n"
+      "\n"
+      "{\"id\":\"c\",\"ok\":true,\"perf\":3}\n");
+  ResumeState state;
+  std::string error;
+  ASSERT_TRUE(LoadResumeState(path_, &state, &error)) << error;
+  EXPECT_EQ(state.rows_seen, 3);
+  EXPECT_EQ(state.rows_skipped, 1);  // the failed row reruns
+  ASSERT_EQ(state.completed.size(), 2u);
+  EXPECT_EQ(state.completed.at("a"), "{\"id\":\"a\",\"ok\":true,\"perf\":1}");
+  EXPECT_EQ(state.completed.count("b"), 0u);
+  EXPECT_EQ(state.completed.at("c"), "{\"id\":\"c\",\"ok\":true,\"perf\":3}");
+}
+
+TEST_F(ResumeStateTest, LastOccurrenceWinsAcrossAppendedInvocations) {
+  // A checkpoint appended across several partial invocations can mention the
+  // same id twice; the freshest row must win.
+  WriteCheckpoint(
+      "{\"id\":\"a\",\"ok\":true,\"perf\":1}\n"
+      "{\"id\":\"a\",\"ok\":true,\"perf\":2}\n");
+  ResumeState state;
+  std::string error;
+  ASSERT_TRUE(LoadResumeState(path_, &state, &error)) << error;
+  ASSERT_EQ(state.completed.size(), 1u);
+  EXPECT_NE(state.completed.at("a").find("\"perf\":2"), std::string::npos);
+}
+
+TEST_F(ResumeStateTest, RowsWithoutIdsAreSkippedNotFatal) {
+  WriteCheckpoint(
+      "garbage line\n"
+      "{\"ok\":true}\n"
+      "{\"id\":\"a\",\"ok\":true}\n");
+  ResumeState state;
+  std::string error;
+  ASSERT_TRUE(LoadResumeState(path_, &state, &error)) << error;
+  EXPECT_EQ(state.rows_seen, 1);
+  EXPECT_EQ(state.rows_skipped, 2);
+  EXPECT_EQ(state.completed.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vsched

@@ -49,6 +49,14 @@ bool IsPeltUpdateScope(const std::string& path) {
   return IsSrcPath(path) && !PathContains(path, "src/guest/pelt");
 }
 
+// Fault-injection hooks (DropSample/CorruptSample) are confined to the
+// designated probe injection points; FaultInjector::AuditVerify checks the
+// same property at runtime. src/fault is the implementation and is exempt by
+// path; the designated probe call sites carry allow comments.
+bool IsFaultHookScope(const std::string& path) {
+  return IsSrcPath(path) && !PathContains(path, "src/fault/");
+}
+
 // ---------------------------------------------------------------------------
 // Per-line preprocessing: the scanner works on a copy of each line with
 // comments and string/char literal *contents* blanked out, so a rule token
@@ -247,6 +255,11 @@ const std::vector<TokenRule>& TokenRules() {
        "points (mark those with a vsched-lint allow comment)",
        std::regex(R"(\bpelt_\.\s*Update\s*\(|\bPeltSignal::Update\b)"),
        &IsPeltUpdateScope},
+      {"fault-injection-point",
+       "fault-injection hook outside a designated probe injection point: "
+       "DropSample/CorruptSample may only be called at the registered ProbePoint "
+       "sites (mark those with a vsched-lint allow comment)",
+       std::regex(R"(\b(DropSample|CorruptSample)\s*\()"), &IsFaultHookScope},
   };
   return *rules;
 }
