@@ -91,7 +91,7 @@ void RunEevdfComparison() {
     double full = 0;
     for (bool vsched_on : {false, true}) {
       VmSpec spec = MakeRcvmSpec();
-      spec.guest_params.use_eevdf = eevdf;
+      spec.mutable_guest_params().use_eevdf = eevdf;
       RunContext ctx = MakeRun(RcvmHostTopology(), std::move(spec),
                                vsched_on ? VSchedOptions::Full() : VSchedOptions::Cfs(), 0xAB'3);
       ShapeRcvmHost(ctx.sim.get(), ctx.machine.get(), ctx.stressors);

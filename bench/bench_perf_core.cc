@@ -295,7 +295,7 @@ IdleTickResult RunIdleTick(TimeNs sim_time) {
     PerfCounters counters;
     PerfCounters::Scope scope(&counters);
     VmSpec vm_spec = MakeSimpleVmSpec("vm", 32);
-    vm_spec.guest_params.tickless = tickless;
+    vm_spec.mutable_guest_params().tickless = tickless;
     HostSchedParams host;
     host.tickless = tickless;
     // Stock CFS: vSched's probers deliberately keep idle vCPUs warm, which is

@@ -38,7 +38,7 @@ int main() {
   }
 
   VmSpec spec = MakeSimpleVmSpec("spot", 8);
-  spec.guest_params.use_eevdf = true;  // the guest runs EEVDF, not CFS
+  spec.mutable_guest_params().use_eevdf = true;  // the guest runs EEVDF, not CFS
   Vm vm(&sim, &machine, spec);
 
   // Background demand so calibration can observe activity.

@@ -21,7 +21,15 @@ int ClassRank(const Task* t) { return t->policy() == TaskPolicy::kNormal ? 1 : 0
 
 GuestKernel::GuestKernel(Simulation* sim, HostMachine* machine, std::vector<VcpuThread*> threads,
                          GuestParams params)
-    : sim_(sim), machine_(machine), params_(params), rng_(sim->ForkRng()) {
+    : GuestKernel(sim, machine, std::move(threads),
+                  std::make_shared<const GuestParams>(params)) {}
+
+GuestKernel::GuestKernel(Simulation* sim, HostMachine* machine, std::vector<VcpuThread*> threads,
+                         std::shared_ptr<const GuestParams> params)
+    : sim_(sim),
+      machine_(machine),
+      params_(params != nullptr ? std::move(params) : std::make_shared<const GuestParams>()),
+      rng_(sim->ForkRng()) {
   VSCHED_CHECK(!threads.empty());
   VSCHED_CHECK(threads.size() <= 64);
   int n = static_cast<int>(threads.size());
@@ -35,7 +43,7 @@ GuestKernel::GuestKernel(Simulation* sim, HostMachine* machine, std::vector<Vcpu
   for (int i = 0; i < n; ++i) {
     // Stagger ticks so all vCPUs do not interrupt at the same instant. The
     // first firing defines the vCPU's tick grid for the whole run.
-    TimeNs offset = params_.tick_period + static_cast<TimeNs>(i) * 1777;
+    TimeNs offset = params_->tick_period + static_cast<TimeNs>(i) * 1777;
     tick_timers_.push_back(sim_->CreateTimer([this, i] { OnTick(i); }));
     tick_origins_.push_back(sim_->now() + offset);
     sim_->ArmTimerAt(tick_timers_[static_cast<size_t>(i)], tick_origins_[static_cast<size_t>(i)]);
@@ -184,7 +192,7 @@ bool GuestKernel::ShouldPreempt(const Task* curr, const Task* next) const {
   if (ClassRank(next) != ClassRank(curr)) {
     return ClassRank(next) > ClassRank(curr);
   }
-  double gran = static_cast<double>(params_.wakeup_granularity);
+  double gran = static_cast<double>(params_->wakeup_granularity);
   return next->vruntime_ + gran < curr->vruntime_;
 }
 
@@ -349,9 +357,9 @@ void GuestKernel::EnqueueTask(Task* task, int cpu, bool wakeup, int waker_cpu) {
   // vsched-lint: allow(pelt-eager-update)
   task->pelt_.Update(now, /*active=*/false);
 
-  double credit = wakeup ? static_cast<double>(params_.min_granularity) : 0.0;
+  double credit = wakeup ? static_cast<double>(params_->min_granularity) : 0.0;
   task->vruntime_ = std::max(task->vruntime_, v.rq_.min_vruntime() - credit);
-  task->vdeadline_ = task->vruntime_ + static_cast<double>(params_.min_granularity) *
+  task->vdeadline_ = task->vruntime_ + static_cast<double>(params_->min_granularity) *
                                            (kCapacityScale / task->weight());
   v.rq_.Enqueue(task);
 
@@ -397,7 +405,7 @@ void GuestKernel::SendReschedIpi(int from_cpu, int to_cpu) {
   CountIpi(from_cpu, to_cpu);
   GuestVcpu* v = vcpus_[to_cpu].get();
   v->resched_pending_ = true;
-  sim_->After(params_.ipi_delay, [this, v] {
+  sim_->After(params_->ipi_delay, [this, v] {
     if (v->active() && v->resched_pending_) {
       v->Reschedule(sim_->now());
     }
@@ -407,7 +415,7 @@ void GuestKernel::SendReschedIpi(int from_cpu, int to_cpu) {
 void GuestKernel::RunOnVcpu(int cpu, std::function<void()> fn, bool kick) {
   GuestVcpu* v = vcpus_[cpu].get();
   if (v->active()) {
-    sim_->After(params_.ipi_delay, [v, fn = std::move(fn)] {
+    sim_->After(params_->ipi_delay, [v, fn = std::move(fn)] {
       if (v->active()) {
         fn();
       } else {
@@ -475,7 +483,7 @@ double GuestKernel::CfsCapacityOf(int cpu) const {
     // Steal is invisible while idle: the estimate drifts back toward full
     // capacity — the very mismatch §5.3 demonstrates.
     TimeNs idle_for = sim_->now() - v.cfs_cap_last_update_;
-    double decay = HalfLifeDecay(idle_for, params_.cfs_cap_idle_drift_half_life);
+    double decay = HalfLifeDecay(idle_for, params_->cfs_cap_idle_drift_half_life);
     return kCapacityScale + (raw - kCapacityScale) * decay;
   }
   return raw;
@@ -507,7 +515,7 @@ bool GuestKernel::AsymCapacityKnown() const {
   if (min_cap < 0) {
     return false;
   }
-  return max_cap > std::max(1.0, min_cap) * params_.asym_capacity_ratio;
+  return max_cap > std::max(1.0, min_cap) * params_->asym_capacity_ratio;
 }
 
 void GuestKernel::RebuildSchedDomains(const GuestTopology& topo) {
@@ -576,15 +584,15 @@ void GuestKernel::OnTick(int cpu) {
     // Tick interrupts are not delivered to a descheduled vCPU — this firing
     // mutates nothing. In tickless mode stop the tick entirely (NOHZ);
     // ResumeTick re-arms it on the same grid when the vCPU runs again.
-    if (params_.tickless) {
+    if (params_->tickless) {
       v->tick_stopped_ = true;
       v->tick_stop_time_ = sim_->now();
     } else {
-      sim_->ArmTimerAfter(timer, params_.tick_period);
+      sim_->ArmTimerAfter(timer, params_->tick_period);
     }
     return;
   }
-  sim_->ArmTimerAfter(timer, params_.tick_period);
+  sim_->ArmTimerAfter(timer, params_->tick_period);
   TimeNs now = sim_->now();
   CfsTick(v, now);
   for (auto& hook : tick_hooks_) {
@@ -601,11 +609,11 @@ void GuestKernel::ResumeTick(int cpu) {
   v->tick_stopped_ = false;
   const TimerId timer = tick_timers_[static_cast<size_t>(cpu)];
   const TimeNs when = sim_->NextGridPoint(tick_origins_[static_cast<size_t>(cpu)],
-                                          params_.tick_period, timer);
+                                          params_->tick_period, timer);
   // Every grid point between the stop and the resume would have been a
   // no-op firing on an inactive vCPU — those are the elided ticks.
   PerfCounters::Current()->ticks_elided +=
-      static_cast<uint64_t>((when - v->tick_stop_time_) / params_.tick_period - 1);
+      static_cast<uint64_t>((when - v->tick_stop_time_) / params_->tick_period - 1);
   sim_->ArmTimerAt(timer, when);
 }
 
@@ -624,7 +632,7 @@ void GuestKernel::CfsTick(GuestVcpu* v, TimeNs now) {
                                          static_cast<double>(wall),
                                      0.0, 1.0);
       double sample = kCapacityScale * frac;
-      double alpha = 1.0 - HalfLifeDecay(wall, params_.cfs_cap_half_life);
+      double alpha = 1.0 - HalfLifeDecay(wall, params_->cfs_cap_half_life);
       v->cfs_cap_raw_ += alpha * (sample - v->cfs_cap_raw_);
     }
   }
@@ -635,7 +643,7 @@ void GuestKernel::CfsTick(GuestVcpu* v, TimeNs now) {
     if (next != nullptr) {
       bool class_inversion = ClassRank(next) > ClassRank(v->current_);
       TimeNs stint = now - v->current_->stint_start_;
-      if (class_inversion || stint >= params_.min_granularity) {
+      if (class_inversion || stint >= params_->min_granularity) {
         // At slice end the comparison is plain vruntime order.
         if (class_inversion || next->vruntime_ < v->current_->vruntime_) {
           v->PutCurrent(now, /*requeue=*/true);
@@ -661,12 +669,12 @@ void GuestKernel::MisfitCheck(GuestVcpu* v, TimeNs now) {
   // Lazy PELT: evaluate at `now` without writing the signal back — the tick
   // path must not be a mutation point (see the pelt-eager-update lint rule).
   if (curr->pelt_.UtilAt(now, /*active=*/v->segment_open_) <
-      params_.misfit_util_fraction * cap) {
+      params_->misfit_util_fraction * cap) {
     return;
   }
   CpuMask allowed = EffectiveAllowed(curr);
   int best = -1;
-  double best_cap = cap * params_.misfit_capacity_margin;
+  double best_cap = cap * params_->misfit_capacity_margin;
   for (int c : allowed) {
     if (c == v->index() || !vcpus_[c]->IsIdle()) {
       continue;
@@ -701,7 +709,7 @@ void GuestKernel::PeriodicBalance(GuestVcpu* v, TimeNs now) {
   if (now < v->next_balance_) {
     return;
   }
-  v->next_balance_ = now + params_.balance_interval;
+  v->next_balance_ = now + params_->balance_interval;
 
   // Pull phase: SMT domain, then LLC, then everything.
   if (TryPullInto(v, topology_.smt_mask[v->index()], /*idle_pull=*/false, now)) {
@@ -725,7 +733,7 @@ void GuestKernel::PeriodicBalance(GuestVcpu* v, TimeNs now) {
     });
     for (Task* t : queued) {
       if (t->last_migration_time_ >= 0 &&
-          now - t->last_migration_time_ < params_.migration_cooldown) {
+          now - t->last_migration_time_ < params_->migration_cooldown) {
         continue;
       }
       CpuMask allowed = EffectiveAllowed(t);
@@ -755,7 +763,7 @@ void GuestKernel::PeriodicBalance(GuestVcpu* v, TimeNs now) {
     return;
   }
   if (curr->last_migration_time_ >= 0 &&
-      now - curr->last_migration_time_ < params_.migration_cooldown) {
+      now - curr->last_migration_time_ < params_->migration_cooldown) {
     return;
   }
   double my_cap = CfsCapacityOf(v->index());
@@ -764,8 +772,8 @@ void GuestKernel::PeriodicBalance(GuestVcpu* v, TimeNs now) {
     if (c == v->index() || !vcpus_[c]->IsIdle()) {
       continue;
     }
-    if (CfsCapacityOf(c) > my_cap * params_.imbalance_pct) {
-      v->next_active_balance_ = now + params_.active_balance_interval;
+    if (CfsCapacityOf(c) > my_cap * params_->imbalance_pct) {
+      v->next_active_balance_ = now + params_->active_balance_interval;
       MigrateRunningTask(curr, v->index(), c);
       return;
     }
@@ -803,7 +811,7 @@ bool GuestKernel::TryPullInto(GuestVcpu* v, CpuMask domain, bool idle_pull, Time
   }
 
   if (busiest != nullptr) {
-    bool imbalanced = idle_pull || busiest_ratio > my_ratio * params_.imbalance_pct + 1e-9;
+    bool imbalanced = idle_pull || busiest_ratio > my_ratio * params_->imbalance_pct + 1e-9;
     if (imbalanced) {
       // Steal the task with the largest vruntime (coldest cache, CFS-style
       // detach from the tail) that is allowed here.
@@ -817,7 +825,7 @@ bool GuestKernel::TryPullInto(GuestVcpu* v, CpuMask domain, bool idle_pull, Time
           return;
         }
         if (t->last_migration_time_ >= 0 &&
-            now_ts - t->last_migration_time_ < params_.migration_cooldown) {
+            now_ts - t->last_migration_time_ < params_->migration_cooldown) {
           return;  // Cache-hot / recently migrated: leave it.
         }
         if (pick == nullptr || t->vruntime_ > pick->vruntime_) {

@@ -81,6 +81,12 @@ struct KernelCounters {
 
 class GuestKernel {
  public:
+  // Primary constructor: params are a shared immutable snapshot, so a fleet
+  // of thousands of VMs built from one spec holds one copy total. A null
+  // snapshot means defaults.
+  GuestKernel(Simulation* sim, HostMachine* machine, std::vector<VcpuThread*> threads,
+              std::shared_ptr<const GuestParams> params);
+  // Convenience for single-VM call sites.
   GuestKernel(Simulation* sim, HostMachine* machine, std::vector<VcpuThread*> threads,
               GuestParams params = GuestParams{});
   ~GuestKernel();
@@ -90,7 +96,11 @@ class GuestKernel {
 
   Simulation* sim() const { return sim_; }
   HostMachine* machine() const { return machine_; }
-  const GuestParams& params() const { return params_; }
+  // Live VM migration: repoints the kernel at the destination host. The
+  // caller (Vm::MigrateToMachine) must have re-attached every vCPU thread to
+  // `machine` first; topology-derived caches are not kept across the switch.
+  void SetMachine(HostMachine* machine) { machine_ = machine; }
+  const GuestParams& params() const { return *params_; }
   int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
   GuestVcpu& vcpu(int i) { return *vcpus_[i]; }
   const GuestVcpu& vcpu(int i) const { return *vcpus_[i]; }
@@ -220,7 +230,7 @@ class GuestKernel {
 
   Simulation* sim_;
   HostMachine* machine_;
-  GuestParams params_;
+  std::shared_ptr<const GuestParams> params_;
   Rng rng_;
 
   std::vector<std::unique_ptr<GuestVcpu>> vcpus_;

@@ -6,6 +6,19 @@
 
 namespace vsched {
 
+GuestParams& VmSpec::mutable_guest_params() {
+  auto copy = std::make_shared<GuestParams>(guest_params != nullptr ? *guest_params
+                                                                    : GuestParams{});
+  GuestParams& ref = *copy;
+  guest_params = std::move(copy);
+  return ref;
+}
+
+const GuestParams& VmSpec::guest_params_or_default() const {
+  static const GuestParams kDefaults{};
+  return guest_params != nullptr ? *guest_params : kDefaults;
+}
+
 Vm::Vm(Simulation* sim, HostMachine* machine, VmSpec spec)
     : sim_(sim), machine_(machine), spec_(std::move(spec)) {
   VSCHED_CHECK(!spec_.vcpus.empty());
@@ -38,6 +51,33 @@ Vm::~Vm() {
 void Vm::PinVcpu(int i, HwThreadId tid) {
   VSCHED_CHECK(i >= 0 && i < num_vcpus());
   machine_->Move(threads_[i].get(), tid);
+}
+
+void Vm::MigrateToMachine(HostMachine* dest, const std::vector<HwThreadId>& tids) {
+  VSCHED_CHECK(dest != nullptr);
+  VSCHED_CHECK(static_cast<int>(tids.size()) == num_vcpus());
+  if (dest == machine_) {
+    for (int i = 0; i < num_vcpus(); ++i) {
+      PinVcpu(i, tids[i]);
+      spec_.vcpus[static_cast<size_t>(i)].tid = tids[i];
+    }
+    return;
+  }
+  for (auto& t : threads_) {
+    machine_->sched(t->tid()).Detach(t.get());
+  }
+  machine_ = dest;
+  for (int i = 0; i < num_vcpus(); ++i) {
+    spec_.vcpus[static_cast<size_t>(i)].tid = tids[i];
+    dest->Attach(threads_[static_cast<size_t>(i)].get(), tids[i]);
+  }
+  kernel_->SetMachine(dest);
+}
+
+void Vm::SetPausedAll(bool paused) {
+  for (auto& t : threads_) {
+    t->SetPaused(paused);
+  }
 }
 
 void Vm::SetVcpuBandwidth(int i, TimeNs quota, TimeNs period) {

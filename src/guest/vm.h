@@ -32,7 +32,15 @@ struct VcpuPlacement {
 struct VmSpec {
   std::string name = "vm";
   std::vector<VcpuPlacement> vcpus;
-  GuestParams guest_params;
+  // Shared immutable snapshot; null means defaults. Fleet builders point
+  // thousands of specs at one snapshot; per-spec tweaks go through
+  // mutable_guest_params(), which copies on write.
+  std::shared_ptr<const GuestParams> guest_params;
+
+  // Returns a mutable copy owned by this spec (fresh defaults if unset).
+  // The reference is invalidated by the next assignment to guest_params.
+  GuestParams& mutable_guest_params();
+  const GuestParams& guest_params_or_default() const;
 };
 
 class Vm {
@@ -51,6 +59,17 @@ class Vm {
 
   // Re-pins a vCPU (vCPU/VM migration, Fig 16 phases).
   void PinVcpu(int i, HwThreadId tid);
+
+  // Live VM migration commit point: atomically detaches every vCPU thread
+  // from the current host and re-attaches it to `dest` at `tids` (one per
+  // vCPU). Weights, bandwidth caps, pause state, and pending demand carry
+  // over; the guest kernel is repointed at the destination. The caller
+  // models copy latency and downtime around this call (src/cluster/).
+  void MigrateToMachine(HostMachine* dest, const std::vector<HwThreadId>& tids);
+
+  // Pauses/unpauses every vCPU thread (migration downtime blackout: paused
+  // demand accumulates as steal, which is what the guest observes).
+  void SetPausedAll(bool paused);
 
   // Re-shapes a vCPU's host bandwidth (capacity/latency change at runtime).
   void SetVcpuBandwidth(int i, TimeNs quota, TimeNs period);

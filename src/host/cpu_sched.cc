@@ -36,8 +36,9 @@ HostEntity* BestOf(const std::vector<HostEntity*>& queue) {
 
 }  // namespace
 
-CpuSched::CpuSched(Simulation* sim, HostMachine* machine, HwThreadId tid, HostSchedParams params)
-    : sim_(sim), machine_(machine), tid_(tid), params_(params), rng_(sim->ForkRng()) {}
+CpuSched::CpuSched(Simulation* sim, HostMachine* machine, HwThreadId tid,
+                   std::shared_ptr<const HostSchedParams> params)
+    : sim_(sim), machine_(machine), tid_(tid), params_(std::move(params)), rng_(sim->ForkRng()) {}
 
 size_t CpuSched::runnable_count() const { return queue_.size() + (current_ != nullptr ? 1 : 0); }
 
@@ -124,14 +125,15 @@ void CpuSched::EntityWoke(HostEntity* e) {
   VSCHED_CHECK(e->sched_ == this);
   TimeNs now = sim_->now();
   e->SyncAccounting(now);
-  if (e->throttled_ || e->queued_ || current_ == e) {
-    return;  // Throttled entities enqueue at the next refill.
+  if (e->throttled_ || e->paused_ || e->queued_ || current_ == e) {
+    return;  // Throttled entities enqueue at the next refill; paused ones
+             // re-enter via SetPaused(false) at migration-downtime end.
   }
   UpdateCurrentRuntime(now);
   RefreshMinVruntime();
   // Wakeup credit: do not let a long sleeper starve the queue, but grant it a
   // small scheduling advantage (CFS's sched-latency placement rule).
-  double credit = static_cast<double>(params_.min_granularity);
+  double credit = static_cast<double>(params_->min_granularity);
   e->vruntime_ = std::max(e->vruntime_, min_vruntime_ - credit);
   e->queued_ = true;
   queue_.push_back(e);
@@ -147,7 +149,7 @@ void CpuSched::EntityWoke(HostEntity* e) {
     // CFS wakeup preemption: the waker must lead by more than the wakeup
     // granularity in vruntime. Raising the granularity makes woken vCPUs
     // wait for the current slice — higher vCPU latency at equal capacity.
-    if (e->vruntime_ + static_cast<double>(params_.wakeup_granularity) < current_->vruntime_) {
+    if (e->vruntime_ + static_cast<double>(params_->wakeup_granularity) < current_->vruntime_) {
       preempt = true;
     }
   }
@@ -245,7 +247,7 @@ void CpuSched::PutCurrent(TimeNs now, bool requeue) {
   e->running_ = false;
   current_ = nullptr;
   e->ScheduledOut(now);
-  if (requeue && e->wants_to_run_ && !e->throttled_) {
+  if (requeue && e->wants_to_run_ && !e->throttled_ && !e->paused_) {
     e->queued_ = true;
     queue_.push_back(e);
   }
@@ -298,7 +300,7 @@ void CpuSched::ArmSliceTimer(TimeNs now) {
   sim_->Cancel(slice_event_);
   // Real slice lengths vary slightly (timer coalescing, softirqs); the
   // ±5% jitter also prevents deterministic phase-locking between threads.
-  TimeNs slice = static_cast<TimeNs>(static_cast<double>(params_.min_granularity) *
+  TimeNs slice = static_cast<TimeNs>(static_cast<double>(params_->min_granularity) *
                                      rng_.Uniform(0.95, 1.05));
   slice_event_ = sim_->After(slice, [this] { OnSliceEnd(); });
 }
@@ -362,7 +364,7 @@ void CpuSched::RefillBandwidth(HostEntity* e) {
     if (e->wants_to_run_) {
       EntityWoke(e);
     }
-  } else if (params_.tickless) {
+  } else if (params_->tickless) {
     // Off-CPU, unthrottled, quota now full: every further firing before the
     // entity next runs is a no-op. Stop the timer; PickNext resumes it on
     // this grid (NOHZ for the host bandwidth machinery).
@@ -387,6 +389,7 @@ void CpuSched::AuditVerify() const {
     VSCHED_AUDIT_CHECK(current_->sched_ == this, "cpu_sched: current entity attached elsewhere");
     VSCHED_AUDIT_CHECK(current_->running_, "cpu_sched: current entity not marked running");
     VSCHED_AUDIT_CHECK(!current_->queued_, "cpu_sched: current entity still marked queued");
+    VSCHED_AUDIT_CHECK(!current_->paused_, "cpu_sched: paused entity is running");
   }
   // Runnable queue: flags consistent, no duplicates, current never queued.
   for (size_t i = 0; i < queue_.size(); ++i) {
@@ -396,6 +399,7 @@ void CpuSched::AuditVerify() const {
     VSCHED_AUDIT_CHECK(e->queued_, "cpu_sched: queued entity not marked queued");
     VSCHED_AUDIT_CHECK(!e->running_, "cpu_sched: queued entity marked running");
     VSCHED_AUDIT_CHECK(!e->throttled_, "cpu_sched: throttled entity left in the queue");
+    VSCHED_AUDIT_CHECK(!e->paused_, "cpu_sched: paused entity left in the queue");
     for (size_t j = i + 1; j < queue_.size(); ++j) {
       VSCHED_AUDIT_CHECK(queue_[j] != e, "cpu_sched: entity queued twice");
     }

@@ -10,6 +10,7 @@
 #ifndef SRC_HOST_CPU_SCHED_H_
 #define SRC_HOST_CPU_SCHED_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/base/time.h"
@@ -38,15 +39,21 @@ struct HostSchedParams {
 
 class CpuSched {
  public:
-  CpuSched(Simulation* sim, HostMachine* machine, HwThreadId tid, HostSchedParams params);
+  // Params are a shared immutable snapshot so a fleet of thousands of
+  // hardware threads references one copy instead of holding one each.
+  CpuSched(Simulation* sim, HostMachine* machine, HwThreadId tid,
+           std::shared_ptr<const HostSchedParams> params);
 
   CpuSched(const CpuSched&) = delete;
   CpuSched& operator=(const CpuSched&) = delete;
 
   HwThreadId tid() const { return tid_; }
   TimeNs now() const;
-  const HostSchedParams& params() const { return params_; }
-  void set_params(HostSchedParams params) { params_ = params; }
+  const HostSchedParams& params() const { return *params_; }
+  // Replaces this thread's snapshot (other threads keep the old one).
+  void set_params(HostSchedParams params) {
+    params_ = std::make_shared<const HostSchedParams>(params);
+  }
 
   // Entity lifecycle. An attached entity competes for this hardware thread
   // whenever it wants to run.
@@ -96,7 +103,7 @@ class CpuSched {
   Simulation* sim_;
   HostMachine* machine_;
   HwThreadId tid_;
-  HostSchedParams params_;
+  std::shared_ptr<const HostSchedParams> params_;
 
   std::vector<HostEntity*> entities_;  // all attached
   std::vector<HostEntity*> queue_;     // runnable, excluding current

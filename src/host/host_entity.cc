@@ -53,6 +53,26 @@ void HostEntity::SetWantsToRun(bool wants) {
   }
 }
 
+void HostEntity::SetPaused(bool paused) {
+  if (paused == paused_) {
+    return;
+  }
+  if (sched_ != nullptr) {
+    SyncAccounting(sched_->now());
+  }
+  paused_ = paused;
+  if (sched_ == nullptr) {
+    return;
+  }
+  if (paused) {
+    if (running_ || queued_) {
+      sched_->EntitySlept(this);
+    }
+  } else if (wants_to_run_ && !throttled_) {
+    sched_->EntityWoke(this);
+  }
+}
+
 int HostEntity::tid() const { return sched_ != nullptr ? sched_->tid() : -1; }
 
 void HostEntity::SyncAccounting(TimeNs now) const {

@@ -47,6 +47,13 @@ class HostEntity {
   void SetWantsToRun(bool wants);
   bool wants_to_run() const { return wants_to_run_; }
 
+  // Migration blackout: a paused entity stays attached (tid() remains valid,
+  // so topology queries keep working) but never enters the runqueue. Paused
+  // time with pending demand accounts as steal — exactly what a guest
+  // observes during a live-migration downtime window. Safe when unattached.
+  void SetPaused(bool paused);
+  bool paused() const { return paused_; }
+
   bool running() const { return running_; }
   double vruntime() const { return vruntime_; }
   bool throttled() const { return throttled_; }
@@ -85,6 +92,7 @@ class HostEntity {
   bool running_ = false;
   bool throttled_ = false;
   bool queued_ = false;
+  bool paused_ = false;
 
   // Bandwidth control. The refill is a periodic wheel timer (timer band);
   // bw_refill_origin_ pins its grid so a dormant refill (tickless hosts park

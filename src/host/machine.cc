@@ -1,14 +1,22 @@
 #include "src/host/machine.h"
 
+#include <memory>
+#include <utility>
+
 #include "src/base/check.h"
 #include "src/sim/simulation.h"
 
 namespace vsched {
 
 HostMachine::HostMachine(Simulation* sim, const TopologySpec& spec, HostSchedParams sched_params)
-    : sim_(sim), topology_(spec), core_freq_(topology_.num_cores(), 1.0) {
-  scheds_.reserve(topology_.num_threads());
-  for (int t = 0; t < topology_.num_threads(); ++t) {
+    : HostMachine(sim, std::make_shared<const HostTopology>(spec),
+                  std::make_shared<const HostSchedParams>(sched_params)) {}
+
+HostMachine::HostMachine(Simulation* sim, std::shared_ptr<const HostTopology> topology,
+                         std::shared_ptr<const HostSchedParams> sched_params)
+    : sim_(sim), topology_(std::move(topology)), core_freq_(topology_->num_cores(), 1.0) {
+  scheds_.reserve(topology_->num_threads());
+  for (int t = 0; t < topology_->num_threads(); ++t) {
     scheds_.push_back(std::make_unique<CpuSched>(sim, this, t, sched_params));
   }
 }
@@ -24,23 +32,23 @@ const CpuSched& HostMachine::sched(HwThreadId tid) const {
 }
 
 double HostMachine::SpeedOf(HwThreadId tid) const {
-  double speed = kCapacityScale * core_freq_[topology_.CoreOf(tid)];
-  HwThreadId sibling = topology_.SiblingOf(tid);
+  double speed = kCapacityScale * core_freq_[topology_->CoreOf(tid)];
+  HwThreadId sibling = topology_->SiblingOf(tid);
   if (sibling >= 0 && scheds_[sibling]->busy()) {
-    speed *= topology_.spec().smt_factor;
+    speed *= topology_->spec().smt_factor;
   }
   return speed;
 }
 
 void HostMachine::SetCoreFreq(int core, double multiplier) {
-  VSCHED_CHECK(core >= 0 && core < topology_.num_cores());
+  VSCHED_CHECK(core >= 0 && core < topology_->num_cores());
   VSCHED_CHECK(multiplier > 0);
   if (core_freq_[core] == multiplier) {
     return;
   }
   core_freq_[core] = multiplier;
   TimeNs now = sim_->now();
-  for (HwThreadId t : topology_.ThreadsOfCore(core)) {
+  for (HwThreadId t : topology_->ThreadsOfCore(core)) {
     scheds_[t]->NotifyRateChanged(now);
   }
 }
@@ -57,7 +65,7 @@ void HostMachine::Move(HostEntity* e, HwThreadId tid) {
 }
 
 void HostMachine::OnBusyChanged(HwThreadId tid) {
-  HwThreadId sibling = topology_.SiblingOf(tid);
+  HwThreadId sibling = topology_->SiblingOf(tid);
   if (sibling >= 0) {
     scheds_[sibling]->NotifyRateChanged(sim_->now());
   }

@@ -21,12 +21,18 @@ class HostMachine {
   HostMachine(Simulation* sim, const TopologySpec& spec,
               HostSchedParams sched_params = HostSchedParams{});
 
+  // Fleet-scale constructor: thousands of identical hosts share one immutable
+  // topology and one scheduler-params snapshot instead of building their own.
+  HostMachine(Simulation* sim, std::shared_ptr<const HostTopology> topology,
+              std::shared_ptr<const HostSchedParams> sched_params);
+
   HostMachine(const HostMachine&) = delete;
   HostMachine& operator=(const HostMachine&) = delete;
 
-  const HostTopology& topology() const { return topology_; }
+  const HostTopology& topology() const { return *topology_; }
+  std::shared_ptr<const HostTopology> shared_topology() const { return topology_; }
   Simulation* sim() const { return sim_; }
-  int num_threads() const { return topology_.num_threads(); }
+  int num_threads() const { return topology_->num_threads(); }
 
   CpuSched& sched(HwThreadId tid);
   const CpuSched& sched(HwThreadId tid) const;
@@ -51,7 +57,7 @@ class HostMachine {
 
  private:
   Simulation* sim_;
-  HostTopology topology_;
+  std::shared_ptr<const HostTopology> topology_;
   std::vector<double> core_freq_;
   std::vector<std::unique_ptr<CpuSched>> scheds_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <cstdio>
 
 #include "src/base/check.h"
@@ -72,7 +73,7 @@ TopologySpec RcvmHostTopology() {
 VmSpec MakeRcvmSpec(GuestParams guest_params) {
   VmSpec spec;
   spec.name = "rcvm";
-  spec.guest_params = guest_params;
+  spec.guest_params = std::make_shared<const GuestParams>(guest_params);
   spec.vcpus.resize(12);
   // vCPU0–9 on five SMT pairs (hardware threads 0..9).
   for (int i = 0; i < 10; ++i) {
@@ -96,7 +97,7 @@ TopologySpec HpvmHostTopology() {
 VmSpec MakeHpvmSpec(GuestParams guest_params) {
   VmSpec spec;
   spec.name = "hpvm";
-  spec.guest_params = guest_params;
+  spec.guest_params = std::make_shared<const GuestParams>(guest_params);
   spec.vcpus.resize(32);
   const int threads_per_socket = 10;  // 5 cores × 2 threads
   for (int group = 0; group < 4; ++group) {

@@ -244,7 +244,7 @@ bool ScenarioRunner::RunLine(const std::string& line) {
         spec.vcpus[i++].tid = tid;
       }
     }
-    spec.guest_params.use_eevdf = args.count("eevdf") > 0;
+    spec.mutable_guest_params().use_eevdf = args.count("eevdf") > 0;
     vm_ = std::make_unique<Vm>(sim_.get(), machine_.get(), std::move(spec));
     vm_created_ = true;
     return true;

@@ -210,7 +210,7 @@ RunMetrics ExecuteOverallRun(const RunSpec& spec) {
   bool rcvm = spec.family == ExperimentFamily::kOverallRcvm;
   TopologySpec host = rcvm ? RcvmHostTopology() : HpvmHostTopology();
   VmSpec vm_spec = rcvm ? MakeRcvmSpec() : MakeHpvmSpec();
-  vm_spec.guest_params.tickless = spec.tickless;
+  vm_spec.mutable_guest_params().tickless = spec.tickless;
   HostSchedParams host_params;
   host_params.tickless = spec.tickless;
   int threads = static_cast<int>(vm_spec.vcpus.size());
@@ -249,7 +249,7 @@ RunMetrics ExecuteOverallRun(const RunSpec& spec) {
 RunMetrics ExecuteVcpuLatencyRun(const RunSpec& spec) {
   const int kVcpus = 32;
   VmSpec vm_spec = MakeSimpleVmSpec("vm", kVcpus);
-  vm_spec.guest_params.tickless = spec.tickless;
+  vm_spec.mutable_guest_params().tickless = spec.tickless;
   HostSchedParams host;
   host.min_granularity = spec.vcpu_latency;
   host.wakeup_granularity = spec.vcpu_latency;

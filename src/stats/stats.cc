@@ -93,6 +93,12 @@ double Distribution::Quantile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+size_t Distribution::CountAbove(double threshold) const {
+  Sort();
+  return static_cast<size_t>(samples_.end() -
+                             std::upper_bound(samples_.begin(), samples_.end(), threshold));
+}
+
 void Distribution::Clear() {
   samples_.clear();
   sorted_ = true;

@@ -45,6 +45,8 @@ class Distribution {
   double Stddev() const;
   // q in [0,1]; linear interpolation between order statistics.
   double Quantile(double q) const;
+  // Samples strictly greater than `threshold` (SLO-violation counting).
+  size_t CountAbove(double threshold) const;
   double P50() const { return Quantile(0.50); }
   double P95() const { return Quantile(0.95); }
   double P99() const { return Quantile(0.99); }

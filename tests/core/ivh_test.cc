@@ -130,8 +130,8 @@ TEST_F(IvhFixture, HandshakeTimesOutWhenTargetNeverActivates) {
   VmSpec spec = StalledSpec();
   // Disable CFS's capacity-driven (active) balancing entirely so ivh's
   // handshake is the only mechanism that could move the task.
-  spec.guest_params.active_balance_interval = SecToNs(1000);
-  spec.guest_params.imbalance_pct = 1e9;
+  spec.mutable_guest_params().active_balance_interval = SecToNs(1000);
+  spec.mutable_guest_params().imbalance_pct = 1e9;
   Vm vm(&sim_, &machine_, spec);
   Stressor rt(&sim_, "rt", 1024.0, /*rt=*/true);
   rt.Start(&machine_, 1);

@@ -23,7 +23,7 @@ TopologySpec FlatSpec(int cores) {
 
 VmSpec EevdfVm(int vcpus) {
   VmSpec spec = MakeSimpleVmSpec("vm", vcpus);
-  spec.guest_params.use_eevdf = true;
+  spec.mutable_guest_params().use_eevdf = true;
   return spec;
 }
 
@@ -81,7 +81,7 @@ TEST(EevdfTest, DeterministicAndDistinctFromCfs) {
     Simulation sim(seed);
     HostMachine machine(&sim, FlatSpec(2));
     VmSpec spec = MakeSimpleVmSpec("vm", 2);
-    spec.guest_params.use_eevdf = eevdf;
+    spec.mutable_guest_params().use_eevdf = eevdf;
     Vm vm(&sim, &machine, spec);
     std::vector<std::unique_ptr<PeriodicBehavior>> behaviors;
     for (int i = 0; i < 5; ++i) {

@@ -67,6 +67,61 @@ TEST(VmTest, BandwidthReshapeWhileRunning) {
   EXPECT_EQ(t->total_exec_ns() - before, MsToNs(100));
 }
 
+TEST(VmTest, MigrateToMachineMovesAllVcpus) {
+  Simulation sim(95);
+  HostMachine src(&sim, FlatSpec(4));
+  HostMachine dst(&sim, FlatSpec(4));
+  VmSpec spec = MakeSimpleVmSpec("vm", 2);
+  spec.vcpus[0].bw_quota = MsToNs(5);
+  spec.vcpus[0].bw_period = MsToNs(10);
+  Vm vm(&sim, &src, spec);
+  HogBehavior hog;
+  Task* t = vm.kernel().CreateTask("h", TaskPolicy::kNormal, &hog, CpuMask::Single(0));
+  vm.kernel().StartTask(t);
+  sim.RunFor(MsToNs(20));
+  TimeNs exec_before = t->total_exec_ns();
+  EXPECT_GT(exec_before, 0);
+
+  // Downtime blackout, then the atomic cross-machine commit.
+  vm.SetPausedAll(true);
+  sim.RunFor(MsToNs(3));
+  EXPECT_EQ(t->total_exec_ns(), exec_before);
+  vm.MigrateToMachine(&dst, {2, 3});
+  vm.SetPausedAll(false);
+
+  EXPECT_EQ(vm.thread(0).tid(), 2);
+  EXPECT_EQ(vm.thread(1).tid(), 3);
+  EXPECT_FALSE(src.sched(0).busy());
+  sim.RunFor(MsToNs(40));
+  // The hog keeps running on the destination, still under its 50% cap.
+  EXPECT_GT(t->total_exec_ns(), exec_before);
+  EXPECT_TRUE(vm.thread(0).has_bandwidth());
+  // Teardown detaches from the *destination* machine cleanly.
+}
+
+TEST(VmTest, SharedGuestParamsSnapshotAndCopyOnWrite) {
+  auto shared = std::make_shared<const GuestParams>();
+  VmSpec a = MakeSimpleVmSpec("a", 1);
+  VmSpec b = MakeSimpleVmSpec("b", 1);
+  a.guest_params = shared;
+  b.guest_params = shared;
+  // Copy-on-write: tweaking b leaves a (and the shared snapshot) untouched.
+  b.mutable_guest_params().use_eevdf = true;
+  EXPECT_EQ(a.guest_params.get(), shared.get());
+  EXPECT_NE(b.guest_params.get(), shared.get());
+  EXPECT_FALSE(shared->use_eevdf);
+  EXPECT_TRUE(b.guest_params->use_eevdf);
+  EXPECT_FALSE(a.guest_params_or_default().use_eevdf);
+
+  Simulation sim(96);
+  HostMachine machine(&sim, FlatSpec(2));
+  Vm vm_a(&sim, &machine, a);
+  EXPECT_EQ(&vm_a.kernel().params(), shared.get());  // no per-VM copy
+  VmSpec d = MakeSimpleVmSpec("d", 1, 1);
+  Vm vm_d(&sim, &machine, d);  // null snapshot → defaults
+  EXPECT_EQ(vm_d.kernel().params().tick_period, MsToNs(1));
+}
+
 TEST(VmTest, TeardownWithLiveWorkloadIsClean) {
   Simulation sim(93);
   HostMachine machine(&sim, FlatSpec(2));

@@ -136,6 +136,57 @@ TEST_F(MachineFixture, MoveRelocatesEntity) {
   machine_.sched(3).Detach(&vcpu);
 }
 
+TEST_F(MachineFixture, PausedEntityStaysAttachedAndAccruesSteal) {
+  VcpuThread vcpu("vcpu0");
+  machine_.Attach(&vcpu, 0);
+  vcpu.GuestWake();
+  sim_.RunFor(MsToNs(10));
+  EXPECT_TRUE(vcpu.running());
+
+  // Pause (migration downtime): dequeued but still attached, tid valid.
+  vcpu.SetPaused(true);
+  EXPECT_FALSE(vcpu.running());
+  EXPECT_TRUE(vcpu.attached());
+  EXPECT_EQ(vcpu.tid(), 0);
+  EXPECT_FALSE(machine_.sched(0).busy());
+  TimeNs steal_before = vcpu.steal_ns(sim_.now());
+  sim_.RunFor(MsToNs(5));
+  // Paused pending demand reads as steal, exactly what a guest sees.
+  EXPECT_EQ(vcpu.steal_ns(sim_.now()) - steal_before, MsToNs(5));
+
+  // Demand changes while paused must not enqueue the entity.
+  vcpu.GuestHalt();
+  vcpu.GuestWake();
+  sim_.RunFor(MsToNs(1));
+  EXPECT_FALSE(vcpu.running());
+
+  // Unpause: pending demand resumes immediately.
+  vcpu.SetPaused(false);
+  EXPECT_TRUE(vcpu.running());
+  TimeNs ran_before = vcpu.ran_ns(sim_.now());
+  sim_.RunFor(MsToNs(5));
+  EXPECT_EQ(vcpu.ran_ns(sim_.now()) - ran_before, MsToNs(5));
+  vcpu.GuestHalt();
+  machine_.sched(0).Detach(&vcpu);
+}
+
+TEST_F(MachineFixture, SharedTopologyAndParamsConstructor) {
+  auto topo = std::make_shared<const HostTopology>(SmtSpec());
+  auto params = std::make_shared<const HostSchedParams>();
+  HostMachine a(&sim_, topo, params);
+  HostMachine b(&sim_, topo, params);
+  EXPECT_EQ(&a.topology(), topo.get());
+  EXPECT_EQ(a.shared_topology().get(), b.shared_topology().get());
+  EXPECT_EQ(a.num_threads(), 4);
+  // set_params copies on write: thread 0's snapshot diverges, thread 1 keeps
+  // referencing the shared one.
+  HostSchedParams tweaked = *params;
+  tweaked.min_granularity = MsToNs(1);
+  a.sched(0).set_params(tweaked);
+  EXPECT_EQ(a.sched(0).params().min_granularity, MsToNs(1));
+  EXPECT_EQ(a.sched(1).params().min_granularity, params->min_granularity);
+}
+
 TEST_F(MachineFixture, StackedVcpusNeverRunSimultaneously) {
   VcpuThread a("a");
   VcpuThread b("b");

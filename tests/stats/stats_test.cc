@@ -96,6 +96,18 @@ TEST(DistributionTest, AddAfterQuantileStillSorted) {
   EXPECT_DOUBLE_EQ(d.Min(), 0.5);
 }
 
+TEST(DistributionTest, CountAboveIsStrict) {
+  Distribution d;
+  EXPECT_EQ(d.CountAbove(0.0), 0u);
+  for (double s : {1.0, 2.0, 2.0, 3.0, 5.0}) {
+    d.Add(s);
+  }
+  EXPECT_EQ(d.CountAbove(0.0), 5u);
+  EXPECT_EQ(d.CountAbove(2.0), 2u);  // strictly greater
+  EXPECT_EQ(d.CountAbove(4.0), 1u);
+  EXPECT_EQ(d.CountAbove(5.0), 0u);
+}
+
 TEST(HistogramTest, BucketsAndFractions) {
   Histogram h(0.0, 10.0, 10);
   h.Add(0.5);
