@@ -5,7 +5,7 @@
 //
 //   bench_perf_core [--out FILE] [--baseline FILE] [--max-regress F]
 //                   [--jobs N] [--events N] [--rq-ops N] [--timer-fires N]
-//                   [--idle-ms N] [--quick]
+//                   [--idle-ms N] [--fleet-ms N] [--quick]
 //
 // Emits one JSON object (schema below) to --out (default stdout). With
 // --baseline, re-reads a previously emitted JSON (e.g. the committed
@@ -24,6 +24,8 @@
 
 #include "src/base/perf_counters.h"
 #include "src/base/time.h"
+#include "src/cluster/fleet.h"
+#include "src/cluster/fleet_spec.h"
 #include "src/guest/runqueue.h"
 #include "src/guest/task.h"
 #include "src/runner/result_sink.h"
@@ -47,6 +49,7 @@ struct BenchOptions {
   uint64_t rq_ops = 2'000'000;
   uint64_t timer_fires = 2'000'000;
   uint64_t idle_ms = 4'000;
+  uint64_t fleet_ms = 1'000;
 };
 
 int64_t WallNs(std::chrono::steady_clock::time_point start) {
@@ -328,6 +331,45 @@ IdleTickResult RunIdleTick(TimeNs sim_time) {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet: the rack preset (64 hosts, 256 VMs x 4 vCPUs) under vSched guests —
+// the cluster control plane plus a few hundred live guest stacks in one
+// Simulation. This is the scaling story for src/cluster/: sim-ms/sec here
+// bounds how big a fleet the dc preset can sweep in reasonable wall time.
+// ---------------------------------------------------------------------------
+
+struct FleetBenchResult {
+  double sim_ms = 0;
+  int64_t wall_ns = 0;
+  double sim_ms_per_sec = 0;
+  uint64_t requests = 0;
+  uint64_t migrations = 0;
+  int vms_placed = 0;
+};
+
+FleetBenchResult RunFleetSmall(TimeNs sim_time) {
+  FleetSpec spec;
+  bool ok = LookupFleetSpec("rack", &spec);
+  if (!ok) {
+    std::fprintf(stderr, "bench_perf_core: rack fleet preset missing\n");
+    std::exit(1);
+  }
+  Simulation sim(/*seed=*/0xF1EE7u);
+  Fleet fleet(&sim, spec, VSchedOptions::Full());
+  auto start = std::chrono::steady_clock::now();
+  fleet.Start();
+  sim.RunFor(sim_time);
+  fleet.Finish();
+  FleetBenchResult r;
+  r.wall_ns = WallNs(start);
+  r.sim_ms = static_cast<double>(sim_time) / 1e6;
+  r.sim_ms_per_sec = r.wall_ns > 0 ? r.sim_ms * 1e9 / static_cast<double>(r.wall_ns) : 0;
+  r.requests = fleet.totals().requests;
+  r.migrations = fleet.totals().migrations;
+  r.vms_placed = fleet.totals().vms_placed;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end canary: a small fig18 cell through the real runner, so the
 // harness notices regressions the microbenches can't see (kernel, workloads,
 // metrics plumbing).
@@ -388,7 +430,8 @@ bool FindJsonNumber(const std::string& text, const std::string& section, const s
 // Returns 0 when every rate stayed within the allowed regression, 1 otherwise.
 int CompareBaseline(const std::string& path, double max_regress, const ChurnResult& churn,
                     const RqChurnResult& rq, const TimerChurnResult& timer,
-                    const IdleTickResult& idle, const CellResult& cell) {
+                    const IdleTickResult& idle, const FleetBenchResult& fleet,
+                    const CellResult& cell) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_perf_core: cannot open baseline %s\n", path.c_str());
@@ -418,6 +461,7 @@ int CompareBaseline(const std::string& path, double max_regress, const ChurnResu
   check_rate("runqueue_churn", "ops_per_sec", rq.ops_per_sec);
   check_rate("timer_churn", "ops_per_sec", timer.ops_per_sec);
   check_rate("idle_tick", "sim_ms_per_sec", idle.sim_ms_per_sec);
+  check_rate("fleet_small", "sim_ms_per_sec", fleet.sim_ms_per_sec);
   // For wall clock, lower is better: compare inverted.
   check_rate("fig18_cell", "cells_per_sec",
              cell.wall_ns > 0 ? 1e9 / static_cast<double>(cell.wall_ns) : 0);
@@ -435,6 +479,7 @@ void Usage(std::FILE* out) {
                "  --rq-ops N        runqueue-churn op count (default 2000000)\n"
                "  --timer-fires N   timer-churn firing count (default 2000000)\n"
                "  --idle-ms N       idle-tick simulated milliseconds (default 4000)\n"
+               "  --fleet-ms N      fleet_small simulated milliseconds (default 1000)\n"
                "  --quick           1/4 size run for smoke testing\n");
 }
 
@@ -470,11 +515,14 @@ int main(int argc, char** argv) {
       opt.timer_fires = std::strtoull(value(), nullptr, 0);
     } else if (arg == "--idle-ms") {
       opt.idle_ms = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--fleet-ms") {
+      opt.fleet_ms = std::strtoull(value(), nullptr, 0);
     } else if (arg == "--quick") {
       opt.events /= 4;
       opt.rq_ops /= 4;
       opt.timer_fires /= 4;
       opt.idle_ms /= 4;
+      opt.fleet_ms /= 4;
     } else {
       std::fprintf(stderr, "bench_perf_core: unknown flag %s\n", arg.c_str());
       Usage(stderr);
@@ -510,6 +558,13 @@ int main(int argc, char** argv) {
                idle.sim_ms_per_sec, idle.sim_ms_per_sec_ticking, idle.speedup,
                static_cast<unsigned long long>(idle.ticks_avoided));
 
+  std::fprintf(stderr, "fleet_small: rack preset (64 hosts, 256 VMs), %llu sim-ms...\n",
+               static_cast<unsigned long long>(opt.fleet_ms));
+  FleetBenchResult fleet = RunFleetSmall(MsToNs(static_cast<TimeNs>(opt.fleet_ms)));
+  std::fprintf(stderr, "  %.3g sim-ms/sec (%llu requests, %llu migrations, %d VMs placed)\n",
+               fleet.sim_ms_per_sec, static_cast<unsigned long long>(fleet.requests),
+               static_cast<unsigned long long>(fleet.migrations), fleet.vms_placed);
+
   std::fprintf(stderr, "fig18 cell (canneal x 3 configs, jobs=%d)...\n", opt.jobs);
   CellResult cell = RunFig18Cell(opt.jobs);
   std::fprintf(stderr, "  %d runs in %.1f ms\n", cell.runs, cell.wall_ms);
@@ -536,6 +591,11 @@ int main(int argc, char** argv) {
        << ", \"sim_ms_per_sec_ticking\": " << JsonNumber(idle.sim_ms_per_sec_ticking)
        << ", \"ticks_avoided\": " << idle.ticks_avoided
        << ", \"speedup\": " << JsonNumber(idle.speedup) << "},\n";
+  json << "  \"fleet_small\": {\"sim_ms\": " << JsonNumber(fleet.sim_ms)
+       << ", \"wall_ns\": " << fleet.wall_ns
+       << ", \"sim_ms_per_sec\": " << JsonNumber(fleet.sim_ms_per_sec)
+       << ", \"requests\": " << fleet.requests << ", \"migrations\": " << fleet.migrations
+       << ", \"vms_placed\": " << fleet.vms_placed << "},\n";
   json << "  \"fig18_cell\": {\"runs\": " << cell.runs << ", \"jobs\": " << opt.jobs
        << ", \"wall_ns\": " << cell.wall_ns << ", \"wall_ms\": " << JsonNumber(cell.wall_ms)
        << ", \"cells_per_sec\": "
@@ -555,7 +615,8 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.baseline.empty()) {
-    return CompareBaseline(opt.baseline, opt.max_regress, churn, rq_cfs, timer, idle, cell);
+    return CompareBaseline(opt.baseline, opt.max_regress, churn, rq_cfs, timer, idle, fleet,
+                           cell);
   }
   return 0;
 }

@@ -1,16 +1,19 @@
 // vsched_run: unified CLI for the declarative experiment sweeps.
 //
-//   vsched_run [--experiment NAME] [--jobs N] [--seed S] [--out FILE]
-//              [--filter SUBSTR] [--warmup-ms N] [--measure-ms N]
+//   vsched_run [--experiment NAME] [--fleet PRESET] [--jobs N] [--seed S]
+//              [--out FILE] [--filter SUBSTR] [--warmup-ms N] [--measure-ms N]
 //              [--tickless] [--timings] [--audit] [--list]
 //              [--fault-plan NAME] [--event-budget N] [--resume FILE]
 //
-// Experiments: fig18_rcvm (default), fig19_hpvm, fig02, all.
+// Experiments: fig18_rcvm (default), fig19_hpvm, fig02, all. --fleet PRESET
+// instead sweeps a cluster-scale fleet (docs/CLUSTER.md) head-to-head
+// {cfs, vsched}.
 // JSONL rows go to --out (or stdout); the human report and wall-clock
 // summary go to stdout (or stderr when rows occupy stdout). Rows are
 // byte-identical for any --jobs value. SIGINT drains in-flight runs, flushes
 // every finished row (a valid --resume checkpoint) and exits 130. See
 // docs/RUNNER.md and docs/ROBUSTNESS.md.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "src/base/audit.h"
+#include "src/cluster/fleet_spec.h"
 #include "src/fault/fault_plan.h"
 #include "src/runner/report.h"
 #include "src/runner/result_sink.h"
@@ -39,6 +43,7 @@ void OnSigint(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 
 struct CliOptions {
   std::string experiment = "fig18_rcvm";
+  std::string fleet;  // non-empty: fleet preset sweep instead of --experiment
   int jobs = 0;
   uint64_t seed = 0;  // 0: each sweep's built-in default
   std::string out;    // empty: stdout
@@ -59,6 +64,9 @@ void Usage(std::FILE* out) {
                "usage: vsched_run [options]\n"
                "  --experiment NAME  fig18_rcvm | fig19_hpvm | fig02 | all (default:"
                " fig18_rcvm)\n"
+               "  --fleet PRESET     cluster-scale fleet sweep {cfs, vsched} over PRESET\n"
+               "                     (see --list-fleets); replaces --experiment\n"
+               "  --list-fleets      print the fleet preset names and exit\n"
                "  --jobs N           worker threads; 0 = hardware concurrency, 1 = serial\n"
                "  --seed S           base seed override (default: the sweep's own)\n"
                "  --out FILE         write JSONL rows to FILE instead of stdout\n"
@@ -125,6 +133,13 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
         std::printf("%s\n", name.c_str());
       }
       std::exit(0);
+    } else if (arg == "--list-fleets") {
+      for (const std::string& name : FleetSpecNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      std::exit(0);
+    } else if (take("--fleet")) {
+      cli.fleet = v;
     } else if (take("--fault-plan")) {
       cli.fault_plan = v;
     } else if (take("--event-budget")) {
@@ -156,21 +171,31 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
 
 ExperimentSpec BuildSweep(const CliOptions& cli) {
   std::vector<ExperimentSpec> parts;
-  if (cli.experiment == "fig18_rcvm" || cli.experiment == "all") {
-    parts.push_back(OverallSweep(ExperimentFamily::kOverallRcvm, cli.seed));
-  }
-  if (cli.experiment == "fig19_hpvm" || cli.experiment == "all") {
-    parts.push_back(OverallSweep(ExperimentFamily::kOverallHpvm, cli.seed));
-  }
-  if (cli.experiment == "fig02" || cli.experiment == "all") {
-    parts.push_back(VcpuLatencySweep(cli.seed));
-  }
-  if (parts.empty()) {
-    std::fprintf(stderr, "vsched_run: unknown experiment %s\n", cli.experiment.c_str());
-    std::exit(2);
+  if (!cli.fleet.empty()) {
+    std::vector<std::string> names = FleetSpecNames();
+    if (std::find(names.begin(), names.end(), cli.fleet) == names.end()) {
+      std::fprintf(stderr, "vsched_run: unknown fleet preset %s (see --list-fleets)\n",
+                   cli.fleet.c_str());
+      std::exit(2);
+    }
+    parts.push_back(FleetSweep(cli.fleet, cli.seed));
+  } else {
+    if (cli.experiment == "fig18_rcvm" || cli.experiment == "all") {
+      parts.push_back(OverallSweep(ExperimentFamily::kOverallRcvm, cli.seed));
+    }
+    if (cli.experiment == "fig19_hpvm" || cli.experiment == "all") {
+      parts.push_back(OverallSweep(ExperimentFamily::kOverallHpvm, cli.seed));
+    }
+    if (cli.experiment == "fig02" || cli.experiment == "all") {
+      parts.push_back(VcpuLatencySweep(cli.seed));
+    }
+    if (parts.empty()) {
+      std::fprintf(stderr, "vsched_run: unknown experiment %s\n", cli.experiment.c_str());
+      std::exit(2);
+    }
   }
   ExperimentSpec sweep;
-  sweep.name = cli.experiment;
+  sweep.name = cli.fleet.empty() ? cli.experiment : "fleet_" + cli.fleet;
   for (ExperimentSpec& part : parts) {
     for (RunSpec& run : part.runs) {
       if (cli.warmup_ms >= 0) {

@@ -1,0 +1,41 @@
+# ctest script: cluster-scale fleet sweeps are deterministic. Run with:
+#   cmake -DVSCHED_RUN=<binary> -DWORK_DIR=<dir> -P vsched_run_fleet.cmake
+#
+# Asserts:
+#   1. A tiny-fleet sweep (thousands of events across 4 hosts / 10 VMs of
+#      control-plane + guest-stack interleaving) emits byte-identical JSONL
+#      at --jobs 1 and --jobs 4.
+#   2. A chaos fleet sweep (machine-level fault injectors armed on every
+#      fourth host) replays byte-identically run over run — fault draws come
+#      from the same forked RNG streams as everything else.
+
+function(run_fleet out)
+  execute_process(
+      COMMAND ${VSCHED_RUN} --fleet tiny ${ARGN} --out ${out}
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vsched_run --fleet tiny ${ARGN} failed (rc=${rc})")
+  endif()
+endfunction()
+
+function(expect_identical a b what)
+  execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+      RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+  endif()
+endfunction()
+
+# --- 1. byte-identical across job counts ------------------------------------
+run_fleet(${WORK_DIR}/fleet_j1.jsonl --jobs 1)
+run_fleet(${WORK_DIR}/fleet_j4.jsonl --jobs 4)
+expect_identical(${WORK_DIR}/fleet_j1.jsonl ${WORK_DIR}/fleet_j4.jsonl
+                 "fleet JSONL differs between --jobs=1 and --jobs=4")
+
+# --- 2. chaos fleet replay ---------------------------------------------------
+run_fleet(${WORK_DIR}/fleet_chaos_a.jsonl --jobs 2 --fault-plan everything)
+run_fleet(${WORK_DIR}/fleet_chaos_b.jsonl --jobs 2 --fault-plan everything)
+expect_identical(${WORK_DIR}/fleet_chaos_a.jsonl ${WORK_DIR}/fleet_chaos_b.jsonl
+                 "chaos fleet sweep does not replay byte-identically")

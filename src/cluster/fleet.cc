@@ -1,0 +1,615 @@
+#include "src/cluster/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/guest/guest_kernel.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+namespace {
+
+// Hosts carrying machine-level chaos when a fault plan is armed: a
+// deterministic quarter of the fleet.
+bool ChaosHost(int host_id) { return host_id % 4 == 0; }
+
+}  // namespace
+
+Fleet::Fleet(Simulation* sim, FleetSpec spec, VSchedOptions guest_options,
+             const FaultPlan* fault_plan, bool tickless)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      guest_options_(guest_options),
+      tickless_(tickless),
+      rng_(sim->ForkRng()) {
+  VSCHED_CHECK(spec_.hosts > 0 && spec_.vms > 0 && spec_.vcpus_per_vm > 0);
+  VSCHED_CHECK(spec_.initial_hosts_on >= 1 && spec_.initial_hosts_on <= spec_.hosts);
+
+  topology_ = std::make_shared<const HostTopology>(spec_.host_topology);
+  HostSchedParams host_params;
+  host_params.min_granularity = spec_.host_min_granularity;
+  host_params.wakeup_granularity = spec_.host_wakeup_granularity;
+  host_params.tickless = tickless_;
+  host_params_ = std::make_shared<const HostSchedParams>(host_params);
+  GuestParams guest_params;
+  guest_params.tickless = tickless_;
+  guest_params_ = std::make_shared<const GuestParams>(guest_params);
+
+  guest_options_.vcap.sampling_period = spec_.probe_window;
+  guest_options_.vcap.light_interval = spec_.probe_interval;
+  guest_options_.vcap.heavy_every = spec_.probe_heavy_every;
+  guest_options_.vact.update_interval = spec_.probe_interval;
+  guest_options_.rwc.straggler_ratio = spec_.rwc_straggler_ratio;
+
+  placement_ = MakePlacementPolicy(spec_.placement);
+  VSCHED_CHECK_MSG(placement_ != nullptr, "unknown placement policy");
+
+  hosts_.reserve(static_cast<size_t>(spec_.hosts));
+  for (int h = 0; h < spec_.hosts; ++h) {
+    auto host = std::make_unique<ClusterHost>();
+    host->id = h;
+    host->machine = std::make_unique<HostMachine>(sim_, topology_, host_params_);
+    host->power = h < spec_.initial_hosts_on ? HostPower::kOn : HostPower::kOff;
+    host->thread_commits.assign(static_cast<size_t>(topology_->num_threads()), 0);
+    host->occupants.resize(static_cast<size_t>(topology_->num_threads()));
+    hosts_.push_back(std::move(host));
+  }
+
+  if (fault_plan != nullptr && !fault_plan->Empty()) {
+    for (auto& host : hosts_) {
+      if (ChaosHost(host->id)) {
+        // No VM is bound: bandwidth jitter and probe chaos stay off; steal
+        // bursts, stressor storms, and frequency droops hit the machine.
+        injectors_.push_back(std::make_unique<FaultInjector>(sim_, host->machine.get(),
+                                                             /*vm=*/nullptr, *fault_plan));
+      }
+    }
+  }
+}
+
+Fleet::~Fleet() {
+  if (!finished_) {
+    Finish();
+  }
+}
+
+int Fleet::CapacityVcpus() const {
+  return static_cast<int>(static_cast<double>(topology_->num_threads()) * spec_.overcommit);
+}
+
+int Fleet::hosts_on() const {
+  int on = 0;
+  for (const auto& host : hosts_) {
+    if (host->power != HostPower::kOff) {
+      ++on;
+    }
+  }
+  return on;
+}
+
+std::vector<HostLoadView> Fleet::LoadViews() const {
+  std::vector<HostLoadView> views;
+  views.reserve(hosts_.size());
+  int capacity = CapacityVcpus();
+  for (const auto& host : hosts_) {
+    HostLoadView view;
+    view.host_id = host->id;
+    view.accepts_vms = host->power == HostPower::kOn;
+    view.committed_vcpus = host->committed_vcpus;
+    view.capacity_vcpus = capacity;
+    views.push_back(view);
+  }
+  return views;
+}
+
+void Fleet::Start() {
+  start_time_ = sim_->now();
+  last_sample_ = start_time_;
+  for (auto& host : hosts_) {
+    host->idle_since = start_time_;
+  }
+
+  // Draw the whole Poisson arrival schedule up front (one rng stream, fixed
+  // order), then let tenants arrive as events.
+  double mean_gap = static_cast<double>(spec_.arrival_window) / static_cast<double>(spec_.vms);
+  TimeNs at = start_time_;
+  for (int i = 0; i < spec_.vms; ++i) {
+    at += static_cast<TimeNs>(rng_.Exponential(mean_gap));
+    auto tenant = std::make_unique<TenantVm>();
+    tenant->id = i;
+    tenant->name = "t" + std::to_string(i);
+    if (spec_.vm_lifetime_mean > 0) {
+      tenant->departs_at =
+          at + static_cast<TimeNs>(rng_.Exponential(static_cast<double>(spec_.vm_lifetime_mean)));
+    }
+    tenants_.push_back(std::move(tenant));
+    sim_->At(at, [this, i] { OnVmArrival(i); });
+  }
+
+  for (auto& injector : injectors_) {
+    injector->Start();
+  }
+  control_loop_ = sim_->Every(spec_.control_period, [this] { ControlTick(); });
+}
+
+std::vector<HwThreadId> Fleet::ReserveThreads(ClusterHost* host, int vcpus) {
+  // Rotating first-fit: take consecutive threads starting at a per-host
+  // cursor, skipping only threads already at the stacking ceiling. Real VMMs
+  // place vCPU threads wherever they land, not commit-balanced — so VM
+  // footprints overlap partially and a VM's vCPUs end up with *unequal*
+  // co-runners (some share a thread with a busy neighbor, some run alone).
+  // That intra-VM capacity/latency asymmetry is the paper's §2 regime, the
+  // thing guest CFS cannot see and vSched's probers exist to discover.
+  // Least-committed-first reservation would equalize stacking across a VM's
+  // vCPUs and erase the asymmetry.
+  int n = topology_->num_threads();
+  int ceiling = 1;
+  while (ceiling * n < static_cast<int>(spec_.overcommit * n)) {
+    ++ceiling;
+  }
+  std::vector<HwThreadId> tids;
+  tids.reserve(static_cast<size_t>(vcpus));
+  int cursor = host->reserve_cursor;
+  for (int v = 0; v < vcpus; ++v) {
+    // First pass honors the per-thread ceiling; if all threads are at it
+    // (the host-level commit gate still admitted us), fall back to the
+    // least-committed thread so reservation never fails.
+    int picked = -1;
+    // Avoid giving this VM two vCPUs on one hardware thread (self-stacking):
+    // real VMMs pin a VM's vCPU threads to distinct pCPUs whenever they fit,
+    // and self-stacked siblings would only halve each other.
+    for (int pass = 0; pass < 2 && picked < 0; ++pass) {
+      for (int step = 0; step < n; ++step) {
+        int t = (cursor + step) % n;
+        if (host->thread_commits[static_cast<size_t>(t)] >= ceiling) {
+          continue;
+        }
+        if (pass == 0 && std::find(tids.begin(), tids.end(), t) != tids.end()) {
+          continue;
+        }
+        picked = t;
+        cursor = (t + 1) % n;
+        break;
+      }
+    }
+    if (picked < 0) {
+      picked = 0;
+      for (int t = 1; t < n; ++t) {
+        if (host->thread_commits[static_cast<size_t>(t)] <
+            host->thread_commits[static_cast<size_t>(picked)]) {
+          picked = t;
+        }
+      }
+    }
+    host->thread_commits[static_cast<size_t>(picked)] += 1;
+    tids.push_back(picked);
+  }
+  // Advance one extra slot so successive footprints interleave even when the
+  // VM size divides the thread count (4-vCPU VMs on 8 threads would
+  // otherwise tile into aligned, internally-uniform chunks).
+  host->reserve_cursor = (cursor + 1) % n;
+  host->committed_vcpus += vcpus;
+  return tids;
+}
+
+void Fleet::ReleaseCommits(int host_id, const std::vector<HwThreadId>& tids) {
+  ClusterHost* host = hosts_[static_cast<size_t>(host_id)].get();
+  for (HwThreadId tid : tids) {
+    host->thread_commits[static_cast<size_t>(tid)] -= 1;
+    VSCHED_CHECK(host->thread_commits[static_cast<size_t>(tid)] >= 0);
+  }
+  host->committed_vcpus -= static_cast<int>(tids.size());
+  VSCHED_CHECK(host->committed_vcpus >= 0);
+  if (host->committed_vcpus == 0) {
+    host->idle_since = sim_->now();
+  }
+}
+
+void Fleet::ReshapeThread(ClusterHost* host, HwThreadId tid) {
+  // During Finish() teardown neighbor VMs are being destroyed in id order;
+  // caps no longer matter and the occupant list must not be dereferenced.
+  if (spec_.cap_period <= 0 || finished_) {
+    return;
+  }
+  auto& occ = host->occupants[static_cast<size_t>(tid)];
+  int k = static_cast<int>(occ.size());
+  for (const auto& [tenant_id, vcpu] : occ) {
+    Vm* vm = tenants_[static_cast<size_t>(tenant_id)]->vm.get();
+    if (k <= 1) {
+      vm->ClearVcpuBandwidth(vcpu);
+    } else {
+      vm->SetVcpuBandwidth(vcpu, spec_.cap_period / k, spec_.cap_period);
+    }
+  }
+}
+
+void Fleet::OccupyThreads(TenantVm* tenant) {
+  ClusterHost* host = hosts_[static_cast<size_t>(tenant->host_id)].get();
+  for (size_t v = 0; v < tenant->tids.size(); ++v) {
+    host->occupants[static_cast<size_t>(tenant->tids[v])].emplace_back(tenant->id,
+                                                                       static_cast<int>(v));
+  }
+  for (HwThreadId tid : tenant->tids) {
+    ReshapeThread(host, tid);
+  }
+}
+
+void Fleet::VacateThreads(TenantVm* tenant) {
+  ClusterHost* host = hosts_[static_cast<size_t>(tenant->host_id)].get();
+  for (auto tid : tenant->tids) {
+    auto& occ = host->occupants[static_cast<size_t>(tid)];
+    for (auto it = occ.begin(); it != occ.end(); ++it) {
+      if (it->first == tenant->id) {
+        occ.erase(it);
+        break;
+      }
+    }
+  }
+  for (HwThreadId tid : tenant->tids) {
+    ReshapeThread(host, tid);
+  }
+}
+
+void Fleet::OnVmArrival(int tenant_id) {
+  TenantVm* tenant = tenants_[static_cast<size_t>(tenant_id)].get();
+  if (!TryPlace(tenant)) {
+    pending_.push_back(tenant_id);
+    BootHostsIfNeeded();
+  }
+}
+
+bool Fleet::TryPlace(TenantVm* tenant) {
+  int host_id = placement_->Pick(LoadViews(), spec_.vcpus_per_vm);
+  if (host_id < 0) {
+    return false;
+  }
+  ClusterHost* host = hosts_[static_cast<size_t>(host_id)].get();
+  tenant->host_id = host_id;
+  tenant->tids = ReserveThreads(host, spec_.vcpus_per_vm);
+
+  VmSpec vm_spec;
+  vm_spec.name = tenant->name;
+  vm_spec.guest_params = guest_params_;  // one shared snapshot fleet-wide
+  for (HwThreadId tid : tenant->tids) {
+    VcpuPlacement p;
+    p.tid = tid;
+    vm_spec.vcpus.push_back(p);
+  }
+  tenant->vm = std::make_unique<Vm>(sim_, host->machine.get(), std::move(vm_spec));
+  OccupyThreads(tenant);
+  tenant->vsched = std::make_unique<VSched>(&tenant->vm->kernel(), guest_options_);
+  tenant->vsched->Start();
+
+  tenant->batch = spec_.batch_every > 0 && tenant->id % spec_.batch_every == 0;
+  if (tenant->batch) {
+    TaskParallelParams bp;
+    bp.name = tenant->name + "/batch";
+    bp.threads = spec_.vcpus_per_vm;
+    bp.chunk_mean = MsToNs(2);
+    tenant->batch_app = std::make_unique<TaskParallelApp>(&tenant->vm->kernel(), bp);
+    tenant->batch_app->Start();
+  } else {
+    LatencyAppParams app;
+    app.name = tenant->name + "/app";
+    app.workers = spec_.vcpus_per_vm;
+    app.arrival_rate_per_sec =
+        spec_.requests_per_sec_per_vcpu * static_cast<double>(spec_.vcpus_per_vm);
+    app.service_mean = spec_.service_mean;
+    app.service_cv = spec_.service_cv;
+    tenant->app = std::make_unique<LatencyApp>(&tenant->vm->kernel(), app);
+    tenant->app->Start();
+    if (spec_.background_tasks_per_vm > 0) {
+      // Best-effort work co-located inside the service VM (the paper's §2
+      // restricted-capacity regime). SCHED_IDLE yields instantly to the
+      // latency workers *in the guest*, but the spinning keeps draining the
+      // host bandwidth quota, so vCPUs go inactive in a way guest CFS
+      // cannot observe at wakeup-placement time — vact can.
+      TaskParallelParams bg;
+      bg.name = tenant->name + "/bg";
+      bg.threads = spec_.background_tasks_per_vm;
+      bg.chunk_mean = MsToNs(10);
+      bg.policy = TaskPolicy::kIdle;
+      tenant->bg_app = std::make_unique<TaskParallelApp>(&tenant->vm->kernel(), bg);
+      tenant->bg_app->Start();
+    }
+  }
+
+  tenant->placed = true;
+  totals_.vms_placed += 1;
+  if (tenant->departs_at > 0) {
+    TimeNs when = std::max(tenant->departs_at, sim_->now() + 1);
+    int id = tenant->id;
+    sim_->At(when, [this, id] {
+      TenantVm* t = tenants_[static_cast<size_t>(id)].get();
+      if (t->departed) {
+        return;
+      }
+      if (t->migrating) {
+        t->depart_pending = true;  // the commit handler finishes the job
+        return;
+      }
+      DoDepart(t);
+    });
+  }
+  return true;
+}
+
+void Fleet::PlacePending() {
+  while (!pending_.empty()) {
+    TenantVm* tenant = tenants_[static_cast<size_t>(pending_.front())].get();
+    if (!TryPlace(tenant)) {
+      break;  // FIFO: nothing smaller jumps the queue
+    }
+    pending_.pop_front();
+  }
+}
+
+void Fleet::BootHostsIfNeeded() {
+  // Reactive provisioning: boot Off hosts (lowest id first) until the
+  // committed capacity of On + Booting hosts covers the pending demand.
+  int need = static_cast<int>(pending_.size()) * spec_.vcpus_per_vm;
+  if (need == 0) {
+    return;
+  }
+  int capacity = CapacityVcpus();
+  int free_commits = 0;
+  for (const auto& host : hosts_) {
+    if (host->power != HostPower::kOff) {
+      free_commits += capacity - host->committed_vcpus;
+    }
+  }
+  for (auto& host : hosts_) {
+    if (free_commits >= need) {
+      break;
+    }
+    if (host->power != HostPower::kOff) {
+      continue;
+    }
+    host->power = HostPower::kBooting;
+    totals_.hosts_booted += 1;
+    free_commits += capacity;
+    int id = host->id;
+    sim_->After(spec_.boot_delay, [this, id] { OnBootComplete(id); });
+  }
+}
+
+void Fleet::OnBootComplete(int host_id) {
+  ClusterHost* host = hosts_[static_cast<size_t>(host_id)].get();
+  VSCHED_CHECK(host->power == HostPower::kBooting);
+  host->power = HostPower::kOn;
+  host->idle_since = sim_->now();
+  PlacePending();
+}
+
+void Fleet::ControlTick() {
+  SampleEnergyAndUtil();
+  PlacePending();
+  BootHostsIfNeeded();
+  MaybeConsolidate();
+
+  // Idle power-down: an On host with no commitments for idle_shutdown_after
+  // powers off, as long as min_hosts_on powered hosts remain.
+  TimeNs now = sim_->now();
+  int on = hosts_on();
+  for (auto& host : hosts_) {
+    if (on <= spec_.min_hosts_on) {
+      break;
+    }
+    if (host->power == HostPower::kOn && host->committed_vcpus == 0 &&
+        now - host->idle_since >= spec_.idle_shutdown_after) {
+      host->power = HostPower::kOff;
+      totals_.hosts_shutdown += 1;
+      on -= 1;
+    }
+  }
+}
+
+void Fleet::SampleEnergyAndUtil() {
+  TimeNs now = sim_->now();
+  TimeNs dt = now - last_sample_;
+  last_sample_ = now;
+  if (dt <= 0) {
+    return;
+  }
+  double dt_sec = static_cast<double>(dt) / 1e9;
+  for (auto& host : hosts_) {
+    double watts = spec_.off_watts;
+    if (host->power == HostPower::kBooting) {
+      watts = spec_.booting_watts;
+    } else if (host->power == HostPower::kOn) {
+      int busy = 0;
+      int threads = topology_->num_threads();
+      for (int t = 0; t < threads; ++t) {
+        if (host->machine->sched(t).busy()) {
+          ++busy;
+        }
+      }
+      double util = static_cast<double>(busy) / static_cast<double>(threads);
+      watts = spec_.idle_watts + (spec_.busy_watts - spec_.idle_watts) * util;
+      util_integral_ += util * dt_sec;
+      on_time_integral_ += dt_sec;
+    }
+    host->energy_j += watts * dt_sec;
+  }
+}
+
+void Fleet::MaybeConsolidate() {
+  // Drain the least-committed On host whose load ratio sits in
+  // (0, consolidate_below]: live-migrate its lowest-id tenant to a strictly
+  // busier host the policy accepts. One migration start per tick keeps the
+  // churn bounded and the event trace easy to audit.
+  int capacity = CapacityVcpus();
+  ClusterHost* source = nullptr;
+  double source_load = 0;
+  for (auto& host : hosts_) {
+    if (host->power != HostPower::kOn || host->committed_vcpus == 0) {
+      continue;
+    }
+    double load = static_cast<double>(host->committed_vcpus) / static_cast<double>(capacity);
+    if (load > spec_.consolidate_below) {
+      continue;
+    }
+    if (source == nullptr || load < source_load) {
+      source = host.get();
+      source_load = load;
+    }
+  }
+  if (source == nullptr) {
+    return;
+  }
+  TenantVm* mover = nullptr;
+  for (auto& tenant : tenants_) {
+    if (tenant->placed && !tenant->departed && !tenant->migrating &&
+        tenant->host_id == source->id) {
+      mover = tenant.get();
+      break;
+    }
+  }
+  if (mover == nullptr) {
+    return;  // everything on the host is already in flight
+  }
+  int dest_id = placement_->Pick(LoadViews(), spec_.vcpus_per_vm, /*exclude_host=*/source->id);
+  if (dest_id < 0) {
+    return;
+  }
+  ClusterHost* dest = hosts_[static_cast<size_t>(dest_id)].get();
+  if (dest->committed_vcpus <= source->committed_vcpus) {
+    return;  // only drain toward busier hosts, or two near-idle hosts ping-pong
+  }
+  mover->migrating = true;
+  mover->mig_dest_host = dest_id;
+  mover->mig_dest_tids = ReserveThreads(dest, spec_.vcpus_per_vm);
+  int id = mover->id;
+  // Pre-copy phase: the VM keeps running on the source for the copy latency.
+  sim_->After(spec_.migration_copy_latency, [this, id] { OnMigrationDowntime(id); });
+}
+
+void Fleet::OnMigrationDowntime(int tenant_id) {
+  TenantVm* tenant = tenants_[static_cast<size_t>(tenant_id)].get();
+  VSCHED_CHECK(tenant->migrating);
+  if (tenant->depart_pending) {
+    // The tenant's lifetime ended during the copy: abort the migration.
+    ReleaseCommits(tenant->mig_dest_host, tenant->mig_dest_tids);
+    tenant->migrating = false;
+    tenant->mig_dest_host = -1;
+    tenant->mig_dest_tids.clear();
+    DoDepart(tenant);
+    return;
+  }
+  // Downtime blackout: paused vCPUs stay attached (guest sees steal).
+  tenant->vm->SetPausedAll(true);
+  int id = tenant->id;
+  sim_->After(spec_.migration_downtime, [this, id] { OnMigrationCommit(id); });
+}
+
+void Fleet::OnMigrationCommit(int tenant_id) {
+  TenantVm* tenant = tenants_[static_cast<size_t>(tenant_id)].get();
+  VSCHED_CHECK(tenant->migrating);
+  ClusterHost* dest = hosts_[static_cast<size_t>(tenant->mig_dest_host)].get();
+  VacateThreads(tenant);  // source neighbors' caps relax
+  tenant->vm->MigrateToMachine(dest->machine.get(), tenant->mig_dest_tids);
+  tenant->vm->SetPausedAll(false);
+  ReleaseCommits(tenant->host_id, tenant->tids);
+  tenant->host_id = tenant->mig_dest_host;
+  tenant->tids = tenant->mig_dest_tids;
+  tenant->mig_dest_host = -1;
+  tenant->mig_dest_tids.clear();
+  tenant->migrating = false;
+  OccupyThreads(tenant);  // dest caps tighten around the newcomer
+  totals_.migrations += 1;
+  if (tenant->depart_pending) {
+    DoDepart(tenant);
+  }
+}
+
+void Fleet::HarvestStats(TenantVm* tenant) {
+  if (tenant->batch) {
+    totals_.batch_chunks += tenant->batch_app->chunks_done();
+    return;
+  }
+  if (tenant->bg_app != nullptr) {
+    totals_.batch_chunks += tenant->bg_app->chunks_done();
+  }
+  const Distribution& latency = tenant->app->end_to_end();
+  fleet_latency_.MergeFrom(latency);
+  totals_.slo_violations += latency.CountAbove(static_cast<double>(spec_.slo_latency));
+  totals_.requests += static_cast<uint64_t>(latency.count());
+  if (latency.count() > 0) {
+    tenant_p99s_.Add(latency.P99());
+  }
+}
+
+void Fleet::StopApps(TenantVm* tenant) {
+  if (tenant->app != nullptr) {
+    tenant->app->Stop();
+    tenant->app.reset();
+  }
+  if (tenant->batch_app != nullptr) {
+    tenant->batch_app->Stop();
+    tenant->batch_app.reset();
+  }
+  if (tenant->bg_app != nullptr) {
+    tenant->bg_app->Stop();
+    tenant->bg_app.reset();
+  }
+}
+
+void Fleet::DoDepart(TenantVm* tenant) {
+  VSCHED_CHECK(tenant->placed && !tenant->departed && !tenant->migrating);
+  HarvestStats(tenant);
+  StopApps(tenant);
+  tenant->vsched->Stop();
+  tenant->vsched.reset();
+  VacateThreads(tenant);  // neighbors' caps relax before the VM detaches
+  tenant->vm.reset();     // detaches the vCPU threads from the host
+  ReleaseCommits(tenant->host_id, tenant->tids);
+  tenant->departed = true;
+  totals_.vms_departed += 1;
+}
+
+void Fleet::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  SampleEnergyAndUtil();
+  if (control_loop_ != nullptr) {
+    sim_->CancelPeriodic(control_loop_);
+    control_loop_ = nullptr;
+  }
+  for (auto& injector : injectors_) {
+    injector->Stop();
+    totals_.fault_applied += injector->stats().total_applied();
+  }
+  for (auto& tenant : tenants_) {
+    if (!tenant->placed || tenant->departed) {
+      continue;
+    }
+    HarvestStats(tenant.get());
+    StopApps(tenant.get());
+    tenant->vsched->Stop();
+    tenant->vsched.reset();
+    tenant->vm.reset();
+    ReleaseCommits(tenant->host_id, tenant->tids);
+  }
+  totals_.vms_rejected = static_cast<int>(pending_.size());
+
+  totals_.fleet_p50_ns = fleet_latency_.P50();
+  totals_.fleet_p95_ns = fleet_latency_.P95();
+  totals_.fleet_p99_ns = fleet_latency_.P99();
+  totals_.fleet_mean_ns = fleet_latency_.Mean();
+  totals_.tenant_p99_p50_ns = tenant_p99s_.P50();
+  totals_.tenant_p99_p95_ns = tenant_p99s_.P95();
+  totals_.tenant_p99_max_ns = tenant_p99s_.Max();
+  totals_.hosts_on_at_end = hosts_on();
+  totals_.host_util_mean = on_time_integral_ > 0 ? util_integral_ / on_time_integral_ : 0;
+  double energy = 0;
+  for (const auto& host : hosts_) {
+    energy += host->energy_j;
+  }
+  totals_.energy_j = energy;
+}
+
+}  // namespace vsched

@@ -1,0 +1,63 @@
+#include "src/cluster/placement.h"
+
+namespace vsched {
+namespace {
+
+double LoadRatio(const HostLoadView& host) {
+  if (host.capacity_vcpus <= 0) {
+    return 1.0;
+  }
+  return static_cast<double>(host.committed_vcpus) / static_cast<double>(host.capacity_vcpus);
+}
+
+bool Fits(const HostLoadView& host, int vcpus) {
+  return host.accepts_vms && host.committed_vcpus + vcpus <= host.capacity_vcpus;
+}
+
+}  // namespace
+
+int GreedyLoadPolicy::Pick(const std::vector<HostLoadView>& hosts, int vcpus,
+                           int exclude_host) const {
+  int best = -1;
+  double best_load = 0;
+  for (const HostLoadView& host : hosts) {
+    if (host.host_id == exclude_host || !Fits(host, vcpus)) {
+      continue;
+    }
+    double load = LoadRatio(host);
+    if (best == -1 || load < best_load) {  // tie keeps the lowest host id
+      best = host.host_id;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+int BestFitPolicy::Pick(const std::vector<HostLoadView>& hosts, int vcpus,
+                        int exclude_host) const {
+  int best = -1;
+  double best_load = 0;
+  for (const HostLoadView& host : hosts) {
+    if (host.host_id == exclude_host || !Fits(host, vcpus)) {
+      continue;
+    }
+    double load = LoadRatio(host);
+    if (best == -1 || load > best_load) {  // tie keeps the lowest host id
+      best = host.host_id;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(const std::string& name) {
+  if (name == "greedy-load") {
+    return std::make_unique<GreedyLoadPolicy>();
+  }
+  if (name == "best-fit") {
+    return std::make_unique<BestFitPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace vsched

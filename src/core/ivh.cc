@@ -121,7 +121,12 @@ void Ivh::BeginHandshake(Task* task, int src, int dst, TimeNs now) {
   hs.target_holding = false;
   uint64_t id = hs.id;
   // Step 1: interrupt the target; pre-wake it if halted.
-  kernel_->RunOnVcpu(dst, [this, src, id] { TargetActivated(src, id); }, /*kick=*/true);
+  kernel_->RunOnVcpu(
+      dst,
+      [this, src, id, alive = std::weak_ptr<const bool>(alive_)] {
+        if (!alive.expired()) TargetActivated(src, id);
+      },
+      /*kick=*/true);
 }
 
 void Ivh::TargetActivated(int src, uint64_t id) {
@@ -133,7 +138,12 @@ void Ivh::TargetActivated(int src, uint64_t id) {
   // completes (or the source abandons).
   hs.target_holding = true;
   kernel_->vcpu(hs.dst).HoldSpin();
-  kernel_->RunOnVcpu(src, [this, src, id] { StopperRun(src, id); }, /*kick=*/false);
+  kernel_->RunOnVcpu(
+      src,
+      [this, src, id, alive = std::weak_ptr<const bool>(alive_)] {
+        if (!alive.expired()) StopperRun(src, id);
+      },
+      /*kick=*/false);
 }
 
 void Ivh::StopperRun(int src, uint64_t id) {

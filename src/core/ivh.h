@@ -14,6 +14,7 @@
 #define SRC_CORE_IVH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/config.h"
@@ -74,6 +75,12 @@ class Ivh {
   uint64_t attempts_ = 0;
   uint64_t completed_ = 0;
   uint64_t abandoned_ = 0;
+  // Handshake steps travel through RunOnVcpu as [this]-capturing closures
+  // that may sit in a vCPU's pending-IPI queue (or an in-flight IPI event)
+  // past this Ivh's lifetime — fleet tenants tear their stack down
+  // mid-simulation. Each closure holds a weak_ptr to this token and no-ops
+  // once it expires.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

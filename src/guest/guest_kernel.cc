@@ -405,24 +405,33 @@ void GuestKernel::SendReschedIpi(int from_cpu, int to_cpu) {
   CountIpi(from_cpu, to_cpu);
   GuestVcpu* v = vcpus_[to_cpu].get();
   v->resched_pending_ = true;
-  sim_->After(params_->ipi_delay, [this, v] {
-    if (v->active() && v->resched_pending_) {
-      v->Reschedule(sim_->now());
-    }
-  });
+  sim_->After(params_->ipi_delay,
+              [this, v, alive = std::weak_ptr<const bool>(alive_)] {
+                if (alive.expired()) {
+                  return;  // VM destroyed while the IPI was in flight.
+                }
+                if (v->active() && v->resched_pending_) {
+                  v->Reschedule(sim_->now());
+                }
+              });
 }
 
 void GuestKernel::RunOnVcpu(int cpu, std::function<void()> fn, bool kick) {
   GuestVcpu* v = vcpus_[cpu].get();
   if (v->active()) {
-    sim_->After(params_->ipi_delay, [v, fn = std::move(fn)] {
-      if (v->active()) {
-        fn();
-      } else {
-        v->pending_ipis_.push_back(std::move(fn));
-        v->UpdateHostDemand();
-      }
-    });
+    sim_->After(params_->ipi_delay,
+                [v, fn = std::move(fn),
+                 alive = std::weak_ptr<const bool>(alive_)]() mutable {
+                  if (alive.expired()) {
+                    return;  // VM destroyed while the IPI was in flight.
+                  }
+                  if (v->active()) {
+                    fn();
+                  } else {
+                    v->pending_ipis_.push_back(std::move(fn));
+                    v->UpdateHostDemand();
+                  }
+                });
     return;
   }
   v->pending_ipis_.push_back(std::move(fn));

@@ -258,6 +258,11 @@ class GuestKernel {
   std::vector<TimerId> tick_timers_;
   std::vector<TimeNs> tick_origins_;
   bool shutting_down_ = false;
+  // IPI deliveries (RunOnVcpu, SendReschedIpi) are in-flight simulation
+  // events holding raw GuestVcpu/kernel pointers. A VM destroyed
+  // mid-simulation (fleet tenant departure) would leave them dangling, so
+  // each delivery closure checks this token and no-ops once it expires.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

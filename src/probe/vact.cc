@@ -48,7 +48,15 @@ void Vact::Start() {
     heartbeat_[i] = now;
     became_active_at_[i] = now;
   }
-  sim_->After(config_.update_interval, [this] { OnWindowEnd(); });
+  window_event_ = sim_->After(config_.update_interval, [this] { OnWindowEnd(); });
+}
+
+void Vact::Stop() {
+  running_ = false;
+  // Cancel rather than let the event fire into a possibly-destroyed prober
+  // (fleet tenants tear their whole stack down mid-simulation). EventIds are
+  // generation-tagged, so cancelling an already-fired event is a no-op.
+  sim_->Cancel(window_event_);
 }
 
 void Vact::OnTick(GuestVcpu* v, TimeNs now) {
@@ -125,7 +133,7 @@ void Vact::OnWindowEnd() {
   }
   ++windows_completed_;
   window_start_ = now;
-  sim_->After(config_.update_interval, [this] { OnWindowEnd(); });
+  window_event_ = sim_->After(config_.update_interval, [this] { OnWindowEnd(); });
 }
 
 double Vact::LatencyOf(int cpu) const {

@@ -15,6 +15,7 @@
 
 #include "src/base/time.h"
 #include "src/probe/robust.h"
+#include "src/sim/event_queue.h"
 #include "src/stats/stats.h"
 
 namespace vsched {
@@ -53,7 +54,9 @@ class Vact {
 
   // Installs the tick instrumentation and the periodic latency updates.
   void Start();
-  void Stop() { running_ = false; }
+  // Cancels the pending window event: the prober may be destroyed right
+  // after (VM teardown mid-simulation) without leaving a dangling callback.
+  void Stop();
 
   // Average vCPU inactive period — the "vCPU latency" abstraction (ns).
   double LatencyOf(int cpu) const;
@@ -85,6 +88,7 @@ class Vact {
   bool running_ = false;
   bool hook_installed_ = false;
   int windows_completed_ = 0;
+  EventId window_event_;
 
   std::vector<TimeNs> heartbeat_;
   std::vector<TimeNs> last_tick_steal_;

@@ -5,8 +5,11 @@
 #include <stdexcept>
 
 #include "src/base/check.h"
+#include "src/cluster/fleet.h"
+#include "src/cluster/fleet_spec.h"
 #include "src/fault/fault_plan.h"
 #include "src/runner/run_context.h"
+#include "src/sim/simulation.h"
 #include "src/workloads/latency_app.h"
 #include "src/workloads/throughput_app.h"
 
@@ -20,6 +23,8 @@ const char* FamilyName(ExperimentFamily family) {
       return "fig19_hpvm";
     case ExperimentFamily::kVcpuLatency:
       return "fig02";
+    case ExperimentFamily::kFleet:
+      return "fleet";
   }
   return "unknown";
 }
@@ -109,6 +114,33 @@ ExperimentSpec VcpuLatencySweep(uint64_t base_seed, TimeNs warmup, TimeNs measur
         experiment.runs.push_back(std::move(run));
       }
     }
+  }
+  return experiment;
+}
+
+ExperimentSpec FleetSweep(const std::string& preset, uint64_t seed, TimeNs warmup,
+                          TimeNs measure) {
+  FleetSpec fleet_spec;
+  if (!LookupFleetSpec(preset, &fleet_spec)) {
+    throw std::invalid_argument("unknown fleet preset: " + preset);
+  }
+  if (seed == 0) {
+    seed = 0xF1EE7;
+  }
+  ExperimentSpec experiment;
+  experiment.name = std::string(FamilyName(ExperimentFamily::kFleet)) + "_" + preset;
+  for (const SchedulerConfig& config : SweepSchedulerConfigs()) {
+    if (config.name == "enhanced") {
+      continue;
+    }
+    RunSpec run;
+    run.family = ExperimentFamily::kFleet;
+    run.workload = preset;
+    run.config = config.name;
+    run.seed = seed;
+    run.warmup = warmup;
+    run.measure = measure;
+    experiment.runs.push_back(std::move(run));
   }
   return experiment;
 }
@@ -285,20 +317,79 @@ RunMetrics ExecuteVcpuLatencyRun(const RunSpec& spec) {
   return metrics;
 }
 
+// Cluster-scale fleet protocol (src/cluster/): thousands of hosts under one
+// Simulation; spec.workload names a FleetSpec preset. The whole horizon is
+// measured — a fleet ramps from empty (Poisson arrivals), so there is no
+// steady state to warm into, and per-tenant distributions must cover each
+// tenant's whole life to make SLO-violation counts meaningful.
+RunMetrics ExecuteFleetRun(const RunSpec& spec) {
+  FleetSpec fleet_spec;
+  if (!LookupFleetSpec(spec.workload, &fleet_spec)) {
+    throw std::invalid_argument("unknown fleet preset: " + spec.workload);
+  }
+  FaultPlan plan;
+  bool chaos = ResolveFaultPlan(spec, &plan);
+  TimeNs horizon = spec.warmup + spec.measure;
+  Simulation sim(spec.seed);
+  if (spec.event_budget > 0) {
+    sim.SetEventBudget(spec.event_budget);
+  }
+  Fleet fleet(&sim, fleet_spec, OptionsForConfig(spec.config), chaos ? &plan : nullptr,
+              spec.tickless);
+  fleet.Start();
+  sim.RunFor(horizon);
+  fleet.Finish();
+
+  const FleetTotals& t = fleet.totals();
+  RunMetrics metrics;
+  metrics.Set("completed", static_cast<double>(t.requests));
+  metrics.Set("throughput",
+              static_cast<double>(t.requests) / (static_cast<double>(horizon) / 1e9));
+  metrics.Set("p50_ns", t.fleet_p50_ns);
+  metrics.Set("p95_ns", t.fleet_p95_ns);
+  metrics.Set("p99_ns", t.fleet_p99_ns);
+  metrics.Set("mean_ns", t.fleet_mean_ns);
+  metrics.Set("slo_violations", static_cast<double>(t.slo_violations));
+  metrics.Set("slo_violation_frac",
+              t.requests > 0 ? static_cast<double>(t.slo_violations) /
+                                   static_cast<double>(t.requests)
+                             : 0);
+  metrics.Set("tenant_p99_p50_ns", t.tenant_p99_p50_ns);
+  metrics.Set("tenant_p99_p95_ns", t.tenant_p99_p95_ns);
+  metrics.Set("tenant_p99_max_ns", t.tenant_p99_max_ns);
+  metrics.Set("batch_chunks", static_cast<double>(t.batch_chunks));
+  metrics.Set("vms_placed", static_cast<double>(t.vms_placed));
+  metrics.Set("vms_rejected", static_cast<double>(t.vms_rejected));
+  metrics.Set("vms_departed", static_cast<double>(t.vms_departed));
+  metrics.Set("migrations", static_cast<double>(t.migrations));
+  metrics.Set("hosts_booted", static_cast<double>(t.hosts_booted));
+  metrics.Set("hosts_shutdown", static_cast<double>(t.hosts_shutdown));
+  metrics.Set("hosts_on_at_end", static_cast<double>(t.hosts_on_at_end));
+  metrics.Set("host_util_mean", t.host_util_mean);
+  metrics.Set("energy_j", t.energy_j);
+  if (chaos) {
+    metrics.Set("fault_applied", static_cast<double>(t.fault_applied));
+  }
+  return metrics;
+}
+
 }  // namespace
 
 RunMetrics ExecuteRun(const RunSpec& spec) {
   // Bad names in hand-authored specs should surface as a failed RunResult,
   // not as the VSCHED_CHECK abort MakeWorkload would hit mid-simulation.
-  bool known = false;
-  for (const CatalogEntry& entry : Catalog()) {
-    if (entry.name == spec.workload) {
-      known = true;
-      break;
+  // Fleet runs validate spec.workload against the preset registry instead.
+  if (spec.family != ExperimentFamily::kFleet) {
+    bool known = false;
+    for (const CatalogEntry& entry : Catalog()) {
+      if (entry.name == spec.workload) {
+        known = true;
+        break;
+      }
     }
-  }
-  if (!known) {
-    throw std::invalid_argument("unknown workload: " + spec.workload);
+    if (!known) {
+      throw std::invalid_argument("unknown workload: " + spec.workload);
+    }
   }
   switch (spec.family) {
     case ExperimentFamily::kOverallRcvm:
@@ -306,6 +397,8 @@ RunMetrics ExecuteRun(const RunSpec& spec) {
       return ExecuteOverallRun(spec);
     case ExperimentFamily::kVcpuLatency:
       return ExecuteVcpuLatencyRun(spec);
+    case ExperimentFamily::kFleet:
+      return ExecuteFleetRun(spec);
   }
   throw std::invalid_argument("unknown experiment family");
 }

@@ -22,6 +22,7 @@ enum class ExperimentFamily {
   kOverallRcvm,  // Fig 18 protocol: rcvm (4 vCPU classes, stragglers, stacking)
   kOverallHpvm,  // Fig 19 protocol: hpvm (4 sockets, one dedicated group)
   kVcpuLatency,  // Fig 2 protocol: flat 32-vCPU VM with shaped vCPU latency
+  kFleet,        // Cluster-scale fleet (src/cluster/): workload names a preset
 };
 
 // Stable short name used in run ids and JSONL rows.
@@ -97,6 +98,16 @@ ExperimentSpec OverallSweep(ExperimentFamily family, uint64_t seed = 0,
 // the original bench. Pass 0 for the bench default.
 ExperimentSpec VcpuLatencySweep(uint64_t base_seed = 0, TimeNs warmup = SecToNs(2),
                                 TimeNs measure = SecToNs(10));
+
+// Fleet head-to-head: one cluster preset (src/cluster/fleet_spec.h) under
+// {cfs, vsched} guest kernels — the same fleet, seed, arrivals, and traffic,
+// differing only in whether guests run the vSched stack. "enhanced" is
+// skipped: host-side shaping is not the axis a datacenter operator controls.
+// For fleets warmup + measure is simply the horizon (tenant latency
+// distributions cover the whole run; the fleet ramps from empty by design).
+// Pass 0 for the preset-independent default seed.
+ExperimentSpec FleetSweep(const std::string& preset, uint64_t seed = 0,
+                          TimeNs warmup = MsToNs(0), TimeNs measure = SecToNs(2));
 
 // ---------------------------------------------------------------------------
 // Execution

@@ -93,6 +93,11 @@ double Distribution::Quantile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+void Distribution::MergeFrom(const Distribution& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = samples_.empty();
+}
+
 size_t Distribution::CountAbove(double threshold) const {
   Sort();
   return static_cast<size_t>(samples_.end() -

@@ -47,6 +47,8 @@ class Distribution {
   double Quantile(double q) const;
   // Samples strictly greater than `threshold` (SLO-violation counting).
   size_t CountAbove(double threshold) const;
+  // Appends every sample of `other` (fleet-level aggregation across VMs).
+  void MergeFrom(const Distribution& other);
   double P50() const { return Quantile(0.50); }
   double P95() const { return Quantile(0.95); }
   double P99() const { return Quantile(0.99); }

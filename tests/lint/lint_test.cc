@@ -81,6 +81,19 @@ TEST(LintUnordered, FiresInSchedulerCoreOnly) {
   EXPECT_FALSE(HasRule(LintFile("src/metrics/a.h", snippet), "unordered-container"));
 }
 
+TEST(LintCluster, ControlPlaneIsSimulatedWorldCode) {
+  // The fleet control plane replays byte-identically, so it inherits both
+  // the wall-clock ban and the hash-iteration-order ban.
+  EXPECT_TRUE(HasRule(
+      LintFile("src/cluster/fleet.cc", "auto t = std::chrono::steady_clock::now();\n"),
+      "wall-clock"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/cluster/placement.h", "std::unordered_map<int, int> by_host;\n"),
+      "unordered-container"));
+  EXPECT_TRUE(HasRule(LintFile("src/cluster/fleet.cc", "int x = rand() % 7;\n"),
+                      "libc-rand"));
+}
+
 TEST(LintUnordered, FiresOnUnorderedSetToo) {
   EXPECT_TRUE(
       HasRule(LintFile("src/guest/a.cc", "std::unordered_set<uint64_t> seen;\n"),

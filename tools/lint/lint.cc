@@ -23,19 +23,23 @@ bool PathContains(const std::string& path, const char* fragment) {
   return path.find(fragment) != std::string::npos;
 }
 
-// Simulated-world code: wall-clock reads are forbidden here.
+// Simulated-world code: wall-clock reads are forbidden here. The cluster
+// control plane (src/cluster) runs entirely inside the Simulation — every
+// placement, provisioning, and migration decision must replay byte-identically
+// — so it is held to the same rules as the per-VM stacks it orchestrates.
 bool IsSimPath(const std::string& path) {
   return PathContains(path, "src/sim") || PathContains(path, "src/guest") ||
          PathContains(path, "src/host") || PathContains(path, "src/core") ||
          PathContains(path, "src/probe") || PathContains(path, "src/workloads") ||
-         PathContains(path, "src/metrics") || PathContains(path, "src/stats");
+         PathContains(path, "src/metrics") || PathContains(path, "src/stats") ||
+         PathContains(path, "src/cluster");
 }
 
 // The hot scheduler state: hash-container iteration order must never be able
 // to influence event or pick order.
 bool IsSchedCorePath(const std::string& path) {
   return PathContains(path, "src/sim") || PathContains(path, "src/guest") ||
-         PathContains(path, "src/host");
+         PathContains(path, "src/host") || PathContains(path, "src/cluster");
 }
 
 bool IsBasePath(const std::string& path) { return PathContains(path, "src/base"); }
