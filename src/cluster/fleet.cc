@@ -125,13 +125,24 @@ void Fleet::Start() {
           at + static_cast<TimeNs>(rng_.Exponential(static_cast<double>(spec_.vm_lifetime_mean)));
     }
     tenants_.push_back(std::move(tenant));
-    sim_->At(at, [this, i] { OnVmArrival(i); });
+    sim_->At(at, [this, i, alive = std::weak_ptr<const bool>(alive_)] {
+      if (alive.expired()) {
+        return;
+      }
+      OnVmArrival(i);
+    });
   }
 
   for (auto& injector : injectors_) {
     injector->Start();
   }
-  control_loop_ = sim_->Every(spec_.control_period, [this] { ControlTick(); });
+  control_loop_ = sim_->Every(spec_.control_period,
+                              [this, alive = std::weak_ptr<const bool>(alive_)] {
+                                if (alive.expired()) {
+                                  return;
+                                }
+                                ControlTick();
+                              });
 }
 
 std::vector<HwThreadId> Fleet::ReserveThreads(ClusterHost* host, int vcpus) {
@@ -321,7 +332,10 @@ bool Fleet::TryPlace(TenantVm* tenant) {
   if (tenant->departs_at > 0) {
     TimeNs when = std::max(tenant->departs_at, sim_->now() + 1);
     int id = tenant->id;
-    sim_->At(when, [this, id] {
+    sim_->At(when, [this, id, alive = std::weak_ptr<const bool>(alive_)] {
+      if (alive.expired()) {
+        return;
+      }
       TenantVm* t = tenants_[static_cast<size_t>(id)].get();
       if (t->departed) {
         return;
@@ -371,7 +385,12 @@ void Fleet::BootHostsIfNeeded() {
     totals_.hosts_booted += 1;
     free_commits += capacity;
     int id = host->id;
-    sim_->After(spec_.boot_delay, [this, id] { OnBootComplete(id); });
+    sim_->After(spec_.boot_delay, [this, id, alive = std::weak_ptr<const bool>(alive_)] {
+      if (alive.expired()) {
+        return;
+      }
+      OnBootComplete(id);
+    });
   }
 }
 
@@ -483,7 +502,13 @@ void Fleet::MaybeConsolidate() {
   mover->mig_dest_tids = ReserveThreads(dest, spec_.vcpus_per_vm);
   int id = mover->id;
   // Pre-copy phase: the VM keeps running on the source for the copy latency.
-  sim_->After(spec_.migration_copy_latency, [this, id] { OnMigrationDowntime(id); });
+  sim_->After(spec_.migration_copy_latency,
+              [this, id, alive = std::weak_ptr<const bool>(alive_)] {
+                if (alive.expired()) {
+                  return;
+                }
+                OnMigrationDowntime(id);
+              });
 }
 
 void Fleet::OnMigrationDowntime(int tenant_id) {
@@ -501,7 +526,13 @@ void Fleet::OnMigrationDowntime(int tenant_id) {
   // Downtime blackout: paused vCPUs stay attached (guest sees steal).
   tenant->vm->SetPausedAll(true);
   int id = tenant->id;
-  sim_->After(spec_.migration_downtime, [this, id] { OnMigrationCommit(id); });
+  sim_->After(spec_.migration_downtime,
+              [this, id, alive = std::weak_ptr<const bool>(alive_)] {
+                if (alive.expired()) {
+                  return;
+                }
+                OnMigrationCommit(id);
+              });
 }
 
 void Fleet::OnMigrationCommit(int tenant_id) {

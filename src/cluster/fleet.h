@@ -186,6 +186,12 @@ class Fleet {
   Distribution tenant_p99s_;
   FleetTotals totals_;
   bool finished_ = false;
+
+  // Liveness token for control-plane event closures: posted lambdas capture
+  // a weak_ptr to this and bail out once the Fleet is gone (the PR-6
+  // pattern, enforced by vsched-lint's event-lifetime rule). Must be the
+  // last member so it expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

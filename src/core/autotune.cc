@@ -26,7 +26,11 @@ void AutoTuner::Calibrate(TimeNs duration, VSchedOptions base,
   vact_ = std::make_unique<Vact>(kernel_, vact_config);
   vcap_->Start();
   vact_->Start();
-  kernel_->sim()->After(duration, [this, base, done = std::move(done)] {
+  kernel_->sim()->After(duration, [this, base, done = std::move(done),
+                                   alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
     double max_inactive = 0;
     double min_duty = 1.0;
     for (int cpu = 0; cpu < kernel_->num_vcpus(); ++cpu) {

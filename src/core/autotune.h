@@ -48,6 +48,9 @@ class AutoTuner {
   GuestKernel* kernel_;
   std::unique_ptr<Vcap> vcap_;
   std::unique_ptr<Vact> vact_;
+  // Liveness token for the measurement-end closure (the PR-6 pattern): the
+  // tuner may be destroyed before the window elapses.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

@@ -14,7 +14,13 @@ Ivh::Ivh(GuestKernel* kernel, Vcap* vcap, Vact* vact, IvhConfig config)
 }
 
 void Ivh::Install() {
-  kernel_->AddTickHook([this](GuestVcpu* v, TimeNs now) { OnTick(v, now); });
+  kernel_->AddTickHook(
+      [this, alive = std::weak_ptr<const bool>(alive_)](GuestVcpu* v, TimeNs now) {
+        if (alive.expired()) {
+          return;
+        }
+        OnTick(v, now);
+      });
 }
 
 void Ivh::OnTick(GuestVcpu* v, TimeNs now) {

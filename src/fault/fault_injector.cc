@@ -72,16 +72,36 @@ void FaultInjector::Start() {
   active_ = true;
   // Arm in a fixed class order so the RNG draw sequence is plan-stable.
   if (plan_.steal.arrival.active()) {
-    ArmArrival(plan_.steal.arrival, [this] { OnStealArrival(); });
+    ArmArrival(plan_.steal.arrival, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnStealArrival();
+  });
   }
   if (plan_.storm.arrival.active()) {
-    ArmArrival(plan_.storm.arrival, [this] { OnStormArrival(); });
+    ArmArrival(plan_.storm.arrival, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnStormArrival();
+  });
   }
   if (plan_.droop.arrival.active()) {
-    ArmArrival(plan_.droop.arrival, [this] { OnDroopArrival(); });
+    ArmArrival(plan_.droop.arrival, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnDroopArrival();
+  });
   }
   if (plan_.bandwidth.arrival.active() && vm_ != nullptr && vm_->num_vcpus() > 0) {
-    ArmArrival(plan_.bandwidth.arrival, [this] { OnBandwidthArrival(); });
+    ArmArrival(plan_.bandwidth.arrival, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnBandwidthArrival();
+  });
   }
 }
 
@@ -138,13 +158,23 @@ void FaultInjector::OnStealArrival() {
   const auto tid = static_cast<HwThreadId>(rng_.UniformInt(0, machine_->num_threads() - 1));
   Stressor* s = AcquireStressor(&burst_pool_, plan_.steal.weight, plan_.steal.rt, "fault-burst");
   s->Start(machine_, tid);
-  Track(sim_->After(dur, [s] { s->Stop(); }));
+  Track(sim_->After(dur, [s, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    s->Stop();
+  }));
   ++stats_.steal_bursts;
   NoteApplied(now);
   if (audit::Enabled()) {
     AuditVerify();
   }
-  ArmArrival(plan_.steal.arrival, [this] { OnStealArrival(); });
+  ArmArrival(plan_.steal.arrival, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnStealArrival();
+  });
 }
 
 void FaultInjector::OnStormArrival() {
@@ -166,7 +196,10 @@ void FaultInjector::OnStormArrival() {
     s->StartDutyCycle(machine_, tid, plan_.storm.duty_on, plan_.storm.duty_off);
     started.push_back(s);
   }
-  Track(sim_->After(dur, [started] {
+  Track(sim_->After(dur, [started, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
     for (Stressor* s : started) {
       s->Stop();
     }
@@ -176,7 +209,12 @@ void FaultInjector::OnStormArrival() {
   if (audit::Enabled()) {
     AuditVerify();
   }
-  ArmArrival(plan_.storm.arrival, [this] { OnStormArrival(); });
+  ArmArrival(plan_.storm.arrival, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnStormArrival();
+  });
 }
 
 void FaultInjector::OnDroopArrival() {
@@ -197,14 +235,24 @@ void FaultInjector::OnDroopArrival() {
     droop_active_core_[static_cast<size_t>(core)] = 1;
     machine_->SetCoreFreq(core, droops_.back().prev_freq * mult);
     const size_t index = droops_.size() - 1;
-    Track(sim_->After(dur, [this, index] { EndDroop(index); }));
+    Track(sim_->After(dur, [this, index, alive = std::weak_ptr<const bool>(alive_)] {
+      if (alive.expired()) {
+        return;
+      }
+      EndDroop(index);
+    }));
     ++stats_.freq_droops;
     NoteApplied(now);
     if (audit::Enabled()) {
       AuditVerify();
     }
   }
-  ArmArrival(plan_.droop.arrival, [this] { OnDroopArrival(); });
+  ArmArrival(plan_.droop.arrival, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnDroopArrival();
+  });
 }
 
 void FaultInjector::EndDroop(size_t index) {
@@ -240,14 +288,24 @@ void FaultInjector::OnBandwidthArrival() {
     bandwidths_.push_back(ActiveBandwidth{vcpu, orig_quota, orig_period, true});
     bw_active_vcpu_[static_cast<size_t>(vcpu)] = 1;
     const size_t index = bandwidths_.size() - 1;
-    Track(sim_->After(dur, [this, index] { EndBandwidth(index); }));
+    Track(sim_->After(dur, [this, index, alive = std::weak_ptr<const bool>(alive_)] {
+      if (alive.expired()) {
+        return;
+      }
+      EndBandwidth(index);
+    }));
     ++stats_.bandwidth_jitters;
     NoteApplied(now);
     if (audit::Enabled()) {
       AuditVerify();
     }
   }
-  ArmArrival(plan_.bandwidth.arrival, [this] { OnBandwidthArrival(); });
+  ArmArrival(plan_.bandwidth.arrival, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnBandwidthArrival();
+  });
 }
 
 void FaultInjector::EndBandwidth(size_t index) {

@@ -160,6 +160,11 @@ class FaultInjector {
   std::vector<ActiveBandwidth> bandwidths_;
   std::vector<char> droop_active_core_;   // per-core nesting guard
   std::vector<char> bw_active_vcpu_;      // per-vCPU nesting guard
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

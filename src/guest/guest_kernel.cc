@@ -44,7 +44,13 @@ GuestKernel::GuestKernel(Simulation* sim, HostMachine* machine, std::vector<Vcpu
     // Stagger ticks so all vCPUs do not interrupt at the same instant. The
     // first firing defines the vCPU's tick grid for the whole run.
     TimeNs offset = params_->tick_period + static_cast<TimeNs>(i) * 1777;
-    tick_timers_.push_back(sim_->CreateTimer([this, i] { OnTick(i); }));
+    tick_timers_.push_back(
+        sim_->CreateTimer([this, i, alive = std::weak_ptr<const bool>(alive_)] {
+          if (alive.expired()) {
+            return;
+          }
+          OnTick(i);
+        }));
     tick_origins_.push_back(sim_->now() + offset);
     sim_->ArmTimerAt(tick_timers_[static_cast<size_t>(i)], tick_origins_[static_cast<size_t>(i)]);
   }
@@ -147,7 +153,13 @@ void GuestKernel::ApplyAction(Task* task, TaskAction action, bool on_cpu, TimeNs
       task->state_ = TaskState::kSleeping;
       uint64_t token = next_sleep_token_++;
       task->sleep_token_ = token;
-      sim_->After(action.sleep_dur, [this, task, token] { TimedWake(task, token); });
+      sim_->After(action.sleep_dur,
+                  [this, task, token, alive = std::weak_ptr<const bool>(alive_)] {
+                    if (alive.expired()) {
+                      return;
+                    }
+                    TimedWake(task, token);
+                  });
       if (on_cpu) {
         task->prev_cpu_ = task->cpu_;
         v->PutCurrent(now, /*requeue=*/false);
@@ -382,7 +394,10 @@ void GuestKernel::EnqueueTask(Task* task, int cpu, bool wakeup, int waker_cpu) {
       // behavior ("preemption disabled"); reschedule once the current call
       // stack unwinds.
       GuestVcpu* vp = &v;
-      sim_->After(0, [this, vp] {
+      sim_->After(0, [this, vp, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
         if (vp->resched_pending_ && vp->active()) {
           vp->Reschedule(sim_->now());
         }
@@ -564,7 +579,10 @@ void GuestKernel::EvacuateIneligible(TimeNs now) {
         } else {
           // Do it when the vCPU next runs (stopper needs the CPU).
           Task* task = curr;
-          RunOnVcpu(cpu, [this, task, cpu] {
+          RunOnVcpu(cpu, [this, task, cpu, alive = std::weak_ptr<const bool>(alive_)] {
+            if (alive.expired()) {
+              return;
+            }
             if (vcpus_[cpu]->current_ == task && !EffectiveAllowed(task).Test(cpu)) {
               int d = SelectTaskRqCfs(task, -1, -1);
               if (d != cpu) {

@@ -63,7 +63,12 @@ void GuestVcpu::OpenSegment(TimeNs now) {
   VSCHED_CHECK(segment_speed_ > 0);
   completion_event_ =
       sim_->After(TimeToComplete(current_->burst_remaining_, segment_speed_),
-                  [this] { OnBurstComplete(); });
+                  [this, alive = std::weak_ptr<const bool>(alive_)] {
+                    if (alive.expired()) {
+                      return;
+                    }
+                    OnBurstComplete();
+                  });
 }
 
 void GuestVcpu::SyncSegment(TimeNs now) {

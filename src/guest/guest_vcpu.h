@@ -11,6 +11,7 @@
 #define SRC_GUEST_GUEST_VCPU_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/base/check.h"
@@ -138,6 +139,11 @@ class GuestVcpu : public VcpuHostClient {
   // tick grid when the vCPU is scheduled back in.
   bool tick_stopped_ = false;
   TimeNs tick_stop_time_ = 0;
+
+  // Liveness token for event closures (burst-completion events) posted to
+  // the simulation: the closure no-ops once this vCPU is gone (the PR-6
+  // pattern, enforced by vsched-lint's event-lifetime rule).
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

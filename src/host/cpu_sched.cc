@@ -78,7 +78,13 @@ void CpuSched::Attach(HostEntity* e) {
     // not throttle in lock-step (real hosts interleave slices).
     TimeNs offset = (static_cast<TimeNs>(tid_) * 2654435761LL) % e->bw_period_;
     e->bw_refill_origin_ = now + (e->bw_period_ - offset);
-    e->bw_refill_timer_ = sim_->CreateTimer([this, e] { RefillBandwidth(e); });
+    e->bw_refill_timer_ =
+        sim_->CreateTimer([this, e, alive = std::weak_ptr<const bool>(alive_)] {
+          if (alive.expired()) {
+            return;
+          }
+          RefillBandwidth(e);
+        });
     sim_->ArmTimerAt(e->bw_refill_timer_, e->bw_refill_origin_);
     e->bw_refill_armed_ = true;
   }
@@ -204,11 +210,23 @@ void CpuSched::SetBandwidthLive(HostEntity* e, TimeNs quota, TimeNs period) {
     // Same staggered refill grid as Attach, restarted at the change point.
     TimeNs offset = (static_cast<TimeNs>(tid_) * 2654435761LL) % e->bw_period_;
     e->bw_refill_origin_ = now + (e->bw_period_ - offset);
-    e->bw_refill_timer_ = sim_->CreateTimer([this, e] { RefillBandwidth(e); });
+    e->bw_refill_timer_ =
+        sim_->CreateTimer([this, e, alive = std::weak_ptr<const bool>(alive_)] {
+          if (alive.expired()) {
+            return;
+          }
+          RefillBandwidth(e);
+        });
     sim_->ArmTimerAt(e->bw_refill_timer_, e->bw_refill_origin_);
     e->bw_refill_armed_ = true;
     if (e == current_) {
-      e->bw_throttle_event_ = sim_->After(e->bw_quota_, [this] { ThrottleCurrent(sim_->now()); });
+      e->bw_throttle_event_ = sim_->After(
+          e->bw_quota_, [this, alive = std::weak_ptr<const bool>(alive_)] {
+            if (alive.expired()) {
+              return;
+            }
+            ThrottleCurrent(sim_->now());
+          });
     }
   }
   if (was_throttled && e->wants_to_run_) {
@@ -289,7 +307,13 @@ void CpuSched::PickNext(TimeNs now) {
       ThrottleCurrent(now);
       return;
     }
-    next->bw_throttle_event_ = sim_->After(remaining, [this] { ThrottleCurrent(sim_->now()); });
+    next->bw_throttle_event_ = sim_->After(
+        remaining, [this, alive = std::weak_ptr<const bool>(alive_)] {
+          if (alive.expired()) {
+            return;
+          }
+          ThrottleCurrent(sim_->now());
+        });
   }
   machine_->OnBusyChanged(tid_);
   next->ScheduledIn(now);
@@ -302,7 +326,13 @@ void CpuSched::ArmSliceTimer(TimeNs now) {
   // ±5% jitter also prevents deterministic phase-locking between threads.
   TimeNs slice = static_cast<TimeNs>(static_cast<double>(params_->min_granularity) *
                                      rng_.Uniform(0.95, 1.05));
-  slice_event_ = sim_->After(slice, [this] { OnSliceEnd(); });
+  slice_event_ =
+      sim_->After(slice, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        OnSliceEnd();
+      });
 }
 
 void CpuSched::OnSliceEnd() {
@@ -353,7 +383,13 @@ void CpuSched::RefillBandwidth(HostEntity* e) {
     UpdateCurrentRuntime(now);
     e->bw_used_ = 0;
     sim_->Cancel(e->bw_throttle_event_);
-    e->bw_throttle_event_ = sim_->After(e->bw_quota_, [this] { ThrottleCurrent(sim_->now()); });
+    e->bw_throttle_event_ = sim_->After(
+        e->bw_quota_, [this, alive = std::weak_ptr<const bool>(alive_)] {
+          if (alive.expired()) {
+            return;
+          }
+          ThrottleCurrent(sim_->now());
+        });
     return;
   }
   e->bw_used_ = 0;

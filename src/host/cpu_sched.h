@@ -113,6 +113,12 @@ class CpuSched {
   TimeNs last_runtime_sync_ = 0;
   EventId slice_event_;
   double min_vruntime_ = 0;
+
+  // Liveness token for event closures (slice/throttle/refill timers) posted
+  // to the simulation: the closure no-ops once this scheduler is gone (the
+  // PR-6 pattern, enforced by vsched-lint's event-lifetime rule). Must be
+  // the last member so it expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

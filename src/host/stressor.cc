@@ -42,10 +42,14 @@ void Stressor::Stop() {
 }
 
 void Stressor::ArmToggle(TimeNs delay, bool next_on) {
-  toggle_event_ = sim_->After(delay, [this, next_on] {
-    SetWantsToRun(next_on);
-    ArmToggle(next_on ? on_ : off_, !next_on);
-  });
+  toggle_event_ = sim_->After(
+      delay, [this, next_on, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        SetWantsToRun(next_on);
+        ArmToggle(next_on ? on_ : off_, !next_on);
+      });
 }
 
 }  // namespace vsched

@@ -8,6 +8,7 @@
 #ifndef SRC_HOST_STRESSOR_H_
 #define SRC_HOST_STRESSOR_H_
 
+#include <memory>
 #include <string>
 
 #include "src/base/time.h"
@@ -43,6 +44,11 @@ class Stressor : public HostEntity {
   TimeNs on_ = 0;
   TimeNs off_ = 0;
   EventId toggle_event_;
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

@@ -17,7 +17,13 @@ void ActivityTrace::Start() {
     return;
   }
   running_ = true;
-  event_ = sim_->After(period_, [this] { Sample(); });
+  event_ =
+      sim_->After(period_, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        Sample();
+      });
 }
 
 void ActivityTrace::Stop() {
@@ -48,7 +54,13 @@ void ActivityTrace::Sample() {
     timeline_[cpu].push_back(s);
   }
   if (running_) {
-    event_ = sim_->After(period_, [this] { Sample(); });
+    event_ =
+        sim_->After(period_, [this, alive = std::weak_ptr<const bool>(alive_)] {
+          if (alive.expired()) {
+            return;
+          }
+          Sample();
+        });
   }
 }
 

@@ -4,6 +4,7 @@
 #ifndef SRC_METRICS_ACTIVITY_TRACE_H_
 #define SRC_METRICS_ACTIVITY_TRACE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,11 @@ class ActivityTrace {
   bool running_ = false;
   EventId event_;
   std::vector<std::vector<State>> timeline_;  // [vcpu][sample]
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

@@ -72,7 +72,13 @@ void PairProbe::Start() {
   kernel_->StartTask(prober_b_);
   kernel_->WakeTask(prober_a_);
   kernel_->WakeTask(prober_b_);
-  sample_event_ = sim_->After(config_.sample_quantum, [this] { Sample(); });
+  sample_event_ = sim_->After(
+      config_.sample_quantum, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        Sample();
+      });
 }
 
 void PairProbe::Sample() {
@@ -138,7 +144,13 @@ void PairProbe::Sample() {
       return;
     }
   }
-  sample_event_ = sim_->After(config_.sample_quantum, [this] { Sample(); });
+  sample_event_ = sim_->After(
+      config_.sample_quantum, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        Sample();
+      });
 }
 
 void PairProbe::Finish(double latency) {

@@ -102,6 +102,11 @@ class PairProbe {
   uint64_t samples_dropped_ = 0;
   bool done_reported_ = false;
   EventId sample_event_;
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

@@ -34,7 +34,11 @@ void Vact::Start() {
   running_ = true;
   if (!hook_installed_) {
     hook_installed_ = true;
-    kernel_->AddTickHook([this](GuestVcpu* v, TimeNs now) {
+    kernel_->AddTickHook([this, alive = std::weak_ptr<const bool>(alive_)](
+                             GuestVcpu* v, TimeNs now) {
+      if (alive.expired()) {
+        return;
+      }
       if (running_) {
         OnTick(v, now);
       }
@@ -48,7 +52,13 @@ void Vact::Start() {
     heartbeat_[i] = now;
     became_active_at_[i] = now;
   }
-  window_event_ = sim_->After(config_.update_interval, [this] { OnWindowEnd(); });
+  window_event_ = sim_->After(
+      config_.update_interval, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        OnWindowEnd();
+      });
 }
 
 void Vact::Stop() {
@@ -133,7 +143,13 @@ void Vact::OnWindowEnd() {
   }
   ++windows_completed_;
   window_start_ = now;
-  window_event_ = sim_->After(config_.update_interval, [this] { OnWindowEnd(); });
+  window_event_ = sim_->After(
+      config_.update_interval, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        OnWindowEnd();
+      });
 }
 
 double Vact::LatencyOf(int cpu) const {

@@ -11,6 +11,7 @@
 #ifndef SRC_PROBE_VACT_H_
 #define SRC_PROBE_VACT_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/base/time.h"
@@ -102,6 +103,11 @@ class Vact {
   std::vector<ConfidenceTracker> confidence_;
   std::vector<int> window_drops_;  // tick samples dropped this window
   std::vector<int> window_ticks_;  // ticks that fired this window (incl. drops)
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

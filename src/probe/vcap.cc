@@ -77,7 +77,13 @@ void Vcap::Start() {
       heavy_probers_.push_back(heavy);
     }
   }
-  next_event_ = sim_->After(0, [this] { BeginWindow(); });
+  next_event_ =
+      sim_->After(0, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        BeginWindow();
+      });
 }
 
 void Vcap::Stop() {
@@ -119,7 +125,13 @@ void Vcap::BeginWindow() {
       kernel_->WakeTask(heavy_probers_[i]);
     }
   }
-  next_event_ = sim_->After(config_.sampling_period, [this] { EndWindow(); });
+  next_event_ = sim_->After(
+      config_.sampling_period, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        EndWindow();
+      });
 }
 
 void Vcap::EndWindow() {
@@ -189,7 +201,13 @@ void Vcap::EndWindow() {
   }
   TimeNs next_start = window_start_ + config_.light_interval;
   TimeNs delay = std::max<TimeNs>(0, next_start - now);
-  next_event_ = sim_->After(delay, [this] { BeginWindow(); });
+  next_event_ =
+      sim_->After(delay, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        BeginWindow();
+      });
 }
 
 double Vcap::CapacityOf(int cpu) const {

@@ -123,6 +123,11 @@ class Vcap {
   std::vector<double> core_capacity_;  // last heavy-phase core capacity
   std::vector<VcapSample> last_samples_;
   std::vector<WindowCallback> window_callbacks_;
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

@@ -44,7 +44,13 @@ void Vtop::ScheduleNextCycle() {
   if (!running_) {
     return;
   }
-  cycle_event_ = sim_->After(config_.probe_interval, [this] { OnCycle(); });
+  cycle_event_ = sim_->After(
+      config_.probe_interval, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        OnCycle();
+      });
 }
 
 void Vtop::OnCycle() {
@@ -84,8 +90,9 @@ void Vtop::OnValidationFailed() {
     scale *= config_.robust.backoff_multiplier;
   }
   TimeNs delay = static_cast<TimeNs>(static_cast<double>(config_.robust.reprobe_backoff) * scale);
-  cycle_event_ = sim_->After(delay, [this] {
-    if (!running_) {
+  cycle_event_ = sim_->After(
+      delay, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired() || !running_) {
       return;
     }
     if (busy_) {

@@ -158,6 +158,11 @@ class Vtop {
   Ema confidence_ema_ = Ema::WithHalfLife(8.0);
   int reprobe_count_ = 0;
   int reprobes_scheduled_ = 0;
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

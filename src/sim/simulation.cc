@@ -49,6 +49,9 @@ Simulation::PeriodicHandle* Simulation::Every(TimeNs period, std::function<void(
   auto handle = std::make_unique<PeriodicHandle>(this, period, std::move(fn));
   PeriodicHandle* raw = handle.get();
   periodic_handles_.push_back(std::move(handle));
+  // PeriodicHandle is Simulation-owned (periodic_handles_) and outlives every
+  // timer the simulation can fire, so the raw capture cannot dangle.
+  // vsched-lint: allow(event-lifetime)
   raw->timer_ = CreateTimer([raw] {
     if (raw->cancelled_) {
       return;

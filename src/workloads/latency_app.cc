@@ -105,7 +105,13 @@ void LatencyApp::Start() {
     ScheduleNextArrival();
   }
   if (params_.report_interval > 0) {
-    report_event_ = sim_->After(params_.report_interval, [this] { OnReport(); });
+    report_event_ = sim_->After(
+        params_.report_interval, [this, alive = std::weak_ptr<const bool>(alive_)] {
+          if (alive.expired()) {
+            return;
+          }
+          OnReport();
+        });
   }
 }
 
@@ -148,7 +154,13 @@ void LatencyApp::ScheduleNextArrival() {
   }
   double gap_sec = rng_.Exponential(1.0 / params_.arrival_rate_per_sec);
   TimeNs gap = std::max<TimeNs>(1, static_cast<TimeNs>(gap_sec * kNsPerSec));
-  arrival_event_ = sim_->After(gap, [this] { OnArrival(); });
+  arrival_event_ = sim_->After(
+      gap, [this, alive = std::weak_ptr<const bool>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        OnArrival();
+      });
 }
 
 void LatencyApp::OnArrival() {
@@ -180,7 +192,13 @@ void LatencyApp::OnReport() {
   double rate = static_cast<double>(delta) / NsToSec(params_.report_interval);
   live_.Add(sim_->now(), rate);
   if (running_) {
-    report_event_ = sim_->After(params_.report_interval, [this] { OnReport(); });
+    report_event_ = sim_->After(
+        params_.report_interval, [this, alive = std::weak_ptr<const bool>(alive_)] {
+          if (alive.expired()) {
+            return;
+          }
+          OnReport();
+        });
   }
 }
 

@@ -102,6 +102,11 @@ class LatencyApp : public Workload {
   TimeNs measure_start_ = 0;
   EventId arrival_event_;
   EventId report_event_;
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace vsched

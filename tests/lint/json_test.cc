@@ -1,0 +1,256 @@
+// Validates the machine-readable report (WriteJsonReport): the output must
+// be strictly parseable JSON for any findings content — including messages
+// with quotes, backslashes and newlines — because CI archives it as an
+// artifact and downstream tooling consumes it blind. The checker below is a
+// full little JSON parser (strings with escapes, numbers, nesting) rather
+// than a brace-counter, so a malformed escape actually fails the test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace vsched {
+namespace lint {
+namespace {
+
+// --- a strict validating JSON parser (no values built) ----------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    Ws();
+    if (!Value()) {
+      return false;
+    }
+    Ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  char Cur() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  void Ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+  bool Lit(const char* lit) {
+    size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(i_, n, lit) != 0) {
+      return false;
+    }
+    i_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (Cur() != '"') {
+      return false;
+    }
+    ++i_;
+    while (i_ < s_.size()) {
+      char c = s_[i_];
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control char: must be escaped
+      }
+      if (c == '\\') {
+        ++i_;
+        char e = Cur();
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (!std::isxdigit(static_cast<unsigned char>(
+                    i_ + k < s_.size() ? s_[i_ + k] : '\0'))) {
+              return false;
+            }
+          }
+          i_ += 5;
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+            e != 'r' && e != 't') {
+          return false;
+        }
+        ++i_;
+        continue;
+      }
+      ++i_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    size_t start = i_;
+    if (Cur() == '-') {
+      ++i_;
+    }
+    while (std::isdigit(static_cast<unsigned char>(Cur()))) {
+      ++i_;
+    }
+    if (Cur() == '.') {
+      ++i_;
+      while (std::isdigit(static_cast<unsigned char>(Cur()))) {
+        ++i_;
+      }
+    }
+    return i_ > start;
+  }
+
+  bool Value() {
+    switch (Cur()) {
+      case '{': {
+        ++i_;
+        Ws();
+        if (Cur() == '}') {
+          ++i_;
+          return true;
+        }
+        while (true) {
+          Ws();
+          if (!String()) {
+            return false;
+          }
+          Ws();
+          if (Cur() != ':') {
+            return false;
+          }
+          ++i_;
+          Ws();
+          if (!Value()) {
+            return false;
+          }
+          Ws();
+          if (Cur() == ',') {
+            ++i_;
+            continue;
+          }
+          if (Cur() == '}') {
+            ++i_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        ++i_;
+        Ws();
+        if (Cur() == ']') {
+          ++i_;
+          return true;
+        }
+        while (true) {
+          Ws();
+          if (!Value()) {
+            return false;
+          }
+          Ws();
+          if (Cur() == ',') {
+            ++i_;
+            continue;
+          }
+          if (Cur() == ']') {
+            ++i_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Lit("true");
+      case 'f':
+        return Lit("false");
+      case 'n':
+        return Lit("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+};
+
+std::string Report(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  WriteJsonReport(findings, os);
+  return os.str();
+}
+
+// --- tests ------------------------------------------------------------------
+
+TEST(LintJson, EmptyReportIsValidWithZeroCount) {
+  std::string json = Report({});
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+}
+
+TEST(LintJson, RealFindingsFromTheAnalyzerRoundTrip) {
+  // Run the PR-6 Ivh fixture through the real pipeline and serialize.
+  const std::string snippet =
+      "void Ivh::StartHandshake(GuestTask* task, int src, int dst, TimeNs now) {\n"
+      "  uint64_t id = hs.id;\n"
+      "  kernel_->RunOnVcpu(dst, [this, src, id] { TargetActivated(src, id); }, /*kick=*/true);\n"
+      "}\n";
+  auto findings = LintFile("src/core/ivh.cc", snippet);
+  ASSERT_FALSE(findings.empty());
+  std::string json = Report(findings);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Schema fields from docs/ANALYSIS.md.
+  EXPECT_NE(json.find("\"rule\": \"event-lifetime\""), std::string::npos);
+  EXPECT_NE(json.find("\"sink\": \"kernel_->RunOnVcpu\""), std::string::npos);
+  EXPECT_NE(json.find("\"captures\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"this\""), std::string::npos);
+}
+
+TEST(LintJson, HostileMessageContentIsEscaped) {
+  Finding f;
+  f.file = "src/a \"b\"\\c.cc";
+  f.line = 7;
+  f.rule = "wall-clock";
+  f.message = "line one\nline\ttwo \"quoted\" back\\slash\x01";
+  f.sink = "sim_->After";
+  f.captures.push_back({"x\"y", "raw-pointer", "Foo<int>*"});
+  std::string json = Report({f});
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_EQ(json.find('\x01'), std::string::npos);  // control char escaped away
+}
+
+TEST(LintJson, CountMatchesFindingsArray) {
+  Finding a{"src/a.cc", 1, "wall-clock", "m", {}, {}};
+  Finding b{"src/b.cc", 2, "libc-rand", "m", {}, {}};
+  std::string json = Report({a, b});
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+}
+
+TEST(LintJson, GithubAnnotationsAreOnePerLineAndSanitized) {
+  Finding f;
+  f.file = "src/a.cc";
+  f.line = 3;
+  f.rule = "event-lifetime";
+  f.message = "first\nsecond % third";
+  std::ostringstream os;
+  WriteGithubAnnotations({f}, os);
+  std::string out = os.str();
+  EXPECT_EQ(out.find("::error file=src/a.cc,line=3::"), 0u);
+  // Exactly one newline: the terminator. Embedded newline/percent escaped.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+  EXPECT_NE(out.find("first%0Asecond %25 third"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vsched

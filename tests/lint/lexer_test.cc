@@ -1,0 +1,173 @@
+// Regression tests for the lint lexer (tools/lint/lexer.h) — specifically
+// the three blind spots of the v1 per-line scrubber: raw string literals,
+// digit separators, and line-continuation backslashes in comments. Each case
+// is tested both at the lexer API and end-to-end through LintFile, because
+// the failure mode of a mis-scoped literal is a phantom (or swallowed)
+// finding.
+#include "tools/lint/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace vsched {
+namespace lint {
+namespace {
+
+std::vector<std::string> IdentTexts(const LexResult& lex) {
+  std::vector<std::string> out;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == Tok::kIdent) {
+      out.push_back(t.text);
+    }
+  }
+  return out;
+}
+
+// --- raw string literals ----------------------------------------------------
+
+TEST(LexerRawString, ContentsNeverTokenize) {
+  LexResult lex = Lex("auto re = R\"(rand() \"quoted\" // not a comment)\";\n"
+                      "int after = 1;\n");
+  auto ids = IdentTexts(lex);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "rand"), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "after"), 1);
+  // The literal collapses to an empty string token on its line.
+  EXPECT_EQ(lex.scrubbed[0], "auto re = R\"\";");
+}
+
+TEST(LexerRawString, CustomDelimiterAndMultiLine) {
+  LexResult lex = Lex("auto re = R\"ab(first )\" not the end\n"
+                      "second line rand()\n"
+                      ")ab\";\n"
+                      "steady_clock::now();\n");
+  auto ids = IdentTexts(lex);
+  // Nothing inside the literal tokenizes, including the lookalike close `)\"`.
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "rand"), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "steady_clock"), 1);
+  // Interior lines scrub to dead text; real code afterwards stays live.
+  EXPECT_EQ(lex.scrubbed[1], "");
+  ASSERT_EQ(lex.tokens.back().text, ";");
+  EXPECT_EQ(lex.tokens.back().line, 4);
+}
+
+TEST(LexerRawString, EndToEndNoPhantomFindingFromLiteralText) {
+  // v1 treated the raw-string body as code once the first plain `"` closed
+  // "the string" early. The rand() here is data, not a call.
+  auto f = LintFile("src/sim/a.cc",
+                    "const char* kUsage = R\"(seed with rand() is wrong)\";\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LexerRawString, EncodingPrefixesAreRecognized) {
+  LexResult lex = Lex("auto a = u8R\"(x rand() y)\";\nauto b = LR\"(z)\";\n");
+  auto ids = IdentTexts(lex);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "rand"), 0);
+}
+
+// --- digit separators -------------------------------------------------------
+
+TEST(LexerDigitSeparator, StaysInsideOneNumberToken) {
+  LexResult lex = Lex("int64_t budget = 1'000'000;\n");
+  bool found = false;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == Tok::kNumber) {
+      EXPECT_EQ(t.text, "1'000'000");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(lex.scrubbed[0], "int64_t budget = 1'000'000;");
+}
+
+TEST(LexerDigitSeparator, EndToEndCodeAfterSeparatorStaysLive) {
+  // v1 opened a bogus char literal at the first `'` and blanked real code
+  // until the next `'` — swallowing the rand() call entirely.
+  auto f = LintFile("src/sim/a.cc",
+                    "void F() {\n"
+                    "  TimeNs budget = 1'000'000; int r = rand();\n"
+                    "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "libc-rand");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LexerDigitSeparator, TwoNumbersDoNotOpenALiteralBetweenThem) {
+  auto f = LintFile("src/sim/a.cc",
+                    "void F() {\n"
+                    "  int a = 1'000; /* x */ int b = 2'000; auto t = steady_clock::now();\n"
+                    "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "wall-clock");
+}
+
+// --- line continuations -----------------------------------------------------
+
+TEST(LexerLineContinuation, BackslashExtendsLineCommentOntoNextLine) {
+  // The spliced second line is comment text — the rand() there is dead.
+  LexResult lex = Lex("int x = 0;  // note the trailing backslash \\\n"
+                      "int r = rand();\n"
+                      "int live = 1;\n");
+  auto ids = IdentTexts(lex);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "rand"), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "live"), 1);
+  EXPECT_EQ(lex.scrubbed[1], "");
+}
+
+TEST(LexerLineContinuation, EndToEndDeadCommentTextDoesNotFire) {
+  auto f = LintFile("src/sim/a.cc",
+                    "void F() {\n"
+                    "  int x = 0;  // disabled: \\\n"
+                    "  auto t = std::chrono::system_clock::now();\n"
+                    "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LexerLineContinuation, SplicedCodeLineStaysLive) {
+  // A continuation in *code* (macro-style) must not kill the next line.
+  auto f = LintFile("src/sim/a.cc",
+                    "#define POLL() \\\n"
+                    "  do { int r = rand(); } while (0)\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "libc-rand");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LexerLineContinuation, AllowCommentSpansContinuedLines) {
+  // The allow grant from a spliced comment covers every physical line the
+  // comment touches plus the next line.
+  auto f = LintFile("src/sim/a.cc",
+                    "void F() {\n"
+                    "  // vsched-lint: allow(libc-rand) \\\n"
+                    "     (rationale continues here)\n"
+                    "  int r = rand();\n"
+                    "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- allow parsing through the lexer ---------------------------------------
+
+TEST(LexerAllows, BlockCommentGrantAttachesToItsLines) {
+  LexResult lex = Lex("int a;\n"
+                      "/* vsched-lint: allow(wall-clock) */ int b;\n");
+  ASSERT_EQ(lex.allows.size(), 3u);  // trailing newline opens line 3
+  EXPECT_TRUE(lex.allows[0].empty());
+  ASSERT_EQ(lex.allows[1].size(), 1u);
+  EXPECT_EQ(lex.allows[1][0], "wall-clock");
+}
+
+TEST(LexerAllows, TokenLinesAreOneBasedPhysicalLines) {
+  LexResult lex = Lex("a\nb\n\nc\n");
+  ASSERT_EQ(lex.tokens.size(), 3u);
+  EXPECT_EQ(lex.tokens[0].line, 1);
+  EXPECT_EQ(lex.tokens[1].line, 2);
+  EXPECT_EQ(lex.tokens[2].line, 4);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vsched

@@ -320,7 +320,8 @@ TEST(LintRules, RegistryListsEveryRuleExactlyOnce) {
   std::vector<std::string> expected = {"wall-clock",       "libc-rand",
                                        "unordered-container", "unseeded-rng",
                                        "raw-double-accum",    "pelt-eager-update",
-                                       "fault-injection-point", "mutable-global"};
+                                       "fault-injection-point", "mutable-global",
+                                       "event-lifetime",      "shard-isolation"};
   std::sort(names.begin(), names.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(names, expected);

@@ -1,0 +1,164 @@
+// Fixtures for the shard-isolation rule (tools/lint/analyzer.h): within
+// src/cluster/, another host's mutable state may only be reached through the
+// control-plane message/event interface. Three sub-checks: (A) posted
+// closures must not carry slot pointers across the event boundary, (B)
+// per-host scopes (functions taking a ClusterHost*) must not reach the
+// fleet-wide slot array, (C) placement policies consume HostLoadView
+// snapshots only.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace vsched {
+namespace lint {
+namespace {
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- sub-check A: slot pointers across the event boundary -------------------
+
+TEST(LintShardIsolation, FlagsClusterHostPointerInPostedClosure) {
+  // Even with a liveness token, the pointer is resolved *now* and
+  // dereferenced *later* — by delivery time the slot may describe a
+  // different host (or a migrated-away VM).
+  const std::string snippet =
+      "void Fleet::ScheduleCommit(int host_id, TimeNs delay) {\n"
+      "  ClusterHost* h = &hosts_[static_cast<size_t>(host_id)];\n"
+      "  sim_->After(delay, [this, h, alive = std::weak_ptr<const bool>(alive_)] {\n"
+      "    if (alive.expired()) {\n"
+      "      return;\n"
+      "    }\n"
+      "    h->committed_vcpus -= 1;\n"
+      "  });\n"
+      "}\n";
+  auto f = LintFile("src/cluster/fleet.cc", snippet);
+  ASSERT_TRUE(HasRule(f, "shard-isolation"));
+  // The lifetime rule is satisfied (token + check): only the shard rule fires.
+  EXPECT_FALSE(HasRule(f, "event-lifetime"));
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_EQ(f[0].sink, "sim_->After");
+}
+
+TEST(LintShardIsolation, FlagsTenantVmReferenceCapture) {
+  const std::string snippet =
+      "void Fleet::ScheduleBoot(int id, TimeNs delay) {\n"
+      "  TenantVm& vm = tenants_[static_cast<size_t>(id)];\n"
+      "  sim_->After(delay, [this, &vm, alive = std::weak_ptr<const bool>(alive_)] {\n"
+      "    if (alive.expired()) {\n"
+      "      return;\n"
+      "    }\n"
+      "    vm.state = VmState::kRunning;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintFile("src/cluster/fleet.cc", snippet), "shard-isolation"));
+}
+
+TEST(LintShardIsolation, PassesIdCaptureReresolvedAtDelivery) {
+  // The control-plane idiom: carry the id, re-resolve the slot on delivery.
+  const std::string snippet =
+      "void Fleet::ScheduleCommit(int host_id, TimeNs delay) {\n"
+      "  sim_->After(delay, [this, host_id, alive = std::weak_ptr<const bool>(alive_)] {\n"
+      "    if (alive.expired()) {\n"
+      "      return;\n"
+      "    }\n"
+      "    OnCommit(host_id);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/cluster/fleet.cc", snippet).empty());
+}
+
+TEST(LintShardIsolation, OnlyBindsToCluster) {
+  // The same shape outside src/cluster/ is the lifetime rule's business
+  // (here satisfied by the token), not the shard rule's.
+  const std::string snippet =
+      "void Pool::ScheduleStop(TimeNs delay) {\n"
+      "  Stressor* s = stressors_.back();\n"
+      "  sim_->After(delay, [s, alive = std::weak_ptr<const bool>(alive_)] {\n"
+      "    if (alive.expired()) {\n"
+      "      return;\n"
+      "    }\n"
+      "    s->Stop();\n"
+      "  });\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintFile("src/host/stressor.cc", snippet), "shard-isolation"));
+}
+
+// --- sub-check B: per-host scope vs the fleet slot array --------------------
+
+TEST(LintShardIsolation, FlagsHostsArrayAccessFromPerHostScope) {
+  const std::string snippet =
+      "void Fleet::ReserveThreads(ClusterHost* host, int want) {\n"
+      "  hosts_[0].reserved += want;\n"
+      "}\n";
+  auto f = LintFile("src/cluster/fleet.cc", snippet);
+  ASSERT_TRUE(HasRule(f, "shard-isolation"));
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintShardIsolation, PassesPerHostScopeUsingItsOwnSlot) {
+  const std::string snippet =
+      "void Fleet::ReserveThreads(ClusterHost* host, int want) {\n"
+      "  host->reserved += want;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/cluster/fleet.cc", snippet).empty());
+}
+
+TEST(LintShardIsolation, PassesFleetScopeTouchingHostsArray) {
+  // Fleet-level control-plane functions own the whole array; only per-host
+  // scopes are fenced.
+  const std::string snippet =
+      "void Fleet::ControlTick() {\n"
+      "  for (size_t i = 0; i < hosts_.size(); ++i) {\n"
+      "    Rebalance(static_cast<int>(i));\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/cluster/fleet.cc", snippet).empty());
+}
+
+// --- sub-check C: placement sees HostLoadView snapshots only ----------------
+
+TEST(LintShardIsolation, FlagsPlacementReferencingSlotTypes) {
+  const std::string snippet =
+      "int LeastLoaded::Pick(const Fleet& fleet, int vcpus) {\n"
+      "  return 0;\n"
+      "}\n";
+  auto f = LintFile("src/cluster/placement.cc", snippet);
+  ASSERT_TRUE(HasRule(f, "shard-isolation"));
+  EXPECT_NE(f[0].message.find("Fleet"), std::string::npos);
+}
+
+TEST(LintShardIsolation, PassesPlacementOnViews) {
+  const std::string snippet =
+      "int LeastLoaded::Pick(const std::vector<HostLoadView>& views, int vcpus,\n"
+      "                      int exclude_host) {\n"
+      "  int best = -1;\n"
+      "  for (const HostLoadView& v : views) {\n"
+      "    if (v.host_id != exclude_host && v.accepts_vms) {\n"
+      "      best = v.host_id;\n"
+      "    }\n"
+      "  }\n"
+      "  return best;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/cluster/placement.cc", snippet).empty());
+}
+
+TEST(LintShardIsolation, AllowCommentSuppresses) {
+  const std::string snippet =
+      "void Fleet::ReserveThreads(ClusterHost* host, int want) {\n"
+      "  // vsched-lint: allow(shard-isolation) — same-host fast path, audited\n"
+      "  hosts_[0].reserved += want;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/cluster/fleet.cc", snippet).empty());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vsched

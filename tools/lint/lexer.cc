@@ -1,0 +1,344 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+#include <cstring>
+#include <regex>
+#include <sstream>
+
+namespace vsched {
+namespace lint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+bool IsAlnum(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-character operators the analyzer cares to see whole. Longest first.
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    ".*",  "++",  "--",
+};
+
+std::vector<std::string> ParseAllowText(const std::string& text) {
+  static const std::regex kAllowRe(R"(vsched-lint:\s*allow\(([A-Za-z0-9_\-, ]+)\))");
+  std::vector<std::string> rules;
+  std::smatch m;
+  std::string rest = text;
+  while (std::regex_search(rest, m, kAllowRe)) {
+    std::stringstream list(m[1].str());
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      size_t b = item.find_first_not_of(" \t");
+      size_t e = item.find_last_not_of(" \t");
+      if (b != std::string::npos) {
+        rules.push_back(item.substr(b, e - b + 1));
+      }
+    }
+    rest = m.suffix();
+  }
+  return rules;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : s_(src) {}
+
+  LexResult Run() {
+    while (i_ < s_.size()) {
+      Step();
+    }
+    EnsureLine(line_);
+    return std::move(out_);
+  }
+
+ private:
+  char Cur() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  char At(size_t off) const { return i_ + off < s_.size() ? s_[i_ + off] : '\0'; }
+
+  void EnsureLine(int line) {
+    while (out_.scrubbed.size() < static_cast<size_t>(line)) {
+      out_.scrubbed.emplace_back();
+      out_.allows.emplace_back();
+    }
+  }
+
+  void Emit(char c) {
+    EnsureLine(line_);
+    out_.scrubbed[static_cast<size_t>(line_) - 1].push_back(c);
+  }
+  void Emit(const std::string& text) {
+    EnsureLine(line_);
+    out_.scrubbed[static_cast<size_t>(line_) - 1] += text;
+  }
+
+  void Newline() {
+    EnsureLine(line_);
+    ++line_;
+  }
+
+  // Consumes a backslash-newline splice if one starts at i_. Returns true if
+  // consumed. Inside comments/literals the caller decides what a splice means.
+  bool ConsumeSplice() {
+    if (Cur() != '\\') {
+      return false;
+    }
+    if (At(1) == '\n') {
+      i_ += 2;
+      Newline();
+      return true;
+    }
+    if (At(1) == '\r' && At(2) == '\n') {
+      i_ += 3;
+      Newline();
+      return true;
+    }
+    return false;
+  }
+
+  void AttachAllows(const std::string& comment, int first_line, int last_line) {
+    std::vector<std::string> rules = ParseAllowText(comment);
+    if (rules.empty()) {
+      return;
+    }
+    EnsureLine(last_line);
+    for (int l = first_line; l <= last_line; ++l) {
+      auto& dst = out_.allows[static_cast<size_t>(l) - 1];
+      dst.insert(dst.end(), rules.begin(), rules.end());
+    }
+  }
+
+  void LexLineComment() {
+    int first = line_;
+    std::string text;
+    i_ += 2;  // "//"
+    while (i_ < s_.size()) {
+      if (ConsumeSplice()) {
+        // The splice extends the comment onto the next physical line; that
+        // whole line is dead text.
+        text.push_back(' ');
+        continue;
+      }
+      if (Cur() == '\n') {
+        break;  // leave the newline for the main loop
+      }
+      text.push_back(Cur());
+      ++i_;
+    }
+    AttachAllows(text, first, line_);
+  }
+
+  void LexBlockComment() {
+    int first = line_;
+    std::string text;
+    i_ += 2;  // "/*"
+    while (i_ < s_.size()) {
+      if (Cur() == '*' && At(1) == '/') {
+        i_ += 2;
+        break;
+      }
+      if (Cur() == '\n') {
+        ++i_;
+        Newline();
+        text.push_back(' ');
+        continue;
+      }
+      text.push_back(Cur());
+      ++i_;
+    }
+    AttachAllows(text, first, line_);
+  }
+
+  // `R"delim( ... )delim"` — i_ sits on the opening quote.
+  void LexRawString(int tok_line) {
+    ++i_;  // '"'
+    std::string delim;
+    while (i_ < s_.size() && Cur() != '(' && delim.size() < 18) {
+      delim.push_back(Cur());
+      ++i_;
+    }
+    ++i_;  // '('
+    const std::string close = ")" + delim + "\"";
+    while (i_ < s_.size()) {
+      if (Cur() == '\n') {
+        ++i_;
+        Newline();
+        continue;
+      }
+      if (Cur() == close[0] && s_.compare(i_, close.size(), close) == 0) {
+        i_ += close.size();
+        break;
+      }
+      ++i_;
+    }
+    out_.tokens.push_back({Tok::kString, "\"\"", tok_line});
+    // The contents (possibly multi-line) never reach the scrubbed view.
+    Emit("\"\"");
+  }
+
+  // Ordinary string or char literal — i_ sits on the opening quote.
+  void LexQuoted(char quote, int tok_line) {
+    ++i_;
+    while (i_ < s_.size()) {
+      if (Cur() == '\\') {
+        if (At(1) == '\n') {
+          i_ += 2;
+          Newline();
+          continue;
+        }
+        if (At(1) == '\r' && At(2) == '\n') {
+          i_ += 3;
+          Newline();
+          continue;
+        }
+        i_ += 2;  // escape: skip the escaped char
+        continue;
+      }
+      if (Cur() == quote) {
+        ++i_;
+        break;
+      }
+      if (Cur() == '\n') {
+        break;  // unterminated literal: recover at end of line
+      }
+      ++i_;
+    }
+    std::string text = quote == '"' ? "\"\"" : "''";
+    out_.tokens.push_back({quote == '"' ? Tok::kString : Tok::kChar, text, tok_line});
+    Emit(text);
+  }
+
+  // pp-number: digit separators (`1'000'000`) and exponent signs stay inside
+  // one token, so a separator can never open a bogus char literal.
+  void LexNumber() {
+    int tok_line = line_;
+    std::string text;
+    while (i_ < s_.size()) {
+      char c = Cur();
+      if (IsAlnum(c) || c == '_' || c == '.') {
+        text.push_back(c);
+        ++i_;
+        continue;
+      }
+      if (c == '\'' && IsAlnum(At(1)) && !text.empty()) {
+        text.push_back(c);
+        ++i_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty() &&
+          (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+           text.back() == 'P')) {
+        text.push_back(c);
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    out_.tokens.push_back({Tok::kNumber, text, tok_line});
+    Emit(text);
+  }
+
+  void LexIdentOrPrefixedLiteral() {
+    int tok_line = line_;
+    std::string text;
+    while (i_ < s_.size() && IsIdentChar(Cur())) {
+      text.push_back(Cur());
+      ++i_;
+    }
+    // String/char-literal encoding prefixes glue onto the literal.
+    if (Cur() == '"') {
+      if (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR") {
+        Emit(text);
+        LexRawString(tok_line);
+        return;
+      }
+      if (text == "u8" || text == "u" || text == "U" || text == "L") {
+        Emit(text);
+        LexQuoted('"', tok_line);
+        return;
+      }
+    }
+    if (Cur() == '\'' && (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      Emit(text);
+      LexQuoted('\'', tok_line);
+      return;
+    }
+    out_.tokens.push_back({Tok::kIdent, text, tok_line});
+    Emit(text);
+  }
+
+  void LexPunct() {
+    for (const char* op : kMultiPunct) {
+      size_t n = std::strlen(op);
+      if (s_.compare(i_, n, op) == 0) {
+        out_.tokens.push_back({Tok::kPunct, op, line_});
+        Emit(op);
+        i_ += n;
+        return;
+      }
+    }
+    out_.tokens.push_back({Tok::kPunct, std::string(1, Cur()), line_});
+    Emit(Cur());
+    ++i_;
+  }
+
+  void Step() {
+    char c = Cur();
+    if (c == '\n') {
+      ++i_;
+      Newline();
+      return;
+    }
+    if (c == '\r') {
+      ++i_;
+      return;
+    }
+    if (ConsumeSplice()) {
+      return;  // spliced code line: simply continues on the next line
+    }
+    if (c == '/' && At(1) == '/') {
+      LexLineComment();
+      return;
+    }
+    if (c == '/' && At(1) == '*') {
+      LexBlockComment();
+      return;
+    }
+    if (c == '"') {
+      LexQuoted('"', line_);
+      return;
+    }
+    if (c == '\'') {
+      LexQuoted('\'', line_);
+      return;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(At(1)))) {
+      LexNumber();
+      return;
+    }
+    if (IsIdentStart(c)) {
+      LexIdentOrPrefixedLiteral();
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\f' || c == '\v') {
+      Emit(c);
+      ++i_;
+      return;
+    }
+    LexPunct();
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+  int line_ = 1;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult Lex(const std::string& content) { return Lexer(content).Run(); }
+
+}  // namespace lint
+}  // namespace vsched

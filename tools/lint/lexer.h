@@ -1,0 +1,68 @@
+// A lossless-enough C++ lexer for vsched-lint.
+//
+// v1 of the lint worked on per-line "scrubbed" text produced by an ad-hoc
+// character scanner. That scanner had three known blind spots that this
+// lexer closes:
+//
+//   * raw string literals — `R"(...)"` (any delimiter, any prefix) can span
+//     lines and legally contain `//`, quotes, and rule tokens;
+//   * digit separators — `1'000'000` made the old scanner open a bogus char
+//     literal at the first `'` and swallow real code until the next one;
+//   * line continuations — a `\` at the end of a `//` comment splices the
+//     next physical line into the comment, so code-looking text there is
+//     dead, and conversely a continued *code* line must stay live.
+//
+// One pass produces three synchronized views of a translation unit:
+//
+//   1. `tokens`   — a flat token stream (identifiers, numbers, literals,
+//                   punctuation) with 1-based physical line numbers, the
+//                   input to the semantic analyzer (analyzer.h);
+//   2. `scrubbed` — per-physical-line text with comments removed and
+//                   string/char literal *contents* blanked (quotes kept),
+//                   the input to the legacy token/regex rules;
+//   3. `allows`   — per-physical-line `// vsched-lint: allow(<rules>)`
+//                   grants parsed out of comment text, the input to the
+//                   suppression machinery.
+//
+// The lexer does not run the preprocessor: `#include`/macros tokenize like
+// ordinary code, which is what a source-level policy checker wants.
+#ifndef TOOLS_LINT_LEXER_H_
+#define TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace vsched {
+namespace lint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords (the analyzer matches on text)
+  kNumber,  // pp-number, digit separators included in one token
+  kString,  // any string literal (ordinary, prefixed, raw); text is "\"\""
+  kChar,    // char literal; text is "''"
+  kPunct,   // operators/punctuation; multi-char operators kept whole
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;  // 1-based physical line where the token starts
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // scrubbed[i] is physical line i+1 with comments dropped and literal
+  // contents blanked. A line fully consumed by a comment (including `//`
+  // continuation lines and block-comment interiors) scrubs to "".
+  std::vector<std::string> scrubbed;
+  // allows[i] lists the rule names granted by suppression comments touching
+  // physical line i+1 (a multi-line comment grants on every line it spans).
+  std::vector<std::vector<std::string>> allows;
+};
+
+LexResult Lex(const std::string& content);
+
+}  // namespace lint
+}  // namespace vsched
+
+#endif  // TOOLS_LINT_LEXER_H_

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <ostream>
 #include <regex>
 #include <sstream>
+
+#include "tools/lint/analyzer.h"
+#include "tools/lint/lexer.h"
 
 namespace vsched {
 namespace lint {
@@ -61,92 +66,7 @@ bool IsFaultHookScope(const std::string& path) {
   return IsSrcPath(path) && !PathContains(path, "src/fault/");
 }
 
-// ---------------------------------------------------------------------------
-// Per-line preprocessing: the scanner works on a copy of each line with
-// comments and string/char literal *contents* blanked out, so a rule token
-// inside a doc comment or a log message never fires. Block-comment state
-// carries across lines. Suppression comments are read from the raw line
-// (they live inside comments by design).
-
-struct ScrubState {
-  bool in_block_comment = false;
-  // Raw-string literals are not handled; none appear in this codebase and
-  // the worst case is a spurious finding, fixable with a suppression.
-};
-
-std::string ScrubLine(const std::string& raw, ScrubState* state) {
-  std::string out;
-  out.reserve(raw.size());
-  size_t i = 0;
-  const size_t n = raw.size();
-  while (i < n) {
-    if (state->in_block_comment) {
-      if (raw[i] == '*' && i + 1 < n && raw[i + 1] == '/') {
-        state->in_block_comment = false;
-        i += 2;
-      } else {
-        ++i;
-      }
-      continue;
-    }
-    char c = raw[i];
-    if (c == '/' && i + 1 < n && raw[i + 1] == '/') {
-      break;  // line comment: rest of line is dead
-    }
-    if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
-      state->in_block_comment = true;
-      i += 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      out.push_back(quote);
-      ++i;
-      while (i < n) {
-        if (raw[i] == '\\') {
-          i += 2;
-          continue;
-        }
-        if (raw[i] == quote) {
-          out.push_back(quote);
-          ++i;
-          break;
-        }
-        ++i;
-      }
-      continue;
-    }
-    out.push_back(c);
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: "vsched-lint: allow(rule-a, rule-b)" in a comment on the
-// offending line or the line directly above.
-
-std::vector<std::string> ParseAllowList(const std::string& raw) {
-  static const std::regex kAllowRe(R"(vsched-lint:\s*allow\(([A-Za-z0-9_\-, ]+)\))");
-  std::vector<std::string> rules;
-  std::smatch m;
-  std::string rest = raw;
-  while (std::regex_search(rest, m, kAllowRe)) {
-    std::stringstream list(m[1].str());
-    std::string item;
-    while (std::getline(list, item, ',')) {
-      size_t b = item.find_first_not_of(" \t");
-      size_t e = item.find_last_not_of(" \t");
-      if (b != std::string::npos) {
-        rules.push_back(item.substr(b, e - b + 1));
-      }
-    }
-    rest = m.suffix();
-  }
-  return rules;
-}
-
-bool Allowed(const std::vector<std::string>& allows, const char* rule) {
+bool Allowed(const std::vector<std::string>& allows, const std::string& rule) {
   return std::find(allows.begin(), allows.end(), rule) != allows.end();
 }
 
@@ -273,6 +193,42 @@ constexpr const char kMutableGlobalMsg[] =
     "mutable namespace-scope state outside src/base: shared mutable globals break "
     "parallel-run determinism; move it into src/base or behind a per-Simulation object";
 
+// ---------------------------------------------------------------------------
+// JSON helpers (no third-party JSON dependency — the schema is tiny).
+
+void JsonEscape(const std::string& s, std::ostream& os) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void JsonString(const std::string& s, std::ostream& os) {
+  os << '"';
+  JsonEscape(s, os);
+  os << '"';
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
@@ -282,6 +238,15 @@ const std::vector<RuleInfo>& Rules() {
       r->push_back({t.name, t.message});
     }
     r->push_back({kMutableGlobalName, kMutableGlobalMsg});
+    r->push_back({kEventLifetimeRule,
+                  "event closure captures this/a raw pointer/a reference without a "
+                  "checked weak_ptr liveness token: the posted event can outlive its "
+                  "owner (the PR-6 use-after-free class)"});
+    r->push_back({kShardIsolationRule,
+                  "cluster shard-isolation violation: another host's mutable state may "
+                  "only be reached through the control-plane message/event interface "
+                  "(slot pointers must not cross the event boundary; placement sees "
+                  "HostLoadView snapshots only)"});
     return r;
   }();
   return *rules;
@@ -289,22 +254,28 @@ const std::vector<RuleInfo>& Rules() {
 
 std::vector<Finding> LintFile(const std::string& path, const std::string& content) {
   std::vector<Finding> findings;
-  ScrubState scrub;
+  const LexResult lex = Lex(content);
   ScopeState scope;
-  std::vector<std::string> prev_allows;
 
-  std::istringstream in(content);
-  std::string raw;
-  int line_no = 0;
-  while (std::getline(in, raw)) {
-    ++line_no;
-    std::vector<std::string> allows = ParseAllowList(raw);
-    // A suppression on its own line covers the next line too.
-    std::vector<std::string> effective = allows;
-    effective.insert(effective.end(), prev_allows.begin(), prev_allows.end());
+  auto effective_allows = [&lex](int line_no) {
+    // A suppression covers its own line(s) and the line directly below.
+    std::vector<std::string> out;
+    size_t idx = static_cast<size_t>(line_no) - 1;
+    if (idx < lex.allows.size()) {
+      out = lex.allows[idx];
+    }
+    if (idx >= 1 && idx - 1 < lex.allows.size()) {
+      out.insert(out.end(), lex.allows[idx - 1].begin(), lex.allows[idx - 1].end());
+    }
+    return out;
+  };
+
+  for (size_t i = 0; i < lex.scrubbed.size(); ++i) {
+    const int line_no = static_cast<int>(i) + 1;
+    const std::string& code = lex.scrubbed[i];
+    const std::vector<std::string> effective = effective_allows(line_no);
 
     const bool at_ns_scope = scope.AtNamespaceScope();
-    std::string code = ScrubLine(raw, &scrub);
     scope.Feed(code);
 
     for (const TokenRule& rule : TokenRules()) {
@@ -312,15 +283,30 @@ std::vector<Finding> LintFile(const std::string& path, const std::string& conten
         continue;
       }
       if (std::regex_search(code, rule.re) && !Allowed(effective, rule.name)) {
-        findings.push_back({path, line_no, rule.name, rule.message});
+        findings.push_back({path, line_no, rule.name, rule.message, {}, {}});
       }
     }
     if (!IsBasePath(path) && IsSrcPath(path) && at_ns_scope && LooksLikeMutableGlobal(code) &&
         !Allowed(effective, kMutableGlobalName)) {
-      findings.push_back({path, line_no, kMutableGlobalName, kMutableGlobalMsg});
+      findings.push_back({path, line_no, kMutableGlobalName, kMutableGlobalMsg, {}, {}});
     }
-    prev_allows = std::move(allows);
   }
+
+  for (AnalysisFinding& af : Analyze(path, lex)) {
+    if (Allowed(effective_allows(af.line), af.rule)) {
+      continue;
+    }
+    Finding f;
+    f.file = path;
+    f.line = af.line;
+    f.rule = std::move(af.rule);
+    f.message = std::move(af.message);
+    f.sink = std::move(af.sink);
+    f.captures = std::move(af.captures);
+    findings.push_back(std::move(f));
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) { return a.line < b.line; });
   return findings;
 }
 
@@ -360,6 +346,64 @@ bool LintPath(const std::string& path, std::vector<Finding>* out) {
     out->insert(out->end(), found.begin(), found.end());
   }
   return true;
+}
+
+void WriteJsonReport(const std::vector<Finding>& findings, std::ostream& os) {
+  os << "{\n  \"version\": 2,\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"file\": ";
+    JsonString(f.file, os);
+    os << ", \"line\": " << f.line << ", \"rule\": ";
+    JsonString(f.rule, os);
+    os << ", \"message\": ";
+    JsonString(f.message, os);
+    if (!f.sink.empty()) {
+      os << ", \"sink\": ";
+      JsonString(f.sink, os);
+    }
+    if (!f.captures.empty()) {
+      os << ", \"captures\": [";
+      for (size_t c = 0; c < f.captures.size(); ++c) {
+        const Capture& cap = f.captures[c];
+        os << (c == 0 ? "" : ", ") << "{\"name\": ";
+        JsonString(cap.name, os);
+        os << ", \"kind\": ";
+        JsonString(cap.kind, os);
+        if (!cap.type.empty()) {
+          os << ", \"type\": ";
+          JsonString(cap.type, os);
+        }
+        os << "}";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << (findings.empty() ? "]" : "\n  ]") << ",\n  \"count\": " << findings.size()
+     << "\n}\n";
+}
+
+void WriteGithubAnnotations(const std::vector<Finding>& findings, std::ostream& os) {
+  for (const Finding& f : findings) {
+    // Workflow-command sanitization: the message must stay on one line and
+    // %, \r, \n are escaped per the Actions toolkit rules.
+    std::string msg = "[" + f.rule + "] " + f.message;
+    std::string esc;
+    esc.reserve(msg.size());
+    for (char c : msg) {
+      if (c == '%') {
+        esc += "%25";
+      } else if (c == '\r') {
+        esc += "%0D";
+      } else if (c == '\n') {
+        esc += "%0A";
+      } else {
+        esc += c;
+      }
+    }
+    os << "::error file=" << f.file << ",line=" << f.line << "::" << esc << "\n";
+  }
 }
 
 }  // namespace lint

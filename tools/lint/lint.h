@@ -1,4 +1,5 @@
-// vsched-lint: a determinism-focused static checker for the simulator.
+// vsched-lint: a determinism- and lifetime-focused static checker for the
+// simulator.
 //
 // The simulator's headline property is bit-exact reproducibility (same seed →
 // byte-identical JSONL, any --jobs value). That property rests on coding
@@ -6,9 +7,12 @@
 // clocks or unseeded entropy, never iterate hash containers (iteration order
 // varies across libstdc++ versions and ASLR), and never accumulate
 // long-lived load/vruntime state with raw floating-point `+=` (drift breaks
-// cross-ordering equivalence). vsched-lint enforces those rules with a
-// token/regex scan of the source tree — no compiler front-end needed, which
-// keeps it dependency-free and fast enough to run as a ctest.
+// cross-ordering equivalence). v2 adds a semantic layer (lexer.h,
+// analyzer.h) that also checks *event-closure lifetime* — lambdas posted to
+// the event queue must carry a checked weak_ptr liveness token, the PR-6 UAF
+// fix pattern — and *shard isolation* in the cluster layer. No compiler
+// front-end needed, which keeps the tool dependency-free and fast enough to
+// run as a ctest.
 //
 // Every rule is individually suppressible at a call site with
 //
@@ -20,8 +24,11 @@
 #ifndef TOOLS_LINT_LINT_H_
 #define TOOLS_LINT_LINT_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "tools/lint/analyzer.h"
 
 namespace vsched {
 namespace lint {
@@ -31,6 +38,10 @@ struct Finding {
   int line = 0;  // 1-based
   std::string rule;
   std::string message;
+  // Semantic-rule context (empty for token rules). `sink` is the posting
+  // call the closure flowed into; `captures` is the classified capture chain.
+  std::string sink;
+  std::vector<Capture> captures;
 };
 
 struct RuleInfo {
@@ -50,6 +61,15 @@ std::vector<Finding> LintFile(const std::string& path, const std::string& conten
 // Recursively lints every .h/.cc/.cpp/.hpp under `path` (or the single file),
 // appending to `out`. Returns false if `path` cannot be read.
 bool LintPath(const std::string& path, std::vector<Finding>* out);
+
+// Machine-readable report: {"version":2,"findings":[{file,line,rule,message,
+// sink,captures:[{name,kind,type}]}]}. Schema documented in docs/ANALYSIS.md;
+// consumed by the CI artifact step and validated by a ctest.
+void WriteJsonReport(const std::vector<Finding>& findings, std::ostream& os);
+
+// One "::error file=...,line=...::" line per finding — GitHub Actions
+// workflow-command annotations, surfaced inline on PR diffs.
+void WriteGithubAnnotations(const std::vector<Finding>& findings, std::ostream& os);
 
 }  // namespace lint
 }  // namespace vsched

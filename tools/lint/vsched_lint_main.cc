@@ -1,12 +1,22 @@
-// vsched_lint: CLI driver for the determinism checker (see lint.h).
+// vsched_lint: CLI driver for the determinism/lifetime checker (see lint.h).
 //
-//   vsched_lint [--list-rules] PATH...
+//   vsched_lint [--list-rules] [--json FILE] [--github] PATH...
 //
 // Each PATH is a file or a directory (scanned recursively for C++ sources).
 // Prints one line per finding and exits 1 when any finding is unsuppressed —
 // which is how the ctest/CI hook fails the build. Exit 2 on usage errors.
+//
+//   --json FILE   additionally write the machine-readable report (schema in
+//                 docs/ANALYSIS.md) to FILE, or stdout when FILE is "-". The
+//                 report is written even when there are zero findings, so CI
+//                 can archive it unconditionally.
+//   --github      additionally emit one GitHub Actions "::error" workflow
+//                 command per finding, so findings annotate PR diffs.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +24,8 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::string json_path;
+  bool github = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const vsched::lint::RuleInfo& rule : vsched::lint::Rules()) {
@@ -21,18 +33,30 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vsched_lint: --json needs a file argument\n");
+        return 2;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--github") == 0) {
+      github = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: vsched_lint [--list-rules] PATH...\n");
+      std::printf("usage: vsched_lint [--list-rules] [--json FILE] [--github] PATH...\n");
       return 0;
     }
-    if (argv[i][0] == '-') {
+    if (argv[i][0] == '-' && argv[i][1] != '\0') {
       std::fprintf(stderr, "vsched_lint: unknown flag %s\n", argv[i]);
       return 2;
     }
     paths.push_back(argv[i]);
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: vsched_lint [--list-rules] PATH...\n");
+    std::fprintf(stderr, "usage: vsched_lint [--list-rules] [--json FILE] [--github] PATH...\n");
     return 2;
   }
 
@@ -45,6 +69,23 @@ int main(int argc, char** argv) {
   }
   for (const vsched::lint::Finding& f : findings) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+  }
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      vsched::lint::WriteJsonReport(findings, std::cout);
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "vsched_lint: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      vsched::lint::WriteJsonReport(findings, out);
+    }
+  }
+  if (github) {
+    std::ostringstream ann;
+    vsched::lint::WriteGithubAnnotations(findings, ann);
+    std::fputs(ann.str().c_str(), stdout);
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "vsched_lint: %zu finding(s)\n", findings.size());
