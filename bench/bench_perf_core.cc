@@ -26,6 +26,7 @@
 #include "src/base/time.h"
 #include "src/cluster/fleet.h"
 #include "src/cluster/fleet_spec.h"
+#include "src/cluster/sharded_fleet.h"
 #include "src/guest/runqueue.h"
 #include "src/guest/task.h"
 #include "src/runner/result_sink.h"
@@ -366,6 +367,48 @@ FleetBenchResult RunFleetSmall(TimeNs sim_time) {
   r.requests = fleet.totals().requests;
   r.migrations = fleet.totals().migrations;
   r.vms_placed = fleet.totals().vms_placed;
+  // A fleet bench that stops exercising live migration is measuring a
+  // different (cheaper) workload while still reporting under the same name:
+  // the number silently drifts optimistic and the baseline gate compares
+  // apples to oranges. That happened once — a consolidation dest-picker bug
+  // zeroed migrations for months — so fail loudly, not quietly.
+  if (r.migrations == 0) {
+    std::fprintf(stderr,
+                 "bench_perf_core: fleet_small completed with zero migrations; the "
+                 "consolidation path is no longer exercised and sim-ms/sec is not "
+                 "comparable with the baseline\n");
+    std::exit(1);
+  }
+  return r;
+}
+
+// Same rack-scale fleet on the sharded PDES engine (vsched_run --shards).
+// Reported per shard count: on a multi-core box the spread shows parallel
+// scaling; on a single-core box it isolates the engine's serial overhead
+// (barrier loop + mailbox) and the cache benefit of per-cell event queues.
+FleetBenchResult RunFleetSmallSharded(TimeNs sim_time, int shards) {
+  FleetSpec spec;
+  bool ok = LookupFleetSpec("rack", &spec);
+  if (!ok) {
+    std::fprintf(stderr, "bench_perf_core: rack fleet preset missing\n");
+    std::exit(1);
+  }
+  auto start = std::chrono::steady_clock::now();
+  ShardedFleet fleet(spec, /*seed=*/0xF1EE7u, VSchedOptions::Full(), shards);
+  fleet.Run(sim_time);
+  FleetBenchResult r;
+  r.wall_ns = WallNs(start);
+  r.sim_ms = static_cast<double>(sim_time) / 1e6;
+  r.sim_ms_per_sec = r.wall_ns > 0 ? r.sim_ms * 1e9 / static_cast<double>(r.wall_ns) : 0;
+  r.requests = fleet.totals().requests;
+  r.migrations = fleet.totals().migrations;
+  r.vms_placed = fleet.totals().vms_placed;
+  if (r.migrations == 0) {
+    std::fprintf(stderr,
+                 "bench_perf_core: fleet_small_sharded completed with zero migrations; "
+                 "the sharded consolidation path is no longer exercised\n");
+    std::exit(1);
+  }
   return r;
 }
 
@@ -431,7 +474,7 @@ bool FindJsonNumber(const std::string& text, const std::string& section, const s
 int CompareBaseline(const std::string& path, double max_regress, const ChurnResult& churn,
                     const RqChurnResult& rq, const TimerChurnResult& timer,
                     const IdleTickResult& idle, const FleetBenchResult& fleet,
-                    const CellResult& cell) {
+                    const FleetBenchResult& sharded, const CellResult& cell) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_perf_core: cannot open baseline %s\n", path.c_str());
@@ -462,6 +505,7 @@ int CompareBaseline(const std::string& path, double max_regress, const ChurnResu
   check_rate("timer_churn", "ops_per_sec", timer.ops_per_sec);
   check_rate("idle_tick", "sim_ms_per_sec", idle.sim_ms_per_sec);
   check_rate("fleet_small", "sim_ms_per_sec", fleet.sim_ms_per_sec);
+  check_rate("fleet_small_sharded", "sim_ms_per_sec", sharded.sim_ms_per_sec);
   // For wall clock, lower is better: compare inverted.
   check_rate("fig18_cell", "cells_per_sec",
              cell.wall_ns > 0 ? 1e9 / static_cast<double>(cell.wall_ns) : 0);
@@ -565,6 +609,17 @@ int main(int argc, char** argv) {
                fleet.sim_ms_per_sec, static_cast<unsigned long long>(fleet.requests),
                static_cast<unsigned long long>(fleet.migrations), fleet.vms_placed);
 
+  std::fprintf(stderr, "fleet_small_sharded: same rack preset on the PDES engine...\n");
+  FleetBenchResult shard1 = RunFleetSmallSharded(MsToNs(static_cast<TimeNs>(opt.fleet_ms)), 1);
+  FleetBenchResult shard2 = RunFleetSmallSharded(MsToNs(static_cast<TimeNs>(opt.fleet_ms)), 2);
+  FleetBenchResult shard4 = RunFleetSmallSharded(MsToNs(static_cast<TimeNs>(opt.fleet_ms)), 4);
+  std::fprintf(stderr,
+               "  %.3g sim-ms/sec @1 shard, %.3g @2, %.3g @4 (%llu requests, "
+               "%llu migrations)\n",
+               shard1.sim_ms_per_sec, shard2.sim_ms_per_sec, shard4.sim_ms_per_sec,
+               static_cast<unsigned long long>(shard4.requests),
+               static_cast<unsigned long long>(shard4.migrations));
+
   std::fprintf(stderr, "fig18 cell (canneal x 3 configs, jobs=%d)...\n", opt.jobs);
   CellResult cell = RunFig18Cell(opt.jobs);
   std::fprintf(stderr, "  %d runs in %.1f ms\n", cell.runs, cell.wall_ms);
@@ -596,6 +651,14 @@ int main(int argc, char** argv) {
        << ", \"sim_ms_per_sec\": " << JsonNumber(fleet.sim_ms_per_sec)
        << ", \"requests\": " << fleet.requests << ", \"migrations\": " << fleet.migrations
        << ", \"vms_placed\": " << fleet.vms_placed << "},\n";
+  json << "  \"fleet_small_sharded\": {\"sim_ms\": " << JsonNumber(shard4.sim_ms)
+       << ", \"shards\": 4, \"wall_ns\": " << shard4.wall_ns
+       << ", \"sim_ms_per_sec\": " << JsonNumber(shard4.sim_ms_per_sec)
+       << ", \"requests\": " << shard4.requests << ", \"migrations\": " << shard4.migrations
+       << ", \"vms_placed\": " << shard4.vms_placed << "},\n";
+  json << "  \"fleet_shard_scaling\": {\"sim_ms_per_sec_s1\": " << JsonNumber(shard1.sim_ms_per_sec)
+       << ", \"sim_ms_per_sec_s2\": " << JsonNumber(shard2.sim_ms_per_sec)
+       << ", \"sim_ms_per_sec_s4\": " << JsonNumber(shard4.sim_ms_per_sec) << "},\n";
   json << "  \"fig18_cell\": {\"runs\": " << cell.runs << ", \"jobs\": " << opt.jobs
        << ", \"wall_ns\": " << cell.wall_ns << ", \"wall_ms\": " << JsonNumber(cell.wall_ms)
        << ", \"cells_per_sec\": "
@@ -616,7 +679,7 @@ int main(int argc, char** argv) {
 
   if (!opt.baseline.empty()) {
     return CompareBaseline(opt.baseline, opt.max_regress, churn, rq_cfs, timer, idle, fleet,
-                           cell);
+                           shard4, cell);
   }
   return 0;
 }

@@ -3,7 +3,7 @@
 //   vsched_run [--experiment NAME] [--fleet PRESET] [--jobs N] [--seed S]
 //              [--out FILE] [--filter SUBSTR] [--warmup-ms N] [--measure-ms N]
 //              [--tickless] [--timings] [--audit] [--list]
-//              [--fault-plan NAME] [--event-budget N] [--resume FILE]
+//              [--fault-plan NAME] [--event-budget N] [--resume FILE] [--shards N]
 //
 // Experiments: fig18_rcvm (default), fig19_hpvm, fig02, all. --fleet PRESET
 // instead sweeps a cluster-scale fleet (docs/CLUSTER.md) head-to-head
@@ -57,6 +57,7 @@ struct CliOptions {
   std::string fault_plan;       // empty: clean run
   uint64_t event_budget = 0;    // 0: no watchdog
   std::string resume;           // empty: fresh sweep
+  int shards = 0;  // fleet runs: 0 = sequential engine, >= 1 = sharded PDES engine
 };
 
 void Usage(std::FILE* out) {
@@ -84,6 +85,9 @@ void Usage(std::FILE* out) {
                "  --list-plans       print the canned fault plan names and exit\n"
                "  --event-budget N   per-run simulated-event watchdog; a run exceeding N\n"
                "                     events reports status=timeout instead of hanging\n"
+               "  --shards N         fleet runs: execute each fleet on the sharded PDES\n"
+               "                     engine with N worker threads (rows are byte-identical\n"
+               "                     for every N >= 1); 0 = sequential engine (default)\n"
                "  --resume FILE      reuse ok rows from a previous JSONL output and execute\n"
                "                     only the missing/failed cells\n");
 }
@@ -144,6 +148,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
       cli.fault_plan = v;
     } else if (take("--event-budget")) {
       cli.event_budget = std::strtoull(v, nullptr, 0);
+    } else if (take("--shards")) {
+      cli.shards = std::atoi(v);
     } else if (take("--resume")) {
       cli.resume = v;
     } else if (take("--experiment")) {
@@ -207,6 +213,7 @@ ExperimentSpec BuildSweep(const CliOptions& cli) {
       run.tickless = cli.tickless;
       run.fault_plan = cli.fault_plan;
       run.event_budget = cli.event_budget;
+      run.shards = cli.shards;
       sweep.runs.push_back(std::move(run));
     }
   }

@@ -42,6 +42,24 @@ struct PerfCounters {
 
   void Reset() { *this = PerfCounters{}; }
 
+  // Accumulates another tally into this one — how the sharded fleet engine
+  // folds its per-cell counters into the run's ambient sink at Finish.
+  void MergeFrom(const PerfCounters& other) {
+    events_scheduled += other.events_scheduled;
+    events_executed += other.events_executed;
+    events_cancelled += other.events_cancelled;
+    callback_heap_allocs += other.callback_heap_allocs;
+    event_slab_allocs += other.event_slab_allocs;
+    rq_enqueues += other.rq_enqueues;
+    rq_dequeues += other.rq_dequeues;
+    rq_picks += other.rq_picks;
+    timer_arms += other.timer_arms;
+    timer_fires += other.timer_fires;
+    timer_cancels += other.timer_cancels;
+    timer_cascades += other.timer_cascades;
+    ticks_elided += other.ticks_elided;
+  }
+
   // The thread's active counters; never null (falls back to a per-thread
   // default sink when no Scope is installed).
   static PerfCounters* Current();

@@ -1,4 +1,4 @@
-#include "src/runner/thread_pool.h"
+#include "src/base/thread_pool.h"
 
 #include <algorithm>
 

@@ -5,8 +5,8 @@
 // back of a sibling's when it runs dry. Tasks are whole simulation runs
 // (milliseconds to seconds of work), so per-deque mutexes — not lock-free
 // deques — are the right complexity point.
-#ifndef SRC_RUNNER_THREAD_POOL_H_
-#define SRC_RUNNER_THREAD_POOL_H_
+#ifndef SRC_BASE_THREAD_POOL_H_
+#define SRC_BASE_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
@@ -73,4 +73,4 @@ class ThreadPool {
 
 }  // namespace vsched
 
-#endif  // SRC_RUNNER_THREAD_POOL_H_
+#endif  // SRC_BASE_THREAD_POOL_H_

@@ -4,18 +4,11 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/cluster/fleet_ops.h"
 #include "src/guest/guest_kernel.h"
 #include "src/sim/simulation.h"
 
 namespace vsched {
-
-namespace {
-
-// Hosts carrying machine-level chaos when a fault plan is armed: a
-// deterministic quarter of the fleet.
-bool ChaosHost(int host_id) { return host_id % 4 == 0; }
-
-}  // namespace
 
 Fleet::Fleet(Simulation* sim, FleetSpec spec, VSchedOptions guest_options,
              const FaultPlan* fault_plan, bool tickless)
@@ -59,7 +52,7 @@ Fleet::Fleet(Simulation* sim, FleetSpec spec, VSchedOptions guest_options,
 
   if (fault_plan != nullptr && !fault_plan->Empty()) {
     for (auto& host : hosts_) {
-      if (ChaosHost(host->id)) {
+      if (FleetChaosHost(host->id)) {
         // No VM is bound: bandwidth jitter and probe chaos stay off; steal
         // bursts, stressor storms, and frequency droops hit the machine.
         injectors_.push_back(std::make_unique<FaultInjector>(sim_, host->machine.get(),
@@ -76,7 +69,7 @@ Fleet::~Fleet() {
 }
 
 int Fleet::CapacityVcpus() const {
-  return static_cast<int>(static_cast<double>(topology_->num_threads()) * spec_.overcommit);
+  return FleetCapacityVcpus(spec_, topology_->num_threads());
 }
 
 int Fleet::hosts_on() const {
@@ -112,9 +105,12 @@ void Fleet::Start() {
   }
 
   // Draw the whole Poisson arrival schedule up front (one rng stream, fixed
-  // order), then let tenants arrive as events.
+  // order), then post the arrival storm as one batch: equivalent to per-VM
+  // At() calls but with a single heap repair instead of `vms` sifts.
   double mean_gap = static_cast<double>(spec_.arrival_window) / static_cast<double>(spec_.vms);
   TimeNs at = start_time_;
+  std::vector<TimeNs> arrival_times;
+  arrival_times.reserve(static_cast<size_t>(spec_.vms));
   for (int i = 0; i < spec_.vms; ++i) {
     at += static_cast<TimeNs>(rng_.Exponential(mean_gap));
     auto tenant = std::make_unique<TenantVm>();
@@ -125,13 +121,16 @@ void Fleet::Start() {
           at + static_cast<TimeNs>(rng_.Exponential(static_cast<double>(spec_.vm_lifetime_mean)));
     }
     tenants_.push_back(std::move(tenant));
-    sim_->At(at, [this, i, alive = std::weak_ptr<const bool>(alive_)] {
+    arrival_times.push_back(at);
+  }
+  sim_->queue().PostBatch(arrival_times, [this](size_t i) {
+    return [this, i = static_cast<int>(i), alive = std::weak_ptr<const bool>(alive_)] {
       if (alive.expired()) {
         return;
       }
       OnVmArrival(i);
-    });
-  }
+    };
+  });
 
   for (auto& injector : injectors_) {
     injector->Start();
@@ -146,76 +145,11 @@ void Fleet::Start() {
 }
 
 std::vector<HwThreadId> Fleet::ReserveThreads(ClusterHost* host, int vcpus) {
-  // Rotating first-fit: take consecutive threads starting at a per-host
-  // cursor, skipping only threads already at the stacking ceiling. Real VMMs
-  // place vCPU threads wherever they land, not commit-balanced — so VM
-  // footprints overlap partially and a VM's vCPUs end up with *unequal*
-  // co-runners (some share a thread with a busy neighbor, some run alone).
-  // That intra-VM capacity/latency asymmetry is the paper's §2 regime, the
-  // thing guest CFS cannot see and vSched's probers exist to discover.
-  // Least-committed-first reservation would equalize stacking across a VM's
-  // vCPUs and erase the asymmetry.
-  int n = topology_->num_threads();
-  int ceiling = 1;
-  while (ceiling * n < static_cast<int>(spec_.overcommit * n)) {
-    ++ceiling;
-  }
-  std::vector<HwThreadId> tids;
-  tids.reserve(static_cast<size_t>(vcpus));
-  int cursor = host->reserve_cursor;
-  for (int v = 0; v < vcpus; ++v) {
-    // First pass honors the per-thread ceiling; if all threads are at it
-    // (the host-level commit gate still admitted us), fall back to the
-    // least-committed thread so reservation never fails.
-    int picked = -1;
-    // Avoid giving this VM two vCPUs on one hardware thread (self-stacking):
-    // real VMMs pin a VM's vCPU threads to distinct pCPUs whenever they fit,
-    // and self-stacked siblings would only halve each other.
-    for (int pass = 0; pass < 2 && picked < 0; ++pass) {
-      for (int step = 0; step < n; ++step) {
-        int t = (cursor + step) % n;
-        if (host->thread_commits[static_cast<size_t>(t)] >= ceiling) {
-          continue;
-        }
-        if (pass == 0 && std::find(tids.begin(), tids.end(), t) != tids.end()) {
-          continue;
-        }
-        picked = t;
-        cursor = (t + 1) % n;
-        break;
-      }
-    }
-    if (picked < 0) {
-      picked = 0;
-      for (int t = 1; t < n; ++t) {
-        if (host->thread_commits[static_cast<size_t>(t)] <
-            host->thread_commits[static_cast<size_t>(picked)]) {
-          picked = t;
-        }
-      }
-    }
-    host->thread_commits[static_cast<size_t>(picked)] += 1;
-    tids.push_back(picked);
-  }
-  // Advance one extra slot so successive footprints interleave even when the
-  // VM size divides the thread count (4-vCPU VMs on 8 threads would
-  // otherwise tile into aligned, internally-uniform chunks).
-  host->reserve_cursor = (cursor + 1) % n;
-  host->committed_vcpus += vcpus;
-  return tids;
+  return ReserveHostThreads(spec_, topology_->num_threads(), host, vcpus);
 }
 
 void Fleet::ReleaseCommits(int host_id, const std::vector<HwThreadId>& tids) {
-  ClusterHost* host = hosts_[static_cast<size_t>(host_id)].get();
-  for (HwThreadId tid : tids) {
-    host->thread_commits[static_cast<size_t>(tid)] -= 1;
-    VSCHED_CHECK(host->thread_commits[static_cast<size_t>(tid)] >= 0);
-  }
-  host->committed_vcpus -= static_cast<int>(tids.size());
-  VSCHED_CHECK(host->committed_vcpus >= 0);
-  if (host->committed_vcpus == 0) {
-    host->idle_since = sim_->now();
-  }
+  ReleaseHostCommits(hosts_[static_cast<size_t>(host_id)].get(), tids, sim_->now());
 }
 
 void Fleet::ReshapeThread(ClusterHost* host, HwThreadId tid) {
@@ -489,7 +423,25 @@ void Fleet::MaybeConsolidate() {
   if (mover == nullptr) {
     return;  // everything on the host is already in flight
   }
-  int dest_id = placement_->Pick(LoadViews(), spec_.vcpus_per_vm, /*exclude_host=*/source->id);
+  // Drain destination is picked best-fit — the most-committed On host that
+  // still fits the VM — independent of the arrival-placement policy. Asking
+  // the spreading policy here is self-defeating: it returns the *least*
+  // committed host, which is never strictly busier than a drain source, so
+  // consolidation silently never fires (the fleet_small bench sat at zero
+  // migrations for exactly this reason).
+  int dest_id = -1;
+  for (const HostLoadView& view : LoadViews()) {
+    if (!view.accepts_vms || view.host_id == source->id) {
+      continue;
+    }
+    if (view.committed_vcpus + spec_.vcpus_per_vm > view.capacity_vcpus) {
+      continue;
+    }
+    if (dest_id < 0 ||
+        view.committed_vcpus > hosts_[static_cast<size_t>(dest_id)]->committed_vcpus) {
+      dest_id = view.host_id;
+    }
+  }
   if (dest_id < 0) {
     return;
   }

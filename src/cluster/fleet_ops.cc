@@ -1,0 +1,88 @@
+#include "src/cluster/fleet_ops.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace vsched {
+
+std::vector<HwThreadId> ReserveHostThreads(const FleetSpec& spec, int num_threads,
+                                           ClusterHost* host, int vcpus) {
+  // Rotating first-fit: take consecutive threads starting at a per-host
+  // cursor, skipping only threads already at the stacking ceiling. Real VMMs
+  // place vCPU threads wherever they land, not commit-balanced — so VM
+  // footprints overlap partially and a VM's vCPUs end up with *unequal*
+  // co-runners (some share a thread with a busy neighbor, some run alone).
+  // That intra-VM capacity/latency asymmetry is the paper's §2 regime, the
+  // thing guest CFS cannot see and vSched's probers exist to discover.
+  // Least-committed-first reservation would equalize stacking across a VM's
+  // vCPUs and erase the asymmetry.
+  int n = num_threads;
+  int ceiling = 1;
+  while (ceiling * n < static_cast<int>(spec.overcommit * n)) {
+    ++ceiling;
+  }
+  std::vector<HwThreadId> tids;
+  tids.reserve(static_cast<size_t>(vcpus));
+  int cursor = host->reserve_cursor;
+  for (int v = 0; v < vcpus; ++v) {
+    // First pass honors the per-thread ceiling; if all threads are at it
+    // (the host-level commit gate still admitted us), fall back to the
+    // least-committed thread so reservation never fails.
+    int picked = -1;
+    // Avoid giving this VM two vCPUs on one hardware thread (self-stacking):
+    // real VMMs pin a VM's vCPU threads to distinct pCPUs whenever they fit,
+    // and self-stacked siblings would only halve each other.
+    for (int pass = 0; pass < 2 && picked < 0; ++pass) {
+      for (int step = 0; step < n; ++step) {
+        int t = (cursor + step) % n;
+        if (host->thread_commits[static_cast<size_t>(t)] >= ceiling) {
+          continue;
+        }
+        if (pass == 0 && std::find(tids.begin(), tids.end(), t) != tids.end()) {
+          continue;
+        }
+        picked = t;
+        cursor = (t + 1) % n;
+        break;
+      }
+    }
+    if (picked < 0) {
+      picked = 0;
+      for (int t = 1; t < n; ++t) {
+        if (host->thread_commits[static_cast<size_t>(t)] <
+            host->thread_commits[static_cast<size_t>(picked)]) {
+          picked = t;
+        }
+      }
+    }
+    host->thread_commits[static_cast<size_t>(picked)] += 1;
+    tids.push_back(picked);
+  }
+  // Advance one extra slot so successive footprints interleave even when the
+  // VM size divides the thread count (4-vCPU VMs on 8 threads would
+  // otherwise tile into aligned, internally-uniform chunks).
+  host->reserve_cursor = (cursor + 1) % n;
+  host->committed_vcpus += vcpus;
+  return tids;
+}
+
+void ReleaseHostCommits(ClusterHost* host, const std::vector<HwThreadId>& tids, TimeNs now) {
+  for (HwThreadId tid : tids) {
+    host->thread_commits[static_cast<size_t>(tid)] -= 1;
+    VSCHED_CHECK(host->thread_commits[static_cast<size_t>(tid)] >= 0);
+  }
+  host->committed_vcpus -= static_cast<int>(tids.size());
+  VSCHED_CHECK(host->committed_vcpus >= 0);
+  if (host->committed_vcpus == 0) {
+    host->idle_since = now;
+  }
+}
+
+int FleetCapacityVcpus(const FleetSpec& spec, int num_threads) {
+  return static_cast<int>(static_cast<double>(num_threads) * spec.overcommit);
+}
+
+bool FleetChaosHost(int host_id) { return host_id % 4 == 0; }
+
+}  // namespace vsched

@@ -1,0 +1,38 @@
+// Host-slot mechanics shared by the two fleet engines — the sequential
+// control plane (src/cluster/fleet.h) and the sharded PDES engine
+// (src/cluster/sharded_fleet.h). Thread reservation and commit bookkeeping
+// decide the stacking shape every guest observes, so both engines must run
+// the exact same code or their placement behaviour silently diverges.
+#ifndef SRC_CLUSTER_FLEET_OPS_H_
+#define SRC_CLUSTER_FLEET_OPS_H_
+
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/cluster/fleet.h"
+#include "src/cluster/fleet_spec.h"
+
+namespace vsched {
+
+// Rotating first-fit reservation of `vcpus` hardware threads on one host;
+// updates the host's commit bookkeeping. See the comment in the definition
+// for why first-fit (not least-committed) is load-bearing for the paper's
+// intra-VM asymmetry regime.
+std::vector<HwThreadId> ReserveHostThreads(const FleetSpec& spec, int num_threads,
+                                           ClusterHost* host, int vcpus);
+
+// Returns the reserved commits; stamps idle_since = `now` when the host
+// empties (the idle power-down clock).
+void ReleaseHostCommits(ClusterHost* host, const std::vector<HwThreadId>& tids, TimeNs now);
+
+// vCPU commitments a host accepts: hardware threads x overcommit.
+int FleetCapacityVcpus(const FleetSpec& spec, int num_threads);
+
+// Hosts carrying machine-level chaos when a fault plan is armed: a
+// deterministic quarter of the fleet, by global host id (so the set is
+// identical however hosts are partitioned into cells).
+bool FleetChaosHost(int host_id);
+
+}  // namespace vsched
+
+#endif  // SRC_CLUSTER_FLEET_OPS_H_

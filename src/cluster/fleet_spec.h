@@ -121,6 +121,16 @@ struct FleetSpec {
   TimeNs migration_copy_latency = MsToNs(40);
   TimeNs migration_downtime = MsToNs(2);
 
+  // ---- Sharded execution (vsched_run --fleet --shards=N) ----
+  // Hosts are grouped into fixed cells of this many contiguous hosts; each
+  // cell is one logical process of the PDES engine (own event queue, timer
+  // wheel, RNG) and one migration domain — consolidation drains within a
+  // cell, mirroring rack-locality constraints real placement respects.
+  // Deliberately part of the *spec*, not the CLI: the partition must not
+  // depend on --shards, or output could not be byte-identical across shard
+  // counts. The sequential Fleet engine ignores it.
+  int cell_hosts = 8;
+
   // ---- Energy model (watts; integrated over the horizon) ----
   double off_watts = 10.0;
   double booting_watts = 100.0;

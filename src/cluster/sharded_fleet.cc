@@ -1,0 +1,748 @@
+#include "src/cluster/sharded_fleet.h"
+
+#include <algorithm>
+#include <future>
+#include <numeric>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/cluster/fleet_ops.h"
+#include "src/guest/guest_kernel.h"
+
+namespace vsched {
+
+ShardedFleet::ShardedFleet(FleetSpec spec, uint64_t seed, VSchedOptions guest_options, int shards,
+                           const FaultPlan* fault_plan, bool tickless)
+    : spec_(std::move(spec)),
+      guest_options_(guest_options),
+      tickless_(tickless),
+      shards_(shards),
+      control_rng_(0) {
+  VSCHED_CHECK(spec_.hosts > 0 && spec_.vms > 0 && spec_.vcpus_per_vm > 0);
+  VSCHED_CHECK(spec_.initial_hosts_on >= 1 && spec_.initial_hosts_on <= spec_.hosts);
+  VSCHED_CHECK(spec_.cell_hosts > 0);
+  VSCHED_CHECK(shards_ >= 1);
+
+  // Conservative lookahead: no control-plane interaction takes effect sooner
+  // than the gcd of the control-plane latencies, and each of them is a
+  // multiple of it — so every delayed action lands exactly on a barrier. A
+  // spec whose latencies are mutually prime would grind the window toward
+  // single-event lockstep; the floor catches that at construction instead of
+  // letting the engine crawl.
+  window_ = std::gcd(spec_.control_period, spec_.boot_delay);
+  window_ = std::gcd(window_, spec_.migration_copy_latency);
+  window_ = std::gcd(window_, spec_.migration_downtime);
+  VSCHED_CHECK_MSG(window_ >= UsToNs(100),
+                   "fleet control-plane latencies give a sub-100us lookahead window");
+
+  Rng root(seed);
+  control_rng_ = root.Fork();
+
+  topology_ = std::make_shared<const HostTopology>(spec_.host_topology);
+  HostSchedParams host_params;
+  host_params.min_granularity = spec_.host_min_granularity;
+  host_params.wakeup_granularity = spec_.host_wakeup_granularity;
+  host_params.tickless = tickless_;
+  host_params_ = std::make_shared<const HostSchedParams>(host_params);
+  GuestParams guest_params;
+  guest_params.tickless = tickless_;
+  guest_params_ = std::make_shared<const GuestParams>(guest_params);
+
+  guest_options_.vcap.sampling_period = spec_.probe_window;
+  guest_options_.vcap.light_interval = spec_.probe_interval;
+  guest_options_.vcap.heavy_every = spec_.probe_heavy_every;
+  guest_options_.vact.update_interval = spec_.probe_interval;
+  guest_options_.rwc.straggler_ratio = spec_.rwc_straggler_ratio;
+
+  placement_ = MakePlacementPolicy(spec_.placement);
+  VSCHED_CHECK_MSG(placement_ != nullptr, "unknown placement policy");
+
+  // The cell partition is a pure function of the spec: contiguous
+  // cell_hosts-sized ranges, never influenced by `shards`. Cell seeds are
+  // drawn from the root stream in cell order, so every cell's RNG stream is
+  // identical at any worker-thread count.
+  int num_cells = (spec_.hosts + spec_.cell_hosts - 1) / spec_.cell_hosts;
+  cells_.reserve(static_cast<size_t>(num_cells));
+  for (int c = 0; c < num_cells; ++c) {
+    uint64_t cell_seed = root.NextU64();
+    auto cell = std::make_unique<FleetCell>();
+    cell->id = c;
+    cell->first_host = c * spec_.cell_hosts;
+    // Everything a cell owns is constructed under the cell's counter scope:
+    // the simulator components cache the thread's PerfCounters pointer at
+    // construction, and binding them to the cell's own tally is what keeps
+    // the plain-uint64 counters race-free when cells run on worker threads.
+    PerfCounters::Scope scope(&cell->counters);
+    cell->sim = std::make_unique<Simulation>(cell_seed);
+    int last_host = std::min(spec_.hosts, cell->first_host + spec_.cell_hosts);
+    for (int h = cell->first_host; h < last_host; ++h) {
+      auto host = std::make_unique<ClusterHost>();
+      host->id = h;
+      host->machine = std::make_unique<HostMachine>(cell->sim.get(), topology_, host_params_);
+      host->power = h < spec_.initial_hosts_on ? HostPower::kOn : HostPower::kOff;
+      host->thread_commits.assign(static_cast<size_t>(topology_->num_threads()), 0);
+      host->occupants.resize(static_cast<size_t>(topology_->num_threads()));
+      cell->hosts.push_back(std::move(host));
+    }
+    if (fault_plan != nullptr && !fault_plan->Empty()) {
+      for (auto& host : cell->hosts) {
+        if (FleetChaosHost(host->id)) {
+          cell->injectors.push_back(std::make_unique<FaultInjector>(
+              cell->sim.get(), host->machine.get(), /*vm=*/nullptr, *fault_plan));
+        }
+      }
+    }
+    cells_.push_back(std::move(cell));
+  }
+
+  if (shards_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(shards_);
+  }
+}
+
+ShardedFleet::~ShardedFleet() {
+  if (started_ && !finished_) {
+    // An aborted run (budget trip mid-window) still tears tenants down in
+    // deterministic order and freezes totals.
+    TimeNs now = 0;
+    for (const auto& cell : cells_) {
+      now = std::max(now, cell->sim->now());
+    }
+    Finish(now);
+  }
+}
+
+FleetCell* ShardedFleet::CellOfHost(int host_id) {
+  return cells_[static_cast<size_t>(host_id / spec_.cell_hosts)].get();
+}
+
+const FleetCell* ShardedFleet::CellOfHost(int host_id) const {
+  return cells_[static_cast<size_t>(host_id / spec_.cell_hosts)].get();
+}
+
+const ClusterHost& ShardedFleet::host(int id) const {
+  const FleetCell* cell = CellOfHost(id);
+  return *cell->hosts[static_cast<size_t>(id - cell->first_host)];
+}
+
+int ShardedFleet::CapacityVcpus() const {
+  return FleetCapacityVcpus(spec_, topology_->num_threads());
+}
+
+int ShardedFleet::hosts_on() const {
+  int on = 0;
+  for (const auto& cell : cells_) {
+    for (const auto& host : cell->hosts) {
+      if (host->power != HostPower::kOff) {
+        ++on;
+      }
+    }
+  }
+  return on;
+}
+
+std::vector<HostLoadView> ShardedFleet::LoadViews() const {
+  // Global host-id order (cell-major): identical to the sequential engine's
+  // view order, so placement policies see the same candidate sequence.
+  std::vector<HostLoadView> views;
+  views.reserve(static_cast<size_t>(spec_.hosts));
+  int capacity = CapacityVcpus();
+  for (const auto& cell : cells_) {
+    for (const auto& host : cell->hosts) {
+      HostLoadView view;
+      view.host_id = host->id;
+      view.accepts_vms = host->power == HostPower::kOn;
+      view.committed_vcpus = host->committed_vcpus;
+      view.capacity_vcpus = capacity;
+      views.push_back(view);
+    }
+  }
+  return views;
+}
+
+TimeNs ShardedFleet::NextBarrierAtOrAfter(TimeNs t) const {
+  return ((t + window_ - 1) / window_) * window_;
+}
+
+void ShardedFleet::SetEventBudgetPerCell(uint64_t budget) {
+  for (auto& cell : cells_) {
+    cell->sim->SetEventBudget(budget);
+  }
+}
+
+uint64_t ShardedFleet::events_dispatched() const {
+  uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->sim->events_dispatched();
+  }
+  return total;
+}
+
+void ShardedFleet::ScheduleArrivals(TimeNs start) {
+  // The whole Poisson schedule is drawn up front from the control stream in
+  // tenant-id order, then posted through the mailbox. Arrival instants are
+  // quantized up to the next barrier — the placement decision rides the
+  // control-plane RPC, and the barrier grid *is* the control plane's clock
+  // resolution — which keeps every placement a barrier-time action.
+  double mean_gap = static_cast<double>(spec_.arrival_window) / static_cast<double>(spec_.vms);
+  TimeNs at = start;
+  for (int i = 0; i < spec_.vms; ++i) {
+    at += static_cast<TimeNs>(control_rng_.Exponential(mean_gap));
+    auto tenant = std::make_unique<TenantVm>();
+    tenant->id = i;
+    tenant->name = "t" + std::to_string(i);
+    if (spec_.vm_lifetime_mean > 0) {
+      tenant->departs_at =
+          at + static_cast<TimeNs>(control_rng_.Exponential(static_cast<double>(spec_.vm_lifetime_mean)));
+    }
+    tenants_.push_back(std::move(tenant));
+    TimeNs due = NextBarrierAtOrAfter(at);
+    mailbox_.Post(due, ShardMailbox::kControlPlane, [this, i, due] { OnVmArrival(i, due); });
+  }
+}
+
+void ShardedFleet::Run(TimeNs horizon) {
+  VSCHED_CHECK_MSG(!started_, "ShardedFleet::Run is single-shot");
+  started_ = true;
+  start_time_ = 0;
+  last_sample_ = 0;
+  for (auto& cell : cells_) {
+    for (auto& host : cell->hosts) {
+      host->idle_since = start_time_;
+    }
+    PerfCounters::Scope scope(&cell->counters);
+    for (auto& injector : cell->injectors) {
+      injector->Start();
+    }
+  }
+  ScheduleArrivals(start_time_);
+
+  // The window loop. At each barrier every cell is quiesced at exactly `t`;
+  // the final barrier runs at the horizon itself, mirroring the sequential
+  // engine where RunUntil(horizon) still executes events due at the horizon.
+  TimeNs t = start_time_;
+  for (;;) {
+    BarrierPhase(t);
+    if (t >= horizon) {
+      break;
+    }
+    TimeNs next = std::min(t + window_, horizon);
+    RunCellsUntil(next);
+    t = next;
+  }
+  Finish(horizon);
+}
+
+void ShardedFleet::BarrierPhase(TimeNs now) {
+  mailbox_.DrainUpTo(now);
+  // Same cadence as the sequential engine's Every(): first fire at one full
+  // period, then every period. The control tick runs after the mailbox so
+  // consolidation sees arrivals/boots/commits already applied at this
+  // instant.
+  if (now > start_time_ && (now - start_time_) % spec_.control_period == 0) {
+    ControlTick(now);
+  }
+}
+
+void ShardedFleet::RunCellsUntil(TimeNs deadline) {
+  // Every cell advances, even on error: a SimBudgetExceeded mid-window must
+  // not leave sibling cells short of the barrier (teardown assumes quiesced
+  // cells). The *lowest-id* failure is rethrown, making the propagated error
+  // independent of worker scheduling.
+  std::exception_ptr first_error;
+  if (pool_ == nullptr) {
+    for (auto& cell : cells_) {
+      try {
+        PerfCounters::Scope scope(&cell->counters);
+        cell->sim->RunUntil(deadline);
+      } catch (...) {
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  } else {
+    std::vector<std::future<void>> windows;
+    windows.reserve(cells_.size());
+    for (auto& cell : cells_) {
+      FleetCell* c = cell.get();
+      windows.push_back(pool_->Submit([c, deadline] {
+        PerfCounters::Scope scope(&c->counters);
+        c->sim->RunUntil(deadline);
+      }));
+    }
+    for (auto& window : windows) {
+      try {
+        window.get();
+      } catch (...) {
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void ShardedFleet::OnVmArrival(int tenant_id, TimeNs now) {
+  TenantVm* tenant = tenants_[static_cast<size_t>(tenant_id)].get();
+  if (!TryPlace(tenant, now)) {
+    pending_.push_back(tenant_id);
+    BootHostsIfNeeded(now);
+  }
+}
+
+bool ShardedFleet::TryPlace(TenantVm* tenant, TimeNs now) {
+  int host_id = placement_->Pick(LoadViews(), spec_.vcpus_per_vm);
+  if (host_id < 0) {
+    return false;
+  }
+  FleetCell* cell = CellOfHost(host_id);
+  ClusterHost* host = cell->hosts[static_cast<size_t>(host_id - cell->first_host)].get();
+  tenant->host_id = host_id;
+  tenant->tids = ReserveHostThreads(spec_, topology_->num_threads(), host, spec_.vcpus_per_vm);
+
+  // The tenant's whole simulation stack lives in the owning cell: built
+  // against the cell's Simulation, under the cell's counter scope (hot-path
+  // components cache the counters pointer at construction).
+  PerfCounters::Scope scope(&cell->counters);
+  VmSpec vm_spec;
+  vm_spec.name = tenant->name;
+  vm_spec.guest_params = guest_params_;  // one shared snapshot fleet-wide
+  for (HwThreadId tid : tenant->tids) {
+    VcpuPlacement p;
+    p.tid = tid;
+    vm_spec.vcpus.push_back(p);
+  }
+  tenant->vm = std::make_unique<Vm>(cell->sim.get(), host->machine.get(), std::move(vm_spec));
+  OccupyThreads(tenant);
+  tenant->vsched = std::make_unique<VSched>(&tenant->vm->kernel(), guest_options_);
+  tenant->vsched->Start();
+
+  tenant->batch = spec_.batch_every > 0 && tenant->id % spec_.batch_every == 0;
+  if (tenant->batch) {
+    TaskParallelParams bp;
+    bp.name = tenant->name + "/batch";
+    bp.threads = spec_.vcpus_per_vm;
+    bp.chunk_mean = MsToNs(2);
+    tenant->batch_app = std::make_unique<TaskParallelApp>(&tenant->vm->kernel(), bp);
+    tenant->batch_app->Start();
+  } else {
+    LatencyAppParams app;
+    app.name = tenant->name + "/app";
+    app.workers = spec_.vcpus_per_vm;
+    app.arrival_rate_per_sec =
+        spec_.requests_per_sec_per_vcpu * static_cast<double>(spec_.vcpus_per_vm);
+    app.service_mean = spec_.service_mean;
+    app.service_cv = spec_.service_cv;
+    tenant->app = std::make_unique<LatencyApp>(&tenant->vm->kernel(), app);
+    tenant->app->Start();
+    if (spec_.background_tasks_per_vm > 0) {
+      TaskParallelParams bg;
+      bg.name = tenant->name + "/bg";
+      bg.threads = spec_.background_tasks_per_vm;
+      bg.chunk_mean = MsToNs(10);
+      bg.policy = TaskPolicy::kIdle;
+      tenant->bg_app = std::make_unique<TaskParallelApp>(&tenant->vm->kernel(), bg);
+      tenant->bg_app->Start();
+    }
+  }
+
+  tenant->placed = true;
+  totals_.vms_placed += 1;
+  if (tenant->departs_at > 0) {
+    TimeNs due = std::max(NextBarrierAtOrAfter(tenant->departs_at), now + window_);
+    int id = tenant->id;
+    mailbox_.Post(due, ShardMailbox::kControlPlane, [this, id, due] { OnDepartureDue(id, due); });
+  }
+  return true;
+}
+
+void ShardedFleet::PlacePending(TimeNs now) {
+  while (!pending_.empty()) {
+    TenantVm* tenant = tenants_[static_cast<size_t>(pending_.front())].get();
+    if (!TryPlace(tenant, now)) {
+      break;  // FIFO: nothing smaller jumps the queue
+    }
+    pending_.pop_front();
+  }
+}
+
+void ShardedFleet::BootHostsIfNeeded(TimeNs now) {
+  int need = static_cast<int>(pending_.size()) * spec_.vcpus_per_vm;
+  if (need == 0) {
+    return;
+  }
+  int capacity = CapacityVcpus();
+  int free_commits = 0;
+  for (const auto& cell : cells_) {
+    for (const auto& host : cell->hosts) {
+      if (host->power != HostPower::kOff) {
+        free_commits += capacity - host->committed_vcpus;
+      }
+    }
+  }
+  for (auto& cell : cells_) {
+    for (auto& host : cell->hosts) {
+      if (free_commits >= need) {
+        return;
+      }
+      if (host->power != HostPower::kOff) {
+        continue;
+      }
+      host->power = HostPower::kBooting;
+      totals_.hosts_booted += 1;
+      free_commits += capacity;
+      int id = host->id;
+      TimeNs due = now + spec_.boot_delay;  // boot_delay is a multiple of the window
+      mailbox_.Post(due, ShardMailbox::kControlPlane, [this, id, due] { OnBootComplete(id, due); });
+    }
+  }
+}
+
+void ShardedFleet::OnBootComplete(int host_id, TimeNs now) {
+  FleetCell* cell = CellOfHost(host_id);
+  ClusterHost* host = cell->hosts[static_cast<size_t>(host_id - cell->first_host)].get();
+  VSCHED_CHECK(host->power == HostPower::kBooting);
+  host->power = HostPower::kOn;
+  host->idle_since = now;
+  PlacePending(now);
+}
+
+void ShardedFleet::ControlTick(TimeNs now) {
+  SampleEnergyAndUtil(now);
+  PlacePending(now);
+  BootHostsIfNeeded(now);
+  MaybeConsolidate(now);
+
+  int on = hosts_on();
+  for (auto& cell : cells_) {
+    for (auto& host : cell->hosts) {
+      if (on <= spec_.min_hosts_on) {
+        return;
+      }
+      if (host->power == HostPower::kOn && host->committed_vcpus == 0 &&
+          now - host->idle_since >= spec_.idle_shutdown_after) {
+        host->power = HostPower::kOff;
+        totals_.hosts_shutdown += 1;
+        on -= 1;
+      }
+    }
+  }
+}
+
+void ShardedFleet::SampleEnergyAndUtil(TimeNs now) {
+  // Direct host-state reads are barrier-safe: every cell is quiesced at
+  // exactly `now`, so sched(t).busy() is the same answer any worker would
+  // have computed. Accumulation order is global host order — fixed, so the
+  // floating-point sums are bit-stable at any shard count.
+  TimeNs dt = now - last_sample_;
+  last_sample_ = now;
+  if (dt <= 0) {
+    return;
+  }
+  double dt_sec = static_cast<double>(dt) / 1e9;
+  for (auto& cell : cells_) {
+    for (auto& host : cell->hosts) {
+      double watts = spec_.off_watts;
+      if (host->power == HostPower::kBooting) {
+        watts = spec_.booting_watts;
+      } else if (host->power == HostPower::kOn) {
+        int busy = 0;
+        int threads = topology_->num_threads();
+        for (int t = 0; t < threads; ++t) {
+          if (host->machine->sched(t).busy()) {
+            ++busy;
+          }
+        }
+        double util = static_cast<double>(busy) / static_cast<double>(threads);
+        watts = spec_.idle_watts + (spec_.busy_watts - spec_.idle_watts) * util;
+        util_integral_ += util * dt_sec;
+        on_time_integral_ += dt_sec;
+      }
+      host->energy_j += watts * dt_sec;
+    }
+  }
+}
+
+void ShardedFleet::MaybeConsolidate(TimeNs now) {
+  // Source selection scans the whole fleet, like the sequential engine; the
+  // destination is confined to the source's *cell*. The cell is the
+  // migration domain (rack locality): a live-migrating VM's pending events
+  // and timers stay inside one cell Simulation, which is what makes the
+  // copy/downtime/commit phases pure barrier-time state changes instead of
+  // a cross-queue event transplant.
+  int capacity = CapacityVcpus();
+  ClusterHost* source = nullptr;
+  double source_load = 0;
+  for (auto& cell : cells_) {
+    for (auto& host : cell->hosts) {
+      if (host->power != HostPower::kOn || host->committed_vcpus == 0) {
+        continue;
+      }
+      double load = static_cast<double>(host->committed_vcpus) / static_cast<double>(capacity);
+      if (load > spec_.consolidate_below) {
+        continue;
+      }
+      if (source == nullptr || load < source_load) {
+        source = host.get();
+        source_load = load;
+      }
+    }
+  }
+  if (source == nullptr) {
+    return;
+  }
+  TenantVm* mover = nullptr;
+  for (auto& tenant : tenants_) {
+    if (tenant->placed && !tenant->departed && !tenant->migrating &&
+        tenant->host_id == source->id) {
+      mover = tenant.get();
+      break;
+    }
+  }
+  if (mover == nullptr) {
+    return;  // everything on the host is already in flight
+  }
+  // Best-fit within the source's cell: the most-committed host that still
+  // fits the VM (see Fleet::MaybeConsolidate for why best-fit, not the
+  // arrival policy).
+  FleetCell* cell = CellOfHost(source->id);
+  ClusterHost* dest = nullptr;
+  for (auto& host : cell->hosts) {
+    if (host->power != HostPower::kOn || host->id == source->id) {
+      continue;
+    }
+    if (host->committed_vcpus + spec_.vcpus_per_vm > capacity) {
+      continue;
+    }
+    if (dest == nullptr || host->committed_vcpus > dest->committed_vcpus) {
+      dest = host.get();
+    }
+  }
+  if (dest == nullptr || dest->committed_vcpus <= source->committed_vcpus) {
+    return;  // only drain toward busier hosts, or two near-idle hosts ping-pong
+  }
+  mover->migrating = true;
+  mover->mig_dest_host = dest->id;
+  mover->mig_dest_tids = ReserveHostThreads(spec_, topology_->num_threads(), dest, spec_.vcpus_per_vm);
+  int id = mover->id;
+  TimeNs due = now + spec_.migration_copy_latency;  // a multiple of the window
+  mailbox_.Post(due, ShardMailbox::kControlPlane, [this, id, due] { OnMigrationDowntime(id, due); });
+}
+
+void ShardedFleet::OnMigrationDowntime(int tenant_id, TimeNs now) {
+  TenantVm* tenant = tenants_[static_cast<size_t>(tenant_id)].get();
+  VSCHED_CHECK(tenant->migrating);
+  if (tenant->depart_pending) {
+    // The tenant's lifetime ended during the copy: abort the migration.
+    FleetCell* dest_cell = CellOfHost(tenant->mig_dest_host);
+    ReleaseHostCommits(
+        dest_cell->hosts[static_cast<size_t>(tenant->mig_dest_host - dest_cell->first_host)].get(),
+        tenant->mig_dest_tids, now);
+    tenant->migrating = false;
+    tenant->mig_dest_host = -1;
+    tenant->mig_dest_tids.clear();
+    DoDepart(tenant, now);
+    return;
+  }
+  // Downtime blackout: paused vCPUs stay attached (guest sees steal).
+  FleetCell* cell = CellOfHost(tenant->host_id);
+  PerfCounters::Scope scope(&cell->counters);
+  tenant->vm->SetPausedAll(true);
+  int id = tenant->id;
+  TimeNs due = now + spec_.migration_downtime;
+  mailbox_.Post(due, ShardMailbox::kControlPlane, [this, id, due] { OnMigrationCommit(id, due); });
+}
+
+void ShardedFleet::OnMigrationCommit(int tenant_id, TimeNs now) {
+  TenantVm* tenant = tenants_[static_cast<size_t>(tenant_id)].get();
+  VSCHED_CHECK(tenant->migrating);
+  FleetCell* cell = CellOfHost(tenant->host_id);
+  VSCHED_CHECK(CellOfHost(tenant->mig_dest_host) == cell);  // cell == migration domain
+  ClusterHost* dest = cell->hosts[static_cast<size_t>(tenant->mig_dest_host - cell->first_host)].get();
+  ClusterHost* source = cell->hosts[static_cast<size_t>(tenant->host_id - cell->first_host)].get();
+  PerfCounters::Scope scope(&cell->counters);
+  VacateThreads(tenant);  // source neighbors' caps relax
+  tenant->vm->MigrateToMachine(dest->machine.get(), tenant->mig_dest_tids);
+  tenant->vm->SetPausedAll(false);
+  ReleaseHostCommits(source, tenant->tids, now);
+  tenant->host_id = tenant->mig_dest_host;
+  tenant->tids = tenant->mig_dest_tids;
+  tenant->mig_dest_host = -1;
+  tenant->mig_dest_tids.clear();
+  tenant->migrating = false;
+  OccupyThreads(tenant);  // dest caps tighten around the newcomer
+  totals_.migrations += 1;
+  if (tenant->depart_pending) {
+    DoDepart(tenant, now);
+  }
+}
+
+void ShardedFleet::OnDepartureDue(int tenant_id, TimeNs now) {
+  TenantVm* tenant = tenants_[static_cast<size_t>(tenant_id)].get();
+  if (tenant->departed) {
+    return;
+  }
+  if (tenant->migrating) {
+    tenant->depart_pending = true;  // the commit handler finishes the job
+    return;
+  }
+  DoDepart(tenant, now);
+}
+
+void ShardedFleet::DoDepart(TenantVm* tenant, TimeNs now) {
+  VSCHED_CHECK(tenant->placed && !tenant->departed && !tenant->migrating);
+  FleetCell* cell = CellOfHost(tenant->host_id);
+  PerfCounters::Scope scope(&cell->counters);
+  HarvestStats(tenant);
+  StopApps(tenant);
+  tenant->vsched->Stop();
+  tenant->vsched.reset();
+  VacateThreads(tenant);  // neighbors' caps relax before the VM detaches
+  tenant->vm.reset();     // detaches the vCPU threads from the host
+  ReleaseHostCommits(cell->hosts[static_cast<size_t>(tenant->host_id - cell->first_host)].get(),
+                     tenant->tids, now);
+  tenant->departed = true;
+  totals_.vms_departed += 1;
+}
+
+void ShardedFleet::HarvestStats(TenantVm* tenant) {
+  if (tenant->batch) {
+    totals_.batch_chunks += tenant->batch_app->chunks_done();
+    return;
+  }
+  if (tenant->bg_app != nullptr) {
+    totals_.batch_chunks += tenant->bg_app->chunks_done();
+  }
+  const Distribution& latency = tenant->app->end_to_end();
+  fleet_latency_.MergeFrom(latency);
+  totals_.slo_violations += latency.CountAbove(static_cast<double>(spec_.slo_latency));
+  totals_.requests += static_cast<uint64_t>(latency.count());
+  if (latency.count() > 0) {
+    tenant_p99s_.Add(latency.P99());
+  }
+}
+
+void ShardedFleet::StopApps(TenantVm* tenant) {
+  if (tenant->app != nullptr) {
+    tenant->app->Stop();
+    tenant->app.reset();
+  }
+  if (tenant->batch_app != nullptr) {
+    tenant->batch_app->Stop();
+    tenant->batch_app.reset();
+  }
+  if (tenant->bg_app != nullptr) {
+    tenant->bg_app->Stop();
+    tenant->bg_app.reset();
+  }
+}
+
+void ShardedFleet::OccupyThreads(TenantVm* tenant) {
+  FleetCell* cell = CellOfHost(tenant->host_id);
+  ClusterHost* host = cell->hosts[static_cast<size_t>(tenant->host_id - cell->first_host)].get();
+  for (size_t v = 0; v < tenant->tids.size(); ++v) {
+    host->occupants[static_cast<size_t>(tenant->tids[v])].emplace_back(tenant->id,
+                                                                       static_cast<int>(v));
+  }
+  for (HwThreadId tid : tenant->tids) {
+    ReshapeThread(host, tid);
+  }
+}
+
+void ShardedFleet::VacateThreads(TenantVm* tenant) {
+  FleetCell* cell = CellOfHost(tenant->host_id);
+  ClusterHost* host = cell->hosts[static_cast<size_t>(tenant->host_id - cell->first_host)].get();
+  for (auto tid : tenant->tids) {
+    auto& occ = host->occupants[static_cast<size_t>(tid)];
+    for (auto it = occ.begin(); it != occ.end(); ++it) {
+      if (it->first == tenant->id) {
+        occ.erase(it);
+        break;
+      }
+    }
+  }
+  for (HwThreadId tid : tenant->tids) {
+    ReshapeThread(host, tid);
+  }
+}
+
+void ShardedFleet::ReshapeThread(ClusterHost* host, HwThreadId tid) {
+  // During Finish() teardown neighbor VMs are being destroyed in id order;
+  // caps no longer matter and the occupant list must not be dereferenced.
+  if (spec_.cap_period <= 0 || finished_) {
+    return;
+  }
+  auto& occ = host->occupants[static_cast<size_t>(tid)];
+  int k = static_cast<int>(occ.size());
+  for (const auto& [tenant_id, vcpu] : occ) {
+    Vm* vm = tenants_[static_cast<size_t>(tenant_id)]->vm.get();
+    if (k <= 1) {
+      vm->ClearVcpuBandwidth(vcpu);
+    } else {
+      vm->SetVcpuBandwidth(vcpu, spec_.cap_period / k, spec_.cap_period);
+    }
+  }
+}
+
+void ShardedFleet::Finish(TimeNs now) {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  SampleEnergyAndUtil(now);
+  for (auto& cell : cells_) {
+    PerfCounters::Scope scope(&cell->counters);
+    for (auto& injector : cell->injectors) {
+      injector->Stop();
+      totals_.fault_applied += injector->stats().total_applied();
+    }
+  }
+  // Live-tenant teardown and harvest in tenant-id order, like the sequential
+  // engine: the merge order into the fleet-wide distributions is part of the
+  // deterministic-output contract.
+  for (auto& tenant : tenants_) {
+    if (!tenant->placed || tenant->departed) {
+      continue;
+    }
+    FleetCell* cell = CellOfHost(tenant->host_id);
+    PerfCounters::Scope scope(&cell->counters);
+    HarvestStats(tenant.get());
+    StopApps(tenant.get());
+    tenant->vsched->Stop();
+    tenant->vsched.reset();
+    tenant->vm.reset();
+    ReleaseHostCommits(cell->hosts[static_cast<size_t>(tenant->host_id - cell->first_host)].get(),
+                       tenant->tids, now);
+  }
+  totals_.vms_rejected = static_cast<int>(pending_.size());
+
+  totals_.fleet_p50_ns = fleet_latency_.P50();
+  totals_.fleet_p95_ns = fleet_latency_.P95();
+  totals_.fleet_p99_ns = fleet_latency_.P99();
+  totals_.fleet_mean_ns = fleet_latency_.Mean();
+  totals_.tenant_p99_p50_ns = tenant_p99s_.P50();
+  totals_.tenant_p99_p95_ns = tenant_p99s_.P95();
+  totals_.tenant_p99_max_ns = tenant_p99s_.Max();
+  totals_.hosts_on_at_end = hosts_on();
+  totals_.host_util_mean = on_time_integral_ > 0 ? util_integral_ / on_time_integral_ : 0;
+  double energy = 0;
+  for (const auto& cell : cells_) {
+    for (const auto& host : cell->hosts) {
+      energy += host->energy_j;
+    }
+  }
+  totals_.energy_j = energy;
+
+  // Fold per-cell hot-path tallies into the run's ambient sink (cell order)
+  // so `vsched_run --timings` aggregates sharded runs exactly like
+  // sequential ones.
+  for (const auto& cell : cells_) {
+    PerfCounters::Current()->MergeFrom(cell->counters);
+  }
+}
+
+}  // namespace vsched

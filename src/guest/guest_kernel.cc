@@ -40,6 +40,8 @@ GuestKernel::GuestKernel(Simulation* sim, HostMachine* machine, std::vector<Vcpu
   capacity_override_.assign(n, -1.0);
   tick_timers_.reserve(static_cast<size_t>(n));
   tick_origins_.reserve(static_cast<size_t>(n));
+  std::vector<std::pair<TimerId, TimeNs>> arm_batch;
+  arm_batch.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     // Stagger ticks so all vCPUs do not interrupt at the same instant. The
     // first firing defines the vCPU's tick grid for the whole run.
@@ -52,17 +54,15 @@ GuestKernel::GuestKernel(Simulation* sim, HostMachine* machine, std::vector<Vcpu
           OnTick(i);
         }));
     tick_origins_.push_back(sim_->now() + offset);
-    sim_->ArmTimerAt(tick_timers_[static_cast<size_t>(i)], tick_origins_[static_cast<size_t>(i)]);
+    arm_batch.emplace_back(tick_timers_.back(), tick_origins_.back());
   }
+  sim_->wheel().ArmBatch(arm_batch);
 }
 
 GuestKernel::~GuestKernel() {
   shutting_down_ = true;
   for (TimerId id : tick_timers_) {
     sim_->DestroyTimer(id);
-  }
-  for (auto& v : vcpus_) {
-    sim_->Cancel(v->completion_event_);
   }
 }
 
@@ -79,7 +79,10 @@ Task* GuestKernel::CreateTask(std::string name, TaskPolicy policy, TaskBehavior*
   auto task =
       std::make_unique<Task>(next_task_id_++, std::move(name), policy, behavior, clipped);
   Task* raw = task.get();
-  raw->pelt_.Seed(sim_->now(), kCapacityScale / 2);
+  // Rebind the signal into the kernel's arena: creation order == scan order
+  // for the classifier passes, so consecutive tasks' signals share lines.
+  raw->pelt_ = pelt_arena_.Allocate();
+  raw->pelt_->Seed(sim_->now(), kCapacityScale / 2);
   tasks_.push_back(std::move(task));
   return raw;
 }
@@ -367,7 +370,7 @@ void GuestKernel::EnqueueTask(Task* task, int cpu, bool wakeup, int waker_cpu) {
   task->enqueue_time_ = now;
   // Designated PELT entry point: closes the task's waiting/sleeping span.
   // vsched-lint: allow(pelt-eager-update)
-  task->pelt_.Update(now, /*active=*/false);
+  task->pelt_->Update(now, /*active=*/false);
 
   double credit = wakeup ? static_cast<double>(params_->min_granularity) : 0.0;
   task->vruntime_ = std::max(task->vruntime_, v.rq_.min_vruntime() - credit);
@@ -695,7 +698,7 @@ void GuestKernel::MisfitCheck(GuestVcpu* v, TimeNs now) {
   double cap = CfsCapacityOf(v->index());
   // Lazy PELT: evaluate at `now` without writing the signal back — the tick
   // path must not be a mutation point (see the pelt-eager-update lint rule).
-  if (curr->pelt_.UtilAt(now, /*active=*/v->segment_open_) <
+  if (curr->pelt_->UtilAt(now, /*active=*/v->segment_open_) <
       params_->misfit_util_fraction * cap) {
     return;
   }

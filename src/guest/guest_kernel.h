@@ -18,6 +18,7 @@
 #include "src/guest/cpumask.h"
 #include "src/guest/guest_topology.h"
 #include "src/guest/guest_vcpu.h"
+#include "src/guest/pelt_arena.h"
 #include "src/guest/task.h"
 #include "src/sim/rng.h"
 #include "src/sim/timer_wheel.h"
@@ -234,6 +235,9 @@ class GuestKernel {
   Rng rng_;
 
   std::vector<std::unique_ptr<GuestVcpu>> vcpus_;
+  // Declared before tasks_: tasks hold raw pointers into the arena, so it
+  // must be destroyed after them.
+  PeltArena pelt_arena_;
   std::vector<std::unique_ptr<Task>> tasks_;
   uint64_t next_task_id_ = 1;
   uint64_t next_sleep_token_ = 1;

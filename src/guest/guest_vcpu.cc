@@ -13,6 +13,17 @@ GuestVcpu::GuestVcpu(GuestKernel* kernel, int index, VcpuThread* thread)
     : kernel_(kernel), sim_(kernel->sim()), index_(index), thread_(thread) {
   thread_->BindClient(this);
   rq_.SetEevdf(kernel->params().use_eevdf);
+  completion_timer_ = sim_->CreateTimer([this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnBurstComplete();
+  });
+}
+
+GuestVcpu::~GuestVcpu() {
+  sim_->DestroyTimer(completion_timer_);
+  thread_->BindClient(nullptr);
 }
 
 double GuestVcpu::CfsCapacity() const { return kernel_->CfsCapacityOf(index_); }
@@ -56,19 +67,13 @@ void GuestVcpu::OpenSegment(TimeNs now) {
   // was current counts as running time (as it would on real Linux in a VM).
   // Designated PELT entry point: opening a running span.
   // vsched-lint: allow(pelt-eager-update)
-  current_->pelt_.Update(now, /*active=*/true);
+  current_->pelt_->Update(now, /*active=*/true);
   segment_open_ = true;
   segment_start_ = now;
   segment_speed_ = kernel_->machine()->SpeedOf(thread_->tid());
   VSCHED_CHECK(segment_speed_ > 0);
-  completion_event_ =
-      sim_->After(TimeToComplete(current_->burst_remaining_, segment_speed_),
-                  [this, alive = std::weak_ptr<const bool>(alive_)] {
-                    if (alive.expired()) {
-                      return;
-                    }
-                    OnBurstComplete();
-                  });
+  sim_->ArmTimerAfter(completion_timer_,
+                      TimeToComplete(current_->burst_remaining_, segment_speed_));
 }
 
 void GuestVcpu::SyncSegment(TimeNs now) {
@@ -109,10 +114,9 @@ void GuestVcpu::CloseSegment(TimeNs now) {
   // (the per-tick Update this replaces advanced the same exponential in
   // smaller steps — identical in the closed form).
   // vsched-lint: allow(pelt-eager-update)
-  current_->pelt_.Update(now, /*active=*/true);
+  current_->pelt_->Update(now, /*active=*/true);
   segment_open_ = false;
-  sim_->Cancel(completion_event_);
-  completion_event_.Invalidate();
+  sim_->CancelTimer(completion_timer_);
 }
 
 void GuestVcpu::OnBurstComplete() {
@@ -131,7 +135,7 @@ void GuestVcpu::Dispatch(Task* next, TimeNs now) {
   VSCHED_CHECK(next->state_ == TaskState::kRunnable);
   // Designated PELT entry point: close out the waiting interval.
   // vsched-lint: allow(pelt-eager-update)
-  next->pelt_.Update(now, /*active=*/false);
+  next->pelt_->Update(now, /*active=*/false);
   TimeNs delay = now - next->enqueue_time_;
   next->last_queue_delay_ = delay;
   next->queue_wait_total_ns_ += delay;
@@ -160,7 +164,7 @@ void GuestVcpu::PutCurrent(TimeNs now, bool requeue) {
     prev->enqueue_time_ = now;
     // Designated PELT entry point: the preempted task starts waiting here.
     // vsched-lint: allow(pelt-eager-update)
-    prev->pelt_.Update(now, /*active=*/false);
+    prev->pelt_->Update(now, /*active=*/false);
     rq_.Enqueue(prev);
   }
 }

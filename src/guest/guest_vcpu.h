@@ -19,7 +19,7 @@
 #include "src/guest/runqueue.h"
 #include "src/guest/task.h"
 #include "src/host/vcpu_thread.h"
-#include "src/sim/event_queue.h"
+#include "src/sim/timer_wheel.h"
 
 namespace vsched {
 
@@ -30,7 +30,7 @@ class Simulation;
 class GuestVcpu : public VcpuHostClient {
  public:
   GuestVcpu(GuestKernel* kernel, int index, VcpuThread* thread);
-  ~GuestVcpu() override { thread_->BindClient(nullptr); }
+  ~GuestVcpu() override;
 
   GuestVcpu(const GuestVcpu&) = delete;
   GuestVcpu& operator=(const GuestVcpu&) = delete;
@@ -107,11 +107,14 @@ class GuestVcpu : public VcpuHostClient {
   Runqueue rq_;
   Task* current_ = nullptr;
 
-  // Execution segment state.
+  // Execution segment state. The burst-completion deadline is a wheel timer
+  // registered once per vCPU and re-armed on every segment open: segments
+  // open/close on every context switch and host preemption, which as heap
+  // events made this one of the queue's hottest cancel/re-post pairs.
   bool segment_open_ = false;
   TimeNs segment_start_ = 0;
   double segment_speed_ = 0;
-  EventId completion_event_;
+  TimerId completion_timer_ = kInvalidTimerId;
 
   bool resched_pending_ = false;
   TimeNs idle_since_ = 0;

@@ -1,0 +1,60 @@
+// Chunked arena for PELT signals.
+//
+// Task objects are a couple of cache lines each and are heap-allocated
+// individually, so a classifier pass that touches every task's utilization
+// (bvs small-task scans, ivh intensity checks, fleet consolidation sweeps)
+// pays one cache miss per task. The arena packs the PeltSignal state of all
+// of a kernel's tasks into contiguous chunks in task-creation order — the
+// order those scans visit them — so consecutive signals share cache lines.
+//
+// Addresses are stable for the life of the arena (chunks never move), which
+// is the property Task relies on to hold a raw PeltSignal*. Slots are never
+// recycled: kernels create tasks append-only, and the arena dies with its
+// kernel.
+#ifndef SRC_GUEST_PELT_ARENA_H_
+#define SRC_GUEST_PELT_ARENA_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/guest/pelt.h"
+
+namespace vsched {
+
+class PeltArena {
+ public:
+  static constexpr size_t kChunkSize = 64;
+
+  PeltArena() = default;
+  PeltArena(const PeltArena&) = delete;
+  PeltArena& operator=(const PeltArena&) = delete;
+
+  // Returns a fresh signal constructed with the given half-life. The pointer
+  // stays valid until the arena is destroyed.
+  PeltSignal* Allocate(TimeNs half_life = MsToNs(32)) {
+    if (used_in_last_ == kChunkSize) {
+      chunks_.push_back(std::make_unique<Chunk>());
+      used_in_last_ = 0;
+    }
+    PeltSignal* signal = &(*chunks_.back())[used_in_last_++];
+    *signal = PeltSignal(half_life);
+    return signal;
+  }
+
+  // Signals handed out so far (for tests/metrics).
+  size_t size() const {
+    return chunks_.empty() ? 0 : (chunks_.size() - 1) * kChunkSize + used_in_last_;
+  }
+
+ private:
+  using Chunk = std::array<PeltSignal, kChunkSize>;
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  size_t used_in_last_ = kChunkSize;
+};
+
+}  // namespace vsched
+
+#endif  // SRC_GUEST_PELT_ARENA_H_

@@ -8,27 +8,17 @@
 
 namespace vsched {
 
-namespace {
-
-// Binary search for the exact position of `task` in a (vruntime, id)-sorted
-// vector. Returns end() when absent. Relies on tasks never mutating vruntime
-// while queued — the invariant the ordered containers have always required.
-std::vector<Task*>::const_iterator Find(const std::vector<Task*>& v, const Task* task,
-                                        bool (*before)(const Task*, const Task*)) {
-  auto it = std::lower_bound(v.begin(), v.end(), task, before);
-  if (it != v.end() && *it == task) {
+// Relies on tasks never mutating vruntime while queued — the invariant the
+// ordered containers have always required (and AuditVerify now re-checks
+// against the snapshots).
+std::vector<Runqueue::Entry>::const_iterator Runqueue::Find(const std::vector<Entry>& v,
+                                                            const Task* task) {
+  Entry key{task->vruntime(), task->vdeadline(), task->id(), nullptr};
+  auto it = std::lower_bound(v.begin(), v.end(), key, Before);
+  if (it != v.end() && it->task == task) {
     return it;
   }
   return v.end();
-}
-
-}  // namespace
-
-bool Runqueue::Before(const Task* a, const Task* b) {
-  if (a->vruntime() != b->vruntime()) {
-    return a->vruntime() < b->vruntime();
-  }
-  return a->id() < b->id();
 }
 
 void Runqueue::AddLoad(double w) {
@@ -45,10 +35,11 @@ void Runqueue::AddLoad(double w) {
 
 void Runqueue::Enqueue(Task* task) {
   ++counters_->rq_enqueues;
-  std::vector<Task*>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
-  auto it = std::lower_bound(v.begin(), v.end(), task, Before);
-  VSCHED_CHECK(it == v.end() || *it != task);  // double-enqueue
-  v.insert(it, task);
+  std::vector<Entry>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
+  Entry entry{task->vruntime(), task->vdeadline(), task->id(), task};
+  auto it = std::lower_bound(v.begin(), v.end(), entry, Before);
+  VSCHED_CHECK(it == v.end() || it->task != task);  // double-enqueue
+  v.insert(it, entry);
   if (task->policy() != TaskPolicy::kIdle) {
     AddLoad(task->weight());
   }
@@ -59,8 +50,8 @@ void Runqueue::Enqueue(Task* task) {
 
 void Runqueue::Dequeue(Task* task) {
   ++counters_->rq_dequeues;
-  std::vector<Task*>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
-  auto it = Find(v, task, Before);
+  std::vector<Entry>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
+  auto it = Find(v, task);
   VSCHED_CHECK(it != v.end());
   v.erase(it);
   if (task->policy() != TaskPolicy::kIdle) {
@@ -77,47 +68,47 @@ void Runqueue::Dequeue(Task* task) {
 }
 
 bool Runqueue::Contains(const Task* task) const {
-  const std::vector<Task*>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
-  return Find(v, task, Before) != v.end();
+  const std::vector<Entry>& v = task->policy() == TaskPolicy::kIdle ? idle_ : normal_;
+  return Find(v, task) != v.end();
 }
 
 Task* Runqueue::PickEevdf() const {
   // EEVDF: among *eligible* tasks (vruntime not ahead of the queue average),
   // pick the earliest virtual deadline. Falls back to the global minimum
   // vruntime when nothing is eligible (cannot happen with a consistent
-  // average, but float dust is cheap to guard against).
+  // average, but float dust is cheap to guard against). Inline keys make
+  // both passes contiguous scans with no Task dereference.
   double avg = 0;
   int n = 0;
-  for (const Task* t : normal_) {
-    avg += t->vruntime();
+  for (const Entry& e : normal_) {
+    avg += e.vruntime;
     ++n;
   }
-  for (const Task* t : idle_) {
-    avg += t->vruntime();
+  for (const Entry& e : idle_) {
+    avg += e.vruntime;
     ++n;
   }
   if (n == 0) {
     return nullptr;
   }
   avg /= n;
-  Task* best = nullptr;
-  Task* min_vr = nullptr;
-  auto consider = [&](Task* t) {
-    if (min_vr == nullptr || t->vruntime() < min_vr->vruntime()) {
-      min_vr = t;
+  const Entry* best = nullptr;
+  const Entry* min_vr = nullptr;
+  auto consider = [&](const Entry& e) {
+    if (min_vr == nullptr || e.vruntime < min_vr->vruntime) {
+      min_vr = &e;
     }
-    if (t->vruntime() <= avg + 1e-6 &&
-        (best == nullptr || t->vdeadline() < best->vdeadline())) {
-      best = t;
+    if (e.vruntime <= avg + 1e-6 && (best == nullptr || e.vdeadline < best->vdeadline)) {
+      best = &e;
     }
   };
-  for (Task* t : normal_) {
-    consider(t);
+  for (const Entry& e : normal_) {
+    consider(e);
   }
-  for (Task* t : idle_) {
-    consider(t);
+  for (const Entry& e : idle_) {
+    consider(e);
   }
-  return best != nullptr ? best : min_vr;
+  return best != nullptr ? best->task : min_vr->task;
 }
 
 Task* Runqueue::Pick() const {
@@ -132,27 +123,32 @@ Task* Runqueue::Pick() const {
   // SCHED_IDLE entities carry weight 3, so their vruntime advances ~341×
   // faster and they naturally receive only a sliver of CPU — but they are
   // not starved outright. Sorted storage makes both leftmosts front().
-  Task* best = normal_.empty() ? nullptr : normal_.front();
+  const Entry* best = normal_.empty() ? nullptr : &normal_.front();
   if (!idle_.empty()) {
-    Task* idle_best = idle_.front();
-    if (best == nullptr || idle_best->vruntime() < best->vruntime()) {
+    const Entry* idle_best = &idle_.front();
+    if (best == nullptr || idle_best->vruntime < best->vruntime) {
       best = idle_best;
     }
   }
-  return best;
+  return best != nullptr ? best->task : nullptr;
 }
 
 void Runqueue::RaiseMinVruntime(double v) { min_vruntime_ = std::max(min_vruntime_, v); }
 
 void Runqueue::AuditVerify() const {
-  auto check_class = [](const std::vector<Task*>& v, bool want_idle, const char* label) {
+  auto check_class = [](const std::vector<Entry>& v, bool want_idle, const char* label) {
     for (size_t i = 0; i < v.size(); ++i) {
-      VSCHED_AUDIT_CHECK(v[i] != nullptr, label);
-      if (v[i] == nullptr) {
+      VSCHED_AUDIT_CHECK(v[i].task != nullptr, label);
+      if (v[i].task == nullptr) {
         return;
       }
-      VSCHED_AUDIT_CHECK((v[i]->policy() == TaskPolicy::kIdle) == want_idle,
+      VSCHED_AUDIT_CHECK((v[i].task->policy() == TaskPolicy::kIdle) == want_idle,
                          "runqueue: task filed under the wrong policy class");
+      // Snapshot freshness: nothing may mutate ordering keys while queued.
+      VSCHED_AUDIT_CHECK(v[i].vruntime == v[i].task->vruntime() &&
+                             v[i].vdeadline == v[i].task->vdeadline() &&
+                             v[i].id == v[i].task->id(),
+                         "runqueue: inline key snapshot stale (task mutated while queued)");
       if (i > 0) {
         VSCHED_AUDIT_CHECK(Before(v[i - 1], v[i]),
                            "runqueue: tasks out of (vruntime, id) order");
@@ -163,9 +159,8 @@ void Runqueue::AuditVerify() const {
   check_class(idle_, /*want_idle=*/true, "runqueue: null task in idle class");
   // Sortedness makes front() the cached leftmost; re-derive it the hard way.
   if (!normal_.empty()) {
-    const Task* leftmost =
-        *std::min_element(normal_.begin(), normal_.end(), Before);
-    VSCHED_AUDIT_CHECK(leftmost == normal_.front(),
+    const Entry* leftmost = &*std::min_element(normal_.begin(), normal_.end(), Before);
+    VSCHED_AUDIT_CHECK(leftmost == &normal_.front(),
                        "runqueue: front() is not the leftmost normal task");
   }
   // The compensated load must track an exact recompute. Weights are small
@@ -173,8 +168,8 @@ void Runqueue::AuditVerify() const {
   // fractional weights yet tight enough to catch a missed add/remove (the
   // smallest weight in the table is 3).
   double exact = 0;
-  for (const Task* t : normal_) {
-    exact += t->weight();
+  for (const Entry& e : normal_) {
+    exact += e.task->weight();
   }
   VSCHED_AUDIT_CHECK(std::abs(load() - exact) <= 1e-6 * std::max(1.0, exact),
                      "runqueue: compensated load diverged from exact recompute");

@@ -38,7 +38,25 @@ HostEntity* BestOf(const std::vector<HostEntity*>& queue) {
 
 CpuSched::CpuSched(Simulation* sim, HostMachine* machine, HwThreadId tid,
                    std::shared_ptr<const HostSchedParams> params)
-    : sim_(sim), machine_(machine), tid_(tid), params_(std::move(params)), rng_(sim->ForkRng()) {}
+    : sim_(sim), machine_(machine), tid_(tid), params_(std::move(params)), rng_(sim->ForkRng()) {
+  slice_timer_ = sim_->CreateTimer([this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnSliceEnd();
+  });
+  throttle_timer_ = sim_->CreateTimer([this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    ThrottleCurrent(sim_->now());
+  });
+}
+
+CpuSched::~CpuSched() {
+  sim_->DestroyTimer(throttle_timer_);
+  sim_->DestroyTimer(slice_timer_);
+}
 
 size_t CpuSched::runnable_count() const { return queue_.size() + (current_ != nullptr ? 1 : 0); }
 
@@ -104,9 +122,9 @@ void CpuSched::Detach(HostEntity* e) {
     e->bw_refill_timer_ = kInvalidTimerId;
     e->bw_refill_armed_ = false;
   }
-  sim_->Cancel(e->bw_throttle_event_);
-  e->bw_throttle_event_.Invalidate();
   if (current_ == e) {
+    // PutCurrent cancels the slice and throttle timers (a throttle deadline
+    // only ever exists for the running entity).
     PutCurrent(now, /*requeue=*/false);
     e->SyncAccounting(now);
     e->sched_ = nullptr;
@@ -199,8 +217,9 @@ void CpuSched::SetBandwidthLive(HostEntity* e, TimeNs quota, TimeNs period) {
     e->bw_refill_timer_ = kInvalidTimerId;
     e->bw_refill_armed_ = false;
   }
-  sim_->Cancel(e->bw_throttle_event_);
-  e->bw_throttle_event_.Invalidate();
+  if (e == current_) {
+    sim_->CancelTimer(throttle_timer_);
+  }
   const bool was_throttled = e->throttled_;
   e->throttled_ = false;
   e->bw_quota_ = quota;
@@ -220,13 +239,7 @@ void CpuSched::SetBandwidthLive(HostEntity* e, TimeNs quota, TimeNs period) {
     sim_->ArmTimerAt(e->bw_refill_timer_, e->bw_refill_origin_);
     e->bw_refill_armed_ = true;
     if (e == current_) {
-      e->bw_throttle_event_ = sim_->After(
-          e->bw_quota_, [this, alive = std::weak_ptr<const bool>(alive_)] {
-            if (alive.expired()) {
-              return;
-            }
-            ThrottleCurrent(sim_->now());
-          });
+      sim_->ArmTimerAfter(throttle_timer_, e->bw_quota_);
     }
   }
   if (was_throttled && e->wants_to_run_) {
@@ -257,10 +270,8 @@ void CpuSched::PutCurrent(TimeNs now, bool requeue) {
   VSCHED_CHECK(current_ != nullptr);
   HostEntity* e = current_;
   UpdateCurrentRuntime(now);
-  sim_->Cancel(slice_event_);
-  slice_event_.Invalidate();
-  sim_->Cancel(e->bw_throttle_event_);
-  e->bw_throttle_event_.Invalidate();
+  sim_->CancelTimer(slice_timer_);
+  sim_->CancelTimer(throttle_timer_);
   e->SyncAccounting(now);
   e->running_ = false;
   current_ = nullptr;
@@ -307,13 +318,7 @@ void CpuSched::PickNext(TimeNs now) {
       ThrottleCurrent(now);
       return;
     }
-    next->bw_throttle_event_ = sim_->After(
-        remaining, [this, alive = std::weak_ptr<const bool>(alive_)] {
-          if (alive.expired()) {
-            return;
-          }
-          ThrottleCurrent(sim_->now());
-        });
+    sim_->ArmTimerAfter(throttle_timer_, remaining);
   }
   machine_->OnBusyChanged(tid_);
   next->ScheduledIn(now);
@@ -321,18 +326,11 @@ void CpuSched::PickNext(TimeNs now) {
 
 void CpuSched::ArmSliceTimer(TimeNs now) {
   (void)now;
-  sim_->Cancel(slice_event_);
   // Real slice lengths vary slightly (timer coalescing, softirqs); the
   // ±5% jitter also prevents deterministic phase-locking between threads.
   TimeNs slice = static_cast<TimeNs>(static_cast<double>(params_->min_granularity) *
                                      rng_.Uniform(0.95, 1.05));
-  slice_event_ =
-      sim_->After(slice, [this, alive = std::weak_ptr<const bool>(alive_)] {
-        if (alive.expired()) {
-          return;
-        }
-        OnSliceEnd();
-      });
+  sim_->ArmTimerAfter(slice_timer_, slice);  // re-arm in place, no closure churn
 }
 
 void CpuSched::OnSliceEnd() {
@@ -382,14 +380,7 @@ void CpuSched::RefillBandwidth(HostEntity* e) {
     sim_->ArmTimerAfter(e->bw_refill_timer_, e->bw_period_);
     UpdateCurrentRuntime(now);
     e->bw_used_ = 0;
-    sim_->Cancel(e->bw_throttle_event_);
-    e->bw_throttle_event_ = sim_->After(
-        e->bw_quota_, [this, alive = std::weak_ptr<const bool>(alive_)] {
-          if (alive.expired()) {
-            return;
-          }
-          ThrottleCurrent(sim_->now());
-        });
+    sim_->ArmTimerAfter(throttle_timer_, e->bw_quota_);
     return;
   }
   e->bw_used_ = 0;

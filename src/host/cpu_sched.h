@@ -16,8 +16,8 @@
 #include "src/base/time.h"
 #include "src/host/host_entity.h"
 #include "src/host/topology.h"
-#include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
+#include "src/sim/timer_wheel.h"
 
 namespace vsched {
 
@@ -43,6 +43,7 @@ class CpuSched {
   // hardware threads references one copy instead of holding one each.
   CpuSched(Simulation* sim, HostMachine* machine, HwThreadId tid,
            std::shared_ptr<const HostSchedParams> params);
+  ~CpuSched();
 
   CpuSched(const CpuSched&) = delete;
   CpuSched& operator=(const CpuSched&) = delete;
@@ -111,7 +112,13 @@ class CpuSched {
   Rng rng_;
   TimeNs current_since_ = 0;   // when current_ started this stint
   TimeNs last_runtime_sync_ = 0;
-  EventId slice_event_;
+  // Slice-end and bandwidth-throttle deadlines are wheel timers registered
+  // once and re-armed in place: both are cancelled/re-armed on every
+  // dispatch, which as heap events made them the queue's dominant churn
+  // (fresh closure + O(log n) sift per context switch). The throttle timer
+  // is shared: a throttle deadline only ever exists for current_.
+  TimerId slice_timer_ = kInvalidTimerId;
+  TimerId throttle_timer_ = kInvalidTimerId;
   double min_vruntime_ = 0;
 
   // Liveness token for event closures (slice/throttle/refill timers) posted

@@ -12,7 +12,6 @@
 #include <string>
 
 #include "src/base/time.h"
-#include "src/sim/event_queue.h"
 #include "src/sim/timer_wheel.h"
 
 namespace vsched {
@@ -105,7 +104,6 @@ class HostEntity {
   TimerId bw_refill_timer_ = kInvalidTimerId;
   TimeNs bw_refill_origin_ = 0;
   bool bw_refill_armed_ = false;
-  EventId bw_throttle_event_;
 
   // Accounting.
   mutable TimeNs acct_last_ = 0;

@@ -14,6 +14,7 @@
 #include "src/base/time.h"
 #include "src/host/host_entity.h"
 #include "src/host/topology.h"
+#include "src/sim/event_queue.h"
 
 namespace vsched {
 

@@ -45,9 +45,15 @@ PairProbe::PairProbe(GuestKernel* kernel, int cpu_a, int cpu_b, PairProbeConfig 
       done_(std::move(done)) {
   VSCHED_CHECK(cpu_a != cpu_b);
   current_timeout_ = config_.timeout_attempts;
+  sample_timer_ = sim_->CreateTimer([this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    Sample();
+  });
 }
 
-PairProbe::~PairProbe() { sim_->Cancel(sample_event_); }
+PairProbe::~PairProbe() { sim_->DestroyTimer(sample_timer_); }
 
 bool PairProbe::CanDestroy() const {
   if (!done_reported_) {
@@ -72,13 +78,7 @@ void PairProbe::Start() {
   kernel_->StartTask(prober_b_);
   kernel_->WakeTask(prober_a_);
   kernel_->WakeTask(prober_b_);
-  sample_event_ = sim_->After(
-      config_.sample_quantum, [this, alive = std::weak_ptr<const bool>(alive_)] {
-        if (alive.expired()) {
-          return;
-        }
-        Sample();
-      });
+  sim_->ArmTimerAfter(sample_timer_, config_.sample_quantum);
 }
 
 void PairProbe::Sample() {
@@ -144,20 +144,13 @@ void PairProbe::Sample() {
       return;
     }
   }
-  sample_event_ = sim_->After(
-      config_.sample_quantum, [this, alive = std::weak_ptr<const bool>(alive_)] {
-        if (alive.expired()) {
-          return;
-        }
-        Sample();
-      });
+  sim_->ArmTimerAfter(sample_timer_, config_.sample_quantum);
 }
 
 void PairProbe::Finish(double latency) {
   VSCHED_CHECK(!done_reported_);
   done_reported_ = true;
-  sim_->Cancel(sample_event_);
-  sample_event_.Invalidate();
+  sim_->CancelTimer(sample_timer_);
   if (config_.robust.enabled && latency != kInfiniteLatency && !observations_.empty()) {
     // Median instead of minimum: a handful of corrupted-low observations
     // would otherwise make any pair look like SMT siblings.

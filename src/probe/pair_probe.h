@@ -19,7 +19,7 @@
 #include "src/base/time.h"
 #include "src/guest/task.h"
 #include "src/probe/robust.h"
-#include "src/sim/event_queue.h"
+#include "src/sim/timer_wheel.h"
 
 namespace vsched {
 
@@ -101,7 +101,10 @@ class PairProbe {
   uint64_t samples_kept_ = 0;
   uint64_t samples_dropped_ = 0;
   bool done_reported_ = false;
-  EventId sample_event_;
+  // Sampling runs every sample_quantum for the probe's whole life — a wheel
+  // timer registered once and re-armed in place instead of a fresh heap
+  // event per quantum (vtop probes account for millions of samples per run).
+  TimerId sample_timer_ = kInvalidTimerId;
 
   // Liveness token for posted event closures (the PR-6 pattern, enforced by
   // vsched-lint's event-lifetime rule). Must be the last member so it

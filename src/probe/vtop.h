@@ -18,6 +18,7 @@
 #include "src/guest/guest_topology.h"
 #include "src/probe/pair_probe.h"
 #include "src/probe/robust.h"
+#include "src/sim/event_queue.h"
 #include "src/stats/stats.h"
 
 namespace vsched {

@@ -8,7 +8,7 @@
 #include <thread>
 #include <utility>
 
-#include "src/runner/thread_pool.h"
+#include "src/base/thread_pool.h"
 #include "src/sim/rng.h"
 #include "src/sim/simulation.h"
 

@@ -7,6 +7,7 @@
 #include "src/base/check.h"
 #include "src/cluster/fleet.h"
 #include "src/cluster/fleet_spec.h"
+#include "src/cluster/sharded_fleet.h"
 #include "src/fault/fault_plan.h"
 #include "src/runner/run_context.h"
 #include "src/sim/simulation.h"
@@ -330,17 +331,38 @@ RunMetrics ExecuteFleetRun(const RunSpec& spec) {
   FaultPlan plan;
   bool chaos = ResolveFaultPlan(spec, &plan);
   TimeNs horizon = spec.warmup + spec.measure;
-  Simulation sim(spec.seed);
-  if (spec.event_budget > 0) {
-    sim.SetEventBudget(spec.event_budget);
-  }
-  Fleet fleet(&sim, fleet_spec, OptionsForConfig(spec.config), chaos ? &plan : nullptr,
-              spec.tickless);
-  fleet.Start();
-  sim.RunFor(horizon);
-  fleet.Finish();
 
-  const FleetTotals& t = fleet.totals();
+  // spec.shards selects the execution engine, not the experiment: the
+  // sharded PDES engine's totals are byte-identical for every shards >= 1,
+  // so rows only record the engine family via their values, never the count.
+  FleetTotals sharded_totals;
+  const FleetTotals* totals = nullptr;
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<Fleet> fleet;
+  std::unique_ptr<ShardedFleet> sharded;
+  if (spec.shards >= 1) {
+    sharded = std::make_unique<ShardedFleet>(fleet_spec, spec.seed, OptionsForConfig(spec.config),
+                                             spec.shards, chaos ? &plan : nullptr, spec.tickless);
+    if (spec.event_budget > 0) {
+      sharded->SetEventBudgetPerCell(spec.event_budget);
+    }
+    sharded->Run(horizon);
+    sharded_totals = sharded->totals();
+    totals = &sharded_totals;
+  } else {
+    sim = std::make_unique<Simulation>(spec.seed);
+    if (spec.event_budget > 0) {
+      sim->SetEventBudget(spec.event_budget);
+    }
+    fleet = std::make_unique<Fleet>(sim.get(), fleet_spec, OptionsForConfig(spec.config),
+                                    chaos ? &plan : nullptr, spec.tickless);
+    fleet->Start();
+    sim->RunFor(horizon);
+    fleet->Finish();
+    totals = &fleet->totals();
+  }
+
+  const FleetTotals& t = *totals;
   RunMetrics metrics;
   metrics.Set("completed", static_cast<double>(t.requests));
   metrics.Set("throughput",

@@ -70,6 +70,15 @@ struct RunSpec {
   // simulated events, not wall time), so also NOT part of Id().
   uint64_t event_budget = 0;
 
+  // Fleet execution engine: 0 runs the sequential control plane
+  // (src/cluster/fleet.h); >= 1 runs the sharded PDES engine
+  // (src/cluster/sharded_fleet.h) with this many worker threads. NOT part of
+  // Id(): the sharded engine's output is byte-identical for every value
+  // >= 1 (the vsched_run_fleet_sharded ctest), so `shards` is an execution
+  // detail like --jobs, not an experiment axis. Ignored by non-fleet
+  // families.
+  int shards = 0;
+
   // Human/filterable identity, e.g. "fig18_rcvm/canneal/vsched" or
   // "fig02/img-dnn/cfs/lat=4ms+be".
   std::string Id() const;

@@ -74,8 +74,30 @@ void TimerWheel::Arm(TimerId id, TimeNs when) {
   t.deadline = when;
   ++armed_count_;
   lower_bound_ = std::min(lower_bound_, when);
-  ++PerfCounters::Current()->timer_arms;
+  ++counters_->timer_arms;
   Insert(id, when);
+}
+
+void TimerWheel::ArmBatch(const std::vector<std::pair<TimerId, TimeNs>>& items) {
+  TimeNs batch_min = kTimeInfinity;
+  for (const auto& [id, when] : items) {
+    VSCHED_CHECK(id != kInvalidTimerId && id <= timers_.size());
+    Timer& t = At(id);
+    VSCHED_CHECK_MSG(t.registered, "arming an unregistered timer");
+    VSCHED_CHECK(when >= 0 && when < kTimeInfinity);
+    VSCHED_CHECK_MSG(!fired_any_ || when >= last_fire_when_,
+                     "timer armed before the last dispatched deadline");
+    if (t.state != State::kIdle) {
+      Cancel(id);
+    }
+    ++t.epoch;
+    t.deadline = when;
+    ++armed_count_;
+    batch_min = std::min(batch_min, when);
+    Insert(id, when);
+  }
+  lower_bound_ = std::min(lower_bound_, batch_min);
+  counters_->timer_arms += items.size();
 }
 
 bool TimerWheel::Cancel(TimerId id) {
@@ -93,7 +115,7 @@ bool TimerWheel::Cancel(TimerId id) {
   t.state = State::kIdle;
   t.deadline = kTimeInfinity;
   --armed_count_;
-  ++PerfCounters::Current()->timer_cancels;
+  ++counters_->timer_cancels;
   return true;
 }
 
@@ -130,6 +152,7 @@ void TimerWheel::Insert(TimerId id, TimeNs when) {
     if (d < kBuckets) {
       const int b = static_cast<int>((when >> Shift(level)) & (kBuckets - 1));
       std::vector<uint32_t>& bucket = Bucket(level, b);
+      bucket_lower_bound_ = std::min(bucket_lower_bound_, when);
       t.state = State::kBucket;
       t.level = static_cast<int8_t>(level);
       t.bucket = static_cast<uint8_t>(b);
@@ -198,6 +221,20 @@ TimeNs TimerWheel::NextDeadlineAtMost(TimeNs limit) {
   }
   for (;;) {
     const TimeNs ready_min = PruneReadyMin();
+    // Fast path off the bucket bound: when the ready heap's minimum is
+    // strictly below every bucketed deadline, no bucket can hold the answer
+    // (or an equal-deadline lower-id timer), so the scan below is skippable.
+    // Strictness matters: at an exact tie a bucketed timer with a smaller id
+    // must still cascade and fire first.
+    const TimeNs fast_min = std::min(ready_min, bucket_lower_bound_);
+    if (fast_min > limit) {
+      lower_bound_ = fast_min;
+      return kTimeInfinity;
+    }
+    if (ready_min < bucket_lower_bound_) {
+      lower_bound_ = ready_min;
+      return ready_min;
+    }
     const TimeNs cap = std::min(ready_min, limit);
     // Earliest non-empty bucket across levels, lowest level winning ties
     // (its timers cascade furthest and may contain the true minimum).
@@ -226,6 +263,9 @@ TimeNs TimerWheel::NextDeadlineAtMost(TimeNs limit) {
       }
     }
     if (best_level < 0 || best_start > cap) {
+      // The scan just computed the exact earliest bucket start; cache it so
+      // later probes take the fast path until bucket membership changes.
+      bucket_lower_bound_ = best_start;
       if (ready_min <= limit) {
         lower_bound_ = ready_min;
         return ready_min;
@@ -248,7 +288,7 @@ void TimerWheel::ExpandBucket(int level, int bucket) {
   expand_scratch_.clear();
   expand_scratch_.swap(b);
   occupancy_[level] &= ~(uint64_t{1} << bucket);
-  ++PerfCounters::Current()->timer_cascades;
+  ++counters_->timer_cascades;
   // Re-insert in slot order: cascades are deterministic because slot order
   // only changes through deterministic Cancel swap-removes.
   for (const uint32_t id : expand_scratch_) {
@@ -273,7 +313,7 @@ void TimerWheel::RunOne(TimeNs when) {
   last_fire_when_ = when;
   last_fire_id_ = top.id;
   ++fired_;
-  ++PerfCounters::Current()->timer_fires;
+  ++counters_->timer_fires;
   // Runs in place out of the (address-stable) slot; may re-arm any timer,
   // including this one.
   t.fn();
@@ -312,6 +352,8 @@ void TimerWheel::AuditVerify() const {
                            "timer wheel: armed deadline precedes the last dispatch");
         VSCHED_AUDIT_CHECK(t.deadline >= lower_bound_,
                            "timer wheel: armed deadline below the cached lower bound");
+        VSCHED_AUDIT_CHECK(t.deadline >= bucket_lower_bound_,
+                           "timer wheel: bucketed deadline below the cached bucket bound");
       }
     }
   }

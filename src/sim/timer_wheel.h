@@ -29,8 +29,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
+#include "src/base/perf_counters.h"
 #include "src/base/time.h"
 #include "src/sim/event_callback.h"
 
@@ -66,6 +68,12 @@ class TimerWheel {
   // timer fires this instant iff its id is still ahead of the dispatch
   // position (see StillFiresAt).
   void Arm(TimerId id, TimeNs when);
+
+  // Arms each (id, when) pair in index order — observably equivalent to N
+  // Arm() calls (the band fires in (deadline, TimerId) order, which no
+  // insertion order can change), but pays the lower-bound update and the
+  // perf-counter traffic once per batch instead of per timer.
+  void ArmBatch(const std::vector<std::pair<TimerId, TimeNs>>& items);
 
   // Disarms the timer. Returns true if it was armed.
   bool Cancel(TimerId id);
@@ -177,11 +185,21 @@ class TimerWheel {
   // tightens it. Lets the run loop's per-heap-event probe exit in O(1)
   // between timer firings. Pure caching: never changes a probe's result.
   TimeNs lower_bound_ = 0;
+  // No *bucketed* deadline is below this (kTimeInfinity while no bucket is
+  // occupied). Insert min-updates it; cancels and cascades only raise the
+  // true bucket minimum, so it stays a valid (if loose) bound until the next
+  // full probe scan tightens it. Lets NextDeadlineAtMost answer straight
+  // from the ready heap — the common case, since every firing timer passes
+  // through ready — without scanning bucket occupancy at all.
+  TimeNs bucket_lower_bound_ = kTimeInfinity;
   size_t armed_count_ = 0;
   uint64_t fired_ = 0;
   bool fired_any_ = false;
   TimeNs last_fire_when_ = 0;
   TimerId last_fire_id_ = kInvalidTimerId;
+  // Cached once, like EventQueue does: Current() is a TLS read behind an
+  // init guard, too hot to re-resolve on every arm/fire.
+  PerfCounters* counters_ = PerfCounters::Current();
 };
 
 }  // namespace vsched

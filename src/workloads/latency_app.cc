@@ -78,11 +78,24 @@ class LatencyApp::WorkerBehavior : public TaskBehavior {
 
 LatencyApp::LatencyApp(GuestKernel* kernel, LatencyAppParams params)
     : kernel_(kernel), sim_(kernel->sim()), params_(std::move(params)),
-      rng_(kernel->sim()->ForkRng()) {}
+      rng_(kernel->sim()->ForkRng()) {
+  arrival_timer_ = sim_->CreateTimer([this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnArrival();
+  });
+  report_timer_ = sim_->CreateTimer([this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnReport();
+  });
+}
 
 LatencyApp::~LatencyApp() {
-  sim_->Cancel(arrival_event_);
-  sim_->Cancel(report_event_);
+  sim_->DestroyTimer(report_timer_);
+  sim_->DestroyTimer(arrival_timer_);
 }
 
 void LatencyApp::Start() {
@@ -105,22 +118,14 @@ void LatencyApp::Start() {
     ScheduleNextArrival();
   }
   if (params_.report_interval > 0) {
-    report_event_ = sim_->After(
-        params_.report_interval, [this, alive = std::weak_ptr<const bool>(alive_)] {
-          if (alive.expired()) {
-            return;
-          }
-          OnReport();
-        });
+    sim_->ArmTimerAfter(report_timer_, params_.report_interval);
   }
 }
 
 void LatencyApp::Stop() {
   running_ = false;
-  sim_->Cancel(arrival_event_);
-  arrival_event_.Invalidate();
-  sim_->Cancel(report_event_);
-  report_event_.Invalidate();
+  sim_->CancelTimer(arrival_timer_);
+  sim_->CancelTimer(report_timer_);
   // Wake idle workers so they observe the stop and exit.
   for (int idx : idle_workers_) {
     kernel_->WakeTask(workers_[idx]);
@@ -154,13 +159,7 @@ void LatencyApp::ScheduleNextArrival() {
   }
   double gap_sec = rng_.Exponential(1.0 / params_.arrival_rate_per_sec);
   TimeNs gap = std::max<TimeNs>(1, static_cast<TimeNs>(gap_sec * kNsPerSec));
-  arrival_event_ = sim_->After(
-      gap, [this, alive = std::weak_ptr<const bool>(alive_)] {
-        if (alive.expired()) {
-          return;
-        }
-        OnArrival();
-      });
+  sim_->ArmTimerAfter(arrival_timer_, gap);
 }
 
 void LatencyApp::OnArrival() {
@@ -192,13 +191,7 @@ void LatencyApp::OnReport() {
   double rate = static_cast<double>(delta) / NsToSec(params_.report_interval);
   live_.Add(sim_->now(), rate);
   if (running_) {
-    report_event_ = sim_->After(
-        params_.report_interval, [this, alive = std::weak_ptr<const bool>(alive_)] {
-          if (alive.expired()) {
-            return;
-          }
-          OnReport();
-        });
+    sim_->ArmTimerAfter(report_timer_, params_.report_interval);
   }
 }
 

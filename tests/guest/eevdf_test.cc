@@ -77,6 +77,12 @@ TEST(EevdfTest, WakerGetsPromptService) {
 }
 
 TEST(EevdfTest, DeterministicAndDistinctFromCfs) {
+  // Per-task execution/wait profile plus the context-switch count: a full
+  // behavioural fingerprint, so "distinct" cannot pass or fail on a
+  // coincidental collision of one scalar. The workload mixes SCHED_NORMAL
+  // and SCHED_IDLE entities: with unequal weights the (vruntime) and
+  // (vdeadline) orderings genuinely diverge, so the two policies must pick
+  // differently (equal-weight queues can degenerate to identical picks).
   auto run = [](bool eevdf, uint64_t seed) {
     Simulation sim(seed);
     HostMachine machine(&sim, FlatSpec(2));
@@ -84,14 +90,23 @@ TEST(EevdfTest, DeterministicAndDistinctFromCfs) {
     spec.mutable_guest_params().use_eevdf = eevdf;
     Vm vm(&sim, &machine, spec);
     std::vector<std::unique_ptr<PeriodicBehavior>> behaviors;
+    std::vector<Task*> tasks;
     for (int i = 0; i < 5; ++i) {
       behaviors.push_back(std::make_unique<PeriodicBehavior>(
           WorkAtCapacity(kCapacityScale, UsToNs(400 + 100 * i)), UsToNs(300)));
-      Task* t = vm.kernel().CreateTask("p", TaskPolicy::kNormal, behaviors.back().get());
+      TaskPolicy policy = (i % 2 == 1) ? TaskPolicy::kIdle : TaskPolicy::kNormal;
+      Task* t = vm.kernel().CreateTask("p", policy, behaviors.back().get());
       vm.kernel().StartTask(t);
+      tasks.push_back(t);
     }
     sim.RunFor(SecToNs(1));
-    return vm.kernel().counters().context_switches.value();
+    std::vector<uint64_t> fingerprint;
+    for (Task* t : tasks) {
+      fingerprint.push_back(static_cast<uint64_t>(t->total_exec_ns()));
+      fingerprint.push_back(static_cast<uint64_t>(t->queue_wait_total_ns()));
+    }
+    fingerprint.push_back(vm.kernel().counters().context_switches.value());
+    return fingerprint;
   };
   EXPECT_EQ(run(true, 5), run(true, 5));
   // The policies genuinely schedule differently.

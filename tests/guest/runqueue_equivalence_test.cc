@@ -1,8 +1,12 @@
-// Differential test: the flat sorted-vector Runqueue against an oracle that
-// re-implements the std::set-based structure it replaced, over random
-// enqueue/dequeue traces. Pick results (CFS and EEVDF), counts, load sums,
-// and membership must agree at every step — the swap is a pure data-structure
-// change, so any divergence is a bug.
+// Differential test: the flat sorted-vector Runqueue — now carrying its
+// ordering keys (vruntime, vdeadline, id) inline in each entry, snapshotted
+// at Enqueue — against an oracle that re-implements the std::set-based
+// structure it originally replaced, over random enqueue/dequeue traces. Pick
+// results (CFS and EEVDF), counts, load sums, and membership must agree at
+// every step — both the vector swap and the inline-key snapshots are pure
+// data-layout changes, so any divergence is a bug. The trace deliberately
+// mutates keys only while tasks are dequeued (the shared invariant that
+// makes snapshotting sound; AuditVerify enforces it).
 #include <memory>
 #include <random>
 #include <set>

@@ -225,6 +225,41 @@ TEST(LintEventLifetime, ForwardedArgumentsAreNotLambdaLiterals) {
   EXPECT_TRUE(LintFile("src/fault/fault_injector.h", snippet).empty());
 }
 
+// --- PostBatch: a factory sink ----------------------------------------------
+
+TEST(LintEventLifetime, FlagsPostBatchFactoryReturningUntokenedClosure) {
+  // PostBatch invokes the factory synchronously; the closure it *returns* is
+  // what lives on the queue, so the lifetime rules bind to the inner capture
+  // list. Here the inner lambda holds `this` with no liveness token.
+  const std::string snippet =
+      "void Fleet::Start() {\n"
+      "  sim_->queue().PostBatch(arrival_times, [this](size_t i) {\n"
+      "    return [this, i] { OnVmArrival(static_cast<int>(i)); };\n"
+      "  });\n"
+      "}\n";
+  auto f = LintFile("src/cluster/fleet.cc", snippet);
+  ASSERT_TRUE(HasRule(f, "event-lifetime"));
+  EXPECT_EQ(FindRule(f, "event-lifetime")->line, 3);
+}
+
+TEST(LintEventLifetime, PassesPostBatchFactoryWithCheckedTokenInInnerLambda) {
+  // The shipping Fleet::Start shape: the outer factory captures bare `this`,
+  // which is fine — it never outlives the PostBatch call. The returned
+  // closure carries the checked token.
+  const std::string snippet =
+      "void Fleet::Start() {\n"
+      "  sim_->queue().PostBatch(arrival_times, [this](size_t i) {\n"
+      "    return [this, i = static_cast<int>(i), alive = std::weak_ptr<const bool>(alive_)] {\n"
+      "      if (alive.expired()) {\n"
+      "        return;\n"
+      "      }\n"
+      "      OnVmArrival(i);\n"
+      "    };\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/cluster/fleet.cc", snippet).empty());
+}
+
 // --- scoping and suppression ------------------------------------------------
 
 TEST(LintEventLifetime, OnlyBindsToSrc) {

@@ -321,7 +321,8 @@ TEST(LintRules, RegistryListsEveryRuleExactlyOnce) {
                                        "unordered-container", "unseeded-rng",
                                        "raw-double-accum",    "pelt-eager-update",
                                        "fault-injection-point", "mutable-global",
-                                       "event-lifetime",      "shard-isolation"};
+                                       "event-lifetime",      "shard-isolation",
+                                       "shard-crossing"};
   std::sort(names.begin(), names.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(names, expected);

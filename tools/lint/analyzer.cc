@@ -22,16 +22,28 @@ bool IsPlacementFile(const std::string& path) {
 
 // Posting interfaces whose callable argument outlives the caller's stack
 // frame. `qualified` sinks only count behind `.` / `->` / `::` (the bare
-// names are too generic to match globally).
+// names are too generic to match globally). `factory` sinks take a lambda
+// that is invoked synchronously and *returns* the closure that gets posted
+// (EventQueue::PostBatch) — the capture rules apply to the returned lambda,
+// not the factory itself.
 struct SinkSpec {
   const char* name;
   bool qualified;
+  bool factory = false;
 };
 const SinkSpec kSinks[] = {
     {"After", false},       {"At", true},          {"ScheduleAfter", false},
     {"ScheduleAt", false},  {"CreateTimer", false}, {"Every", true},
     {"RunOnVcpu", false},   {"AddTickHook", false}, {"ArmArrival", false},
+    {"PostBatch", false, /*factory=*/true},
 };
+
+// The sharded fleet engine's barrier mailbox (src/sim/shard_mailbox.h): a
+// closure handed to `ShardMailbox::Post` is applied at a *later* window
+// boundary, possibly after the cell it refers to ran on a worker thread.
+// The shard-crossing rule makes those closures carry ids only. Qualified so
+// an unrelated free function named Post can't match.
+const SinkSpec kMailboxSinks[] = {{"Post", true}};
 
 const std::set<std::string>& StatementKeywords() {
   static const std::set<std::string> kw = {
@@ -64,11 +76,18 @@ bool TypeHasIdent(const std::string& type, const std::string& ident) {
 const char* const kClusterSlotTypes[] = {"ClusterHost", "TenantVm", "HostMachine", "Vm",
                                          "Fleet"};
 
+// Types whose pointers/references may not ride a mailbox message into a
+// later barrier window: the cells themselves, their embedded simulations,
+// and the slot objects that live inside a cell.
+const char* const kCellStateTypes[] = {"FleetCell", "Simulation", "ClusterHost",
+                                       "TenantVm", "HostMachine", "Vm"};
+
 struct Scope {
   enum Kind { kNamespace, kClass, kFunction, kLambda, kBlock };
   Kind kind = kBlock;
   std::string cls;            // enclosing class name for kClass / member kFunction
   bool cluster_per_host = false;  // function scope taking a ClusterHost*/&
+  bool cluster_per_cell = false;  // function scope taking a FleetCell*/&
   std::map<std::string, std::string> symbols;  // name -> declared type text
 };
 
@@ -92,7 +111,7 @@ class Analyzer {
         placement_file_(IsPlacementFile(path)) {}
 
   std::vector<AnalysisFinding> Run() {
-    scopes_.push_back(Scope{Scope::kNamespace, "", false, {}});
+    scopes_.push_back(Scope{Scope::kNamespace, "", false, false, {}});
     Walk();
     std::stable_sort(findings_.begin(), findings_.end(),
                      [](const AnalysisFinding& a, const AnalysisFinding& b) {
@@ -460,11 +479,12 @@ class Analyzer {
   // ---- sinks ---------------------------------------------------------------
 
   // Returns the sink spec if the ident at `i` is a sink call head.
-  const SinkSpec* SinkAt(size_t i) const {
+  template <size_t N>
+  const SinkSpec* SinkInList(const SinkSpec (&list)[N], size_t i) const {
     if (toks_[i].kind != Tok::kIdent || !IsP(i + 1, "(")) {
       return nullptr;
     }
-    for (const SinkSpec& s : kSinks) {
+    for (const SinkSpec& s : list) {
       if (toks_[i].text != s.name) {
         continue;
       }
@@ -478,6 +498,9 @@ class Analyzer {
     }
     return nullptr;
   }
+
+  const SinkSpec* SinkAt(size_t i) const { return SinkInList(kSinks, i); }
+  const SinkSpec* MailboxSinkAt(size_t i) const { return SinkInList(kMailboxSinks, i); }
 
   std::string SinkDisplay(size_t i) const {
     if (i >= 2 && toks_[i - 1].kind == Tok::kPunct &&
@@ -511,10 +534,28 @@ class Analyzer {
     return out;
   }
 
-  void CheckPostedLambda(size_t sink_idx, const LambdaInfo& info) {
-    if (!info.valid) {
+  // For a factory sink (PostBatch), the outer lambda runs synchronously
+  // inside the call; the closure that actually lives on the queue is the one
+  // it `return`s. Re-target the check at the first returned lambda so the
+  // `[this](size_t i) { return [this, i, alive = ...] {...}; }` idiom is
+  // judged on the inner capture list.
+  LambdaInfo ReturnedLambda(const LambdaInfo& outer) const {
+    for (size_t i = outer.body_open + 1; i + 1 < outer.body_close; ++i) {
+      if (IsI(i, "return") && IsP(i + 1, "[") && LooksLikeLambdaIntro(i + 1)) {
+        LambdaInfo inner = ParseLambda(i + 1);
+        if (inner.valid) {
+          return inner;
+        }
+      }
+    }
+    return outer;
+  }
+
+  void CheckPostedLambda(size_t sink_idx, const LambdaInfo& posted, bool factory) {
+    if (!posted.valid) {
       return;
     }
+    const LambdaInfo info = factory ? ReturnedLambda(posted) : posted;
     bool has_unsafe = false;
     bool has_token = false;
     for (const Capture& c : info.captures) {
@@ -559,6 +600,45 @@ class Analyzer {
           findings_.push_back(std::move(f));
         }
       }
+    }
+  }
+
+  // Shard-crossing discipline for barrier-mailbox messages: ids only. A
+  // reference (or [&]) can never be safe across the window delay, and a raw
+  // pointer to cell state aliases memory another worker thread owns by the
+  // time the message is applied. `this` stays legal — the coordinator drains
+  // the mailbox single-threaded and the mailbox dies with its owner, which
+  // is also why this sink is *not* an event-lifetime sink.
+  void CheckMailboxLambda(size_t sink_idx, const LambdaInfo& info) {
+    if (!info.valid) {
+      return;
+    }
+    std::string sink = SinkDisplay(sink_idx);
+    for (const Capture& c : info.captures) {
+      const char* cell_type = nullptr;
+      for (const char* t : kCellStateTypes) {
+        if (!c.type.empty() && TypeHasIdent(c.type, t)) {
+          cell_type = t;
+          break;
+        }
+      }
+      bool is_ref = c.kind == "by-ref" || c.kind == "default-ref";
+      bool is_cell_ptr = c.kind == "raw-pointer" && cell_type != nullptr;
+      if (!is_ref && !is_cell_ptr) {
+        continue;
+      }
+      AnalysisFinding f;
+      f.line = info.line;
+      f.rule = kShardCrossingRule;
+      f.sink = sink;
+      f.captures = info.captures;
+      f.message = "mailbox message posted to " + sink + " captures `" + c.name + "` " +
+                  (is_cell_ptr ? "(a " + std::string(cell_type) + " pointer)"
+                               : std::string("by reference")) +
+                  " across the barrier window; by delivery time the cell may have "
+                  "run on a worker thread — capture ids and re-resolve cell-local "
+                  "state at delivery (docs/PERF.md, \"Sharded fleet execution\")";
+      findings_.push_back(std::move(f));
     }
   }
 
@@ -633,6 +713,14 @@ class Analyzer {
             DeclareParams(i, rp, &scope.symbols,
                           cluster_scope_ ? &per_host : nullptr);
             scope.cluster_per_host = per_host;
+            if (cluster_scope_) {
+              for (const auto& kv : scope.symbols) {
+                if (TypeHasIdent(kv.second, "FleetCell")) {
+                  scope.cluster_per_cell = true;
+                  break;
+                }
+              }
+            }
             return scope;
           }
         }
@@ -652,6 +740,18 @@ class Analyzer {
       }
       if (it->kind == Scope::kFunction) {
         break;  // per-host taint does not cross an enclosing function head
+      }
+    }
+    return false;
+  }
+
+  bool InPerCellScope() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->cluster_per_cell) {
+        return true;
+      }
+      if (it->kind == Scope::kFunction) {
+        break;  // per-cell taint does not cross an enclosing function head
       }
     }
     return false;
@@ -799,12 +899,32 @@ class Analyzer {
             for (const auto& span : SplitTopLevel(i + 2, rp)) {
               if (span.first < span.second && IsP(span.first, "[") &&
                   LooksLikeLambdaIntro(span.first)) {
-                CheckPostedLambda(i, ParseLambda(span.first));
+                CheckPostedLambda(i, ParseLambda(span.first), sink->factory);
+              }
+            }
+          }
+        } else if (cluster_scope_ && MailboxSinkAt(i) != nullptr) {
+          size_t rp = Match(i + 1);
+          if (rp < Size()) {
+            for (const auto& span : SplitTopLevel(i + 2, rp)) {
+              if (span.first < span.second && IsP(span.first, "[") &&
+                  LooksLikeLambdaIntro(span.first)) {
+                CheckMailboxLambda(i, ParseLambda(span.first));
               }
             }
           }
         }
 
+        if (cluster_scope_ && t.text == "cells_" && InPerCellScope()) {
+          AnalysisFinding f;
+          f.line = t.line;
+          f.rule = kShardCrossingRule;
+          f.message =
+              "per-cell scope (function taking a FleetCell*) reaches the "
+              "engine-wide cell array `cells_`; cross-cell effects must travel "
+              "as barrier-mailbox messages, not direct cell access";
+          findings_.push_back(std::move(f));
+        }
         if (cluster_scope_ && t.text == "hosts_" && InPerHostScope()) {
           AnalysisFinding f;
           f.line = t.line;

@@ -18,10 +18,12 @@
 //   3. a capture analyzer for every lambda literal passed to an event
 //      *sink*: `Simulation::After/At`, `EventQueue::ScheduleAt/After`,
 //      `CreateTimer`, `Every`, the IPI queue (`GuestKernel::RunOnVcpu`),
-//      tick-hook registration (`AddTickHook`), and the fault injector's
-//      posting wrapper (`ArmArrival`).
+//      tick-hook registration (`AddTickHook`), the fault injector's
+//      posting wrapper (`ArmArrival`), and the batch-posting entry point
+//      (`EventQueue::PostBatch` — a *factory* sink: the lambda passed in is
+//      invoked synchronously, so the rules apply to the closure it returns).
 //
-// Two rule families run on top:
+// Three rule families run on top:
 //
 //   event-lifetime — a posted closure that captures `this`, a raw pointer,
 //     or anything by reference must also carry a weak_ptr liveness token
@@ -38,6 +40,17 @@
 //     boundary; per-host scopes (functions taking a ClusterHost*) must not
 //     reach the fleet-wide slot array; placement policies consume
 //     HostLoadView snapshots only.
+//
+//   shard-crossing — the sharded PDES engine's isolation contract (see
+//     docs/PERF.md, "Sharded fleet execution"): a closure posted to the
+//     barrier mailbox (`ShardMailbox::Post`) is delivered at a *later window*,
+//     possibly after the referenced cell ran concurrently — it must carry
+//     ids and re-resolve cell-local state at delivery, never FleetCell /
+//     Simulation / slot pointers or references; and per-cell scopes
+//     (functions taking a FleetCell*) must not reach the engine-wide
+//     `cells_` array — cross-cell effects travel as mailbox messages only.
+//     `this` is allowed in mailbox closures: the coordinator drains the
+//     mailbox single-threaded and the mailbox dies with its owner.
 #ifndef TOOLS_LINT_ANALYZER_H_
 #define TOOLS_LINT_ANALYZER_H_
 
@@ -69,7 +82,7 @@ struct Capture {
 
 struct AnalysisFinding {
   int line = 0;
-  std::string rule;  // "event-lifetime" or "shard-isolation"
+  std::string rule;  // "event-lifetime", "shard-isolation" or "shard-crossing"
   std::string message;
   std::string sink;  // the posting call, e.g. "sim_->After" (lifetime only)
   std::vector<Capture> captures;
@@ -77,6 +90,7 @@ struct AnalysisFinding {
 
 const char kEventLifetimeRule[] = "event-lifetime";
 const char kShardIsolationRule[] = "shard-isolation";
+const char kShardCrossingRule[] = "shard-crossing";
 
 // Runs both semantic rule families over one lexed TU. `path` decides
 // scoping: event-lifetime binds to src/, shard-isolation to src/cluster/.

@@ -247,6 +247,12 @@ const std::vector<RuleInfo>& Rules() {
                   "only be reached through the control-plane message/event interface "
                   "(slot pointers must not cross the event boundary; placement sees "
                   "HostLoadView snapshots only)"});
+    r->push_back({kShardCrossingRule,
+                  "sharded-engine isolation violation: barrier-mailbox messages must "
+                  "carry ids (never FleetCell/Simulation/slot pointers or references) "
+                  "and per-cell scopes may not reach the engine-wide cell array; "
+                  "cross-cell effects travel as mailbox messages applied at window "
+                  "boundaries"});
     return r;
   }();
   return *rules;
