@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_stalled_task.dir/bench_fig03_stalled_task.cc.o"
+  "CMakeFiles/bench_fig03_stalled_task.dir/bench_fig03_stalled_task.cc.o.d"
+  "bench_fig03_stalled_task"
+  "bench_fig03_stalled_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_stalled_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig04_work_conservation.cc" "bench/CMakeFiles/bench_fig04_work_conservation.dir/bench_fig04_work_conservation.cc.o" "gcc" "bench/CMakeFiles/bench_fig04_work_conservation.dir/bench_fig04_work_conservation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-base/src/runner/CMakeFiles/vsched_runner.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/metrics/CMakeFiles/vsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/cluster/CMakeFiles/vsched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/core/CMakeFiles/vsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/probe/CMakeFiles/vsched_probe.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/fault/CMakeFiles/vsched_fault.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/workloads/CMakeFiles/vsched_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/guest/CMakeFiles/vsched_guest.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_work_conservation.dir/bench_fig04_work_conservation.cc.o"
+  "CMakeFiles/bench_fig04_work_conservation.dir/bench_fig04_work_conservation.cc.o.d"
+  "bench_fig04_work_conservation"
+  "bench_fig04_work_conservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_work_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vprobers.dir/bench_fig10_vprobers.cc.o"
+  "CMakeFiles/bench_fig10_vprobers.dir/bench_fig10_vprobers.cc.o.d"
+  "bench_fig10_vprobers"
+  "bench_fig10_vprobers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vprobers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

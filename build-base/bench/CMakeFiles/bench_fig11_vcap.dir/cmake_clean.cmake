@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vcap.dir/bench_fig11_vcap.cc.o"
+  "CMakeFiles/bench_fig11_vcap.dir/bench_fig11_vcap.cc.o.d"
+  "bench_fig11_vcap"
+  "bench_fig11_vcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_smt.dir/bench_fig12_smt.cc.o"
+  "CMakeFiles/bench_fig12_smt.dir/bench_fig12_smt.cc.o.d"
+  "bench_fig12_smt"
+  "bench_fig12_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_llc.dir/bench_fig13_llc.cc.o"
+  "CMakeFiles/bench_fig13_llc.dir/bench_fig13_llc.cc.o.d"
+  "bench_fig13_llc"
+  "bench_fig13_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_bvs.dir/bench_fig14_bvs.cc.o"
+  "CMakeFiles/bench_fig14_bvs.dir/bench_fig14_bvs.cc.o.d"
+  "bench_fig14_bvs"
+  "bench_fig14_bvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_bvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

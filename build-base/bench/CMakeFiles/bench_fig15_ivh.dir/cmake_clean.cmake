@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ivh.dir/bench_fig15_ivh.cc.o"
+  "CMakeFiles/bench_fig15_ivh.dir/bench_fig15_ivh.cc.o.d"
+  "bench_fig15_ivh"
+  "bench_fig15_ivh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ivh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

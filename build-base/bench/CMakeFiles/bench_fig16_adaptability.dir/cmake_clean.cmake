@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_adaptability.dir/bench_fig16_adaptability.cc.o"
+  "CMakeFiles/bench_fig16_adaptability.dir/bench_fig16_adaptability.cc.o.d"
+  "bench_fig16_adaptability"
+  "bench_fig16_adaptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_rcvm.dir/bench_fig18_rcvm.cc.o"
+  "CMakeFiles/bench_fig18_rcvm.dir/bench_fig18_rcvm.cc.o.d"
+  "bench_fig18_rcvm"
+  "bench_fig18_rcvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_rcvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_hpvm.dir/bench_fig19_hpvm.cc.o"
+  "CMakeFiles/bench_fig19_hpvm.dir/bench_fig19_hpvm.cc.o.d"
+  "bench_fig19_hpvm"
+  "bench_fig19_hpvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_hpvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

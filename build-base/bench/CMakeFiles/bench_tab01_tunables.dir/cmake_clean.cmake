@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_tunables.dir/bench_tab01_tunables.cc.o"
+  "CMakeFiles/bench_tab01_tunables.dir/bench_tab01_tunables.cc.o.d"
+  "bench_tab01_tunables"
+  "bench_tab01_tunables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_tunables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_vtop_time.dir/bench_tab02_vtop_time.cc.o"
+  "CMakeFiles/bench_tab02_vtop_time.dir/bench_tab02_vtop_time.cc.o.d"
+  "bench_tab02_vtop_time"
+  "bench_tab02_vtop_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_vtop_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

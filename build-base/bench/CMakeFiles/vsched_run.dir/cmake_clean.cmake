@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_run.dir/vsched_run.cc.o"
+  "CMakeFiles/vsched_run.dir/vsched_run.cc.o.d"
+  "vsched_run"
+  "vsched_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotuned_spot_vm.dir/autotuned_spot_vm.cpp.o"
+  "CMakeFiles/autotuned_spot_vm.dir/autotuned_spot_vm.cpp.o.d"
+  "autotuned_spot_vm"
+  "autotuned_spot_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotuned_spot_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for autotuned_spot_vm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_analytics.dir/batch_analytics.cpp.o"
+  "CMakeFiles/batch_analytics.dir/batch_analytics.cpp.o.d"
+  "batch_analytics"
+  "batch_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

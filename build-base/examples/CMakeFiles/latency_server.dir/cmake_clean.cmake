@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_server.dir/latency_server.cpp.o"
+  "CMakeFiles/latency_server.dir/latency_server.cpp.o.d"
+  "latency_server"
+  "latency_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-base/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("stats")
+subdirs("host")
+subdirs("guest")
+subdirs("fault")
+subdirs("probe")
+subdirs("core")
+subdirs("workloads")
+subdirs("metrics")
+subdirs("cluster")
+subdirs("runner")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/audit.cc" "src/base/CMakeFiles/vsched_base.dir/audit.cc.o" "gcc" "src/base/CMakeFiles/vsched_base.dir/audit.cc.o.d"
+  "/root/repo/src/base/check.cc" "src/base/CMakeFiles/vsched_base.dir/check.cc.o" "gcc" "src/base/CMakeFiles/vsched_base.dir/check.cc.o.d"
+  "/root/repo/src/base/decay.cc" "src/base/CMakeFiles/vsched_base.dir/decay.cc.o" "gcc" "src/base/CMakeFiles/vsched_base.dir/decay.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/base/CMakeFiles/vsched_base.dir/log.cc.o" "gcc" "src/base/CMakeFiles/vsched_base.dir/log.cc.o.d"
+  "/root/repo/src/base/perf_counters.cc" "src/base/CMakeFiles/vsched_base.dir/perf_counters.cc.o" "gcc" "src/base/CMakeFiles/vsched_base.dir/perf_counters.cc.o.d"
+  "/root/repo/src/base/time.cc" "src/base/CMakeFiles/vsched_base.dir/time.cc.o" "gcc" "src/base/CMakeFiles/vsched_base.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

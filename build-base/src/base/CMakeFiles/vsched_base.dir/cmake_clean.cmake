@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_base.dir/audit.cc.o"
+  "CMakeFiles/vsched_base.dir/audit.cc.o.d"
+  "CMakeFiles/vsched_base.dir/check.cc.o"
+  "CMakeFiles/vsched_base.dir/check.cc.o.d"
+  "CMakeFiles/vsched_base.dir/decay.cc.o"
+  "CMakeFiles/vsched_base.dir/decay.cc.o.d"
+  "CMakeFiles/vsched_base.dir/log.cc.o"
+  "CMakeFiles/vsched_base.dir/log.cc.o.d"
+  "CMakeFiles/vsched_base.dir/perf_counters.cc.o"
+  "CMakeFiles/vsched_base.dir/perf_counters.cc.o.d"
+  "CMakeFiles/vsched_base.dir/time.cc.o"
+  "CMakeFiles/vsched_base.dir/time.cc.o.d"
+  "libvsched_base.a"
+  "libvsched_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_cluster.dir/fleet.cc.o"
+  "CMakeFiles/vsched_cluster.dir/fleet.cc.o.d"
+  "CMakeFiles/vsched_cluster.dir/fleet_spec.cc.o"
+  "CMakeFiles/vsched_cluster.dir/fleet_spec.cc.o.d"
+  "CMakeFiles/vsched_cluster.dir/placement.cc.o"
+  "CMakeFiles/vsched_cluster.dir/placement.cc.o.d"
+  "libvsched_cluster.a"
+  "libvsched_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_core.dir/autotune.cc.o"
+  "CMakeFiles/vsched_core.dir/autotune.cc.o.d"
+  "CMakeFiles/vsched_core.dir/bvs.cc.o"
+  "CMakeFiles/vsched_core.dir/bvs.cc.o.d"
+  "CMakeFiles/vsched_core.dir/ivh.cc.o"
+  "CMakeFiles/vsched_core.dir/ivh.cc.o.d"
+  "CMakeFiles/vsched_core.dir/rwc.cc.o"
+  "CMakeFiles/vsched_core.dir/rwc.cc.o.d"
+  "CMakeFiles/vsched_core.dir/vsched.cc.o"
+  "CMakeFiles/vsched_core.dir/vsched.cc.o.d"
+  "libvsched_core.a"
+  "libvsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/degradation.cc" "src/fault/CMakeFiles/vsched_fault.dir/degradation.cc.o" "gcc" "src/fault/CMakeFiles/vsched_fault.dir/degradation.cc.o.d"
+  "/root/repo/src/fault/fault_injector.cc" "src/fault/CMakeFiles/vsched_fault.dir/fault_injector.cc.o" "gcc" "src/fault/CMakeFiles/vsched_fault.dir/fault_injector.cc.o.d"
+  "/root/repo/src/fault/fault_plan.cc" "src/fault/CMakeFiles/vsched_fault.dir/fault_plan.cc.o" "gcc" "src/fault/CMakeFiles/vsched_fault.dir/fault_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-base/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/guest/CMakeFiles/vsched_guest.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_fault.dir/degradation.cc.o"
+  "CMakeFiles/vsched_fault.dir/degradation.cc.o.d"
+  "CMakeFiles/vsched_fault.dir/fault_injector.cc.o"
+  "CMakeFiles/vsched_fault.dir/fault_injector.cc.o.d"
+  "CMakeFiles/vsched_fault.dir/fault_plan.cc.o"
+  "CMakeFiles/vsched_fault.dir/fault_plan.cc.o.d"
+  "libvsched_fault.a"
+  "libvsched_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

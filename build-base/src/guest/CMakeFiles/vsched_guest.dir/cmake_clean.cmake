@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_guest.dir/guest_kernel.cc.o"
+  "CMakeFiles/vsched_guest.dir/guest_kernel.cc.o.d"
+  "CMakeFiles/vsched_guest.dir/guest_vcpu.cc.o"
+  "CMakeFiles/vsched_guest.dir/guest_vcpu.cc.o.d"
+  "CMakeFiles/vsched_guest.dir/pelt.cc.o"
+  "CMakeFiles/vsched_guest.dir/pelt.cc.o.d"
+  "CMakeFiles/vsched_guest.dir/runqueue.cc.o"
+  "CMakeFiles/vsched_guest.dir/runqueue.cc.o.d"
+  "CMakeFiles/vsched_guest.dir/task.cc.o"
+  "CMakeFiles/vsched_guest.dir/task.cc.o.d"
+  "CMakeFiles/vsched_guest.dir/vm.cc.o"
+  "CMakeFiles/vsched_guest.dir/vm.cc.o.d"
+  "libvsched_guest.a"
+  "libvsched_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/cpu_sched.cc" "src/host/CMakeFiles/vsched_host.dir/cpu_sched.cc.o" "gcc" "src/host/CMakeFiles/vsched_host.dir/cpu_sched.cc.o.d"
+  "/root/repo/src/host/host_entity.cc" "src/host/CMakeFiles/vsched_host.dir/host_entity.cc.o" "gcc" "src/host/CMakeFiles/vsched_host.dir/host_entity.cc.o.d"
+  "/root/repo/src/host/machine.cc" "src/host/CMakeFiles/vsched_host.dir/machine.cc.o" "gcc" "src/host/CMakeFiles/vsched_host.dir/machine.cc.o.d"
+  "/root/repo/src/host/stressor.cc" "src/host/CMakeFiles/vsched_host.dir/stressor.cc.o" "gcc" "src/host/CMakeFiles/vsched_host.dir/stressor.cc.o.d"
+  "/root/repo/src/host/topology.cc" "src/host/CMakeFiles/vsched_host.dir/topology.cc.o" "gcc" "src/host/CMakeFiles/vsched_host.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-base/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_host.dir/cpu_sched.cc.o"
+  "CMakeFiles/vsched_host.dir/cpu_sched.cc.o.d"
+  "CMakeFiles/vsched_host.dir/host_entity.cc.o"
+  "CMakeFiles/vsched_host.dir/host_entity.cc.o.d"
+  "CMakeFiles/vsched_host.dir/machine.cc.o"
+  "CMakeFiles/vsched_host.dir/machine.cc.o.d"
+  "CMakeFiles/vsched_host.dir/stressor.cc.o"
+  "CMakeFiles/vsched_host.dir/stressor.cc.o.d"
+  "CMakeFiles/vsched_host.dir/topology.cc.o"
+  "CMakeFiles/vsched_host.dir/topology.cc.o.d"
+  "libvsched_host.a"
+  "libvsched_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_metrics.dir/activity_trace.cc.o"
+  "CMakeFiles/vsched_metrics.dir/activity_trace.cc.o.d"
+  "CMakeFiles/vsched_metrics.dir/experiment.cc.o"
+  "CMakeFiles/vsched_metrics.dir/experiment.cc.o.d"
+  "CMakeFiles/vsched_metrics.dir/scenario.cc.o"
+  "CMakeFiles/vsched_metrics.dir/scenario.cc.o.d"
+  "libvsched_metrics.a"
+  "libvsched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

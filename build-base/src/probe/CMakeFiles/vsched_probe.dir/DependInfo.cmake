@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/pair_probe.cc" "src/probe/CMakeFiles/vsched_probe.dir/pair_probe.cc.o" "gcc" "src/probe/CMakeFiles/vsched_probe.dir/pair_probe.cc.o.d"
+  "/root/repo/src/probe/robust.cc" "src/probe/CMakeFiles/vsched_probe.dir/robust.cc.o" "gcc" "src/probe/CMakeFiles/vsched_probe.dir/robust.cc.o.d"
+  "/root/repo/src/probe/vact.cc" "src/probe/CMakeFiles/vsched_probe.dir/vact.cc.o" "gcc" "src/probe/CMakeFiles/vsched_probe.dir/vact.cc.o.d"
+  "/root/repo/src/probe/vcap.cc" "src/probe/CMakeFiles/vsched_probe.dir/vcap.cc.o" "gcc" "src/probe/CMakeFiles/vsched_probe.dir/vcap.cc.o.d"
+  "/root/repo/src/probe/vtop.cc" "src/probe/CMakeFiles/vsched_probe.dir/vtop.cc.o" "gcc" "src/probe/CMakeFiles/vsched_probe.dir/vtop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-base/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/guest/CMakeFiles/vsched_guest.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  "/root/repo/build-base/src/fault/CMakeFiles/vsched_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

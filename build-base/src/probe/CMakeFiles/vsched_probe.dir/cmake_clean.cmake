@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_probe.dir/pair_probe.cc.o"
+  "CMakeFiles/vsched_probe.dir/pair_probe.cc.o.d"
+  "CMakeFiles/vsched_probe.dir/robust.cc.o"
+  "CMakeFiles/vsched_probe.dir/robust.cc.o.d"
+  "CMakeFiles/vsched_probe.dir/vact.cc.o"
+  "CMakeFiles/vsched_probe.dir/vact.cc.o.d"
+  "CMakeFiles/vsched_probe.dir/vcap.cc.o"
+  "CMakeFiles/vsched_probe.dir/vcap.cc.o.d"
+  "CMakeFiles/vsched_probe.dir/vtop.cc.o"
+  "CMakeFiles/vsched_probe.dir/vtop.cc.o.d"
+  "libvsched_probe.a"
+  "libvsched_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_runner.dir/report.cc.o"
+  "CMakeFiles/vsched_runner.dir/report.cc.o.d"
+  "CMakeFiles/vsched_runner.dir/result_sink.cc.o"
+  "CMakeFiles/vsched_runner.dir/result_sink.cc.o.d"
+  "CMakeFiles/vsched_runner.dir/resume.cc.o"
+  "CMakeFiles/vsched_runner.dir/resume.cc.o.d"
+  "CMakeFiles/vsched_runner.dir/runner.cc.o"
+  "CMakeFiles/vsched_runner.dir/runner.cc.o.d"
+  "CMakeFiles/vsched_runner.dir/spec.cc.o"
+  "CMakeFiles/vsched_runner.dir/spec.cc.o.d"
+  "CMakeFiles/vsched_runner.dir/thread_pool.cc.o"
+  "CMakeFiles/vsched_runner.dir/thread_pool.cc.o.d"
+  "libvsched_runner.a"
+  "libvsched_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

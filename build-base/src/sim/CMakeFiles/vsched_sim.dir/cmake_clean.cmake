@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_sim.dir/event_queue.cc.o"
+  "CMakeFiles/vsched_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/vsched_sim.dir/rng.cc.o"
+  "CMakeFiles/vsched_sim.dir/rng.cc.o.d"
+  "CMakeFiles/vsched_sim.dir/simulation.cc.o"
+  "CMakeFiles/vsched_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/vsched_sim.dir/timer_wheel.cc.o"
+  "CMakeFiles/vsched_sim.dir/timer_wheel.cc.o.d"
+  "libvsched_sim.a"
+  "libvsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

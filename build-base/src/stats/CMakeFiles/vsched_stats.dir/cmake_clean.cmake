@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_stats.dir/stats.cc.o"
+  "CMakeFiles/vsched_stats.dir/stats.cc.o.d"
+  "libvsched_stats.a"
+  "libvsched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_workloads.dir/catalog.cc.o"
+  "CMakeFiles/vsched_workloads.dir/catalog.cc.o.d"
+  "CMakeFiles/vsched_workloads.dir/latency_app.cc.o"
+  "CMakeFiles/vsched_workloads.dir/latency_app.cc.o.d"
+  "CMakeFiles/vsched_workloads.dir/micro.cc.o"
+  "CMakeFiles/vsched_workloads.dir/micro.cc.o.d"
+  "CMakeFiles/vsched_workloads.dir/throughput_app.cc.o"
+  "CMakeFiles/vsched_workloads.dir/throughput_app.cc.o.d"
+  "libvsched_workloads.a"
+  "libvsched_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

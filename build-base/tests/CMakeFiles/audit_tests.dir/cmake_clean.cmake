@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_tests.dir/audit/audit_test.cc.o"
+  "CMakeFiles/audit_tests.dir/audit/audit_test.cc.o.d"
+  "CMakeFiles/audit_tests.dir/audit/fault_audit_test.cc.o"
+  "CMakeFiles/audit_tests.dir/audit/fault_audit_test.cc.o.d"
+  "audit_tests"
+  "audit_tests.pdb"
+  "audit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_tests.dir/base/log_check_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/log_check_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/perf_counters_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/perf_counters_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/time_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/time_test.cc.o.d"
+  "base_tests"
+  "base_tests.pdb"
+  "base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

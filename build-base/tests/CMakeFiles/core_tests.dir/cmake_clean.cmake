@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/autotune_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/autotune_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/bvs_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/bvs_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/integration_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/integration_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/ivh_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/ivh_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/rwc_vsched_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/rwc_vsched_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/stress_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/stress_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

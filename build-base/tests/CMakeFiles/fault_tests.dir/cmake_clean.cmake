@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tests.dir/fault/degradation_test.cc.o"
+  "CMakeFiles/fault_tests.dir/fault/degradation_test.cc.o.d"
+  "CMakeFiles/fault_tests.dir/fault/fault_injector_test.cc.o"
+  "CMakeFiles/fault_tests.dir/fault/fault_injector_test.cc.o.d"
+  "CMakeFiles/fault_tests.dir/fault/fault_plan_test.cc.o"
+  "CMakeFiles/fault_tests.dir/fault/fault_plan_test.cc.o.d"
+  "fault_tests"
+  "fault_tests.pdb"
+  "fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_tests.dir/guest/cpumask_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/cpumask_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/eevdf_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/eevdf_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/kernel_advanced_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/kernel_advanced_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/kernel_basic_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/kernel_basic_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/kernel_property_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/kernel_property_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/nice_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/nice_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/pelt_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/pelt_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/placement_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/placement_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/runqueue_equivalence_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/runqueue_equivalence_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/runqueue_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/runqueue_test.cc.o.d"
+  "CMakeFiles/guest_tests.dir/guest/vm_wrapper_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/vm_wrapper_test.cc.o.d"
+  "guest_tests"
+  "guest_tests.pdb"
+  "guest_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

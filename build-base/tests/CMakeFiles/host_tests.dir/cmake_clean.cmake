@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_tests.dir/host/bandwidth_live_test.cc.o"
+  "CMakeFiles/host_tests.dir/host/bandwidth_live_test.cc.o.d"
+  "CMakeFiles/host_tests.dir/host/bandwidth_test.cc.o"
+  "CMakeFiles/host_tests.dir/host/bandwidth_test.cc.o.d"
+  "CMakeFiles/host_tests.dir/host/cpu_sched_test.cc.o"
+  "CMakeFiles/host_tests.dir/host/cpu_sched_test.cc.o.d"
+  "CMakeFiles/host_tests.dir/host/host_property_test.cc.o"
+  "CMakeFiles/host_tests.dir/host/host_property_test.cc.o.d"
+  "CMakeFiles/host_tests.dir/host/machine_test.cc.o"
+  "CMakeFiles/host_tests.dir/host/machine_test.cc.o.d"
+  "CMakeFiles/host_tests.dir/host/topology_test.cc.o"
+  "CMakeFiles/host_tests.dir/host/topology_test.cc.o.d"
+  "host_tests"
+  "host_tests.pdb"
+  "host_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_tests.dir/lint/json_test.cc.o"
+  "CMakeFiles/lint_tests.dir/lint/json_test.cc.o.d"
+  "CMakeFiles/lint_tests.dir/lint/lexer_test.cc.o"
+  "CMakeFiles/lint_tests.dir/lint/lexer_test.cc.o.d"
+  "CMakeFiles/lint_tests.dir/lint/lifetime_test.cc.o"
+  "CMakeFiles/lint_tests.dir/lint/lifetime_test.cc.o.d"
+  "CMakeFiles/lint_tests.dir/lint/lint_test.cc.o"
+  "CMakeFiles/lint_tests.dir/lint/lint_test.cc.o.d"
+  "CMakeFiles/lint_tests.dir/lint/shard_test.cc.o"
+  "CMakeFiles/lint_tests.dir/lint/shard_test.cc.o.d"
+  "lint_tests"
+  "lint_tests.pdb"
+  "lint_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tests.dir/metrics/experiment_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/experiment_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/scenario_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/scenario_test.cc.o.d"
+  "metrics_tests"
+  "metrics_tests.pdb"
+  "metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_tests.dir/probe/pair_probe_test.cc.o"
+  "CMakeFiles/probe_tests.dir/probe/pair_probe_test.cc.o.d"
+  "CMakeFiles/probe_tests.dir/probe/probe_property_test.cc.o"
+  "CMakeFiles/probe_tests.dir/probe/probe_property_test.cc.o.d"
+  "CMakeFiles/probe_tests.dir/probe/robust_test.cc.o"
+  "CMakeFiles/probe_tests.dir/probe/robust_test.cc.o.d"
+  "CMakeFiles/probe_tests.dir/probe/vact_test.cc.o"
+  "CMakeFiles/probe_tests.dir/probe/vact_test.cc.o.d"
+  "CMakeFiles/probe_tests.dir/probe/vcap_test.cc.o"
+  "CMakeFiles/probe_tests.dir/probe/vcap_test.cc.o.d"
+  "CMakeFiles/probe_tests.dir/probe/vtop_test.cc.o"
+  "CMakeFiles/probe_tests.dir/probe/vtop_test.cc.o.d"
+  "probe_tests"
+  "probe_tests.pdb"
+  "probe_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_tests.dir/runner/resilience_test.cc.o"
+  "CMakeFiles/runner_tests.dir/runner/resilience_test.cc.o.d"
+  "CMakeFiles/runner_tests.dir/runner/result_sink_test.cc.o"
+  "CMakeFiles/runner_tests.dir/runner/result_sink_test.cc.o.d"
+  "CMakeFiles/runner_tests.dir/runner/resume_test.cc.o"
+  "CMakeFiles/runner_tests.dir/runner/resume_test.cc.o.d"
+  "CMakeFiles/runner_tests.dir/runner/runner_test.cc.o"
+  "CMakeFiles/runner_tests.dir/runner/runner_test.cc.o.d"
+  "CMakeFiles/runner_tests.dir/runner/thread_pool_test.cc.o"
+  "CMakeFiles/runner_tests.dir/runner/thread_pool_test.cc.o.d"
+  "runner_tests"
+  "runner_tests.pdb"
+  "runner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_tests.dir/workloads/workload_property_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/workload_property_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/workloads_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/workloads_test.cc.o.d"
+  "workloads_tests"
+  "workloads_tests.pdb"
+  "workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-base/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-base/tests/base_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/host_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/workloads_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/metrics_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/probe_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/fault_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/runner_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/audit_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/lint_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build-base/tests/guest_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_lint.dir/vsched_lint_main.cc.o"
+  "CMakeFiles/vsched_lint.dir/vsched_lint_main.cc.o.d"
+  "vsched_lint"
+  "vsched_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/lint/analyzer.cc" "tools/lint/CMakeFiles/vsched_lint_lib.dir/analyzer.cc.o" "gcc" "tools/lint/CMakeFiles/vsched_lint_lib.dir/analyzer.cc.o.d"
+  "/root/repo/tools/lint/lexer.cc" "tools/lint/CMakeFiles/vsched_lint_lib.dir/lexer.cc.o" "gcc" "tools/lint/CMakeFiles/vsched_lint_lib.dir/lexer.cc.o.d"
+  "/root/repo/tools/lint/lint.cc" "tools/lint/CMakeFiles/vsched_lint_lib.dir/lint.cc.o" "gcc" "tools/lint/CMakeFiles/vsched_lint_lib.dir/lint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

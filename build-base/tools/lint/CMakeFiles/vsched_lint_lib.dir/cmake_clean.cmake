@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsched_lint_lib.dir/analyzer.cc.o"
+  "CMakeFiles/vsched_lint_lib.dir/analyzer.cc.o.d"
+  "CMakeFiles/vsched_lint_lib.dir/lexer.cc.o"
+  "CMakeFiles/vsched_lint_lib.dir/lexer.cc.o.d"
+  "CMakeFiles/vsched_lint_lib.dir/lint.cc.o"
+  "CMakeFiles/vsched_lint_lib.dir/lint.cc.o.d"
+  "libvsched_lint_lib.a"
+  "libvsched_lint_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsched_lint_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

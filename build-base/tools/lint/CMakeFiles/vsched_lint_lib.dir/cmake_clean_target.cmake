@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsched_lint_lib.a"
+)

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-prof/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vsched_run_determinism "/usr/bin/cmake" "-DVSCHED_RUN=/root/repo/build-prof/bench/vsched_run" "-DWORK_DIR=/root/repo/build-prof/bench" "-P" "/root/repo/bench/vsched_run_determinism.cmake")
+set_tests_properties(vsched_run_determinism PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(vsched_run_tickless "/usr/bin/cmake" "-DVSCHED_RUN=/root/repo/build-prof/bench/vsched_run" "-DWORK_DIR=/root/repo/build-prof/bench" "-P" "/root/repo/bench/vsched_run_tickless.cmake")
+set_tests_properties(vsched_run_tickless PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(vsched_run_chaos "/usr/bin/cmake" "-DVSCHED_RUN=/root/repo/build-prof/bench/vsched_run" "-DWORK_DIR=/root/repo/build-prof/bench" "-P" "/root/repo/bench/vsched_run_chaos.cmake")
+set_tests_properties(vsched_run_chaos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;54;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(vsched_run_fleet "/usr/bin/cmake" "-DVSCHED_RUN=/root/repo/build-prof/bench/vsched_run" "-DWORK_DIR=/root/repo/build-prof/bench" "-P" "/root/repo/bench/vsched_run_fleet.cmake")
+set_tests_properties(vsched_run_fleet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;62;add_test;/root/repo/bench/CMakeLists.txt;0;")

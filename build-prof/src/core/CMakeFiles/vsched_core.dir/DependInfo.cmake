@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cc" "src/core/CMakeFiles/vsched_core.dir/autotune.cc.o" "gcc" "src/core/CMakeFiles/vsched_core.dir/autotune.cc.o.d"
+  "/root/repo/src/core/bvs.cc" "src/core/CMakeFiles/vsched_core.dir/bvs.cc.o" "gcc" "src/core/CMakeFiles/vsched_core.dir/bvs.cc.o.d"
+  "/root/repo/src/core/ivh.cc" "src/core/CMakeFiles/vsched_core.dir/ivh.cc.o" "gcc" "src/core/CMakeFiles/vsched_core.dir/ivh.cc.o.d"
+  "/root/repo/src/core/rwc.cc" "src/core/CMakeFiles/vsched_core.dir/rwc.cc.o" "gcc" "src/core/CMakeFiles/vsched_core.dir/rwc.cc.o.d"
+  "/root/repo/src/core/vsched.cc" "src/core/CMakeFiles/vsched_core.dir/vsched.cc.o" "gcc" "src/core/CMakeFiles/vsched_core.dir/vsched.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/guest/CMakeFiles/vsched_guest.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/fault/CMakeFiles/vsched_fault.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/probe/CMakeFiles/vsched_probe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/guest_kernel.cc" "src/guest/CMakeFiles/vsched_guest.dir/guest_kernel.cc.o" "gcc" "src/guest/CMakeFiles/vsched_guest.dir/guest_kernel.cc.o.d"
+  "/root/repo/src/guest/guest_vcpu.cc" "src/guest/CMakeFiles/vsched_guest.dir/guest_vcpu.cc.o" "gcc" "src/guest/CMakeFiles/vsched_guest.dir/guest_vcpu.cc.o.d"
+  "/root/repo/src/guest/pelt.cc" "src/guest/CMakeFiles/vsched_guest.dir/pelt.cc.o" "gcc" "src/guest/CMakeFiles/vsched_guest.dir/pelt.cc.o.d"
+  "/root/repo/src/guest/runqueue.cc" "src/guest/CMakeFiles/vsched_guest.dir/runqueue.cc.o" "gcc" "src/guest/CMakeFiles/vsched_guest.dir/runqueue.cc.o.d"
+  "/root/repo/src/guest/task.cc" "src/guest/CMakeFiles/vsched_guest.dir/task.cc.o" "gcc" "src/guest/CMakeFiles/vsched_guest.dir/task.cc.o.d"
+  "/root/repo/src/guest/vm.cc" "src/guest/CMakeFiles/vsched_guest.dir/vm.cc.o" "gcc" "src/guest/CMakeFiles/vsched_guest.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

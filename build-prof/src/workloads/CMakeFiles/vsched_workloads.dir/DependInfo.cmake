@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/catalog.cc" "src/workloads/CMakeFiles/vsched_workloads.dir/catalog.cc.o" "gcc" "src/workloads/CMakeFiles/vsched_workloads.dir/catalog.cc.o.d"
+  "/root/repo/src/workloads/latency_app.cc" "src/workloads/CMakeFiles/vsched_workloads.dir/latency_app.cc.o" "gcc" "src/workloads/CMakeFiles/vsched_workloads.dir/latency_app.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/workloads/CMakeFiles/vsched_workloads.dir/micro.cc.o" "gcc" "src/workloads/CMakeFiles/vsched_workloads.dir/micro.cc.o.d"
+  "/root/repo/src/workloads/throughput_app.cc" "src/workloads/CMakeFiles/vsched_workloads.dir/throughput_app.cc.o" "gcc" "src/workloads/CMakeFiles/vsched_workloads.dir/throughput_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/guest/CMakeFiles/vsched_guest.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

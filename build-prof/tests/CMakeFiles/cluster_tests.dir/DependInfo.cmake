@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/fleet_test.cc" "tests/CMakeFiles/cluster_tests.dir/cluster/fleet_test.cc.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/fleet_test.cc.o.d"
+  "/root/repo/tests/cluster/placement_test.cc" "tests/CMakeFiles/cluster_tests.dir/cluster/placement_test.cc.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/placement_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/runner/CMakeFiles/vsched_runner.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/metrics/CMakeFiles/vsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/cluster/CMakeFiles/vsched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/core/CMakeFiles/vsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/probe/CMakeFiles/vsched_probe.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/fault/CMakeFiles/vsched_fault.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/workloads/CMakeFiles/vsched_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/guest/CMakeFiles/vsched_guest.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/guest/cpumask_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/cpumask_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/cpumask_test.cc.o.d"
+  "/root/repo/tests/guest/eevdf_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/eevdf_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/eevdf_test.cc.o.d"
+  "/root/repo/tests/guest/kernel_advanced_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/kernel_advanced_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/kernel_advanced_test.cc.o.d"
+  "/root/repo/tests/guest/kernel_basic_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/kernel_basic_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/kernel_basic_test.cc.o.d"
+  "/root/repo/tests/guest/kernel_property_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/kernel_property_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/kernel_property_test.cc.o.d"
+  "/root/repo/tests/guest/nice_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/nice_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/nice_test.cc.o.d"
+  "/root/repo/tests/guest/pelt_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/pelt_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/pelt_test.cc.o.d"
+  "/root/repo/tests/guest/placement_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/placement_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/placement_test.cc.o.d"
+  "/root/repo/tests/guest/runqueue_equivalence_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/runqueue_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/runqueue_equivalence_test.cc.o.d"
+  "/root/repo/tests/guest/runqueue_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/runqueue_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/runqueue_test.cc.o.d"
+  "/root/repo/tests/guest/vm_wrapper_test.cc" "tests/CMakeFiles/guest_tests.dir/guest/vm_wrapper_test.cc.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/vm_wrapper_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/runner/CMakeFiles/vsched_runner.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/metrics/CMakeFiles/vsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/cluster/CMakeFiles/vsched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/core/CMakeFiles/vsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/probe/CMakeFiles/vsched_probe.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/fault/CMakeFiles/vsched_fault.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/workloads/CMakeFiles/vsched_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/guest/CMakeFiles/vsched_guest.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/host/CMakeFiles/vsched_host.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/sim/CMakeFiles/vsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/vsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/base/CMakeFiles/vsched_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

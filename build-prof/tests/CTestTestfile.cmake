@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-prof/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-prof/tests/base_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/host_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/workloads_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/metrics_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/probe_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/fault_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/runner_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/audit_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/lint_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/guest_tests[1]_include.cmake")

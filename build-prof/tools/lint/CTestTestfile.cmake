@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/lint
+# Build directory: /root/repo/build-prof/tools/lint
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vsched_lint_src "/root/repo/build-prof/tools/lint/vsched_lint" "--json" "/root/repo/build-prof/lint_findings.json" "/root/repo/src")
+set_tests_properties(vsched_lint_src PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/lint/CMakeLists.txt;12;add_test;/root/repo/tools/lint/CMakeLists.txt;0;")
