@@ -44,6 +44,7 @@ void OnSigint(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 struct CliOptions {
   std::string experiment = "fig18_rcvm";
   std::string fleet;  // non-empty: fleet preset sweep instead of --experiment
+  bool adversary = false;  // adversarial co-tenant deception-matrix sweep
   int jobs = 0;
   uint64_t seed = 0;  // 0: each sweep's built-in default
   std::string out;    // empty: stdout
@@ -68,6 +69,11 @@ void Usage(std::FILE* out) {
                "  --fleet PRESET     cluster-scale fleet sweep {cfs, vsched} over PRESET\n"
                "                     (see --list-fleets); replaces --experiment\n"
                "  --list-fleets      print the fleet preset names and exit\n"
+               "  --adversary        adversarial co-tenant sweep: each scheduler attack\n"
+               "                     (steal, evade, burst) with the robust layer off and\n"
+               "                     on, single-VM plus tiny-fleet rows, emitting the\n"
+               "                     dx_* deception matrix (docs/ROBUSTNESS.md);\n"
+               "                     replaces --experiment\n"
                "  --jobs N           worker threads; 0 = hardware concurrency, 1 = serial\n"
                "  --seed S           base seed override (default: the sweep's own)\n"
                "  --out FILE         write JSONL rows to FILE instead of stdout\n"
@@ -132,6 +138,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
       cli.audit = true;
     } else if (arg == "--list") {
       cli.list = true;
+    } else if (arg == "--adversary") {
+      cli.adversary = true;
     } else if (arg == "--list-plans") {
       for (const std::string& name : FaultPlanNames()) {
         std::printf("%s\n", name.c_str());
@@ -177,7 +185,9 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
 
 ExperimentSpec BuildSweep(const CliOptions& cli) {
   std::vector<ExperimentSpec> parts;
-  if (!cli.fleet.empty()) {
+  if (cli.adversary) {
+    parts.push_back(AdversarySweep(cli.seed));
+  } else if (!cli.fleet.empty()) {
     std::vector<std::string> names = FleetSpecNames();
     if (std::find(names.begin(), names.end(), cli.fleet) == names.end()) {
       std::fprintf(stderr, "vsched_run: unknown fleet preset %s (see --list-fleets)\n",
@@ -201,7 +211,8 @@ ExperimentSpec BuildSweep(const CliOptions& cli) {
     }
   }
   ExperimentSpec sweep;
-  sweep.name = cli.fleet.empty() ? cli.experiment : "fleet_" + cli.fleet;
+  sweep.name = cli.adversary ? "adversary"
+                             : (cli.fleet.empty() ? cli.experiment : "fleet_" + cli.fleet);
   for (ExperimentSpec& part : parts) {
     for (RunSpec& run : part.runs) {
       if (cli.warmup_ms >= 0) {
@@ -211,7 +222,11 @@ ExperimentSpec BuildSweep(const CliOptions& cli) {
         run.measure = MsToNs(cli.measure_ms);
       }
       run.tickless = cli.tickless;
-      run.fault_plan = cli.fault_plan;
+      // Adversary rows own their fault plan (it IS the attack under test);
+      // --fault-plan only applies to the other sweeps.
+      if (run.family != ExperimentFamily::kAdversary) {
+        run.fault_plan = cli.fault_plan;
+      }
       run.event_budget = cli.event_budget;
       run.shards = cli.shards;
       sweep.runs.push_back(std::move(run));

@@ -1,0 +1,67 @@
+# ctest script: the adversary deception matrix is a deterministic artifact.
+# Run with:
+#   cmake -DVSCHED_RUN=<binary> -DWORK_DIR=<dir> -P vsched_run_adversary.cmake
+#
+# Three invariants (docs/ROBUSTNESS.md):
+#   1. The --adversary sweep is byte-identical across --jobs 1 and --jobs 2:
+#      every cell (attack x robust, single-VM and fleet) is a pure function
+#      of its RunSpec.
+#   2. The matrix actually measures something: attack rows carry the dx_*
+#      deception metrics and nonzero adversary activations.
+#   3. A robust=off attack row differs from its robust=on twin — the
+#      hardening layer is not a no-op under attack (it IS a no-op on the
+#      clean "none" rows, covered by tests/adversary/deception_test.cc).
+
+set(common_args --adversary --warmup-ms 200 --measure-ms 500)
+
+function(run_sweep out)
+  execute_process(
+      COMMAND ${VSCHED_RUN} ${ARGN} --out ${out}
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vsched_run ${ARGN} exited ${rc}")
+  endif()
+endfunction()
+
+function(expect_identical a b what)
+  execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+      RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} differs from ${b}")
+  endif()
+endfunction()
+
+# --- 1. matrix replay across job counts ------------------------------------
+run_sweep(${WORK_DIR}/adv_j1.jsonl ${common_args} --jobs 1)
+run_sweep(${WORK_DIR}/adv_j2.jsonl ${common_args} --jobs 2)
+expect_identical(${WORK_DIR}/adv_j1.jsonl ${WORK_DIR}/adv_j2.jsonl
+                 "adversary matrix diverges across --jobs")
+
+# --- 2. the rows measured an actual attack ---------------------------------
+file(READ ${WORK_DIR}/adv_j1.jsonl adv_rows)
+if(NOT adv_rows MATCHES "\"dx_cap_err_mean\":")
+  message(FATAL_ERROR "adversary sweep emitted no deception metrics")
+endif()
+if(NOT adv_rows MATCHES "\"dx_adversary_activations\": *[1-9]")
+  message(FATAL_ERROR "no adversary ever activated in the sweep")
+endif()
+
+# --- 3. hardening must change the picture under attack ---------------------
+# The cycle-stealer's signature: with robust off, vact publishes exactly zero
+# latency against real theft; with robust on, the sub-threshold plausibility
+# check attributes it, so the same cell publishes a nonzero estimate.
+run_sweep(${WORK_DIR}/adv_steal_off.jsonl
+          ${common_args} --filter "adversary/steal/vsched/robust=off")
+run_sweep(${WORK_DIR}/adv_steal_on.jsonl
+          ${common_args} --filter "adversary/steal/vsched/robust=on")
+file(READ ${WORK_DIR}/adv_steal_off.jsonl steal_off)
+file(READ ${WORK_DIR}/adv_steal_on.jsonl steal_on)
+if(NOT steal_off MATCHES "\"dx_act_latency_ns\": *0[,}]")
+  message(FATAL_ERROR "robust=off cycle-steal row should leave vact blind")
+endif()
+if(steal_on MATCHES "\"dx_act_latency_ns\": *0[,}]")
+  message(FATAL_ERROR "robust=on cycle-steal row still publishes zero vact "
+                      "latency — the hardening layer did nothing")
+endif()

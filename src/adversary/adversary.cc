@@ -1,0 +1,191 @@
+#include "src/adversary/adversary.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+
+namespace {
+// RT weight for attack entities (weight is ignored in the RT class; this
+// matches the fault layer's steal-burst default for the CFS fallback).
+constexpr double kAttackWeight = 4096.0;
+}  // namespace
+
+int ResolveVictimCount(int victim_vcpus, int available) {
+  if (available <= 0) {
+    return 0;
+  }
+  if (victim_vcpus == 0) {
+    return available;
+  }
+  if (victim_vcpus < 0) {
+    return (available + 1) / 2;
+  }
+  return std::min(victim_vcpus, available);
+}
+
+AdversaryDriver::AdversaryDriver(Simulation* sim, HostMachine* machine,
+                                 std::vector<HwThreadId> victims, std::string name)
+    : sim_(sim), machine_(machine), victims_(std::move(victims)), name_(std::move(name)) {}
+
+AdversaryDriver::~AdversaryDriver() { Stop(); }
+
+void AdversaryDriver::Stop() {
+  for (EventId id : scheduled_) {
+    sim_->Cancel(id);
+  }
+  scheduled_.clear();
+  for (auto& s : stressors_) {
+    if (s != nullptr) {
+      s->Stop();
+    }
+  }
+}
+
+Stressor* AdversaryDriver::StressorFor(size_t i, double weight, bool rt) {
+  if (stressors_.size() <= i) {
+    stressors_.resize(i + 1);
+  }
+  if (stressors_[i] == nullptr) {
+    stressors_[i] = std::make_unique<Stressor>(
+        sim_, name_ + "-" + std::to_string(victims_[i]), weight, rt);
+  }
+  return stressors_[i].get();
+}
+
+void AdversaryDriver::ArmStopAt(TimeNs end) {
+  if (end <= 0) {
+    return;
+  }
+  Track(sim_->At(end, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    for (auto& s : stressors_) {
+      if (s != nullptr) {
+        s->Stop();
+      }
+    }
+  }));
+}
+
+// ---- CycleStealer -----------------------------------------------------------
+
+CycleStealer::CycleStealer(Simulation* sim, HostMachine* machine, std::vector<HwThreadId> victims,
+                           CycleStealSpec spec)
+    : AdversaryDriver(sim, machine, std::move(victims), "adv-steal"), spec_(spec) {}
+
+void CycleStealer::Start(TimeNs at, TimeNs end) {
+  const TimeNs tick = std::max<TimeNs>(1, spec_.tick_period);
+  const auto on = std::max<TimeNs>(
+      1, static_cast<TimeNs>(static_cast<double>(tick) * std::clamp(spec_.duty, 0.0, 1.0)));
+  const TimeNs off = std::max<TimeNs>(1, tick - on);
+  const TimeNs launch = std::max(sim_->now(), at) + spec_.phase;
+  Track(sim_->At(launch, [this, on, off, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    for (size_t i = 0; i < victims_.size(); ++i) {
+      StressorFor(i, kAttackWeight, /*rt=*/true)
+          ->StartDutyCycle(machine_, victims_[i], on, off);
+      ++activations_;
+    }
+  }));
+  ArmStopAt(end);
+}
+
+// ---- ProbeEvader ------------------------------------------------------------
+
+ProbeEvader::ProbeEvader(Simulation* sim, HostMachine* machine, std::vector<HwThreadId> victims,
+                         ProbeEvadeSpec spec)
+    : AdversaryDriver(sim, machine, std::move(victims), "adv-evade"), spec_(spec) {}
+
+void ProbeEvader::Start(TimeNs at, TimeNs end) {
+  const TimeNs period = std::max<TimeNs>(2, spec_.window_period);
+  const TimeNs quiet = std::clamp<TimeNs>(spec_.quiet_len, 1, period - 1);
+  const double aggr = std::clamp(spec_.aggressiveness, 0.01, 1.0);
+  const auto on = std::max<TimeNs>(
+      1, static_cast<TimeNs>(static_cast<double>(period - quiet) * aggr));
+  const TimeNs off = period - on;
+  // Launch on the first loud-phase start at or after `at`: the duty cycle
+  // begins ON at the call, so aligning the call to the end of an assumed
+  // probe window keeps every quiet span covering a window slot exactly.
+  const TimeNs base = std::max(sim_->now(), at);
+  const TimeNs grid = spec_.phase + quiet;
+  TimeNs k = (base - grid + period - 1) / period;
+  if (k < 0) {
+    k = 0;
+  }
+  const TimeNs launch = grid + k * period;
+  Track(sim_->At(launch, [this, on, off, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    for (size_t i = 0; i < victims_.size(); ++i) {
+      StressorFor(i, kAttackWeight, /*rt=*/true)
+          ->StartDutyCycle(machine_, victims_[i], on, off);
+      ++activations_;
+    }
+  }));
+  ArmStopAt(end);
+}
+
+// ---- RefillBurster ----------------------------------------------------------
+
+RefillBurster::RefillBurster(Simulation* sim, HostMachine* machine,
+                             std::vector<HwThreadId> victims, RefillBurstSpec spec)
+    : AdversaryDriver(sim, machine, std::move(victims), "adv-burst"), spec_(spec) {}
+
+void RefillBurster::Start(TimeNs at, TimeNs end) {
+  const TimeNs period = std::max<TimeNs>(2, spec_.refill_period);
+  const auto quota = std::max<TimeNs>(
+      1, static_cast<TimeNs>(static_cast<double>(period) *
+                             std::clamp(spec_.quota_fraction, 0.0, 1.0)));
+  const TimeNs launch = std::max(sim_->now(), at) + spec_.phase;
+  // The cap must be configured while detached; attaching pins the refill
+  // grid to the launch instant, so every burst lands right on a refill.
+  for (size_t i = 0; i < victims_.size(); ++i) {
+    StressorFor(i, kAttackWeight, /*rt=*/true)->SetBandwidth(quota, period);
+  }
+  Track(sim_->At(launch, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    for (size_t i = 0; i < victims_.size(); ++i) {
+      StressorFor(i, kAttackWeight, /*rt=*/true)->Start(machine_, victims_[i]);
+      ++activations_;
+    }
+  }));
+  ArmStopAt(end);
+}
+
+// ---- Factory ----------------------------------------------------------------
+
+std::vector<std::unique_ptr<AdversaryDriver>> MakeAdversaries(Simulation* sim,
+                                                              HostMachine* machine,
+                                                              std::vector<HwThreadId> victims,
+                                                              const AdversarySpec& spec) {
+  std::vector<std::unique_ptr<AdversaryDriver>> out;
+  const int n = static_cast<int>(victims.size());
+  auto subset = [&victims](int count) {
+    return std::vector<HwThreadId>(victims.begin(), victims.begin() + count);
+  };
+  if (spec.steal.enabled) {
+    out.push_back(std::make_unique<CycleStealer>(
+        sim, machine, subset(ResolveVictimCount(spec.steal.victim_vcpus, n)), spec.steal));
+  }
+  if (spec.evade.enabled) {
+    out.push_back(std::make_unique<ProbeEvader>(
+        sim, machine, subset(ResolveVictimCount(spec.evade.victim_vcpus, n)), spec.evade));
+  }
+  if (spec.burst.enabled) {
+    out.push_back(std::make_unique<RefillBurster>(
+        sim, machine, subset(ResolveVictimCount(spec.burst.victim_vcpus, n)), spec.burst));
+  }
+  return out;
+}
+
+}  // namespace vsched

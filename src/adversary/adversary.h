@@ -1,0 +1,126 @@
+// Adversarial co-tenant drivers: deterministic scheduler-attack workloads.
+//
+// Each driver turns one AdversarySpec into a phased activity pattern on host
+// scheduling entities (Stressor), pinned to a fixed victim hardware-thread
+// set. The drivers act ONLY through the public host surface — Stressor
+// start/stop, duty cycles, and CFS bandwidth caps on their own entities.
+// They never read probe estimates, scheduler internals, or detection state;
+// the vsched-lint `adversary-surface` rule rejects any src/adversary/ code
+// that so much as names those types. An attack is "smart" purely through the
+// assumptions baked into its spec (tick period, probe cadence, refill grid),
+// which is exactly the threat model of the scheduler-attack literature: the
+// attacker knows the platform constants, not the victim's state.
+#ifndef SRC_ADVERSARY_ADVERSARY_H_
+#define SRC_ADVERSARY_ADVERSARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/adversary/adversary_spec.h"
+#include "src/base/time.h"
+#include "src/host/stressor.h"
+#include "src/host/topology.h"
+#include "src/sim/event_queue.h"
+
+namespace vsched {
+
+class HostMachine;
+class Simulation;
+
+// Resolves a spec's victim_vcpus field against an available victim count:
+// 0 selects all, -1 the first half (rounded up), N > 0 the first min(N, n).
+int ResolveVictimCount(int victim_vcpus, int available);
+
+// Base driver: owns one Stressor per victim hardware thread plus every
+// event it schedules. Start() posts the class-specific launch; Stop()
+// cancels pending events and detaches all stressors (idempotent).
+class AdversaryDriver {
+ public:
+  AdversaryDriver(Simulation* sim, HostMachine* machine, std::vector<HwThreadId> victims,
+                  std::string name);
+  virtual ~AdversaryDriver();
+
+  AdversaryDriver(const AdversaryDriver&) = delete;
+  AdversaryDriver& operator=(const AdversaryDriver&) = delete;
+
+  // Launches the attack. Activity begins no earlier than `at` (plus the
+  // spec's phase); when `end` > 0 every entity is detached at `end`.
+  virtual void Start(TimeNs at, TimeNs end) = 0;
+  void Stop();
+
+  const std::string& name() const { return name_; }
+  // Stressor attach events fired so far (one per victim per launch).
+  uint64_t activations() const { return activations_; }
+
+ protected:
+  // Creates (on first use) the stressor for victim slot `i`.
+  Stressor* StressorFor(size_t i, double weight, bool rt);
+  void Track(EventId id) { scheduled_.push_back(id); }
+  void ArmStopAt(TimeNs end);
+
+  Simulation* sim_;
+  HostMachine* machine_;
+  std::vector<HwThreadId> victims_;
+  std::string name_;
+  uint64_t activations_ = 0;
+
+  std::vector<std::unique_ptr<Stressor>> stressors_;
+  std::vector<EventId> scheduled_;
+
+  // Liveness token for posted event closures (the PR-6 pattern, enforced by
+  // vsched-lint's event-lifetime rule). Must be the last member so it
+  // expires first during destruction.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
+};
+
+// (1) Cycle-stealer: an RT entity steals `duty` of every assumed guest tick
+// in one slice, so each per-tick steal jump stays below vact's qualification
+// threshold and the theft never registers as a preemption.
+class CycleStealer : public AdversaryDriver {
+ public:
+  CycleStealer(Simulation* sim, HostMachine* machine, std::vector<HwThreadId> victims,
+               CycleStealSpec spec);
+  void Start(TimeNs at, TimeNs end) override;
+
+ private:
+  CycleStealSpec spec_;
+};
+
+// (2) Probe-evader: an RT entity that is quiet during every assumed vcap
+// window slot and monopolises the victim thread the rest of the period, so
+// windowed probes observe a fictional idle host.
+class ProbeEvader : public AdversaryDriver {
+ public:
+  ProbeEvader(Simulation* sim, HostMachine* machine, std::vector<HwThreadId> victims,
+              ProbeEvadeSpec spec);
+  void Start(TimeNs at, TimeNs end) override;
+
+ private:
+  ProbeEvadeSpec spec_;
+};
+
+// (3) Refill-timed noisy neighbor: an always-runnable RT entity under its
+// own CFS bandwidth cap; it burns the full quota in one burst immediately
+// after each refill, then throttles — maximum interference per token.
+class RefillBurster : public AdversaryDriver {
+ public:
+  RefillBurster(Simulation* sim, HostMachine* machine, std::vector<HwThreadId> victims,
+                RefillBurstSpec spec);
+  void Start(TimeNs at, TimeNs end) override;
+
+ private:
+  RefillBurstSpec spec_;
+};
+
+// Instantiates one driver per enabled attack class in `spec`, all sharing
+// the victim set. Used by the FaultInjector; also handy for tests.
+std::vector<std::unique_ptr<AdversaryDriver>> MakeAdversaries(Simulation* sim,
+                                                              HostMachine* machine,
+                                                              std::vector<HwThreadId> victims,
+                                                              const AdversarySpec& spec);
+
+}  // namespace vsched
+
+#endif  // SRC_ADVERSARY_ADVERSARY_H_

@@ -1,0 +1,61 @@
+// Parameter sets for adversarial co-tenant workloads (ROADMAP item 2,
+// grounded in "Scheduler Vulnerabilities and Attacks in Cloud Computing",
+// PAPERS.md). Strategic attackers, as opposed to the merely-noisy fault
+// classes: each spec is a deterministic phased activity pattern for a host
+// scheduling entity, recording the attacker's *assumptions* about the victim
+// (tick period, probe cadence, refill grid). Pure data — the drivers in
+// src/adversary/adversary.h turn a spec into seeded simulation events, and
+// never read probe or scheduler state (enforced by the vsched-lint
+// `adversary-surface` rule).
+#ifndef SRC_ADVERSARY_ADVERSARY_SPEC_H_
+#define SRC_ADVERSARY_ADVERSARY_SPEC_H_
+
+#include "src/base/time.h"
+
+namespace vsched {
+
+// Cycle-stealer: steals a slice of every guest accounting tick, sized to
+// stay under vact's steal-jump threshold so the theft is never counted as a
+// preemption and the vCPU looks responsive while losing `duty` of its time.
+struct CycleStealSpec {
+  bool enabled = false;
+  TimeNs tick_period = MsToNs(1);  // assumed guest tick
+  double duty = 0.15;              // stolen fraction of each tick
+  TimeNs phase = 0;                // offset of the first theft slice
+  int victim_vcpus = 0;            // first N vCPUs; 0 = all, -1 = first half
+};
+
+// Probe-evader: assumes the vcap sampling grid (window length + period) and
+// goes quiet exactly while a capacity window could be open, hammering the
+// victim the rest of the time — vcap and the pair probes see an idle host.
+struct ProbeEvadeSpec {
+  bool enabled = false;
+  TimeNs window_period = MsToNs(100);  // assumed vcap sampling period
+  TimeNs quiet_len = MsToNs(12);       // assumed window length + guard band
+  TimeNs phase = 0;                    // offset of the assumed window grid
+  double aggressiveness = 1.0;         // loud-phase duty in (0, 1]
+  int victim_vcpus = 0;                // first N vCPUs; 0 = all, -1 = first half
+};
+
+// Refill-timed noisy neighbor: a bandwidth-capped co-tenant that spends its
+// whole quota in one burst right after every refill — maximum instantaneous
+// interference per token, timed against the CFS bandwidth refill grid.
+struct RefillBurstSpec {
+  bool enabled = false;
+  TimeNs refill_period = MsToNs(20);  // the attacker's own cap period
+  double quota_fraction = 0.35;       // quota as a fraction of the period
+  TimeNs phase = 0;                   // offset of the attacker's arrival
+  int victim_vcpus = 0;               // first N vCPUs; 0 = all, -1 = first half
+};
+
+struct AdversarySpec {
+  CycleStealSpec steal;
+  ProbeEvadeSpec evade;
+  RefillBurstSpec burst;
+
+  bool active() const { return steal.enabled || evade.enabled || burst.enabled; }
+};
+
+}  // namespace vsched
+
+#endif  // SRC_ADVERSARY_ADVERSARY_SPEC_H_

@@ -52,9 +52,10 @@ Fleet::Fleet(Simulation* sim, FleetSpec spec, VSchedOptions guest_options,
 
   if (fault_plan != nullptr && !fault_plan->Empty()) {
     for (auto& host : hosts_) {
-      if (FleetChaosHost(host->id)) {
+      if (FleetInjectorHost(host->id, *fault_plan)) {
         // No VM is bound: bandwidth jitter and probe chaos stay off; steal
-        // bursts, stressor storms, and frequency droops hit the machine.
+        // bursts, stressor storms, frequency droops, and adversarial
+        // co-tenants hit the machine.
         injectors_.push_back(std::make_unique<FaultInjector>(sim_, host->machine.get(),
                                                              /*vm=*/nullptr, *fault_plan));
       }
@@ -508,6 +509,19 @@ void Fleet::OnMigrationCommit(int tenant_id) {
 }
 
 void Fleet::HarvestStats(TenantVm* tenant) {
+  // Guest-side detection/containment counters, summed exactly once per
+  // tenant (HarvestStats runs at departure or at Finish, never both) while
+  // the tenant's VSched is still alive. All zero unless robust.enabled.
+  if (tenant->vsched != nullptr) {
+    totals_.pessimistic_publishes += tenant->vsched->pessimistic_publishes();
+    if (tenant->vsched->vcap() != nullptr) {
+      totals_.quarantine_events +=
+          static_cast<uint64_t>(tenant->vsched->vcap()->quarantine_events());
+    }
+    if (tenant->vsched->degradation().transitions() > 0) {
+      totals_.degraded_tenants += 1;
+    }
+  }
   if (tenant->batch) {
     totals_.batch_chunks += tenant->batch_app->chunks_done();
     return;
@@ -565,6 +579,7 @@ void Fleet::Finish() {
   for (auto& injector : injectors_) {
     injector->Stop();
     totals_.fault_applied += injector->stats().total_applied();
+    totals_.adversary_activations += injector->adversary_activations();
   }
   for (auto& tenant : tenants_) {
     if (!tenant->placed || tenant->departed) {

@@ -106,6 +106,14 @@ struct FleetTotals {
   double host_util_mean = 0;  // time-weighted mean utilization of On hosts
   double energy_j = 0;
   uint64_t fault_applied = 0;
+  // Adversary/robustness aggregates (docs/ROBUSTNESS.md): attacker launches,
+  // tenants whose degradation tracker ever transitioned, and the guest-side
+  // containment counters summed at harvest. All zero on clean fleets and
+  // whenever guests run without robust.enabled.
+  uint64_t adversary_activations = 0;
+  int degraded_tenants = 0;
+  uint64_t pessimistic_publishes = 0;
+  uint64_t quarantine_events = 0;
 };
 
 class Fleet {

@@ -85,4 +85,11 @@ int FleetCapacityVcpus(const FleetSpec& spec, int num_threads) {
 
 bool FleetChaosHost(int host_id) { return host_id % 4 == 0; }
 
+bool FleetInjectorHost(int host_id, const FaultPlan& plan) {
+  if (plan.adversary.active()) {
+    return true;  // one adversarial tenant per host
+  }
+  return FleetChaosHost(host_id);
+}
+
 }  // namespace vsched

@@ -33,6 +33,13 @@ int FleetCapacityVcpus(const FleetSpec& spec, int num_threads);
 // identical however hosts are partitioned into cells).
 bool FleetChaosHost(int host_id);
 
+// Hosts that get a fault injector for `plan`: adversarial co-tenant plans
+// (src/adversary/) put one attacker on EVERY host — the adversary-fleet
+// protocol — while stochastic chaos keeps the quarter-fleet placement. Both
+// engines must consult this same predicate, by global host id, or their
+// outputs diverge.
+bool FleetInjectorHost(int host_id, const FaultPlan& plan);
+
 }  // namespace vsched
 
 #endif  // SRC_CLUSTER_FLEET_OPS_H_

@@ -86,7 +86,7 @@ ShardedFleet::ShardedFleet(FleetSpec spec, uint64_t seed, VSchedOptions guest_op
     }
     if (fault_plan != nullptr && !fault_plan->Empty()) {
       for (auto& host : cell->hosts) {
-        if (FleetChaosHost(host->id)) {
+        if (FleetInjectorHost(host->id, *fault_plan)) {
           cell->injectors.push_back(std::make_unique<FaultInjector>(
               cell->sim.get(), host->machine.get(), /*vm=*/nullptr, *fault_plan));
         }
@@ -610,6 +610,19 @@ void ShardedFleet::DoDepart(TenantVm* tenant, TimeNs now) {
 }
 
 void ShardedFleet::HarvestStats(TenantVm* tenant) {
+  // Guest-side detection/containment counters, summed exactly once per
+  // tenant while its VSched is still alive — mirrors Fleet::HarvestStats
+  // (integer sums, so the tenant-id harvest order is merge-order neutral).
+  if (tenant->vsched != nullptr) {
+    totals_.pessimistic_publishes += tenant->vsched->pessimistic_publishes();
+    if (tenant->vsched->vcap() != nullptr) {
+      totals_.quarantine_events +=
+          static_cast<uint64_t>(tenant->vsched->vcap()->quarantine_events());
+    }
+    if (tenant->vsched->degradation().transitions() > 0) {
+      totals_.degraded_tenants += 1;
+    }
+  }
   if (tenant->batch) {
     totals_.batch_chunks += tenant->batch_app->chunks_done();
     return;
@@ -699,6 +712,7 @@ void ShardedFleet::Finish(TimeNs now) {
     for (auto& injector : cell->injectors) {
       injector->Stop();
       totals_.fault_applied += injector->stats().total_applied();
+      totals_.adversary_activations += injector->adversary_activations();
     }
   }
   // Live-tenant teardown and harvest in tenant-id order, like the sequential

@@ -114,7 +114,14 @@ void VSched::PublishCapacities() {
       // Pessimistic fallback: never advertise an untrusted vCPU as stronger
       // than the median — overestimating capacity piles work onto what may
       // really be a straggler, underestimating merely spreads it.
+      if (cap > median) {
+        ++pessimistic_publishes_;
+      }
       cap = std::min(cap, median);
+    } else if (options_.robust.enabled && vcap_->Quarantined(i)) {
+      // Quarantined vCPUs already publish the corroborated off-window view
+      // (vcap substitutes the sample); count the containment here too.
+      ++pessimistic_publishes_;
     }
     kernel_->SetCapacityOverride(i, cap);
   }
@@ -145,6 +152,12 @@ void VSched::EvaluateDegradation() {
   if (ivh_ != nullptr) {
     ivh_->set_degraded(act_bad);
   }
+
+  // Anti-evasion quarantine: vcap's duty-cycle plausibility check feeds the
+  // per-vCPU quarantine mask; surface it as its own degradation component so
+  // chaos/adversary runs can report containment time.
+  degradation_.SetState(DegradedComponent::kQuarantine,
+                        vcap_ != nullptr && !vcap_->QuarantinedMask().Empty(), now);
 
   const bool was_topo = degradation_.IsDegraded(DegradedComponent::kTopology);
   degradation_.SetState(DegradedComponent::kTopology, topo_bad, now);

@@ -48,6 +48,10 @@ class VSched {
   // Degradation bookkeeping (only populated when options().robust.enabled).
   const DegradationTracker& degradation() const { return degradation_; }
 
+  // Times PublishCapacities clamped a low-confidence vCPU to the median —
+  // the pessimistic-capacity mitigation actually firing (tests/metrics).
+  uint64_t pessimistic_publishes() const { return pessimistic_publishes_; }
+
  private:
   // The "kernel module": pushes probed capacities and schedule domains into
   // the kernel after each sampling window / topology probe.
@@ -69,6 +73,7 @@ class VSched {
   std::unique_ptr<Rwc> rwc_;
 
   DegradationTracker degradation_;
+  uint64_t pessimistic_publishes_ = 0;
 };
 
 }  // namespace vsched

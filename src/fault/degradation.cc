@@ -16,6 +16,8 @@ const char* DegradedComponentName(DegradedComponent c) {
       return "harvest";
     case DegradedComponent::kBans:
       return "bans";
+    case DegradedComponent::kQuarantine:
+      return "quarantine";
   }
   return "unknown";
 }

@@ -17,14 +17,16 @@
 namespace vsched {
 
 enum class DegradedComponent : int {
-  kCapacity = 0,   // vcap low confidence → pessimistic capacity published
-  kTopology = 1,   // vtop low confidence → topology-agnostic (flat UMA) domains
-  kPlacement = 2,  // BVS degraded → guest-default placement (-1 fallback)
-  kHarvest = 3,    // IVH degraded → harvesting paused
-  kBans = 4,       // RWC degraded → ban set frozen
+  kCapacity = 0,    // vcap low confidence → pessimistic capacity published
+  kTopology = 1,    // vtop low confidence → topology-agnostic (flat UMA) domains
+  kPlacement = 2,   // BVS degraded → guest-default placement (-1 fallback)
+  kHarvest = 3,     // IVH degraded → harvesting paused
+  kBans = 4,        // RWC degraded → ban set frozen
+  kQuarantine = 5,  // anti-evasion: >= 1 vCPU's estimates replaced by the
+                    // corroborated off-window view (implausible duty cycle)
 };
 
-inline constexpr int kNumDegradedComponents = 5;
+inline constexpr int kNumDegradedComponents = 6;
 
 const char* DegradedComponentName(DegradedComponent c);
 

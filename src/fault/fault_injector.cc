@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "src/adversary/adversary.h"
 #include "src/base/audit.h"
 #include "src/base/check.h"
 #include "src/guest/vm.h"
@@ -103,6 +104,48 @@ void FaultInjector::Start() {
     OnBandwidthArrival();
   });
   }
+  // Adversary drivers draw nothing from rng_, so arming them after the
+  // stochastic classes leaves those classes' replay untouched.
+  if (plan_.adversary.active()) {
+    StartAdversaries();
+  }
+}
+
+std::vector<HwThreadId> FaultInjector::AdversaryVictims() const {
+  std::vector<HwThreadId> victims;
+  if (vm_ != nullptr) {
+    victims.reserve(static_cast<size_t>(vm_->num_vcpus()));
+    for (int i = 0; i < vm_->num_vcpus(); ++i) {
+      victims.push_back(vm_->thread(i).tid());
+    }
+    return victims;
+  }
+  // No guest attached (fleet hosts): the adversarial tenant spreads one
+  // attacker task per hardware thread, so every co-located tenant vCPU has a
+  // hostile sibling regardless of where the placement policy lands it.
+  const int n = machine_->num_threads();
+  for (int t = 0; t < n; ++t) {
+    victims.push_back(static_cast<HwThreadId>(t));
+  }
+  return victims;
+}
+
+void FaultInjector::StartAdversaries() {
+  if (adversaries_.empty()) {
+    adversaries_ = MakeAdversaries(sim_, machine_, AdversaryVictims(), plan_.adversary);
+  }
+  const TimeNs end = plan_.horizon > 0 ? plan_.start + plan_.horizon : 0;
+  for (auto& driver : adversaries_) {
+    driver->Start(plan_.start, end);
+  }
+}
+
+uint64_t FaultInjector::adversary_activations() const {
+  uint64_t total = 0;
+  for (const auto& driver : adversaries_) {
+    total += driver->activations();
+  }
+  return total;
 }
 
 void FaultInjector::Stop() {
@@ -127,6 +170,9 @@ void FaultInjector::Stop() {
   }
   for (auto& s : storm_pool_) {
     s->Stop();
+  }
+  for (auto& driver : adversaries_) {
+    driver->Stop();
   }
   active_ = false;
   if (audit::Enabled()) {

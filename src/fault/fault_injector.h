@@ -24,6 +24,7 @@
 
 namespace vsched {
 
+class AdversaryDriver;
 class HostMachine;
 class Simulation;
 class Vm;
@@ -75,6 +76,13 @@ class FaultInjector {
   bool active() const { return active_; }
   const FaultPlan& plan() const { return plan_; }
   const FaultStats& stats() const { return stats_; }
+
+  // Total adversarial co-tenant activations (stressor attach events) across
+  // the plan's adversary drivers. Kept separate from the FaultStats ledger:
+  // adversaries are persistent workloads, not point interventions, and they
+  // draw nothing from the injector's RNG stream (so enabling them never
+  // perturbs the replay of the stochastic classes).
+  uint64_t adversary_activations() const;
 
   // --- probe injection points ----------------------------------------------
   // Called by the probes (and only the probes) at the registered points.
@@ -154,8 +162,15 @@ class FaultInjector {
   // safe no-op.
   std::vector<EventId> scheduled_;
 
+  // Victim hardware threads for the adversary drivers: the guest's vCPU
+  // threads when a VM is attached, else the first host threads (a
+  // tenant-sized slice) — see StartAdversaries.
+  std::vector<HwThreadId> AdversaryVictims() const;
+  void StartAdversaries();
+
   std::vector<std::unique_ptr<Stressor>> burst_pool_;
   std::vector<std::unique_ptr<Stressor>> storm_pool_;
+  std::vector<std::unique_ptr<AdversaryDriver>> adversaries_;
   std::vector<ActiveDroop> droops_;
   std::vector<ActiveBandwidth> bandwidths_;
   std::vector<char> droop_active_core_;   // per-core nesting guard

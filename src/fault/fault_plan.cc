@@ -63,6 +63,43 @@ FaultPlan EverythingPlan() {
   return plan;
 }
 
+// Adversarial co-tenant plans (ROADMAP item 2, src/adversary/). Each enables
+// exactly one attack class with the defaults the deception-matrix sweep is
+// calibrated against; "adversary-all" runs the three at once.
+FaultPlan AdversaryStealPlan() {
+  FaultPlan plan;
+  plan.name = "adversary-steal";
+  plan.adversary.steal.enabled = true;
+  return plan;
+}
+
+FaultPlan AdversaryEvadePlan() {
+  FaultPlan plan;
+  plan.name = "adversary-evade";
+  plan.adversary.evade.enabled = true;
+  // Hit half the vCPUs so the untouched half keeps the medians honest —
+  // the asymmetric straggler shape RWC is supposed to ban.
+  plan.adversary.evade.victim_vcpus = -1;
+  return plan;
+}
+
+FaultPlan AdversaryBurstPlan() {
+  FaultPlan plan;
+  plan.name = "adversary-burst";
+  plan.adversary.burst.enabled = true;
+  return plan;
+}
+
+FaultPlan AdversaryAllPlan() {
+  FaultPlan plan;
+  plan.name = "adversary-all";
+  plan.adversary.steal.enabled = true;
+  plan.adversary.evade.enabled = true;
+  plan.adversary.evade.victim_vcpus = -1;
+  plan.adversary.burst.enabled = true;
+  return plan;
+}
+
 }  // namespace
 
 bool LookupFaultPlan(const std::string& name, FaultPlan* out) {
@@ -78,6 +115,14 @@ bool LookupFaultPlan(const std::string& name, FaultPlan* out) {
     *out = ProbeChaosPlan();
   } else if (name == "everything") {
     *out = EverythingPlan();
+  } else if (name == "adversary-steal") {
+    *out = AdversaryStealPlan();
+  } else if (name == "adversary-evade") {
+    *out = AdversaryEvadePlan();
+  } else if (name == "adversary-burst") {
+    *out = AdversaryBurstPlan();
+  } else if (name == "adversary-all") {
+    *out = AdversaryAllPlan();
   } else {
     return false;
   }
@@ -85,8 +130,9 @@ bool LookupFaultPlan(const std::string& name, FaultPlan* out) {
 }
 
 std::vector<std::string> FaultPlanNames() {
-  return {"none",       "interference-burst", "bandwidth-jitter",
-          "freq-droop", "probe-chaos",        "everything"};
+  return {"none",           "interference-burst", "bandwidth-jitter", "freq-droop",
+          "probe-chaos",    "everything",         "adversary-steal",  "adversary-evade",
+          "adversary-burst", "adversary-all"};
 }
 
 }  // namespace vsched

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/adversary/adversary_spec.h"
 #include "src/base/time.h"
 
 namespace vsched {
@@ -73,6 +74,10 @@ struct ProbeChaosSpec {
   bool active() const { return drop_probability > 0.0 || corrupt_probability > 0.0; }
 };
 
+// Adversarial co-tenant attacks (strategic, not merely noisy) ride in the
+// plan as an AdversarySpec; the specs and their drivers live in
+// src/adversary/ (see adversary_spec.h for the taxonomy).
+
 struct FaultPlan {
   std::string name;
 
@@ -86,10 +91,11 @@ struct FaultPlan {
   FreqDroopSpec droop;
   BandwidthJitterSpec bandwidth;
   ProbeChaosSpec probe;
+  AdversarySpec adversary;
 
   bool Empty() const {
     return !steal.arrival.active() && !storm.arrival.active() && !droop.arrival.active() &&
-           !bandwidth.arrival.active() && !probe.active();
+           !bandwidth.arrival.active() && !probe.active() && !adversary.active();
   }
 };
 

@@ -47,6 +47,34 @@ struct ProbeRobustConfig {
   int max_reprobes = 3;
   TimeNs reprobe_backoff = MsToNs(50);
   double backoff_multiplier = 2.0;
+
+  // ---- Anti-evasion hardening (adversarial co-tenants, src/adversary/) ----
+  // These counter tenants that *time* their activity against the probe grid
+  // rather than merely corrupting samples. All are inert while `enabled` is
+  // false, and none of them draws randomness on the clean path.
+
+  // Seeded jitter added to each probe window / validation-cycle start so an
+  // attacker cannot phase-lock against a predictable grid. Drawn from the
+  // prober's own forked RNG stream; 0 disables.
+  TimeNs window_jitter = MsToNs(7);
+
+  // Duty-cycle plausibility (vcap): a capacity window whose in-window steal
+  // fraction undercuts the steal fraction observed *between* windows by more
+  // than this gap is implausible — the probe-evader signature. The sample is
+  // replaced by the corroborated off-window view and scored as rejected.
+  double plausibility_gap = 0.20;
+
+  // Sub-threshold-theft plausibility (vact): a window with at least this
+  // steal fraction but zero qualified preemption jumps is attributed to
+  // per-tick theft slices below the jump threshold instead of being treated
+  // as "no information".
+  double subthreshold_steal_frac = 0.05;
+
+  // Quarantine: consecutive implausible windows before a vCPU is
+  // quarantined (pessimistic publish + kQuarantine degradation state), and
+  // consecutive plausible windows before it is released.
+  int quarantine_streak = 3;
+  int quarantine_release = 4;
 };
 
 // Sliding-window confidence score built from per-sample outcomes.

@@ -106,6 +106,7 @@ void Vact::OnWindowEnd() {
     last_window_preempts_[i] = preempts;
     window_preempts_[i] = 0;
     bool updated = false;
+    bool subthreshold = false;
     if (preempts > 0) {
       latency_ema_[i].Add(steal / preempts);
       active_period_ema_[i].Add(std::max(0.0, window - steal) / preempts);
@@ -120,12 +121,30 @@ void Vact::OnWindowEnd() {
       latency_ema_[i].Add(0.0);
       active_period_ema_[i].Add(window);
       updated = true;
+    } else if (config_.robust.enabled &&
+               steal >= config_.robust.subthreshold_steal_frac * window) {
+      // Sub-threshold theft: substantial steal with zero qualified jumps can
+      // only come from per-tick slices below the jump threshold — the
+      // cycle-stealer signature. Attribute the steal to one slice per
+      // surviving tick so the estimate tracks the theft instead of going
+      // stale, and score the window as suspicious.
+      const int slices = std::max(1, window_ticks_[i] - window_drops_[i]);
+      latency_ema_[i].Add(steal / slices);
+      active_period_ema_[i].Add(std::max(0.0, window - steal) / slices);
+      updated = true;
+      subthreshold = true;
+      ++subthreshold_windows_;
     }
     // Otherwise: mixed window without qualified jumps; keep the estimate.
     if (config_.robust.enabled) {
       int drops = window_drops_[i];
       int survivors = window_ticks_[i] - drops;
-      if (drops > survivors) {
+      if (subthreshold) {
+        // Counted above; the data is self-consistent but the pattern is
+        // adversarial — depress confidence so the degradation paths (IVH
+        // pause, BVS fallback) engage while the theft persists.
+        confidence_[i].RecordRejected();
+      } else if (drops > survivors) {
         // Most tick samples were lost this window: the preempt count (and
         // hence any estimate derived from it) rests on starved data, however
         // the window ended up classified.

@@ -79,6 +79,11 @@ class Vact {
   int LastWindowPreemptions(int cpu) const { return last_window_preempts_[cpu]; }
   bool has_results() const { return windows_completed_ > 0; }
 
+  // Anti-evasion detection: windows attributed to sub-threshold theft
+  // (substantial steal, zero qualified jumps). Nonzero only with the robust
+  // layer enabled — the cycle-stealer detection signal.
+  int subthreshold_windows() const { return subthreshold_windows_; }
+
  private:
   void OnTick(GuestVcpu* v, TimeNs now);
   void OnWindowEnd();
@@ -103,6 +108,7 @@ class Vact {
   std::vector<ConfidenceTracker> confidence_;
   std::vector<int> window_drops_;  // tick samples dropped this window
   std::vector<int> window_ticks_;  // ticks that fired this window (incl. drops)
+  int subthreshold_windows_ = 0;   // windows attributed to sub-threshold theft
 
   // Liveness token for posted event closures (the PR-6 pattern, enforced by
   // vsched-lint's event-lifetime rule). Must be the last member so it

@@ -45,6 +45,10 @@ Vcap::Vcap(GuestKernel* kernel, VcapConfig config)
   steal_at_start_.resize(n, 0);
   exec_at_start_.resize(n, 0);
   prober_work_at_start_.resize(n, 0);
+  steal_at_prev_end_.resize(n, 0);
+  offwindow_steal_frac_.resize(n, 0.0);
+  suspect_streak_.resize(n, 0);
+  clear_streak_.resize(n, 0);
   core_capacity_.assign(n, kCapacityScale);
   last_samples_.resize(n);
   for (int i = 0; i < n; ++i) {
@@ -116,6 +120,15 @@ void Vcap::BeginWindow() {
       continue;
     }
     steal_at_start_[i] = kernel_->vcpu(i).StealClock(now);
+    if (config_.robust.enabled && prev_window_end_ >= 0 && now > prev_window_end_) {
+      // Corroboration signal for the plausibility check: how much steal the
+      // vCPU saw while no window was open. A probe-evader concentrates its
+      // activity exactly there.
+      offwindow_steal_frac_[i] =
+          std::clamp(static_cast<double>(steal_at_start_[i] - steal_at_prev_end_[i]) /
+                         static_cast<double>(now - prev_window_end_),
+                     0.0, 1.0);
+    }
     light_behaviors_[i]->Arm(window_end);
     kernel_->WakeTask(light_probers_[i]);
     if (current_heavy_) {
@@ -177,6 +190,32 @@ void Vcap::EndWindow() {
       sample.vcpu_capacity = injector->CorruptSample(ProbePoint::kVcapWindow, sample.vcpu_capacity);
     }
     if (config_.robust.enabled) {
+      // Duty-cycle plausibility: the in-window steal fraction must not
+      // undercut what the steal clock showed between windows. A clean noisy
+      // neighbor perturbs both readings alike; only activity *timed against
+      // the window grid* produces a large one-sided gap.
+      const double off_frac = offwindow_steal_frac_[i];
+      if (off_frac - steal_frac > config_.robust.plausibility_gap) {
+        ++implausible_windows_;
+        clear_streak_[i] = 0;
+        if (++suspect_streak_[i] >= config_.robust.quarantine_streak && !quarantined_.Test(i)) {
+          quarantined_.Set(i);
+          ++quarantine_events_;
+        }
+        // Publish the corroborated pessimistic view instead of the
+        // evader-fed one, and score the window as untrustworthy.
+        sample.steal_fraction = off_frac;
+        sample.vcpu_capacity =
+            std::min(sample.vcpu_capacity, core_capacity_[i] * (1.0 - off_frac));
+        confidence_[i].RecordRejected();
+        last_samples_[i] = sample;
+        capacity_ema_[i].Add(sample.vcpu_capacity);
+        continue;
+      }
+      suspect_streak_[i] = 0;
+      if (quarantined_.Test(i) && ++clear_streak_[i] >= config_.robust.quarantine_release) {
+        quarantined_.Clear(i);
+      }
       const double estimate = capacity_ema_[i].has_value() ? capacity_ema_[i].value() : -1.0;
       const bool outlier =
           !WithinOutlierBand(sample.vcpu_capacity, estimate, config_.robust.outlier_ratio);
@@ -192,6 +231,12 @@ void Vcap::EndWindow() {
     last_samples_[i] = sample;
     capacity_ema_[i].Add(sample.vcpu_capacity);
   }
+  if (config_.robust.enabled) {
+    prev_window_end_ = now;
+    for (int i = 0; i < kernel_->num_vcpus(); ++i) {
+      steal_at_prev_end_[i] = kernel_->vcpu(i).StealClock(now);
+    }
+  }
   ++windows_completed_;
   for (auto& cb : window_callbacks_) {
     cb(window_start_, now, current_heavy_);
@@ -201,6 +246,12 @@ void Vcap::EndWindow() {
   }
   TimeNs next_start = window_start_ + config_.light_interval;
   TimeNs delay = std::max<TimeNs>(0, next_start - now);
+  if (config_.robust.enabled && config_.robust.window_jitter > 0) {
+    // Anti-evasion jitter: desync the window grid from anything a co-tenant
+    // could phase-lock to. Drawn from vcap's own forked stream, so clean
+    // runs (robust off) never see the draw.
+    delay += rng_.UniformInt(0, config_.robust.window_jitter);
+  }
   next_event_ =
       sim_->After(delay, [this, alive = std::weak_ptr<const bool>(alive_)] {
         if (alive.expired()) {

@@ -84,6 +84,19 @@ class Vcap {
   // Skips probing on these vCPUs (rwc bans stack-banned vCPUs from vcap).
   void SetSkipMask(CpuMask mask) { skip_mask_ = mask; }
 
+  // ---- Anti-evasion hardening (robust.enabled only) ----
+  // The steal fraction observed *between* the two most recent windows — the
+  // corroboration signal for the duty-cycle plausibility check. A
+  // probe-evading co-tenant is quiet inside windows but loud outside them,
+  // so a large off-window/in-window gap marks the window implausible.
+  double OffWindowStealFrac(int cpu) const { return offwindow_steal_frac_[cpu]; }
+  // vCPUs whose recent windows were persistently implausible; their
+  // published estimates are replaced by the corroborated off-window view.
+  CpuMask QuarantinedMask() const { return quarantined_; }
+  bool Quarantined(int cpu) const { return quarantined_.Test(cpu); }
+  int implausible_windows() const { return implausible_windows_; }
+  int quarantine_events() const { return quarantine_events_; }
+
   // Fired at the end of each sampling window with [start, end). vact hooks
   // in here; the vSched bridge pushes capacities to the kernel.
   using WindowCallback = std::function<void(TimeNs start, TimeNs end, bool heavy)>;
@@ -117,6 +130,19 @@ class Vcap {
   std::vector<TimeNs> steal_at_start_;
   std::vector<TimeNs> exec_at_start_;
   std::vector<Work> prober_work_at_start_;
+
+  // Anti-evasion state (all inert unless robust.enabled): steal clocks at
+  // the end of the previous window, the off-window steal fraction derived
+  // from them at the next window start, and the per-vCPU plausibility
+  // streaks driving quarantine entry/release.
+  TimeNs prev_window_end_ = -1;
+  std::vector<TimeNs> steal_at_prev_end_;
+  std::vector<double> offwindow_steal_frac_;
+  std::vector<int> suspect_streak_;
+  std::vector<int> clear_streak_;
+  CpuMask quarantined_;
+  int implausible_windows_ = 0;
+  int quarantine_events_ = 0;
 
   std::vector<Ema> capacity_ema_;
   std::vector<ConfidenceTracker> confidence_;

@@ -16,6 +16,9 @@ Vtop::Vtop(GuestKernel* kernel, VtopConfig config)
     // Individual pair probes inherit the robust settings so they report
     // per-probe confidence and use the median latency estimator.
     config_.pair.robust = config_.robust;
+    // Forked only on the robust path: clean runs must not perturb the
+    // simulation's RNG fork order (byte-identity with pre-robust builds).
+    rng_.emplace(sim_->ForkRng());
   }
   matrix_.assign(n_, std::vector<double>(n_, -1.0));
   for (int i = 0; i < n_; ++i) {
@@ -44,13 +47,18 @@ void Vtop::ScheduleNextCycle() {
   if (!running_) {
     return;
   }
-  cycle_event_ = sim_->After(
-      config_.probe_interval, [this, alive = std::weak_ptr<const bool>(alive_)] {
-        if (alive.expired()) {
-          return;
-        }
-        OnCycle();
-      });
+  TimeNs delay = config_.probe_interval;
+  if (rng_.has_value() && config_.robust.window_jitter > 0) {
+    // Anti-evasion jitter: a co-tenant that has learned the validation
+    // cadence cannot stay quiet through a jittered cycle grid.
+    delay += rng_->UniformInt(0, config_.robust.window_jitter);
+  }
+  cycle_event_ = sim_->After(delay, [this, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnCycle();
+  });
 }
 
 void Vtop::OnCycle() {

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/base/time.h"
@@ -19,6 +20,7 @@
 #include "src/probe/pair_probe.h"
 #include "src/probe/robust.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
 #include "src/stats/stats.h"
 
 namespace vsched {
@@ -155,10 +157,13 @@ class Vtop {
   int pairs_inferred_ = 0;
 
   // Robust-layer state: smoothed topology confidence and bounded re-probe
-  // backoff after consecutive validation failures.
+  // backoff after consecutive validation failures. The RNG (cycle jitter)
+  // is forked only when the robust layer is on, so clean runs keep the
+  // simulation's fork order byte-identical.
   Ema confidence_ema_ = Ema::WithHalfLife(8.0);
   int reprobe_count_ = 0;
   int reprobes_scheduled_ = 0;
+  std::optional<Rng> rng_;
 
   // Liveness token for posted event closures (the PR-6 pattern, enforced by
   // vsched-lint's event-lifetime rule). Must be the last member so it

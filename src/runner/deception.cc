@@ -1,0 +1,179 @@
+#include "src/runner/deception.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/vsched.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+
+namespace vsched {
+
+namespace {
+
+// Ground-truth relation of two vCPUs from their pinned hardware threads —
+// what vtop would publish if its probes were undisturbed.
+VcpuRelation TrueRelation(const HostTopology& topo, HwThreadId a, HwThreadId b) {
+  if (a == b) {
+    return VcpuRelation::kStacked;
+  }
+  switch (topo.DistanceClass(a, b)) {
+    case HwDistance::kSame:
+      return VcpuRelation::kStacked;
+    case HwDistance::kSmtSibling:
+      return VcpuRelation::kSmtSibling;
+    case HwDistance::kSameSocket:
+      return VcpuRelation::kSameSocket;
+    case HwDistance::kCrossSocket:
+      return VcpuRelation::kCrossSocket;
+  }
+  return VcpuRelation::kUnknown;
+}
+
+}  // namespace
+
+GroundTruthSnapshot CaptureGroundTruth(Vm& vm, TimeNs now) {
+  GroundTruthSnapshot snap;
+  snap.at = now;
+  int n = vm.num_vcpus();
+  snap.ran_ns.reserve(static_cast<size_t>(n));
+  snap.steal_ns.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    snap.ran_ns.push_back(vm.thread(i).ran_ns(now));
+    snap.steal_ns.push_back(vm.thread(i).steal_ns(now));
+  }
+  return snap;
+}
+
+void AppendDeceptionMetrics(const GroundTruthSnapshot& before,
+                            const GroundTruthSnapshot& after, Vm& vm,
+                            const HostMachine& machine, VSched& vsched,
+                            uint64_t adversary_activations, RunMetrics& metrics) {
+  const int n = vm.num_vcpus();
+
+  // Ground truth: of the time each vCPU wanted the CPU during the window,
+  // what fraction did the host actually deliver?
+  std::vector<double> gt_delivered(static_cast<size_t>(n), 1.0);
+  double gt_delivered_sum = 0;
+  double gt_delivered_min = 1.0;
+  double gt_steal_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double dran = static_cast<double>(after.ran_ns[i] - before.ran_ns[i]);
+    const double dsteal = static_cast<double>(after.steal_ns[i] - before.steal_ns[i]);
+    const double demand = dran + dsteal;
+    if (demand > 0) {
+      gt_delivered[static_cast<size_t>(i)] = dran / demand;
+    }
+    gt_delivered_sum += gt_delivered[static_cast<size_t>(i)];
+    gt_delivered_min = std::min(gt_delivered_min, gt_delivered[static_cast<size_t>(i)]);
+    const double window = static_cast<double>(after.at - before.at);
+    gt_steal_sum += window > 0 ? dsteal / window : 0;
+  }
+  metrics.Set("dx_gt_delivered_mean", n > 0 ? gt_delivered_sum / n : 1.0);
+  metrics.Set("dx_gt_delivered_min", gt_delivered_min);
+  metrics.Set("dx_gt_steal_frac_mean", n > 0 ? gt_steal_sum / n : 0);
+
+  // vcap: capacity estimate (kCapacityScale units → fraction) vs delivered.
+  double cap_est_sum = 0;
+  double cap_err_sum = 0;
+  double cap_err_max = -1.0;
+  Vcap* vcap = vsched.vcap();
+  for (int i = 0; i < n; ++i) {
+    const double est =
+        vcap != nullptr ? vcap->CapacityOf(i) / kCapacityScale : 1.0;
+    const double err = est - gt_delivered[static_cast<size_t>(i)];
+    cap_est_sum += est;
+    cap_err_sum += err;
+    cap_err_max = std::max(cap_err_max, err);
+  }
+  metrics.Set("dx_cap_est_mean", n > 0 ? cap_est_sum / n : 1.0);
+  metrics.Set("dx_cap_err_mean", n > 0 ? cap_err_sum / n : 0);
+  metrics.Set("dx_cap_err_max", n > 0 ? cap_err_max : 0);
+
+  // vact: the published vCPU-latency picture (a stale/zero estimate against
+  // nonzero ground-truth theft is the cycle-stealer's signature).
+  Vact* vact = vsched.vact();
+  metrics.Set("dx_act_latency_ns", vact != nullptr ? vact->MedianLatency() : 0);
+  metrics.Set("dx_act_subthreshold_windows",
+              vact != nullptr ? static_cast<double>(vact->subthreshold_windows()) : 0);
+
+  // vtop: probed classification vs the pinned host topology.
+  Vtop* vtop = vsched.vtop();
+  int pairs_probed = 0;
+  int pairs_wrong = 0;
+  if (vtop != nullptr && vtop->has_topology()) {
+    const HostTopology& topo = machine.topology();
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        const double latency = vtop->MatrixAt(a, b);
+        if (latency < 0) {
+          continue;  // never probed (nor inferred): no claim to score
+        }
+        ++pairs_probed;
+        const HwThreadId ta = static_cast<HwThreadId>(vm.thread(a).tid());
+        const HwThreadId tb = static_cast<HwThreadId>(vm.thread(b).tid());
+        if (vtop->Classify(latency) != TrueRelation(topo, ta, tb)) {
+          ++pairs_wrong;
+        }
+      }
+    }
+  }
+  metrics.Set("dx_topo_pairs_probed", pairs_probed);
+  metrics.Set("dx_topo_misclass_frac",
+              pairs_probed > 0 ? static_cast<double>(pairs_wrong) / pairs_probed : 0);
+  // Probe-loop liveness: an attack that keeps pair probes from ever
+  // completing shows up here as zero full probes (topology denial), not as
+  // misclassification.
+  metrics.Set("dx_topo_full_probes",
+              vtop != nullptr ? static_cast<double>(vtop->full_probes_run()) : 0);
+  metrics.Set("dx_topo_validations",
+              vtop != nullptr ? static_cast<double>(vtop->validations_run()) : 0);
+
+  // Optimizations acting on (possibly deceived) estimates.
+  Bvs* bvs = vsched.bvs();
+  metrics.Set("dx_bvs_placements",
+              bvs != nullptr ? static_cast<double>(bvs->placements()) : 0);
+  metrics.Set("dx_bvs_fallbacks",
+              bvs != nullptr ? static_cast<double>(bvs->fallbacks()) : 0);
+  Ivh* ivh = vsched.ivh();
+  metrics.Set("dx_ivh_attempts",
+              ivh != nullptr ? static_cast<double>(ivh->attempts()) : 0);
+  metrics.Set("dx_ivh_completed",
+              ivh != nullptr ? static_cast<double>(ivh->completed()) : 0);
+  Rwc* rwc = vsched.rwc();
+  metrics.Set("dx_rwc_straggler_bans",
+              rwc != nullptr ? static_cast<double>(rwc->straggler_bans().Count()) : 0);
+  metrics.Set("dx_rwc_stack_bans",
+              rwc != nullptr ? static_cast<double>(rwc->stack_bans().Count()) : 0);
+  // Ground-truth stragglers by rwc's own criterion, applied to delivered
+  // fractions instead of vcap estimates: bans below this count mean rwc was
+  // blinded to real stragglers.
+  int gt_stragglers = 0;
+  const double gt_mean = n > 0 ? gt_delivered_sum / n : 1.0;
+  const double ratio = vsched.options().rwc.straggler_ratio;
+  for (int i = 0; i < n; ++i) {
+    if (gt_delivered[static_cast<size_t>(i)] < gt_mean * ratio) {
+      ++gt_stragglers;
+    }
+  }
+  metrics.Set("dx_gt_stragglers", gt_stragglers);
+
+  // Anti-evasion detectors (all zero unless robust.enabled).
+  metrics.Set("dx_implausible_windows",
+              vcap != nullptr ? static_cast<double>(vcap->implausible_windows()) : 0);
+  metrics.Set("dx_quarantine_events",
+              vcap != nullptr ? static_cast<double>(vcap->quarantine_events()) : 0);
+  metrics.Set("dx_quarantined_at_end",
+              vcap != nullptr ? static_cast<double>(vcap->QuarantinedMask().Count()) : 0);
+  metrics.Set("dx_pessimistic_publishes",
+              static_cast<double>(vsched.pessimistic_publishes()));
+  metrics.Set("dx_reprobes",
+              vtop != nullptr ? static_cast<double>(vtop->reprobes_scheduled()) : 0);
+  metrics.Set("dx_degraded_quarantine_ms",
+              static_cast<double>(vsched.degradation().TimeDegraded(
+                  DegradedComponent::kQuarantine, after.at)) /
+                  1e6);
+  metrics.Set("dx_adversary_activations", static_cast<double>(adversary_activations));
+}
+
+}  // namespace vsched

@@ -1,0 +1,58 @@
+// The deception matrix: ground truth vs estimate, per attack and component.
+//
+// An adversarial co-tenant (src/adversary/) tries to make each vSched
+// estimator publish a picture that disagrees with what the host actually
+// delivered. This reporter quantifies the disagreement: host-side entity
+// accounting over the measurement window is the ground truth, the probers'
+// published estimates are the claim, and every dx_* metric is one cell of
+// the (attack, component) matrix. It lives in the runner — not in
+// src/adversary/ — because attack code is confined to the public host/guest
+// surface (vsched-lint's adversary-surface rule) while this reporter must
+// read every estimator.
+//
+// Interpretation (docs/ROBUSTNESS.md has the full matrix):
+//   * dx_cap_err_*      — vcap capacity estimate minus delivered fraction;
+//                         positive = the prober over-credits a stolen vCPU.
+//   * dx_act_*          — vact's latency estimate vs the theft it missed.
+//   * dx_topo_misclass  — fraction of probed vCPU pairs vtop classified
+//                         differently from the pinned host topology.
+//   * dx_bvs_* / dx_ivh_* / dx_rwc_* — optimization activity that acted on
+//                         (possibly deceived) estimates.
+//   * dx_implausible_windows, dx_quarantine_*, dx_subthreshold_windows,
+//     dx_pessimistic_publishes, dx_reprobes — the anti-evasion detectors
+//                         (nonzero only with robust.enabled).
+#ifndef SRC_RUNNER_DECEPTION_H_
+#define SRC_RUNNER_DECEPTION_H_
+
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/runner/spec.h"
+
+namespace vsched {
+
+class HostMachine;
+class Vm;
+class VSched;
+
+// Host-side per-vCPU accounting at one instant; two snapshots bracket the
+// measurement window.
+struct GroundTruthSnapshot {
+  TimeNs at = 0;
+  std::vector<TimeNs> ran_ns;
+  std::vector<TimeNs> steal_ns;
+};
+
+GroundTruthSnapshot CaptureGroundTruth(Vm& vm, TimeNs now);
+
+// Appends the dx_* matrix rows for one run. Emits a fixed key set in a
+// stable order regardless of configuration (absent components report 0), so
+// adversary JSONL rows keep one schema across attacks and robust modes.
+void AppendDeceptionMetrics(const GroundTruthSnapshot& before,
+                            const GroundTruthSnapshot& after, Vm& vm,
+                            const HostMachine& machine, VSched& vsched,
+                            uint64_t adversary_activations, RunMetrics& metrics);
+
+}  // namespace vsched
+
+#endif  // SRC_RUNNER_DECEPTION_H_

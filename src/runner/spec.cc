@@ -9,6 +9,7 @@
 #include "src/cluster/fleet_spec.h"
 #include "src/cluster/sharded_fleet.h"
 #include "src/fault/fault_plan.h"
+#include "src/runner/deception.h"
 #include "src/runner/run_context.h"
 #include "src/sim/simulation.h"
 #include "src/workloads/latency_app.h"
@@ -26,6 +27,8 @@ const char* FamilyName(ExperimentFamily family) {
       return "fig02";
     case ExperimentFamily::kFleet:
       return "fleet";
+    case ExperimentFamily::kAdversary:
+      return "adversary";
   }
   return "unknown";
 }
@@ -55,6 +58,12 @@ std::string RunSpec::Id() const {
     if (best_effort) {
       id += "+be";
     }
+  }
+  // The robust axis appears only when explicitly forced (adversary rows);
+  // legacy sweeps never set it, so their ids — and resume checkpoints —
+  // are unchanged.
+  if (robust_override >= 0) {
+    id += robust_override == 1 ? "/robust=on" : "/robust=off";
   }
   return id;
 }
@@ -181,6 +190,15 @@ bool ResolveFaultPlan(const RunSpec& spec, FaultPlan* plan) {
   return !plan->Empty();
 }
 
+// Whether a single-VM run arms the robust layer: an explicit override wins;
+// otherwise the legacy rule applies (any active chaos plan arms it).
+bool ResolveRobust(const RunSpec& spec, bool chaos) {
+  if (spec.robust_override >= 0) {
+    return spec.robust_override == 1;
+  }
+  return chaos;
+}
+
 // Arms the simulated-event watchdog and (for an active plan) the injector.
 void ApplyFaults(const RunSpec& spec, bool chaos, const FaultPlan& plan, RunContext& ctx) {
   if (spec.event_budget > 0) {
@@ -250,7 +268,7 @@ RunMetrics ExecuteOverallRun(const RunSpec& spec) {
   FaultPlan plan;
   bool chaos = ResolveFaultPlan(spec, &plan);
   VSchedOptions options = OptionsForConfig(spec.config);
-  if (chaos) {
+  if (ResolveRobust(spec, chaos)) {
     options.robust.enabled = true;  // chaos runs arm the degradation layer
   }
   RunContext ctx = MakeRun(host, std::move(vm_spec), options, spec.seed, host_params);
@@ -290,7 +308,7 @@ RunMetrics ExecuteVcpuLatencyRun(const RunSpec& spec) {
   FaultPlan plan;
   bool chaos = ResolveFaultPlan(spec, &plan);
   VSchedOptions options = OptionsForConfig(spec.config);
-  if (chaos) {
+  if (ResolveRobust(spec, chaos)) {
     options.robust.enabled = true;
   }
   RunContext ctx = MakeRun(FlatHost(kVcpus), std::move(vm_spec), options, spec.seed, host);
@@ -331,6 +349,13 @@ RunMetrics ExecuteFleetRun(const RunSpec& spec) {
   FaultPlan plan;
   bool chaos = ResolveFaultPlan(spec, &plan);
   TimeNs horizon = spec.warmup + spec.measure;
+  // Fleets historically never auto-arm robust (the guest stack is the
+  // head-to-head axis); only an explicit override changes that, so legacy
+  // fleet rows stay byte-identical.
+  VSchedOptions guest_options = OptionsForConfig(spec.config);
+  if (spec.robust_override == 1) {
+    guest_options.robust.enabled = true;
+  }
 
   // spec.shards selects the execution engine, not the experiment: the
   // sharded PDES engine's totals are byte-identical for every shards >= 1,
@@ -341,7 +366,7 @@ RunMetrics ExecuteFleetRun(const RunSpec& spec) {
   std::unique_ptr<Fleet> fleet;
   std::unique_ptr<ShardedFleet> sharded;
   if (spec.shards >= 1) {
-    sharded = std::make_unique<ShardedFleet>(fleet_spec, spec.seed, OptionsForConfig(spec.config),
+    sharded = std::make_unique<ShardedFleet>(fleet_spec, spec.seed, guest_options,
                                              spec.shards, chaos ? &plan : nullptr, spec.tickless);
     if (spec.event_budget > 0) {
       sharded->SetEventBudgetPerCell(spec.event_budget);
@@ -354,7 +379,7 @@ RunMetrics ExecuteFleetRun(const RunSpec& spec) {
     if (spec.event_budget > 0) {
       sim->SetEventBudget(spec.event_budget);
     }
-    fleet = std::make_unique<Fleet>(sim.get(), fleet_spec, OptionsForConfig(spec.config),
+    fleet = std::make_unique<Fleet>(sim.get(), fleet_spec, guest_options,
                                     chaos ? &plan : nullptr, spec.tickless);
     fleet->Start();
     sim->RunFor(horizon);
@@ -391,17 +416,141 @@ RunMetrics ExecuteFleetRun(const RunSpec& spec) {
   metrics.Set("energy_j", t.energy_j);
   if (chaos) {
     metrics.Set("fault_applied", static_cast<double>(t.fault_applied));
+    // Fleet-level detection/containment aggregates; keyed only under an
+    // active plan so clean fleet rows keep their pre-adversary schema.
+    metrics.Set("adversary_activations", static_cast<double>(t.adversary_activations));
+    metrics.Set("degraded_tenants", static_cast<double>(t.degraded_tenants));
+    metrics.Set("pessimistic_publishes", static_cast<double>(t.pessimistic_publishes));
+    metrics.Set("quarantine_events", static_cast<double>(t.quarantine_events));
   }
+  return metrics;
+}
+
+// Adversarial co-tenant protocol (src/adversary/, docs/ROBUSTNESS.md): a
+// reference VM runs a steady throughput victim while a canned
+// scheduler-attack plan drives RT co-tenants on its hardware threads;
+// host-side entity accounting over the measurement window is the ground
+// truth the deception matrix scores each estimator against.
+// spec.workload names the attack ("steal" | "evade" | "burst" | "all");
+// "fleet-<attack>" instead runs the tiny fleet preset with one adversarial
+// tenant per host (src/cluster/ FleetInjectorHost).
+RunMetrics ExecuteAdversaryRun(const RunSpec& spec) {
+  std::string attack = spec.workload;
+  bool fleet_variant = attack.rfind("fleet-", 0) == 0;
+  if (fleet_variant) {
+    attack = attack.substr(6);
+  }
+  // "none" is the calibration row: same protocol, no attacker — the matrix
+  // baseline every dx_* deception delta is read against.
+  if (attack != "steal" && attack != "evade" && attack != "burst" && attack != "all" &&
+      attack != "none") {
+    throw std::invalid_argument("unknown adversary attack: " + spec.workload);
+  }
+  if (fleet_variant) {
+    RunSpec fleet = spec;
+    fleet.family = ExperimentFamily::kFleet;
+    fleet.workload = "tiny";
+    return ExecuteFleetRun(fleet);
+  }
+
+  // 2 sockets x 2 cores x 2 SMT threads: every vtop relation class exists,
+  // so topology deception is scoreable. 8 vCPUs pinned 1:1 — no stacking.
+  const int kVcpus = 8;
+  TopologySpec host = FlatHost(/*cores=*/2, /*threads_per_core=*/2, /*sockets=*/2);
+  VmSpec vm_spec = MakeSimpleVmSpec("vm", kVcpus);
+  vm_spec.mutable_guest_params().tickless = spec.tickless;
+  HostSchedParams host_params;
+  host_params.tickless = spec.tickless;
+  FaultPlan plan;
+  bool chaos = ResolveFaultPlan(spec, &plan);
+  VSchedOptions options = OptionsForConfig(spec.config);
+  options.robust.enabled = ResolveRobust(spec, chaos);
+  // Fast probe cadence so a short horizon spans many windows. The vcap grid
+  // (10 ms window every 100 ms from t=0) is exactly the schedule the canned
+  // probe-evader's quiet phase is tuned to cover — the attack only works
+  // against a predictable grid, which is what the robust layer's window
+  // jitter then takes away.
+  options.vcap.sampling_period = MsToNs(10);
+  options.vcap.light_interval = MsToNs(100);
+  options.vcap.heavy_every = 4;
+  options.vact.update_interval = MsToNs(100);
+  options.vtop.probe_interval = MsToNs(500);
+  // A laxer straggler bar than the paper's 10x: the probe-evader starves its
+  // victims ~5x below the mean, which real operators would want banned —
+  // whether rwc sees it is exactly the dx_rwc vs dx_gt_stragglers cell.
+  options.rwc.straggler_ratio = 0.5;
+  RunContext ctx = MakeRun(host, std::move(vm_spec), options, spec.seed, host_params);
+  ApplyFaults(spec, chaos, plan, ctx);
+
+  // Victim: a steady fine-grained throughput app on every vCPU, so each
+  // vCPU has continuous demand and delivered-fraction ground truth is
+  // well-defined for the whole window.
+  auto workload = MakeWorkload(&ctx.kernel(), "sysbench", kVcpus);
+  workload->Start();
+  ctx.sim->RunFor(spec.warmup);
+  workload->ResetStats();
+  GroundTruthSnapshot before = CaptureGroundTruth(*ctx.vm, ctx.sim->now());
+  Work work_before = TotalWorkDone(ctx.kernel());
+  uint64_t migr_before = ctx.kernel().counters().migrations.value() +
+                         ctx.kernel().counters().active_migrations.value();
+  ctx.sim->RunFor(spec.measure);
+  GroundTruthSnapshot after = CaptureGroundTruth(*ctx.vm, ctx.sim->now());
+
+  RunMetrics metrics;
+  WorkloadResult result = workload->Result();
+  metrics.Set("perf", result.throughput);
+  metrics.Set("throughput", result.throughput);
+  metrics.Set("completed", static_cast<double>(result.completed));
+  metrics.Set("work_done",
+              static_cast<double>(TotalWorkDone(ctx.kernel()) - work_before));
+  metrics.Set("migrations",
+              static_cast<double>(ctx.kernel().counters().migrations.value() +
+                                  ctx.kernel().counters().active_migrations.value() -
+                                  migr_before));
+  workload->Stop();
+  uint64_t activations = ctx.fault != nullptr ? ctx.fault->adversary_activations() : 0;
+  AppendDeceptionMetrics(before, after, *ctx.vm, *ctx.machine, *ctx.vsched, activations,
+                         metrics);
+  AppendFaultMetrics(ctx, metrics);
   return metrics;
 }
 
 }  // namespace
 
+ExperimentSpec AdversarySweep(uint64_t seed, TimeNs warmup, TimeNs measure) {
+  if (seed == 0) {
+    seed = 0xAD5E7;
+  }
+  ExperimentSpec experiment;
+  experiment.name = FamilyName(ExperimentFamily::kAdversary);
+  const char* kAttacks[] = {"none", "steal", "evade", "burst"};
+  for (bool fleet : {false, true}) {
+    for (const char* attack : kAttacks) {
+      for (int robust : {0, 1}) {
+        RunSpec run;
+        run.family = ExperimentFamily::kAdversary;
+        run.workload = fleet ? std::string("fleet-") + attack : attack;
+        run.config = "vsched";
+        run.seed = seed;
+        run.warmup = warmup;
+        run.measure = measure;
+        run.fault_plan = std::string(attack) == "none" ? std::string("none")
+                                                       : std::string("adversary-") + attack;
+        run.robust_override = robust;
+        experiment.runs.push_back(std::move(run));
+      }
+    }
+  }
+  return experiment;
+}
+
 RunMetrics ExecuteRun(const RunSpec& spec) {
   // Bad names in hand-authored specs should surface as a failed RunResult,
   // not as the VSCHED_CHECK abort MakeWorkload would hit mid-simulation.
-  // Fleet runs validate spec.workload against the preset registry instead.
-  if (spec.family != ExperimentFamily::kFleet) {
+  // Fleet runs validate spec.workload against the preset registry instead;
+  // adversary runs validate it against the attack names.
+  if (spec.family != ExperimentFamily::kFleet &&
+      spec.family != ExperimentFamily::kAdversary) {
     bool known = false;
     for (const CatalogEntry& entry : Catalog()) {
       if (entry.name == spec.workload) {
@@ -421,6 +570,8 @@ RunMetrics ExecuteRun(const RunSpec& spec) {
       return ExecuteVcpuLatencyRun(spec);
     case ExperimentFamily::kFleet:
       return ExecuteFleetRun(spec);
+    case ExperimentFamily::kAdversary:
+      return ExecuteAdversaryRun(spec);
   }
   throw std::invalid_argument("unknown experiment family");
 }

@@ -23,6 +23,9 @@ enum class ExperimentFamily {
   kOverallHpvm,  // Fig 19 protocol: hpvm (4 sockets, one dedicated group)
   kVcpuLatency,  // Fig 2 protocol: flat 32-vCPU VM with shaped vCPU latency
   kFleet,        // Cluster-scale fleet (src/cluster/): workload names a preset
+  kAdversary,    // Adversarial co-tenant deception matrix (src/adversary/):
+                 // workload names the attack (steal|evade|burst|all) or its
+                 // fleet variant (fleet-steal|...)
 };
 
 // Stable short name used in run ids and JSONL rows.
@@ -69,6 +72,14 @@ struct RunSpec {
   // of hanging the sweep. 0 disables the budget. Deterministic (counts
   // simulated events, not wall time), so also NOT part of Id().
   uint64_t event_budget = 0;
+
+  // Robust-layer override, an explicit experiment axis for adversary rows:
+  //  -1  legacy behavior (single-VM chaos runs auto-arm the degradation
+  //      layer, fleets follow the scheduler config) — never appears in Id();
+  //   0  force robust off (measure how far an attack deceives each
+  //      component), Id() gains "/robust=off";
+  //   1  force robust on (measure detection and mitigation), "/robust=on".
+  int robust_override = -1;
 
   // Fleet execution engine: 0 runs the sequential control plane
   // (src/cluster/fleet.h); >= 1 runs the sharded PDES engine
@@ -117,6 +128,14 @@ ExperimentSpec VcpuLatencySweep(uint64_t base_seed = 0, TimeNs warmup = SecToNs(
 // Pass 0 for the preset-independent default seed.
 ExperimentSpec FleetSweep(const std::string& preset, uint64_t seed = 0,
                           TimeNs warmup = MsToNs(0), TimeNs measure = SecToNs(2));
+
+// Adversarial co-tenant deception matrix (docs/ROBUSTNESS.md): each canned
+// attack (cycle-steal, probe-evade, refill-burst) runs twice — robust layer
+// forced off (how far each component is deceived) and forced on (detection
+// and degradation) — as a single reference VM under "vsched", plus a tiny
+// fleet with one adversarial tenant per host. Pass 0 for the default seed.
+ExperimentSpec AdversarySweep(uint64_t seed = 0, TimeNs warmup = SecToNs(1),
+                              TimeNs measure = SecToNs(2));
 
 // ---------------------------------------------------------------------------
 // Execution

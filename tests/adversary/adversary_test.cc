@@ -1,0 +1,145 @@
+// Unit tests for the adversarial co-tenant drivers (src/adversary/):
+// victim resolution, driver lifecycle, seeded determinism, and the canned
+// fault-plan registrations that deliver them.
+#include "src/adversary/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/adversary/adversary_spec.h"
+#include "src/base/time.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/guest/vm.h"
+#include "src/host/machine.h"
+#include "src/sim/simulation.h"
+
+namespace vsched {
+namespace {
+
+TopologySpec FlatSpec(int cores) {
+  TopologySpec spec;
+  spec.sockets = 1;
+  spec.cores_per_socket = cores;
+  spec.threads_per_core = 1;
+  return spec;
+}
+
+std::vector<HwThreadId> AllThreads(int n) {
+  std::vector<HwThreadId> v;
+  for (int t = 0; t < n; ++t) {
+    v.push_back(static_cast<HwThreadId>(t));
+  }
+  return v;
+}
+
+TEST(AdversaryTest, ResolveVictimCountCoversAllHalfAndClamp) {
+  EXPECT_EQ(ResolveVictimCount(0, 8), 8);   // all
+  EXPECT_EQ(ResolveVictimCount(-1, 8), 4);  // first half
+  EXPECT_EQ(ResolveVictimCount(-1, 5), 3);  // half rounds up
+  EXPECT_EQ(ResolveVictimCount(3, 8), 3);   // explicit
+  EXPECT_EQ(ResolveVictimCount(12, 8), 8);  // clamped to available
+}
+
+TEST(AdversaryTest, MakeAdversariesBuildsOneDriverPerEnabledClass) {
+  Simulation sim(1);
+  HostMachine machine(&sim, FlatSpec(4));
+  AdversarySpec spec;
+  EXPECT_FALSE(spec.active());
+  EXPECT_TRUE(MakeAdversaries(&sim, &machine, AllThreads(4), spec).empty());
+
+  spec.steal.enabled = true;
+  spec.burst.enabled = true;
+  EXPECT_TRUE(spec.active());
+  auto drivers = MakeAdversaries(&sim, &machine, AllThreads(4), spec);
+  ASSERT_EQ(drivers.size(), 2u);
+  EXPECT_EQ(drivers[0]->name(), "adv-steal");
+  EXPECT_EQ(drivers[1]->name(), "adv-burst");
+}
+
+// Each driver, started alone, attaches a stressor per victim (activations)
+// and survives Stop() twice (idempotent teardown).
+TEST(AdversaryTest, DriversActivateAndStopIdempotently) {
+  AdversarySpec all;
+  all.steal.enabled = true;
+  all.evade.enabled = true;
+  all.burst.enabled = true;
+
+  Simulation sim(2);
+  HostMachine machine(&sim, FlatSpec(4));
+  auto drivers = MakeAdversaries(&sim, &machine, AllThreads(4), all);
+  ASSERT_EQ(drivers.size(), 3u);
+  for (auto& d : drivers) {
+    d->Start(0, SecToNs(1));
+  }
+  sim.RunFor(SecToNs(1));
+  for (auto& d : drivers) {
+    EXPECT_GT(d->activations(), 0u) << d->name();
+    d->Stop();
+    d->Stop();  // idempotent
+  }
+}
+
+// The attack pattern is a pure function of (seed, spec): two worlds with the
+// same seed replay the same activation counts.
+TEST(AdversaryTest, SameSeedReplaysIdentically) {
+  auto run = [](uint64_t seed) {
+    AdversarySpec spec;
+    spec.evade.enabled = true;
+    Simulation sim(seed);
+    HostMachine machine(&sim, FlatSpec(4));
+    auto drivers = MakeAdversaries(&sim, &machine, AllThreads(4), spec);
+    for (auto& d : drivers) {
+      d->Start(0, 0);
+    }
+    sim.RunFor(SecToNs(2));
+    uint64_t total = 0;
+    for (auto& d : drivers) {
+      total += d->activations();
+      d->Stop();
+    }
+    return total;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(AdversaryTest, CannedPlansRegisterEachAttackAndTheCombo) {
+  FaultPlan plan;
+  ASSERT_TRUE(LookupFaultPlan("adversary-steal", &plan));
+  EXPECT_TRUE(plan.adversary.steal.enabled);
+  EXPECT_FALSE(plan.adversary.evade.enabled);
+
+  ASSERT_TRUE(LookupFaultPlan("adversary-evade", &plan));
+  EXPECT_TRUE(plan.adversary.evade.enabled);
+
+  ASSERT_TRUE(LookupFaultPlan("adversary-burst", &plan));
+  EXPECT_TRUE(plan.adversary.burst.enabled);
+
+  ASSERT_TRUE(LookupFaultPlan("adversary-all", &plan));
+  EXPECT_TRUE(plan.adversary.steal.enabled);
+  EXPECT_TRUE(plan.adversary.evade.enabled);
+  EXPECT_TRUE(plan.adversary.burst.enabled);
+  EXPECT_TRUE(plan.adversary.active());
+}
+
+// The FaultInjector is the delivery vehicle: an adversary plan attached to a
+// guest targets the guest's pinned threads, counts activations, and replays.
+TEST(AdversaryTest, InjectorDeliversAdversariesAgainstGuest) {
+  auto run = [](uint64_t seed) {
+    FaultPlan plan;
+    EXPECT_TRUE(LookupFaultPlan("adversary-all", &plan));
+    Simulation sim(seed);
+    HostMachine machine(&sim, FlatSpec(4));
+    Vm vm(&sim, &machine, MakeSimpleVmSpec("victim", 4));
+    FaultInjector injector(&sim, &machine, &vm, plan);
+    injector.Start();
+    sim.RunFor(SecToNs(1));
+    injector.Stop();
+    return injector.adversary_activations();
+  };
+  uint64_t a = run(11);
+  EXPECT_GT(a, 0u);
+  EXPECT_EQ(a, run(11));
+}
+
+}  // namespace
+}  // namespace vsched

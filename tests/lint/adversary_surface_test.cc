@@ -1,0 +1,100 @@
+// Tests for the adversary-surface rule: src/adversary/ code may drive the
+// public host surface (Stressor, bandwidth caps) but must not name the
+// probers, optimizations, detection state, or fault-injector hooks — an
+// attack that reads the estimator it is attacking is no longer operating
+// under the threat model the deception matrix measures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace vsched {
+namespace lint {
+namespace {
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintAdversarySurface, FiresOnProbeEstimatorReads) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/adversary/smart.cc", "double c = vcap->CapacityOf(0);\n"),
+      "adversary-surface"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/adversary/smart.cc", "Vact* vact = sched->vact();\n"),
+      "adversary-surface"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/adversary/smart.cc", "auto lat = vact->MedianLatency();\n"),
+      "adversary-surface"));
+}
+
+TEST(LintAdversarySurface, FiresOnDetectionAndInjectorState) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/adversary/evasive.cc", "if (vcap->QuarantinedMask().Empty()) {}\n"),
+      "adversary-surface"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/adversary/evasive.cc", "ConfidenceTracker tracker;\n"),
+      "adversary-surface"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/adversary/evasive.cc", "injector->DropSample(ProbeKind::kVcap);\n"),
+      "adversary-surface"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/adversary/evasive.cc", "machine->RebuildSchedDomains();\n"),
+      "adversary-surface"));
+}
+
+TEST(LintAdversarySurface, AllowsThePublicHostSurface) {
+  // The real drivers: stressors, weights, phases, bandwidth self-caps.
+  auto f = LintFile("src/adversary/driver.cc",
+                    "void CycleStealer::Launch(TimeNs at) {\n"
+                    "  Stressor* s = StressorFor(0, 10.0, true);\n"
+                    "  s->AttachTo(victims_[0]);\n"
+                    "  s->SetBandwidthCap(quota, period);\n"
+                    "}\n");
+  EXPECT_FALSE(HasRule(f, "adversary-surface"));
+}
+
+TEST(LintAdversarySurface, ScopedToAdversaryDirectoryOnly) {
+  // The same estimator reads are the whole point everywhere else — the
+  // deception reporter (src/runner/) scores estimates against ground truth.
+  auto f = LintFile("src/runner/deception.cc",
+                    "double est = vcap->CapacityOf(i) / kCapacityScale;\n");
+  EXPECT_FALSE(HasRule(f, "adversary-surface"));
+  EXPECT_FALSE(HasRule(LintFile("src/core/vsched.cc", "Vcap* v = vcap_.get();\n"),
+                       "adversary-surface"));
+}
+
+TEST(LintAdversarySurface, MentionsInCommentsAndStringsAreFine) {
+  // The driver headers *document* what they must not touch; prose is not a
+  // violation. The lexer strips comments and blanks string literals.
+  auto f = LintFile("src/adversary/doc.cc",
+                    "// Never reads Vcap, Vact, or the FaultInjector.\n"
+                    "const char* kNote = \"CapacityOf is off limits\";\n");
+  EXPECT_FALSE(HasRule(f, "adversary-surface"));
+}
+
+TEST(LintAdversarySurface, HonorsAllowComment) {
+  auto f = LintFile("src/adversary/calibrated.cc",
+                    "// vsched-lint: allow(adversary-surface)\n"
+                    "double c = vcap->CapacityOf(0);\n");
+  EXPECT_FALSE(HasRule(f, "adversary-surface"));
+}
+
+// The shipped drivers must themselves be clean — the rule guards them.
+TEST(LintAdversarySurface, RuleIsRegistered) {
+  bool found = false;
+  for (const RuleInfo& info : Rules()) {
+    if (std::string(info.name) == "adversary-surface") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vsched

@@ -320,9 +320,9 @@ TEST(LintRules, RegistryListsEveryRuleExactlyOnce) {
   std::vector<std::string> expected = {"wall-clock",       "libc-rand",
                                        "unordered-container", "unseeded-rng",
                                        "raw-double-accum",    "pelt-eager-update",
-                                       "fault-injection-point", "mutable-global",
-                                       "event-lifetime",      "shard-isolation",
-                                       "shard-crossing"};
+                                       "fault-injection-point", "adversary-surface",
+                                       "mutable-global",      "event-lifetime",
+                                       "shard-isolation",     "shard-crossing"};
   std::sort(names.begin(), names.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(names, expected);

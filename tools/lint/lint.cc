@@ -66,6 +66,14 @@ bool IsFaultHookScope(const std::string& path) {
   return IsSrcPath(path) && !PathContains(path, "src/fault/");
 }
 
+// Adversarial co-tenant workloads (src/adversary/) model attackers with
+// knowledge of platform constants but no visibility into the victim: they
+// may drive Stressors and bandwidth caps on the public host surface, never
+// read probe estimates, detection state, or injector hooks.
+bool IsAdversaryPath(const std::string& path) {
+  return PathContains(path, "src/adversary/");
+}
+
 bool Allowed(const std::vector<std::string>& allows, const std::string& rule) {
   return std::find(allows.begin(), allows.end(), rule) != allows.end();
 }
@@ -184,6 +192,13 @@ const std::vector<TokenRule>& TokenRules() {
        "DropSample/CorruptSample may only be called at the registered ProbePoint "
        "sites (mark those with a vsched-lint allow comment)",
        std::regex(R"(\b(DropSample|CorruptSample)\s*\()"), &IsFaultHookScope},
+      {"adversary-surface",
+       "adversary workload touches estimator or injector internals: attack "
+       "drivers act only through the public host surface (Stressor, bandwidth "
+       "caps) — the threat model grants platform constants, not victim state",
+       std::regex(
+           R"(\b(Vcap|Vact|Vtop|VSched|Bvs|Ivh|Rwc|PairProbe|ConfidenceTracker|DegradationTracker|FaultInjector|DropSample|CorruptSample|CapacityOf|MedianLatency|QuarantinedMask|SetCapacityOverride|set_degraded|set_freeze|RebuildSchedDomains)\b)"),
+       &IsAdversaryPath},
   };
   return *rules;
 }
